@@ -1,0 +1,142 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. the §6.3 JSON_EXISTS predicate pushdown (optimizer on vs off);
+//! 2. the §4.2.1 field-id look-back cache (shared cursor vs fresh
+//!    evaluator per document);
+//! 3. OraNum vs IEEE-double number encoding (§4.2.3's two number modes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsdm_bench::setup::{olap_db, StorageMethod};
+use fsdm_sqljson::{parse_path, PathEvaluator};
+use fsdm_workloads::{collections::purchase_order, rng_for};
+use std::hint::black_box;
+
+fn ablation_pushdown(c: &mut Criterion) {
+    let n = 2_000;
+    let session = olap_db(StorageMethod::Oson, n);
+    let sql = "select count(*) from po_item_dmdv where partno = 'no-such-part'";
+    let plan = session.plan(sql, &[]).unwrap();
+    let optimized = fsdm_store::optimizer::optimize(&session.db, plan.clone());
+    let mut g = c.benchmark_group("ablation_pushdown");
+    g.sample_size(10);
+    g.bench_function("with_json_exists_pushdown", |b| {
+        b.iter(|| session.db.execute_unoptimized(black_box(&optimized)).unwrap())
+    });
+    g.bench_function("without_pushdown", |b| {
+        b.iter(|| session.db.execute_unoptimized(black_box(&plan)).unwrap())
+    });
+    g.finish();
+}
+
+fn ablation_lookback(c: &mut Criterion) {
+    let mut rng = rng_for("ablation-lookback", 1);
+    let docs: Vec<Vec<u8>> = (0..500)
+        .map(|i| fsdm_oson::encode(&purchase_order(&mut rng, i)).unwrap())
+        .collect();
+    let path = parse_path("$.purchaseOrder.items[*].unitprice").unwrap();
+    let mut g = c.benchmark_group("ablation_lookback");
+    g.bench_function("shared_cursor_cache_hits", |b| {
+        let mut ev = PathEvaluator::new(path.clone());
+        b.iter(|| {
+            let mut total = 0usize;
+            for d in &docs {
+                let doc = fsdm_oson::OsonDoc::new(d).unwrap();
+                total += ev.evaluate(&doc).len();
+            }
+            total
+        })
+    });
+    g.bench_function("fresh_evaluator_per_doc", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for d in &docs {
+                let doc = fsdm_oson::OsonDoc::new(d).unwrap();
+                let mut ev = PathEvaluator::new(path.clone());
+                total += ev.evaluate(&doc).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn ablation_number_mode(c: &mut Criterion) {
+    use fsdm_oson::{encode_with, EncoderOptions, NumberMode};
+    let mut rng = rng_for("ablation-num", 1);
+    let doc = purchase_order(&mut rng, 3);
+    let mut g = c.benchmark_group("ablation_number_mode");
+    g.bench_function("encode_oranum", |b| {
+        b.iter(|| {
+            encode_with(
+                black_box(&doc),
+                EncoderOptions { number_mode: NumberMode::OraNum },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("encode_double", |b| {
+        b.iter(|| {
+            encode_with(
+                black_box(&doc),
+                EncoderOptions { number_mode: NumberMode::Double },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn ablation_set_encoding(c: &mut Criterion) {
+    // §7 future work, implemented: per-instance self-contained OSON vs the
+    // shared-dictionary set encoding for the in-memory store
+    let mut rng = rng_for("ablation-set", 2);
+    let docs: Vec<fsdm_json::JsonValue> =
+        (0..300).map(|i| purchase_order(&mut rng, i)).collect();
+    let individual: Vec<Vec<u8>> =
+        docs.iter().map(|d| fsdm_oson::encode(d).unwrap()).collect();
+    let mut b = fsdm_oson::OsonSetBuilder::new();
+    for d in &docs {
+        b.add(d.clone());
+    }
+    let set = b.finalize().unwrap();
+    let path = parse_path("$.purchaseOrder.items[*].unitprice").unwrap();
+    let mut g = c.benchmark_group("ablation_set_encoding");
+    g.bench_function("instance_encoded_scan", |bch| {
+        let mut ev = PathEvaluator::new(path.clone());
+        bch.iter(|| {
+            let mut n = 0usize;
+            for bytes in &individual {
+                let doc = fsdm_oson::OsonDoc::new(bytes).unwrap();
+                n += ev.evaluate(&doc).len();
+            }
+            n
+        })
+    });
+    g.bench_function("set_encoded_scan", |bch| {
+        let mut ev = PathEvaluator::new(path.clone());
+        bch.iter(|| {
+            let mut n = 0usize;
+            for i in 0..set.len() {
+                n += ev.evaluate(&set.doc(i)).len();
+            }
+            n
+        })
+    });
+    g.finish();
+    let ind_bytes: usize = individual.iter().map(|b| b.len()).sum();
+    eprintln!(
+        "set-encoding memory: shared {} bytes vs per-instance {} bytes ({:.0}% saved)",
+        set.heap_size(),
+        ind_bytes,
+        (1.0 - set.heap_size() as f64 / ind_bytes as f64) * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    ablation_pushdown,
+    ablation_lookback,
+    ablation_number_mode,
+    ablation_set_encoding
+);
+criterion_main!(benches);

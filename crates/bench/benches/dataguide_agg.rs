@@ -1,0 +1,21 @@
+//! Criterion benches for Figure 9: transient DataGuide aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsdm_bench::setup::nobench_db;
+
+fn bench_agg(c: &mut Criterion) {
+    let n = 5_000;
+    let mut session = nobench_db(n);
+    let mut g = c.benchmark_group("fig9_dataguide_agg");
+    g.sample_size(10);
+    for pct in [25u32, 50, 75, 99] {
+        let sql = format!("select json_dataguideagg(jdoc) from nobench sample ({pct})");
+        g.bench_with_input(BenchmarkId::new("transient", pct), &sql, |b, sql| {
+            b.iter(|| session.execute(sql).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_agg);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benches for Table 10's formats: encode + decode +
+//! field access per format on the purchaseOrder document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsdm_json::{field_hash, JsonDom, ValueDom};
+use fsdm_workloads::{collections::purchase_order, rng_for};
+use std::hint::black_box;
+
+fn bench_formats(c: &mut Criterion) {
+    let mut rng = rng_for("bench-formats", 1);
+    let doc = purchase_order(&mut rng, 42);
+    let text = fsdm_json::to_string(&doc);
+    let bson = fsdm_bson::encode(&doc).unwrap();
+    let oson = fsdm_oson::encode(&doc).unwrap();
+
+    let mut g = c.benchmark_group("encode");
+    g.bench_function("json_text", |b| b.iter(|| fsdm_json::to_string(black_box(&doc))));
+    g.bench_function("bson", |b| b.iter(|| fsdm_bson::encode(black_box(&doc)).unwrap()));
+    g.bench_function("oson", |b| b.iter(|| fsdm_oson::encode(black_box(&doc)).unwrap()));
+    g.finish();
+
+    let mut g = c.benchmark_group("decode_full");
+    g.bench_function("json_text", |b| b.iter(|| fsdm_json::parse(black_box(&text)).unwrap()));
+    g.bench_function("bson", |b| b.iter(|| fsdm_bson::decode(black_box(&bson)).unwrap()));
+    g.bench_function("oson", |b| b.iter(|| fsdm_oson::decode(black_box(&oson)).unwrap()));
+    g.finish();
+
+    // single-field access: the navigation story of §4
+    let h = field_hash("purchaseOrder");
+    let hc = field_hash("costcenter");
+    let mut g = c.benchmark_group("field_access");
+    g.bench_function("json_text_parse_then_navigate", |b| {
+        b.iter(|| {
+            let v = fsdm_json::parse(black_box(&text)).unwrap();
+            let dom = ValueDom::new(&v);
+            let po = dom.get_field(dom.root(), "purchaseOrder", h).unwrap();
+            black_box(dom.get_field(po, "costcenter", hc));
+        })
+    });
+    g.bench_function("bson_skip_navigate", |b| {
+        b.iter(|| {
+            let d = fsdm_bson::BsonDoc::new(black_box(&bson)).unwrap();
+            let po = d.get_field(d.root(), "purchaseOrder", h).unwrap();
+            black_box(d.get_field(po, "costcenter", hc));
+        })
+    });
+    g.bench_function("oson_jump_navigate", |b| {
+        b.iter(|| {
+            let d = fsdm_oson::OsonDoc::new(black_box(&oson)).unwrap();
+            let po = d.get_field(d.root(), "purchaseOrder", h).unwrap();
+            black_box(d.get_field(po, "costcenter", hc));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

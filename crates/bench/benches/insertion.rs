@@ -1,0 +1,17 @@
+//! Criterion benches for Figures 7/8: the insert pipeline per constraint
+//! mode and per collection homogeneity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsdm_bench::experiments::{run_homo_hetero, run_insertion_modes};
+
+fn bench_insertion(c: &mut Criterion) {
+    let n = 2_000;
+    let mut g = c.benchmark_group("fig7_fig8_insert");
+    g.sample_size(10);
+    g.bench_function("three_constraint_modes", |b| b.iter(|| run_insertion_modes(n)));
+    g.bench_function("homo_vs_hetero", |b| b.iter(|| run_homo_hetero(n)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_insertion);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches for Figures 5/6: NOBENCH Q6 under the three
+//! execution modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsdm_bench::setup::{add_nobench_vcs, nobench_db};
+use fsdm_workloads::nobench::query_sql;
+
+fn bench_nobench(c: &mut Criterion) {
+    let n = 5_000;
+    let q6 = query_sql(6, n);
+    let q6_vc = format!(
+        "select \"nb$num\" from nobench where \"nb$num\" between {} and {}",
+        n / 2,
+        n / 2 + n / 10
+    );
+    let mut g = c.benchmark_group("fig5_fig6_q6");
+    g.sample_size(10);
+
+    let mut text = nobench_db(n);
+    g.bench_function("text_mode", |b| b.iter(|| text.execute(&q6).unwrap()));
+
+    let mut oson = nobench_db(n);
+    oson.db.table_mut("nobench").unwrap().populate_oson_imc().unwrap();
+    g.bench_function("oson_imc_mode", |b| b.iter(|| oson.execute(&q6).unwrap()));
+
+    let mut vc = nobench_db(n);
+    add_nobench_vcs(&mut vc);
+    vc.db.table_mut("nobench").unwrap().populate_oson_imc().unwrap();
+    vc.db.table_mut("nobench")
+        .unwrap()
+        .populate_vc_imc(&["nb$str1", "nb$num", "nb$dyn1"])
+        .unwrap();
+    g.bench_function("vc_imc_mode", |b| b.iter(|| vc.execute(&q6_vc).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_nobench);
+criterion_main!(benches);

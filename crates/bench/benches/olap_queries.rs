@@ -1,0 +1,29 @@
+//! Criterion benches for Figure 3: representative OLAP queries per
+//! storage method (reduced corpus; the repro binary runs the full grid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsdm_bench::setup::{bind_datum, olap_db, olap_queries, StorageMethod};
+use fsdm_sqljson::Datum;
+
+fn bench_olap(c: &mut Criterion) {
+    let n = 2_000;
+    let queries = olap_queries(n);
+    let mut g = c.benchmark_group("fig3_olap");
+    g.sample_size(10);
+    for method in StorageMethod::ALL {
+        let mut session = olap_db(method, n);
+        for qid in [2usize, 4, 7] {
+            let q = queries.iter().find(|q| q.id == qid).unwrap();
+            let binds: Vec<Datum> = q.binds.iter().map(|b| bind_datum(b)).collect();
+            g.bench_with_input(
+                BenchmarkId::new(format!("Q{qid}"), method.label()),
+                &q.sql,
+                |b, sql| b.iter(|| session.execute_with(sql, &binds).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_olap);
+criterion_main!(benches);

@@ -1,0 +1,196 @@
+//! `repro`: regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro all                 # everything at default scale
+//! repro table10 [--scale N] # sizes (Table 10)
+//! repro table11             # OSON segment ratios (Table 11)
+//! repro table12             # DataGuide statistics (Table 12)
+//! repro fig3 [--scale N]    # OLAP queries across 4 storages (Figure 3)
+//! repro fig4                # storage sizes (Figure 4)
+//! repro fig5 [--scale N]    # NOBENCH TEXT vs OSON-IMC (Figure 5)
+//! repro fig6                # VC-IMC on Q6/Q7/Q10/Q11 (Figure 6)
+//! repro fig7 [--scale N]    # insertion constraint modes (Figure 7)
+//! repro fig8                # homogeneous vs heterogeneous (Figure 8)
+//! repro fig9 [--scale N]    # transient vs persistent DataGuide (Figure 9)
+//! ```
+//!
+//! Absolute numbers depend on the host; what must match the paper is the
+//! *shape* — who wins, by roughly what factor (see EXPERIMENTS.md).
+
+use fsdm_bench::experiments::*;
+use fsdm_bench::ms;
+use fsdm_bench::setup::StorageMethod;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok());
+    let reps = 3;
+    match cmd {
+        "table10" => table10(scale.unwrap_or(300)),
+        "table11" => table11(scale.unwrap_or(300)),
+        "table12" => table12(scale.unwrap_or(300)),
+        "fig3" => fig3_fig4(scale.unwrap_or(20_000), reps, true, false),
+        "fig4" => fig3_fig4(scale.unwrap_or(20_000), 1, false, true),
+        "fig5" => fig5_fig6(scale.unwrap_or(20_000), reps, true, false),
+        "fig6" => fig5_fig6(scale.unwrap_or(20_000), reps, false, true),
+        "fig7" => fig7(scale.unwrap_or(10_000)),
+        "fig8" => fig8(scale.unwrap_or(10_000)),
+        "fig9" => fig9(scale.unwrap_or(50_000)),
+        "all" => {
+            let s = scale;
+            table10(s.unwrap_or(300));
+            table11(s.unwrap_or(300));
+            table12(s.unwrap_or(300));
+            fig3_fig4(s.unwrap_or(20_000), reps, true, true);
+            fig5_fig6(s.unwrap_or(20_000), reps, true, true);
+            fig7(s.unwrap_or(10_000));
+            fig8(s.unwrap_or(10_000));
+            fig9(s.unwrap_or(50_000));
+        }
+        other => {
+            eprintln!("unknown command {other}; see the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table10(scale: usize) {
+    println!("\n== Table 10: average encoded size per document (bytes) ==");
+    println!("{:<20} {:>6} {:>12} {:>12} {:>12}", "collection", "docs", "JSON", "BSON", "OSON");
+    let (rows, _) = run_size_stats(scale);
+    for r in rows {
+        println!(
+            "{:<20} {:>6} {:>12} {:>12} {:>12}",
+            r.collection, r.docs, r.json, r.bson, r.oson
+        );
+    }
+}
+
+fn table11(scale: usize) {
+    println!("\n== Table 11: OSON three-segment size shares (%) ==");
+    println!("{:<20} {:>10} {:>10} {:>10}", "collection", "dict", "tree", "values");
+    let (_, rows) = run_size_stats(scale);
+    for r in rows {
+        println!(
+            "{:<20} {:>9.2}% {:>9.2}% {:>9.2}%",
+            r.collection, r.dict_pct, r.tree_pct, r.value_pct
+        );
+    }
+}
+
+fn table12(scale: usize) {
+    println!("\n== Table 12: JSON DataGuide statistics ==");
+    println!(
+        "{:<20} {:>15} {:>14} {:>14}",
+        "collection", "distinct paths", "DMDV columns", "DMDV fan-out"
+    );
+    for r in run_guide_stats(scale) {
+        println!(
+            "{:<20} {:>15} {:>14} {:>14.1}",
+            r.collection, r.distinct_paths, r.dmdv_columns, r.fan_out
+        );
+    }
+}
+
+fn fig3_fig4(n: usize, reps: usize, show_queries: bool, show_sizes: bool) {
+    let (cells, sizes) = run_olap(n, reps);
+    if show_queries {
+        println!("\n== Figure 3: OLAP query time (ms), {n} purchaseOrder docs ==");
+        print!("{:<6}", "query");
+        for m in StorageMethod::ALL {
+            print!(" {:>10}", m.label());
+        }
+        println!(" {:>8}", "rows");
+        for q in 1..=9 {
+            print!("Q{q:<5}");
+            let mut rows = 0;
+            for m in StorageMethod::ALL {
+                let c = cells.iter().find(|c| c.query == q && c.method == m).unwrap();
+                print!(" {:>10}", ms(c.time));
+                rows = c.rows;
+            }
+            println!(" {rows:>8}");
+        }
+    }
+    if show_sizes {
+        println!("\n== Figure 4: storage size (bytes), {n} purchaseOrder docs ==");
+        for (m, bytes) in sizes {
+            println!("{:<6} {:>12}", m.label(), bytes);
+        }
+    }
+}
+
+fn fig5_fig6(n: usize, reps: usize, show5: bool, show6: bool) {
+    let cells = run_nobench(n, reps);
+    if show5 {
+        println!("\n== Figure 5: NOBENCH query time (ms), {n} docs: TEXT vs OSON-IMC ==");
+        println!("{:<6} {:>10} {:>10} {:>8} {:>8}", "query", "TEXT", "OSON-IMC", "speedup", "rows");
+        for q in 1..=11 {
+            let t = cells.iter().find(|c| c.query == q && c.mode == "TEXT").unwrap();
+            let o = cells.iter().find(|c| c.query == q && c.mode == "OSON-IMC").unwrap();
+            println!(
+                "Q{:<5} {:>10} {:>10} {:>7.1}x {:>8}",
+                q,
+                ms(t.time),
+                ms(o.time),
+                t.time.as_secs_f64() / o.time.as_secs_f64(),
+                t.rows
+            );
+        }
+    }
+    if show6 {
+        println!("\n== Figure 6: Q6/Q7/Q10/Q11 (ms): OSON-IMC vs VC-IMC ==");
+        println!("{:<6} {:>10} {:>10} {:>8}", "query", "OSON-IMC", "VC-IMC", "speedup");
+        for q in [6, 7, 10, 11] {
+            let o = cells.iter().find(|c| c.query == q && c.mode == "OSON-IMC").unwrap();
+            let v = cells.iter().find(|c| c.query == q && c.mode == "VC-IMC").unwrap();
+            println!(
+                "Q{:<5} {:>10} {:>10} {:>7.1}x",
+                q,
+                ms(o.time),
+                ms(v.time),
+                o.time.as_secs_f64() / v.time.as_secs_f64()
+            );
+        }
+    }
+}
+
+fn fig7(n: usize) {
+    println!("\n== Figure 7: insertion time (ms), {n} homogeneous docs ==");
+    let cells = run_insertion_modes(n);
+    let base = cells[0].time.as_secs_f64();
+    for c in &cells {
+        println!(
+            "{:<28} {:>10}  (+{:.1}% vs no-constraint)",
+            c.mode,
+            ms(c.time),
+            (c.time.as_secs_f64() / base - 1.0) * 100.0
+        );
+    }
+}
+
+fn fig8(n: usize) {
+    println!("\n== Figure 8: insertion time (ms) with DataGuide, {n} docs ==");
+    let cells = run_homo_hetero(n);
+    let homo = cells[0].time.as_secs_f64();
+    for c in &cells {
+        println!(
+            "{:<28} {:>10}  ({:.2}x homo)",
+            c.mode,
+            ms(c.time),
+            c.time.as_secs_f64() / homo
+        );
+    }
+}
+
+fn fig9(n: usize) {
+    println!("\n== Figure 9: transient DataGuide aggregation vs persistent index, {n} docs ==");
+    for c in run_transient_vs_persistent(n) {
+        println!("{:<28} {:>10}", c.label, ms(c.time));
+    }
+}

@@ -1,0 +1,266 @@
+//! BSON reader: full decode to [`JsonValue`] plus a zero-copy [`BsonDoc`]
+//! that implements [`JsonDom`] with BSON's native *sequential* access
+//! semantics (skip navigation only — the contrast the paper draws against
+//! OSON's jump navigation, §4.1).
+
+use fsdm_json::{JsonDom, JsonNumber, JsonValue, NodeKind, NodeRef, Object, ScalarRef};
+
+use crate::{tag, BsonError, Result};
+
+/// Fully decode a BSON document into the JSON value model.
+pub fn decode(bytes: &[u8]) -> Result<JsonValue> {
+    let doc = BsonDoc::new(bytes)?;
+    Ok(doc.materialize(doc.root()))
+}
+
+/// A read-only view over serialized BSON bytes.
+///
+/// `NodeRef` packing: `(value_offset << 8) | type_tag`. The root is the
+/// whole document (`offset 0`, tag DOCUMENT).
+pub struct BsonDoc<'a> {
+    bytes: &'a [u8],
+}
+
+fn pack(offset: usize, t: u8) -> NodeRef {
+    ((offset as u64) << 8) | t as u64
+}
+
+fn unpack(r: NodeRef) -> (usize, u8) {
+    ((r >> 8) as usize, (r & 0xFF) as u8)
+}
+
+impl<'a> BsonDoc<'a> {
+    /// Wrap (and structurally validate the framing of) a BSON document.
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        if bytes.len() < 5 {
+            return Err(BsonError::new("document too short"));
+        }
+        let len = i32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if len as usize != bytes.len() {
+            return Err(BsonError::new(format!(
+                "length header {} != buffer size {}",
+                len,
+                bytes.len()
+            )));
+        }
+        if bytes[bytes.len() - 1] != 0 {
+            return Err(BsonError::new("missing document terminator"));
+        }
+        Ok(BsonDoc { bytes })
+    }
+
+    /// Underlying bytes.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    fn read_i32(&self, off: usize) -> i32 {
+        i32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Size in bytes of the value of type `t` starting at `off` — this is
+    /// the "skip" operation BSON's leading length words enable.
+    fn value_size(&self, t: u8, off: usize) -> usize {
+        match t {
+            tag::DOUBLE => 8,
+            tag::STRING => 4 + self.read_i32(off) as usize,
+            tag::DOCUMENT | tag::ARRAY => self.read_i32(off) as usize,
+            tag::BOOL => 1,
+            tag::NULL => 0,
+            tag::INT32 => 4,
+            tag::INT64 => 8,
+            _ => panic!("unsupported BSON tag 0x{t:02x}"),
+        }
+    }
+
+    /// Iterate elements of the document/array whose *value* begins at
+    /// `doc_off`. Yields (name, type, value_offset).
+    fn elements(&self, doc_off: usize) -> ElementIter<'a, '_> {
+        let len = self.read_i32(doc_off) as usize;
+        ElementIter { doc: self, pos: doc_off + 4, end: doc_off + len - 1 }
+    }
+}
+
+struct ElementIter<'a, 'd> {
+    doc: &'d BsonDoc<'a>,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for ElementIter<'a, '_> {
+    type Item = (&'a str, u8, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.end {
+            return None;
+        }
+        let t = self.doc.bytes[self.pos];
+        // scan for the NUL terminating the name: the byte scan the paper
+        // calls out as a BSON access cost
+        let name_start = self.pos + 1;
+        let rel = self.doc.bytes[name_start..self.end]
+            .iter()
+            .position(|&b| b == 0)
+            .expect("name terminator");
+        let name =
+            std::str::from_utf8(&self.doc.bytes[name_start..name_start + rel]).unwrap_or("");
+        let val_off = name_start + rel + 1;
+        self.pos = val_off + self.doc.value_size(t, val_off);
+        Some((name, t, val_off))
+    }
+}
+
+impl JsonDom for BsonDoc<'_> {
+    fn root(&self) -> NodeRef {
+        pack(0, tag::DOCUMENT)
+    }
+
+    fn kind(&self, node: NodeRef) -> NodeKind {
+        match unpack(node).1 {
+            tag::DOCUMENT => NodeKind::Object,
+            tag::ARRAY => NodeKind::Array,
+            _ => NodeKind::Scalar,
+        }
+    }
+
+    fn object_len(&self, node: NodeRef) -> usize {
+        let (off, _) = unpack(node);
+        self.elements(off).count()
+    }
+
+    fn object_entry(&self, node: NodeRef, i: usize) -> (&str, NodeRef) {
+        let (off, _) = unpack(node);
+        let (name, t, voff) = self.elements(off).nth(i).expect("index in range");
+        (name, pack(voff, t))
+    }
+
+    fn array_len(&self, node: NodeRef) -> usize {
+        let (off, _) = unpack(node);
+        self.elements(off).count()
+    }
+
+    fn array_element(&self, node: NodeRef, i: usize) -> NodeRef {
+        let (off, _) = unpack(node);
+        let (_, t, voff) = self.elements(off).nth(i).expect("index in range");
+        pack(voff, t)
+    }
+
+    fn scalar(&self, node: NodeRef) -> ScalarRef<'_> {
+        let (off, t) = unpack(node);
+        match t {
+            tag::DOUBLE => {
+                let v = f64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap());
+                ScalarRef::Num(JsonNumber::from(v))
+            }
+            tag::STRING => {
+                let len = self.read_i32(off) as usize;
+                let s = std::str::from_utf8(&self.bytes[off + 4..off + 4 + len - 1])
+                    .unwrap_or("");
+                ScalarRef::Str(s)
+            }
+            tag::BOOL => ScalarRef::Bool(self.bytes[off] != 0),
+            tag::NULL => ScalarRef::Null,
+            tag::INT32 => ScalarRef::Num(JsonNumber::Int(self.read_i32(off) as i64)),
+            tag::INT64 => ScalarRef::Num(JsonNumber::Int(i64::from_le_bytes(
+                self.bytes[off..off + 8].try_into().unwrap(),
+            ))),
+            _ => panic!("scalar() on container tag 0x{t:02x}"),
+        }
+    }
+
+    /// Field lookup is a *sequential scan with value skipping* — BSON has
+    /// no sorted directory to binary-search.
+    fn get_field(&self, node: NodeRef, name: &str, _hash: u32) -> Option<NodeRef> {
+        let (off, t) = unpack(node);
+        if t != tag::DOCUMENT {
+            return None;
+        }
+        self.elements(off)
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, t, voff)| pack(voff, t))
+    }
+}
+
+/// Decode helper used by tests: materialize with object semantics.
+pub fn to_object(bytes: &[u8]) -> Result<Object> {
+    match decode(bytes)? {
+        JsonValue::Object(o) => Ok(o),
+        _ => Err(BsonError::new("not an object")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use fsdm_json::{field_hash, parse};
+
+    fn roundtrip(text: &str) -> JsonValue {
+        decode(&encode(&parse(text).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_document() {
+        let doc = r#"{"id":1,"name":"phone","price":350.86,"ok":true,"n":null,
+                      "tags":["a","b"],"nested":{"x":[1,2,3]}}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(roundtrip(doc), v);
+    }
+
+    #[test]
+    fn roundtrips_int64() {
+        let v = roundtrip(r#"{"big":5000000000}"#);
+        assert_eq!(v.get("big").unwrap().as_i64(), Some(5_000_000_000));
+    }
+
+    #[test]
+    fn decimal_loses_to_double() {
+        // documents BSON's lossy decimal handling relative to OSON
+        let v = roundtrip(r#"{"d":0.1}"#);
+        assert_eq!(v.get("d").unwrap().as_f64(), Some(0.1));
+    }
+
+    #[test]
+    fn dom_navigation() {
+        let v = parse(r#"{"a":{"b":[10,"x"]},"c":false}"#).unwrap();
+        let bytes = encode(&v).unwrap();
+        let doc = BsonDoc::new(&bytes).unwrap();
+        let root = doc.root();
+        assert_eq!(doc.kind(root), NodeKind::Object);
+        assert_eq!(doc.object_len(root), 2);
+        let a = doc.get_field(root, "a", field_hash("a")).unwrap();
+        let b = doc.get_field(a, "b", field_hash("b")).unwrap();
+        assert_eq!(doc.kind(b), NodeKind::Array);
+        assert_eq!(doc.array_len(b), 2);
+        assert_eq!(
+            doc.scalar(doc.array_element(b, 0)),
+            ScalarRef::Num(JsonNumber::Int(10))
+        );
+        assert_eq!(doc.scalar(doc.array_element(b, 1)), ScalarRef::Str("x"));
+        let (name, c) = doc.object_entry(root, 1);
+        assert_eq!(name, "c");
+        assert_eq!(doc.scalar(c), ScalarRef::Bool(false));
+        assert!(doc.get_field(root, "zzz", 0).is_none());
+    }
+
+    #[test]
+    fn validates_framing() {
+        assert!(BsonDoc::new(b"").is_err());
+        assert!(BsonDoc::new(b"\x06\x00\x00\x00\x00").is_err()); // bad length
+        let good = encode(&parse("{}").unwrap()).unwrap();
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() = 1; // clobber terminator
+        assert!(BsonDoc::new(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_object_roundtrip() {
+        assert_eq!(roundtrip("{}"), parse("{}").unwrap());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let v = roundtrip(r#"{"s":"héllo 😀"}"#);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("héllo 😀"));
+    }
+}

@@ -1,0 +1,141 @@
+//! BSON encoder: [`fsdm_json::JsonValue`] → BSON document bytes.
+
+use fsdm_json::{JsonNumber, JsonValue};
+
+use crate::{tag, BsonError, Result};
+
+/// Encode a JSON value as a BSON document. BSON requires an object at the
+/// root; other roots are rejected (all collection documents in this stack
+/// are objects, matching the paper's workloads).
+pub fn encode(v: &JsonValue) -> Result<Vec<u8>> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| BsonError::new("BSON root must be an object"))?;
+    let mut out = Vec::with_capacity(256);
+    write_document(&mut out, obj.iter())?;
+    Ok(out)
+}
+
+/// Write `int32 total_len, elements…, 0x00` for an iterator of members.
+fn write_document<'a>(
+    out: &mut Vec<u8>,
+    members: impl Iterator<Item = (&'a str, &'a JsonValue)>,
+) -> Result<()> {
+    let len_pos = out.len();
+    out.extend_from_slice(&[0u8; 4]); // patched below
+    for (name, value) in members {
+        write_element(out, name, value)?;
+    }
+    out.push(0);
+    let total = (out.len() - len_pos) as u32;
+    out[len_pos..len_pos + 4].copy_from_slice(&(total as i32).to_le_bytes());
+    Ok(())
+}
+
+fn write_cstring(out: &mut Vec<u8>, s: &str) -> Result<()> {
+    if s.as_bytes().contains(&0) {
+        return Err(BsonError::new("field name contains NUL"));
+    }
+    out.extend_from_slice(s.as_bytes());
+    out.push(0);
+    Ok(())
+}
+
+fn write_element(out: &mut Vec<u8>, name: &str, value: &JsonValue) -> Result<()> {
+    match value {
+        JsonValue::Null => {
+            out.push(tag::NULL);
+            write_cstring(out, name)?;
+        }
+        JsonValue::Bool(b) => {
+            out.push(tag::BOOL);
+            write_cstring(out, name)?;
+            out.push(*b as u8);
+        }
+        JsonValue::Number(n) => match n {
+            JsonNumber::Int(v) if i32::try_from(*v).is_ok() => {
+                out.push(tag::INT32);
+                write_cstring(out, name)?;
+                out.extend_from_slice(&(*v as i32).to_le_bytes());
+            }
+            JsonNumber::Int(v) => {
+                out.push(tag::INT64);
+                write_cstring(out, name)?;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            // BSON (pre-decimal128) represents non-integers as doubles;
+            // decimals lose precision beyond an f64, as real BSON does.
+            other => {
+                out.push(tag::DOUBLE);
+                write_cstring(out, name)?;
+                out.extend_from_slice(&other.to_f64().to_le_bytes());
+            }
+        },
+        JsonValue::String(s) => {
+            out.push(tag::STRING);
+            write_cstring(out, name)?;
+            let bytes = s.as_bytes();
+            out.extend_from_slice(&((bytes.len() + 1) as i32).to_le_bytes());
+            out.extend_from_slice(bytes);
+            out.push(0);
+        }
+        JsonValue::Object(o) => {
+            out.push(tag::DOCUMENT);
+            write_cstring(out, name)?;
+            write_document(out, o.iter())?;
+        }
+        JsonValue::Array(a) => {
+            out.push(tag::ARRAY);
+            write_cstring(out, name)?;
+            // arrays are documents keyed "0", "1", …: this is where BSON
+            // pays its name-repetition overhead
+            let keys: Vec<String> = (0..a.len()).map(|i| i.to_string()).collect();
+            write_document(out, keys.iter().map(|k| k.as_str()).zip(a.iter()))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdm_json::parse;
+
+    #[test]
+    fn empty_document_is_five_bytes() {
+        let v = parse("{}").unwrap();
+        assert_eq!(encode(&v).unwrap(), b"\x05\x00\x00\x00\x00");
+    }
+
+    #[test]
+    fn rejects_non_object_root() {
+        assert!(encode(&parse("[1,2]").unwrap()).is_err());
+        assert!(encode(&parse("3").unwrap()).is_err());
+    }
+
+    #[test]
+    fn int_width_selection() {
+        let small = encode(&parse(r#"{"v":1}"#).unwrap()).unwrap();
+        assert_eq!(small[4], tag::INT32);
+        let big = encode(&parse(r#"{"v":5000000000}"#).unwrap()).unwrap();
+        assert_eq!(big[4], tag::INT64);
+        let dbl = encode(&parse(r#"{"v":1.5}"#).unwrap()).unwrap();
+        assert_eq!(dbl[4], tag::DOUBLE);
+    }
+
+    #[test]
+    fn array_keys_are_decimal_strings() {
+        let v = parse(r#"{"a":[true,false]}"#).unwrap();
+        let b = encode(&v).unwrap();
+        // element "0" and "1" names must appear
+        let s = b.iter().map(|&c| c as char).collect::<String>();
+        assert!(s.contains('0') && s.contains('1'));
+    }
+
+    #[test]
+    fn rejects_nul_in_name() {
+        let mut o = fsdm_json::Object::new();
+        o.push("a\0b", 1);
+        assert!(encode(&JsonValue::Object(o)).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! `fsdm-bson`: a BSON codec implementing the subset of
+//! <http://bsonspec.org> needed for JSON document storage.
+//!
+//! BSON is the baseline binary format in the paper's evaluation (Tables 10,
+//! Figures 3–4). Its characteristic trade-offs, reproduced here, are:
+//!
+//! * field names are stored inline at every object level and repeated for
+//!   every element of an array of objects — no dictionary sharing;
+//! * names are NUL-terminated C strings, so a name comparison requires a
+//!   byte scan;
+//! * containers carry leading length words, so an unneeded child can be
+//!   *skipped*, but reaching the N-th field or element still requires a
+//!   sequential walk — there is no random access.
+//!
+//! The [`BsonDoc`] reader implements [`fsdm_json::JsonDom`] directly over
+//! the serialized bytes with exactly those sequential-access semantics, so
+//! the shared path engine measures BSON's true navigation cost.
+
+pub mod decode;
+pub mod encode;
+
+pub use decode::{decode, BsonDoc};
+pub use encode::encode;
+
+use std::fmt;
+
+/// Errors produced by the BSON codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsonError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl BsonError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        BsonError { message: message.into() }
+    }
+}
+
+impl fmt::Display for BsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BsonError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, BsonError>;
+
+/// BSON element type tags (the subset used by JSON data).
+pub mod tag {
+    /// 64-bit IEEE double.
+    pub const DOUBLE: u8 = 0x01;
+    /// UTF-8 string with int32 length prefix and NUL terminator.
+    pub const STRING: u8 = 0x02;
+    /// Embedded document.
+    pub const DOCUMENT: u8 = 0x03;
+    /// Array (a document with keys "0", "1", …).
+    pub const ARRAY: u8 = 0x04;
+    /// Boolean.
+    pub const BOOL: u8 = 0x08;
+    /// Null.
+    pub const NULL: u8 = 0x0A;
+    /// 32-bit integer.
+    pub const INT32: u8 = 0x10;
+    /// 64-bit integer.
+    pub const INT64: u8 = 0x12;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdm_json::parse;
+
+    #[test]
+    fn matches_bsonspec_hello_world() {
+        // The canonical example from bsonspec.org:
+        // {"hello": "world"} ->
+        // \x16\x00\x00\x00\x02hello\x00\x06\x00\x00\x00world\x00\x00
+        let v = parse(r#"{"hello":"world"}"#).unwrap();
+        let bytes = encode(&v).unwrap();
+        assert_eq!(
+            bytes,
+            b"\x16\x00\x00\x00\x02hello\x00\x06\x00\x00\x00world\x00\x00"
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(BsonError::new("x").to_string(), "BSON error: x");
+    }
+}

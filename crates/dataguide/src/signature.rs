@@ -1,0 +1,139 @@
+//! Structure signatures: the fast no-change path for persistent DataGuide
+//! maintenance (§3.2.1).
+//!
+//! "In the common case where a new JSON instance doesn't result in any new
+//! path structures or scalar node changes, the DataGuide processing
+//! terminates without the need to call any persistent DataGuide processing
+//! module." The insert pipeline hashes the instance *skeleton* (field
+//! names, container shape, scalar types — not scalar values); a signature
+//! already seen means the instance cannot add rows to `$DG`, so the guide
+//! walk is skipped entirely.
+
+use fsdm_json::JsonValue;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Hash of the document's structural skeleton. Two documents with the
+/// same field names, nesting shape, and scalar types (lengths excluded)
+/// produce the same signature.
+pub fn structure_signature(doc: &JsonValue) -> u64 {
+    let mut h = FNV_OFFSET;
+    walk(doc, &mut h);
+    h
+}
+
+fn mix_bytes(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn mix(h: &mut u64, b: u8) {
+    *h ^= b as u64;
+    *h = h.wrapping_mul(FNV_PRIME);
+}
+
+fn walk(v: &JsonValue, h: &mut u64) {
+    match v {
+        JsonValue::Object(o) => {
+            mix(h, b'{');
+            // sort member names so field order does not change the
+            // signature (the guide is order-insensitive too)
+            let mut entries: Vec<(&str, &JsonValue)> = o.iter().collect();
+            entries.sort_by_key(|(k, _)| *k);
+            for (k, c) in entries {
+                mix_bytes(h, k.as_bytes());
+                mix(h, b':');
+                walk(c, h);
+            }
+            mix(h, b'}');
+        }
+        JsonValue::Array(a) => {
+            mix(h, b'[');
+            // element skeletons are deduplicated: an array of 2 vs 3
+            // identically-shaped objects has identical guide impact
+            let mut seen = Vec::new();
+            for e in a {
+                let mut eh = FNV_OFFSET;
+                walk(e, &mut eh);
+                if !seen.contains(&eh) {
+                    seen.push(eh);
+                }
+            }
+            seen.sort_unstable();
+            for eh in seen {
+                mix_bytes(h, &eh.to_le_bytes());
+            }
+            mix(h, b']');
+        }
+        JsonValue::String(_) => mix(h, b's'),
+        JsonValue::Number(_) => mix(h, b'n'),
+        JsonValue::Bool(_) => mix(h, b'b'),
+        JsonValue::Null => mix(h, b'0'),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdm_json::parse;
+
+    fn sig(s: &str) -> u64 {
+        structure_signature(&parse(s).unwrap())
+    }
+
+    #[test]
+    fn value_changes_do_not_change_signature() {
+        assert_eq!(sig(r#"{"a":1,"b":"x"}"#), sig(r#"{"a":999,"b":"yyyy"}"#));
+    }
+
+    #[test]
+    fn field_order_is_insignificant() {
+        assert_eq!(sig(r#"{"a":1,"b":2}"#), sig(r#"{"b":5,"a":7}"#));
+    }
+
+    #[test]
+    fn new_field_changes_signature() {
+        assert_ne!(sig(r#"{"a":1}"#), sig(r#"{"a":1,"b":2}"#));
+    }
+
+    #[test]
+    fn scalar_type_change_changes_signature() {
+        assert_ne!(sig(r#"{"a":1}"#), sig(r#"{"a":"1"}"#));
+        assert_ne!(sig(r#"{"a":true}"#), sig(r#"{"a":null}"#));
+    }
+
+    #[test]
+    fn array_cardinality_of_same_shape_is_insignificant() {
+        assert_eq!(
+            sig(r#"{"items":[{"p":1},{"p":2}]}"#),
+            sig(r#"{"items":[{"p":9},{"p":8},{"p":7}]}"#)
+        );
+        assert_ne!(
+            sig(r#"{"items":[{"p":1}]}"#),
+            sig(r#"{"items":[{"p":1},{"q":2}]}"#)
+        );
+    }
+
+    #[test]
+    fn nesting_shape_matters() {
+        assert_ne!(sig(r#"{"a":{"b":1}}"#), sig(r#"{"a":[{"b":1}]}"#));
+        assert_ne!(sig(r#"{"a":[1]}"#), sig(r#"{"a":[[1]]}"#));
+    }
+
+    #[test]
+    fn signature_stability_matches_guide_equality() {
+        // same-signature docs must merge into the guide without adding rows
+        use crate::guide::DataGuide;
+        let d1 = parse(r#"{"x":{"y":[{"z":1}]}}"#).unwrap();
+        let d2 = parse(r#"{"x":{"y":[{"z":42},{"z":7}]}}"#).unwrap();
+        assert_eq!(structure_signature(&d1), structure_signature(&d2));
+        let mut g = DataGuide::new();
+        g.add_document(&d1);
+        let rows = g.distinct_paths();
+        g.add_document(&d2);
+        assert_eq!(g.distinct_paths(), rows);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the DataGuide: merge algebra and signature
+//! consistency over random documents.
+
+use fsdm_dataguide::{structure_signature, DataGuide};
+use fsdm_json::{JsonNumber, JsonValue, Object};
+use proptest::prelude::*;
+
+fn arb_doc() -> impl Strategy<Value = JsonValue> {
+    let field = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("items".to_string()),
+    ];
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        (-50i64..50).prop_map(|v| JsonValue::Number(JsonNumber::Int(v))),
+        "[a-z]{0,5}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(3, 30, 4, move |inner| {
+        let field = field.clone();
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
+            prop::collection::vec((field, inner), 0..4).prop_map(|pairs| {
+                let mut o = Object::new();
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in pairs {
+                    if seen.insert(k.clone()) {
+                        o.push(k, v);
+                    }
+                }
+                JsonValue::Object(o)
+            }),
+        ]
+    })
+}
+
+fn guide_of(docs: &[JsonValue]) -> DataGuide {
+    let mut g = DataGuide::new();
+    for d in docs {
+        g.add_document(d);
+    }
+    g
+}
+
+fn shape(g: &DataGuide) -> Vec<(String, String, u64)> {
+    g.rows().into_iter().map(|r| (r.path, r.type_str, r.doc_count)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging partial guides equals building one guide over the union —
+    /// for any split point (the SQL aggregate's combine correctness).
+    #[test]
+    fn merge_equals_single_pass(
+        docs in prop::collection::vec(arb_doc(), 0..12),
+        split in 0usize..12,
+    ) {
+        let split = split.min(docs.len());
+        let whole = guide_of(&docs);
+        let mut left = guide_of(&docs[..split]);
+        let right = guide_of(&docs[split..]);
+        left.merge(&right);
+        prop_assert_eq!(shape(&left), shape(&whole));
+    }
+
+    /// Adding documents never removes *paths* (the guide is additive,
+    /// §3.4). Type strings may change — scalar types generalize — so only
+    /// the path set is monotone.
+    #[test]
+    fn guide_is_monotone(docs in prop::collection::vec(arb_doc(), 1..10)) {
+        let mut g = DataGuide::new();
+        let mut prev: std::collections::HashSet<String> = Default::default();
+        for d in &docs {
+            g.add_document(d);
+            let now: std::collections::HashSet<String> =
+                g.rows().into_iter().map(|r| r.path).collect();
+            prop_assert!(prev.is_subset(&now), "{:?} ⊄ {:?}", prev, now);
+            prev = now;
+        }
+    }
+
+    /// Equal structure signatures imply equal guide contributions: adding
+    /// a same-signature document never adds rows.
+    #[test]
+    fn signature_soundness(doc in arb_doc(), other in arb_doc()) {
+        let mut g = DataGuide::new();
+        g.add_document(&doc);
+        let rows_before = g.distinct_paths();
+        if structure_signature(&doc) == structure_signature(&other) {
+            g.add_document(&other);
+            prop_assert_eq!(g.distinct_paths(), rows_before);
+        }
+    }
+
+    /// doc_count totals track the number of documents.
+    #[test]
+    fn doc_counts_bounded(docs in prop::collection::vec(arb_doc(), 1..10)) {
+        let g = guide_of(&docs);
+        prop_assert_eq!(g.doc_count, docs.len() as u64);
+        for r in g.rows() {
+            prop_assert!(r.doc_count <= g.doc_count, "{} counted {} of {}", r.path, r.doc_count, g.doc_count);
+        }
+    }
+}

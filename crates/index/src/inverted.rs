@@ -1,0 +1,371 @@
+//! The inverted index and its embedded `$DG` persistent DataGuide.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use fsdm_dataguide::{structure_signature, DataGuide};
+use fsdm_json::{JsonValue, OraNum};
+
+/// Document identifier within an indexed collection.
+pub type DocId = u64;
+
+/// Postings maintained for one JSON path.
+#[derive(Debug, Default, Clone)]
+pub struct PathPostings {
+    /// Documents in which the path occurs at all.
+    pub presence: Vec<DocId>,
+    /// Exact leaf values → documents. Keys are canonical value forms
+    /// (numbers via their canonical literal, so `1.0` and `1` collide as
+    /// they must).
+    pub values: HashMap<String, Vec<DocId>>,
+    /// Lowercased keywords of string leaves → documents (full-text).
+    pub keywords: HashMap<String, Vec<DocId>>,
+}
+
+/// The schema-agnostic JSON search index.
+#[derive(Debug, Default)]
+pub struct SearchIndex {
+    postings: BTreeMap<String, PathPostings>,
+    /// Per-document record of posted keys, enabling precise removal.
+    doc_keys: HashMap<DocId, Vec<PostedKey>>,
+    /// The persistent DataGuide ($DG component of the index).
+    guide: DataGuide,
+    /// Structure signatures already merged into the guide (fast path).
+    seen_signatures: HashSet<u64>,
+    /// Count of inserts that skipped guide processing via the signature
+    /// fast path (observability for the Figure 7/8 experiments).
+    pub guide_fast_path_hits: u64,
+}
+
+#[derive(Debug, Clone)]
+enum PostedKey {
+    Presence(String),
+    Value(String, String),
+    Keyword(String, String),
+}
+
+impl SearchIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index one document. Returns `true` when the DataGuide fast path
+    /// applied (structure already known — no `$DG` work done).
+    pub fn insert(&mut self, id: DocId, doc: &JsonValue) -> bool {
+        let mut keys = Vec::new();
+        index_value(doc, "$", id, &mut self.postings, &mut keys);
+        self.doc_keys.insert(id, keys);
+        // §3.2.1: DataGuide maintenance rides on document processing, with
+        // a short-circuit when no schema change is possible
+        let sig = structure_signature(doc);
+        if self.seen_signatures.insert(sig) {
+            self.guide.add_document(doc);
+            false
+        } else {
+            // the instance still counts toward frequency statistics
+            self.guide.doc_count += 1;
+            self.guide_fast_path_hits += 1;
+            true
+        }
+    }
+
+    /// Remove a document from the postings. The DataGuide is additive
+    /// (§3.4): paths contributed by removed documents are *not* retracted.
+    pub fn remove(&mut self, id: DocId) {
+        let Some(keys) = self.doc_keys.remove(&id) else {
+            return;
+        };
+        for key in keys {
+            match key {
+                PostedKey::Presence(p) => {
+                    if let Some(pp) = self.postings.get_mut(&p) {
+                        pp.presence.retain(|&d| d != id);
+                    }
+                }
+                PostedKey::Value(p, v) => {
+                    if let Some(pp) = self.postings.get_mut(&p) {
+                        if let Some(list) = pp.values.get_mut(&v) {
+                            list.retain(|&d| d != id);
+                        }
+                    }
+                }
+                PostedKey::Keyword(p, w) => {
+                    if let Some(pp) = self.postings.get_mut(&p) {
+                        if let Some(list) = pp.keywords.get_mut(&w) {
+                            list.retain(|&d| d != id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replace a document in place.
+    pub fn replace(&mut self, id: DocId, doc: &JsonValue) -> bool {
+        self.remove(id);
+        self.insert(id, doc)
+    }
+
+    /// Documents containing the given path (`$.a.b`, arrays transparent).
+    pub fn docs_with_path(&self, path: &str) -> Vec<DocId> {
+        self.postings.get(path).map(|p| p.presence.clone()).unwrap_or_default()
+    }
+
+    /// Documents where the path holds exactly this scalar value. The
+    /// value is given as text, which cannot distinguish the JSON string
+    /// `"7"` from the number `7` — so numeric-looking input probes both
+    /// the numeric and the string postings (union, document order).
+    pub fn docs_with_value(&self, path: &str, value: &str) -> Vec<DocId> {
+        let Some(pp) = self.postings.get(path) else {
+            return Vec::new();
+        };
+        let mut out: Vec<DocId> = Vec::new();
+        let mut keys = vec![canonical_value_key_from_text(value)];
+        let as_string = format!("s:{value}");
+        if keys[0] != as_string {
+            keys.push(as_string);
+        }
+        for k in keys {
+            if let Some(list) = pp.values.get(&k) {
+                out.extend_from_slice(list);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Exact typed lookup (no text ambiguity).
+    pub fn docs_with_scalar(&self, path: &str, value: &fsdm_json::JsonValue) -> Vec<DocId> {
+        self.postings
+            .get(path)
+            .and_then(|p| p.values.get(&canonical_value_key(value)))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// `JSON_TEXTCONTAINS`: documents whose string leaf at `path` contains
+    /// the keyword (case-insensitive full word).
+    pub fn docs_text_contains(&self, path: &str, keyword: &str) -> Vec<DocId> {
+        self.postings
+            .get(path)
+            .and_then(|p| p.keywords.get(&keyword.to_lowercase()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The persistent DataGuide hosted by this index.
+    pub fn dataguide(&self) -> &DataGuide {
+        &self.guide
+    }
+
+    /// All indexed paths.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(|s| s.as_str())
+    }
+
+    /// Number of distinct (path → postings) entries.
+    pub fn path_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// Canonical key for a scalar value (shared by indexing and lookup).
+fn canonical_value_key(v: &JsonValue) -> String {
+    match v {
+        JsonValue::String(s) => format!("s:{s}"),
+        JsonValue::Number(n) => match n.to_oranum() {
+            // canonical decimal form merges 1, 1.0, 1e0
+            Some(d) => format!("n:{}", d.to_decimal_string()),
+            None => format!("n:{}", n.to_f64()),
+        },
+        JsonValue::Bool(b) => format!("b:{b}"),
+        JsonValue::Null => "z:".to_string(),
+        _ => unreachable!("scalar expected"),
+    }
+}
+
+fn canonical_value_key_from_text(text: &str) -> String {
+    if let Ok(d) = OraNum::from_decimal_str(text) {
+        return format!("n:{}", d.to_decimal_string());
+    }
+    match text {
+        "true" => "b:true".to_string(),
+        "false" => "b:false".to_string(),
+        "null" => "z:".to_string(),
+        s => format!("s:{s}"),
+    }
+}
+
+/// Tokenize a string leaf into lowercase keywords.
+pub fn tokenize(s: &str) -> impl Iterator<Item = String> + '_ {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+}
+
+fn index_value(
+    v: &JsonValue,
+    path: &str,
+    id: DocId,
+    postings: &mut BTreeMap<String, PathPostings>,
+    keys: &mut Vec<PostedKey>,
+) {
+    match v {
+        JsonValue::Object(o) => {
+            post_presence(postings, keys, path, id);
+            for (k, c) in o.iter() {
+                let step = fsdm_sqljson_step(k);
+                let child = format!("{path}{step}");
+                index_value(c, &child, id, postings, keys);
+            }
+        }
+        JsonValue::Array(a) => {
+            post_presence(postings, keys, path, id);
+            for e in a {
+                index_value(e, path, id, postings, keys);
+            }
+        }
+        scalar => {
+            let pp = postings.entry(path.to_string()).or_default();
+            push_unique(&mut pp.presence, id);
+            keys.push(PostedKey::Presence(path.to_string()));
+            let vk = canonical_value_key(scalar);
+            push_unique(pp.values.entry(vk.clone()).or_default(), id);
+            keys.push(PostedKey::Value(path.to_string(), vk));
+            if let JsonValue::String(s) = scalar {
+                for w in tokenize(s) {
+                    push_unique(pp.keywords.entry(w.clone()).or_default(), id);
+                    keys.push(PostedKey::Keyword(path.to_string(), w));
+                }
+            }
+        }
+    }
+}
+
+fn post_presence(
+    postings: &mut BTreeMap<String, PathPostings>,
+    keys: &mut Vec<PostedKey>,
+    path: &str,
+    id: DocId,
+) {
+    let pp = postings.entry(path.to_string()).or_default();
+    push_unique(&mut pp.presence, id);
+    keys.push(PostedKey::Presence(path.to_string()));
+}
+
+fn push_unique(list: &mut Vec<DocId>, id: DocId) {
+    if list.last() != Some(&id) {
+        list.push(id);
+    }
+}
+
+/// Path step formatting without depending on `fsdm-sqljson` (same quoting
+/// rule as `path_step_text` there).
+fn fsdm_sqljson_step(name: &str) -> String {
+    let simple = !name.is_empty()
+        && name
+            .bytes()
+            .all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
+        && !name.as_bytes()[0].is_ascii_digit();
+    if simple {
+        format!(".{name}")
+    } else {
+        format!(".\"{}\"", name.replace('"', ""))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdm_json::parse;
+
+    fn index(docs: &[&str]) -> SearchIndex {
+        let mut ix = SearchIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            ix.insert(i as DocId + 1, &parse(d).unwrap());
+        }
+        ix
+    }
+
+    #[test]
+    fn presence_postings() {
+        let ix = index(&[
+            r#"{"a":{"b":1}}"#,
+            r#"{"a":{"c":2}}"#,
+            r#"{"a":{"b":3,"c":4}}"#,
+        ]);
+        assert_eq!(ix.docs_with_path("$.a.b"), vec![1, 3]);
+        assert_eq!(ix.docs_with_path("$.a.c"), vec![2, 3]);
+        assert_eq!(ix.docs_with_path("$.a"), vec![1, 2, 3]);
+        assert!(ix.docs_with_path("$.zz").is_empty());
+    }
+
+    #[test]
+    fn value_postings_with_numeric_canonicalization() {
+        let ix = index(&[r#"{"v":1}"#, r#"{"v":1.0}"#, r#"{"v":2}"#]);
+        assert_eq!(ix.docs_with_value("$.v", "1"), vec![1, 2]);
+        assert_eq!(ix.docs_with_value("$.v", "1.00"), vec![1, 2]);
+        assert_eq!(ix.docs_with_value("$.v", "2"), vec![3]);
+    }
+
+    #[test]
+    fn keyword_postings() {
+        let ix = index(&[
+            r#"{"note":"Ground shipping, signature required"}"#,
+            r#"{"note":"AIR shipping"}"#,
+        ]);
+        assert_eq!(ix.docs_text_contains("$.note", "shipping"), vec![1, 2]);
+        assert_eq!(ix.docs_text_contains("$.note", "SIGNATURE"), vec![1]);
+        assert!(ix.docs_text_contains("$.note", "ship").is_empty(), "whole words only");
+    }
+
+    #[test]
+    fn arrays_are_transparent_in_paths() {
+        let ix = index(&[r#"{"items":[{"name":"tv"},{"name":"pc"}]}"#]);
+        assert_eq!(ix.docs_with_path("$.items.name"), vec![1]);
+        assert_eq!(ix.docs_with_value("$.items.name", "pc"), vec![1]);
+    }
+
+    #[test]
+    fn removal_is_precise() {
+        let mut ix = index(&[r#"{"a":1,"s":"hello world"}"#, r#"{"a":1}"#]);
+        ix.remove(1);
+        assert_eq!(ix.docs_with_value("$.a", "1"), vec![2]);
+        assert!(ix.docs_text_contains("$.s", "hello").is_empty());
+        // dataguide remains additive: path $.s still known
+        assert!(ix
+            .dataguide()
+            .rows()
+            .iter()
+            .any(|r| r.path == "$.s"));
+    }
+
+    #[test]
+    fn replace_updates_postings() {
+        let mut ix = index(&[r#"{"v":"old"}"#]);
+        ix.replace(1, &parse(r#"{"v":"new"}"#).unwrap());
+        assert!(ix.docs_with_value("$.v", "old").is_empty());
+        assert_eq!(ix.docs_with_value("$.v", "new"), vec![1]);
+    }
+
+    #[test]
+    fn signature_fast_path_counts() {
+        let mut ix = SearchIndex::new();
+        for i in 0..100 {
+            ix.insert(i, &parse(&format!(r#"{{"a":{i},"b":"x{i}"}}"#)).unwrap());
+        }
+        assert_eq!(ix.guide_fast_path_hits, 99, "only the first doc does guide work");
+        assert_eq!(ix.dataguide().doc_count, 100);
+        // heterogeneous inserts bypass the fast path
+        ix.insert(1000, &parse(r#"{"a":1,"b":"x","unique_new":true}"#).unwrap());
+        assert_eq!(ix.guide_fast_path_hits, 99);
+        assert!(ix.dataguide().rows().iter().any(|r| r.path == "$.unique_new"));
+    }
+
+    #[test]
+    fn duplicate_values_in_one_doc_post_once() {
+        let ix = index(&[r#"{"xs":[5,5,5]}"#]);
+        assert_eq!(ix.docs_with_value("$.xs", "5"), vec![1]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared by the JSON parser and serializer.
+
+use std::fmt;
+
+/// Error produced while parsing or encoding JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected, if known.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    /// Create an error with a byte offset into the input.
+    pub fn at(message: impl Into<String>, offset: usize) -> Self {
+        JsonError { message: message.into(), offset: Some(offset) }
+    }
+
+    /// Create an error with no positional information.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError { message: message.into(), offset: None }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "JSON error at byte {}: {}", off, self.message),
+            None => write!(f, "JSON error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_offset() {
+        let e = JsonError::at("bad token", 17);
+        assert_eq!(e.to_string(), "JSON error at byte 17: bad token");
+    }
+
+    #[test]
+    fn display_without_offset() {
+        let e = JsonError::new("truncated");
+        assert_eq!(e.to_string(), "JSON error: truncated");
+    }
+}

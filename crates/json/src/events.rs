@@ -1,0 +1,331 @@
+//! Streaming (SAX-style) event parser.
+//!
+//! §5.1 of the paper: "we developed a JSON path engine that operates in a
+//! streaming fashion, using a series of events produced by the JSON text
+//! parser". This module produces that event stream; the streaming path
+//! engine in `fsdm-sqljson` consumes it to evaluate simple paths without
+//! materializing a DOM.
+
+use crate::error::{JsonError, Result};
+use crate::number::JsonNumber;
+use crate::parse::Parser;
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// `{`
+    StartObject,
+    /// `}`
+    EndObject,
+    /// `[`
+    StartArray,
+    /// `]`
+    EndArray,
+    /// An object member key (always followed by the member's value events).
+    Key(String),
+    /// String scalar.
+    String(String),
+    /// Number scalar.
+    Number(JsonNumber),
+    /// Boolean scalar.
+    Bool(bool),
+    /// Null scalar.
+    Null,
+}
+
+impl Event {
+    /// True for the scalar-value events.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Event::String(_) | Event::Number(_) | Event::Bool(_) | Event::Null)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Frame {
+    /// In an object; `true` once at least one member has been emitted.
+    Object(bool),
+    /// In an array; `true` once at least one element has been emitted.
+    Array(bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pending {
+    Value,     // a value is required next (document start, after ':' or ',')
+    KeyOrEnd,  // inside object: expecting key or '}'
+    CommaOrEnd,
+    Done,
+}
+
+/// Pull-based streaming parser: call [`EventParser::next_event`] until it
+/// returns `Ok(None)`.
+pub struct EventParser<'a> {
+    p: Parser<'a>,
+    stack: Vec<Frame>,
+    state: Pending,
+}
+
+impl<'a> EventParser<'a> {
+    /// Stream events from a JSON text.
+    pub fn new(text: &'a str) -> Self {
+        Self::from_bytes(text.as_bytes())
+    }
+
+    /// Stream events from UTF-8 bytes.
+    pub fn from_bytes(bytes: &'a [u8]) -> Self {
+        EventParser { p: Parser::new(bytes), stack: Vec::new(), state: Pending::Value }
+    }
+
+    /// Current nesting depth (containers currently open).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Byte offset of the parse cursor.
+    pub fn offset(&self) -> usize {
+        self.p.pos
+    }
+
+    /// Produce the next event, `Ok(None)` at end of a well-formed document.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        loop {
+            self.p.skip_ws();
+            match self.state {
+                Pending::Done => {
+                    self.p.skip_ws();
+                    if self.p.pos != self.p.input.len() {
+                        return Err(JsonError::at("trailing characters", self.p.pos));
+                    }
+                    return Ok(None);
+                }
+                Pending::Value => return self.parse_value_event().map(Some),
+                Pending::KeyOrEnd => {
+                    match self.p.input.get(self.p.pos) {
+                        Some(b'}') => {
+                            self.p.pos += 1;
+                            self.pop_container();
+                            return Ok(Some(Event::EndObject));
+                        }
+                        Some(b'"') => {
+                            let key = self.p.parse_string()?;
+                            self.p.skip_ws();
+                            if self.p.input.get(self.p.pos) != Some(&b':') {
+                                return Err(JsonError::at("expected ':'", self.p.pos));
+                            }
+                            self.p.pos += 1;
+                            if let Some(Frame::Object(seen)) = self.stack.last_mut() {
+                                *seen = true;
+                            }
+                            self.state = Pending::Value;
+                            return Ok(Some(Event::Key(key)));
+                        }
+                        _ => return Err(JsonError::at("expected key or '}'", self.p.pos)),
+                    }
+                }
+                Pending::CommaOrEnd => match (self.stack.last(), self.p.input.get(self.p.pos)) {
+                    (Some(Frame::Object(_)), Some(b',')) => {
+                        self.p.pos += 1;
+                        self.p.skip_ws();
+                        if self.p.input.get(self.p.pos) != Some(&b'"') {
+                            return Err(JsonError::at("expected key after ','", self.p.pos));
+                        }
+                        self.state = Pending::KeyOrEnd;
+                    }
+                    (Some(Frame::Object(_)), Some(b'}')) => {
+                        self.p.pos += 1;
+                        self.pop_container();
+                        return Ok(Some(Event::EndObject));
+                    }
+                    (Some(Frame::Array(_)), Some(b',')) => {
+                        self.p.pos += 1;
+                        self.state = Pending::Value;
+                    }
+                    (Some(Frame::Array(_)), Some(b']')) => {
+                        self.p.pos += 1;
+                        self.pop_container();
+                        return Ok(Some(Event::EndArray));
+                    }
+                    _ => return Err(JsonError::at("expected ',' or container end", self.p.pos)),
+                },
+            }
+        }
+    }
+
+    fn pop_container(&mut self) {
+        self.stack.pop();
+        self.state = if self.stack.is_empty() { Pending::Done } else { Pending::CommaOrEnd };
+    }
+
+    fn parse_value_event(&mut self) -> Result<Event> {
+        match self.p.input.get(self.p.pos).copied() {
+            Some(b'{') => {
+                self.p.pos += 1;
+                self.stack.push(Frame::Object(false));
+                self.p.skip_ws();
+                self.state = Pending::KeyOrEnd;
+                Ok(Event::StartObject)
+            }
+            Some(b'[') => {
+                self.p.pos += 1;
+                self.stack.push(Frame::Array(false));
+                self.p.skip_ws();
+                if self.p.input.get(self.p.pos) == Some(&b']') {
+                    // defer the ']' to the next call via CommaOrEnd? No:
+                    // emit StartArray now; the empty-close is handled by a
+                    // special state where the next value position sees ']'.
+                    self.state = Pending::Value;
+                } else {
+                    self.state = Pending::Value;
+                }
+                Ok(Event::StartArray)
+            }
+            Some(b']') if matches!(self.stack.last(), Some(Frame::Array(false))) => {
+                // empty array close
+                self.p.pos += 1;
+                self.pop_container();
+                Ok(Event::EndArray)
+            }
+            Some(b'"') => {
+                let s = self.p.parse_string()?;
+                self.after_scalar();
+                Ok(Event::String(s))
+            }
+            Some(b't') => {
+                self.expect_kw(b"true")?;
+                self.after_scalar();
+                Ok(Event::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_kw(b"false")?;
+                self.after_scalar();
+                Ok(Event::Bool(false))
+            }
+            Some(b'n') => {
+                self.expect_kw(b"null")?;
+                self.after_scalar();
+                Ok(Event::Null)
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let n = self.p.parse_number()?;
+                self.after_scalar();
+                Ok(Event::Number(n))
+            }
+            Some(c) => Err(JsonError::at(format!("unexpected character {:?}", c as char), self.p.pos)),
+            None => Err(JsonError::at("unexpected end of input", self.p.pos)),
+        }
+    }
+
+    fn after_scalar(&mut self) {
+        if let Some(Frame::Array(seen)) = self.stack.last_mut() {
+            *seen = true;
+        }
+        self.state = if self.stack.is_empty() { Pending::Done } else { Pending::CommaOrEnd };
+    }
+
+    fn expect_kw(&mut self, kw: &[u8]) -> Result<()> {
+        if self.p.input[self.p.pos..].starts_with(kw) {
+            self.p.pos += kw.len();
+            Ok(())
+        } else {
+            Err(JsonError::at("invalid literal", self.p.pos))
+        }
+    }
+
+    /// Drain all remaining events (testing / DOM-building convenience).
+    pub fn collect_events(mut self) -> Result<Vec<Event>> {
+        let mut out = Vec::new();
+        while let Some(e) = self.next_event()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(s: &str) -> Vec<Event> {
+        EventParser::new(s).collect_events().unwrap()
+    }
+
+    #[test]
+    fn scalar_document() {
+        assert_eq!(events("42"), vec![Event::Number(JsonNumber::Int(42))]);
+        assert_eq!(events("\"x\""), vec![Event::String("x".into())]);
+        assert_eq!(events("null"), vec![Event::Null]);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(events("{}"), vec![Event::StartObject, Event::EndObject]);
+        assert_eq!(events("[]"), vec![Event::StartArray, Event::EndArray]);
+        assert_eq!(
+            events("[[],{}]"),
+            vec![
+                Event::StartArray,
+                Event::StartArray,
+                Event::EndArray,
+                Event::StartObject,
+                Event::EndObject,
+                Event::EndArray
+            ]
+        );
+    }
+
+    #[test]
+    fn object_members() {
+        assert_eq!(
+            events(r#"{"a":1,"b":[true,null]}"#),
+            vec![
+                Event::StartObject,
+                Event::Key("a".into()),
+                Event::Number(JsonNumber::Int(1)),
+                Event::Key("b".into()),
+                Event::StartArray,
+                Event::Bool(true),
+                Event::Null,
+                Event::EndArray,
+                Event::EndObject,
+            ]
+        );
+    }
+
+    #[test]
+    fn stream_matches_dom_shape() {
+        let doc = r#"{"purchaseOrder":{"id":1,"items":[{"name":"phone","price":100}]}}"#;
+        let evs = events(doc);
+        let starts = evs.iter().filter(|e| matches!(e, Event::StartObject | Event::StartArray)).count();
+        let ends = evs.iter().filter(|e| matches!(e, Event::EndObject | Event::EndArray)).count();
+        assert_eq!(starts, ends);
+        assert_eq!(starts, 4);
+        let keys: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                Event::Key(k) => Some(k.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(keys, ["purchaseOrder", "id", "items", "name", "price"]);
+    }
+
+    #[test]
+    fn rejects_malformed_streams() {
+        for bad in ["{", "[1,", "{\"a\"}", "{\"a\":1,}", "[1]extra", "{,}"] {
+            assert!(
+                EventParser::new(bad).collect_events().is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut p = EventParser::new(r#"{"a":[{"b":1}]}"#);
+        let mut max = 0;
+        while let Some(_e) = p.next_event().unwrap() {
+            max = max.max(p.depth());
+        }
+        assert_eq!(max, 3);
+        assert_eq!(p.depth(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! JSON text serialization (compact and pretty).
+//!
+//! The compact form emits no non-significant whitespace — the paper's
+//! evaluation (§6) measures JSON text "with all the non-significant white
+//! spaces removed so as to get the smallest possible JSON representation".
+
+use crate::value::JsonValue;
+
+/// Serialize to the smallest textual representation (no whitespace).
+pub fn to_string(v: &JsonValue) -> String {
+    let mut out = String::with_capacity(128);
+    write_value(v, &mut out);
+    out
+}
+
+/// Serialize with two-space indentation for human consumption.
+pub fn to_string_pretty(v: &JsonValue) -> String {
+    let mut out = String::with_capacity(256);
+    write_pretty(v, &mut out, 0);
+    out
+}
+
+fn write_value(v: &JsonValue, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Number(n) => out.push_str(&n.to_literal()),
+        JsonValue::String(s) => write_escaped(s, out),
+        JsonValue::Array(a) => {
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(o) => {
+            out.push('{');
+            for (i, (k, val)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &JsonValue, out: &mut String, indent: usize) {
+    match v {
+        JsonValue::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        JsonValue::Object(o) if !o.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Write a string with JSON escaping.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    let mut start = 0;
+    let bytes = s.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        let esc: Option<&str> = match b {
+            b'"' => Some("\\\""),
+            b'\\' => Some("\\\\"),
+            0x08 => Some("\\b"),
+            0x0C => Some("\\f"),
+            b'\n' => Some("\\n"),
+            b'\r' => Some("\\r"),
+            b'\t' => Some("\\t"),
+            0x00..=0x1F => None, // generic \u00XX below
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        match esc {
+            Some(e) => out.push_str(e),
+            None => {
+                out.push_str(&format!("\\u{:04x}", b));
+            }
+        }
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn compact_roundtrip() {
+        let docs = [
+            r#"{"a":1,"b":[true,null,"x"],"c":{"d":2.5}}"#,
+            r#"[]"#,
+            r#"{}"#,
+            r#"[1,2,3]"#,
+            r#"{"s":"line\nbreak"}"#,
+        ];
+        for d in docs {
+            let v = parse(d).unwrap();
+            assert_eq!(to_string(&v), *d, "roundtrip {d}");
+        }
+    }
+
+    #[test]
+    fn escapes_specials() {
+        let v = JsonValue::String("a\"b\\c\nd\te\u{1}".to_string());
+        assert_eq!(to_string(&v), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        // and the escaped form parses back to the original
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = JsonValue::String("héllo 😀".to_string());
+        assert_eq!(to_string(&v), "\"héllo 😀\"");
+    }
+
+    #[test]
+    fn pretty_is_reparsable() {
+        let v = parse(r#"{"a":[1,{"b":2}],"c":{}}"#).unwrap();
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn number_forms() {
+        let v = parse(r#"[1,2.5,350.86,-0.25]"#).unwrap();
+        assert_eq!(to_string(&v), "[1,2.5,350.86,-0.25]");
+    }
+}

@@ -1,0 +1,438 @@
+//! The in-memory JSON document object model.
+
+use std::fmt;
+
+use crate::number::JsonNumber;
+
+/// A JSON object: an ordered list of key/value pairs. Insertion order is
+/// preserved (it matters for round-tripping and for OSON encoding tests);
+/// lookup is linear, which is fine for the small fan-outs JSON objects have
+/// in practice — the binary formats provide the fast lookup paths.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Object {
+    entries: Vec<(String, JsonValue)>,
+}
+
+impl Object {
+    /// Empty object.
+    pub fn new() -> Self {
+        Object { entries: Vec::new() }
+    }
+
+    /// Empty object with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Object { entries: Vec::with_capacity(n) }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the object has no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append or replace the member `key`.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) {
+        let key = key.into();
+        let value = value.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.entries.push((key, value)),
+        }
+    }
+
+    /// Append a member without checking for duplicates (parser fast path;
+    /// JSON permits duplicate keys, and lookups return the first).
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) {
+        self.entries.push((key.into(), value.into()));
+    }
+
+    /// First member with the given key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable access to the first member with the given key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut JsonValue> {
+        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Remove (all) members with the given key; returns the first removed
+    /// value if any.
+    pub fn remove(&mut self, key: &str) -> Option<JsonValue> {
+        let mut removed = None;
+        self.entries.retain_mut(|(k, v)| {
+            if k == key {
+                if removed.is_none() {
+                    removed = Some(std::mem::replace(v, JsonValue::Null));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Iterate members in document order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &JsonValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterate members mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut JsonValue)> {
+        self.entries.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Member at a document-order position.
+    pub fn entry_at(&self, idx: usize) -> Option<(&str, &JsonValue)> {
+        self.entries.get(idx).map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when a member with this key exists.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl FromIterator<(String, JsonValue)> for Object {
+    fn from_iter<T: IntoIterator<Item = (String, JsonValue)>>(iter: T) -> Self {
+        Object { entries: iter.into_iter().collect() }
+    }
+}
+
+/// A JSON value: one of the three node kinds of the paper's data model
+/// (object, array, scalar), with scalars split into the four JSON scalar
+/// types.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum JsonValue {
+    /// JSON object node.
+    Object(Object),
+    /// JSON array node.
+    Array(Vec<JsonValue>),
+    /// String scalar.
+    String(String),
+    /// Numeric scalar.
+    Number(JsonNumber),
+    /// Boolean scalar.
+    Bool(bool),
+    /// Null scalar.
+    #[default]
+    Null,
+}
+
+impl JsonValue {
+    /// Shorthand for an object built from pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
+        let mut o = Object::new();
+        for (k, v) in pairs {
+            o.push(k, v);
+        }
+        JsonValue::Object(o)
+    }
+
+    /// Shorthand for an array.
+    pub fn array(items: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// True for object nodes.
+    pub fn is_object(&self) -> bool {
+        matches!(self, JsonValue::Object(_))
+    }
+
+    /// True for array nodes.
+    pub fn is_array(&self) -> bool {
+        matches!(self, JsonValue::Array(_))
+    }
+
+    /// True for any scalar (string, number, boolean, null).
+    pub fn is_scalar(&self) -> bool {
+        !self.is_object() && !self.is_array()
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Object> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutable object view.
+    pub fn as_object_mut(&mut self) -> Option<&mut Object> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable array view.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<JsonValue>> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String scalar view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number scalar view.
+    pub fn as_number(&self) -> Option<&JsonNumber> {
+        match self {
+            JsonValue::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (numbers only).
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(|n| n.to_f64())
+    }
+
+    /// Numeric value as `i64` when integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_number().and_then(|n| n.to_i64())
+    }
+
+    /// Boolean scalar view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for the null scalar.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Member access for objects (None for other kinds).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Element access for arrays (None for other kinds).
+    pub fn at(&self, idx: usize) -> Option<&JsonValue> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+
+    /// Total number of nodes in the tree rooted here (used by statistics).
+    pub fn node_count(&self) -> usize {
+        match self {
+            JsonValue::Object(o) => 1 + o.iter().map(|(_, v)| v.node_count()).sum::<usize>(),
+            JsonValue::Array(a) => 1 + a.iter().map(|v| v.node_count()).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Structural equality that ignores object member order (arrays stay
+    /// ordered). Binary formats such as OSON store object members sorted
+    /// by field id, so a decode returns the same *JSON data model* value
+    /// with a possibly different member order; this is the right equality
+    /// for such round-trips. Objects with duplicate keys compare by the
+    /// multiset of (key, value) pairs.
+    pub fn eq_unordered(&self, other: &JsonValue) -> bool {
+        match (self, other) {
+            (JsonValue::Object(a), JsonValue::Object(b)) => {
+                if a.len() != b.len() {
+                    return false;
+                }
+                let mut used = vec![false; b.len()];
+                'outer: for (k, v) in a.iter() {
+                    for (i, (k2, v2)) in b.iter().enumerate() {
+                        if !used[i] && k == k2 && v.eq_unordered(v2) {
+                            used[i] = true;
+                            continue 'outer;
+                        }
+                    }
+                    return false;
+                }
+                true
+            }
+            (JsonValue::Array(a), JsonValue::Array(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.eq_unordered(y))
+            }
+            (x, y) => x == y,
+        }
+    }
+
+    /// Maximum depth of the tree (a scalar has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            JsonValue::Object(o) => {
+                1 + o.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
+            }
+            JsonValue::Array(a) => 1 + a.iter().map(|v| v.depth()).max().unwrap_or(0),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::ser::to_string(self))
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Number(JsonNumber::Int(v))
+    }
+}
+impl From<i32> for JsonValue {
+    fn from(v: i32) -> Self {
+        JsonValue::Number(JsonNumber::Int(v as i64))
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Number(JsonNumber::Int(v as i64))
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Number(JsonNumber::Int(v as i64))
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Number(JsonNumber::from(v))
+    }
+}
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<JsonNumber> for JsonValue {
+    fn from(v: JsonNumber) -> Self {
+        JsonValue::Number(v)
+    }
+}
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => JsonValue::Null,
+        }
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
+    }
+}
+impl From<Object> for JsonValue {
+    fn from(o: Object) -> Self {
+        JsonValue::Object(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        JsonValue::object([
+            ("id", 1.into()),
+            ("name", "phone".into()),
+            ("tags", JsonValue::array(["a".into(), "b".into()])),
+            ("price", 99.5.into()),
+            ("active", true.into()),
+            ("notes", JsonValue::Null),
+        ])
+    }
+
+    #[test]
+    fn object_insert_replaces() {
+        let mut o = Object::new();
+        o.insert("a", 1);
+        o.insert("a", 2);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.get("a").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn object_preserves_order() {
+        let v = sample();
+        let o = v.as_object().unwrap();
+        let keys: Vec<&str> = o.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["id", "name", "tags", "price", "active", "notes"]);
+    }
+
+    #[test]
+    fn object_remove() {
+        let mut o = Object::new();
+        o.push("x", 1);
+        o.push("y", 2);
+        assert_eq!(o.remove("x").unwrap().as_i64(), Some(1));
+        assert!(o.remove("x").is_none());
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins_on_get() {
+        let mut o = Object::new();
+        o.push("k", 1);
+        o.push("k", 2);
+        assert_eq!(o.get("k").unwrap().as_i64(), Some(1));
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = sample();
+        assert!(v.is_object());
+        assert_eq!(v.get("name").unwrap().as_str(), Some("phone"));
+        assert_eq!(v.get("tags").unwrap().at(1).unwrap().as_str(), Some("b"));
+        assert_eq!(v.get("id").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("active").unwrap().as_bool(), Some(true));
+        assert!(v.get("notes").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn node_count_and_depth() {
+        let v = sample();
+        // root + 6 members + 2 array elements = 9
+        assert_eq!(v.node_count(), 9);
+        assert_eq!(v.depth(), 3);
+        assert_eq!(JsonValue::Null.depth(), 1);
+    }
+
+    #[test]
+    fn scalar_classification() {
+        assert!(JsonValue::Null.is_scalar());
+        assert!(JsonValue::from(3).is_scalar());
+        assert!(!JsonValue::array([]).is_scalar());
+    }
+}

@@ -1,0 +1,495 @@
+//! [`OsonDoc`]: zero-copy reader over an encoded OSON instance,
+//! implementing [`JsonDom`] with the jump-navigation semantics of §4.2.
+//!
+//! A tree-node address is the node's byte offset within the tree-node
+//! navigation segment, "used in lieu of machine pointer dereferences"
+//! (§5.1). Child lookup in an object is a binary search over the node's
+//! sorted field-id array; array indexing is a single positional read.
+
+use fsdm_json::{FieldId, JsonDom, JsonNumber, NodeKind, NodeRef, OraNum, ScalarRef};
+
+use crate::wire::{read_varint, NodeTag, FLAG_WIDE_FIELD_IDS, FLAG_WIDE_OFFSETS, MAGIC, VERSION};
+use crate::{OsonError, Result};
+
+/// Read-only OSON instance view.
+pub struct OsonDoc<'a> {
+    bytes: &'a [u8],
+    wide_offsets: bool,
+    wide_ids: bool,
+    nfields: usize,
+    root: u32,
+    /// absolute offset of the hash-id array
+    hash_arr: usize,
+    /// absolute offset of the names blob
+    names: usize,
+    /// absolute offset of the tree segment
+    tree: usize,
+    /// absolute offset of the value segment
+    values: usize,
+    /// lazily computed dictionary fingerprint (0 = not yet computed)
+    fingerprint: std::cell::Cell<u64>,
+}
+
+impl<'a> OsonDoc<'a> {
+    /// Wrap and validate an encoded buffer.
+    pub fn new(bytes: &'a [u8]) -> Result<Self> {
+        if bytes.len() < 8 || bytes[0..4] != MAGIC {
+            return Err(OsonError::new("bad magic"));
+        }
+        if bytes[4] != VERSION {
+            return Err(OsonError::new(format!("unsupported version {}", bytes[4])));
+        }
+        let flags = bytes[5];
+        let wide_offsets = flags & FLAG_WIDE_OFFSETS != 0;
+        let wide_ids = flags & FLAG_WIDE_FIELD_IDS != 0;
+        let nfields = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
+        let w = if wide_offsets { 4usize } else { 2 };
+        let nlen_w = if wide_offsets { 2usize } else { 1 };
+        let hdr = 8 + 4 * w;
+        if bytes.len() < hdr {
+            return Err(OsonError::new("truncated header"));
+        }
+        let rd = |pos: usize| -> u32 {
+            if wide_offsets {
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap())
+            } else {
+                u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap()) as u32
+            }
+        };
+        let root = rd(8);
+        let names_len = rd(8 + w) as usize;
+        let tree_len = rd(8 + 2 * w) as usize;
+        let values_len = rd(8 + 3 * w) as usize;
+        let entry = 4 + w + nlen_w;
+        let hash_arr = hdr;
+        let names = hash_arr + nfields * entry;
+        let tree = names + names_len;
+        let values = tree + tree_len;
+        if values + values_len != bytes.len() {
+            return Err(OsonError::new(format!(
+                "segment lengths inconsistent with buffer size ({} != {})",
+                values + values_len,
+                bytes.len()
+            )));
+        }
+        if (root as usize) >= tree_len.max(1) {
+            return Err(OsonError::new("root offset out of tree segment"));
+        }
+        Ok(OsonDoc {
+            bytes,
+            wide_offsets,
+            wide_ids,
+            nfields,
+            root,
+            hash_arr,
+            names,
+            tree,
+            values,
+            fingerprint: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Underlying encoded bytes.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Number of distinct field names in the instance dictionary.
+    pub fn num_fields(&self) -> usize {
+        self.nfields
+    }
+
+    fn off_w(&self) -> usize {
+        if self.wide_offsets {
+            4
+        } else {
+            2
+        }
+    }
+
+    fn id_w(&self) -> usize {
+        if self.wide_ids {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn read_off(&self, pos: usize) -> u32 {
+        if self.wide_offsets {
+            u32::from_le_bytes(self.bytes[pos..pos + 4].try_into().unwrap())
+        } else {
+            u16::from_le_bytes(self.bytes[pos..pos + 2].try_into().unwrap()) as u32
+        }
+    }
+
+    fn read_id(&self, pos: usize) -> u32 {
+        if self.wide_ids {
+            u16::from_le_bytes(self.bytes[pos..pos + 2].try_into().unwrap()) as u32
+        } else {
+            self.bytes[pos] as u32
+        }
+    }
+
+    /// Hash of dictionary entry `i` (entries sorted by hash).
+    fn entry_hash(&self, i: usize) -> u32 {
+        let entry = 4 + self.off_w() + if self.wide_offsets { 2 } else { 1 };
+        let pos = self.hash_arr + i * entry;
+        u32::from_le_bytes(self.bytes[pos..pos + 4].try_into().unwrap())
+    }
+
+    /// Field name of dictionary entry (= field id) `i`.
+    pub fn field_name(&self, id: FieldId) -> &'a str {
+        let i = id as usize;
+        debug_assert!(i < self.nfields);
+        let nlen_w = if self.wide_offsets { 2 } else { 1 };
+        let entry = 4 + self.off_w() + nlen_w;
+        let pos = self.hash_arr + i * entry + 4;
+        let noff = self.read_off(pos) as usize;
+        let nlen = if self.wide_offsets {
+            u16::from_le_bytes(self.bytes[pos + 4..pos + 6].try_into().unwrap()) as usize
+        } else {
+            self.bytes[pos + 2] as usize
+        };
+        std::str::from_utf8(&self.bytes[self.names + noff..self.names + noff + nlen])
+            .unwrap_or("")
+    }
+
+    /// Resolve a field name to its instance field id: binary search on the
+    /// hash-id array, then name comparison to resolve hash collisions
+    /// (§4.2.1).
+    pub fn lookup_field_id(&self, name: &str, hash: u32) -> Option<FieldId> {
+        let (mut lo, mut hi) = (0usize, self.nfields);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.entry_hash(mid) < hash {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut i = lo;
+        while i < self.nfields && self.entry_hash(i) == hash {
+            if self.field_name(i as FieldId) == name {
+                return Some(i as FieldId);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Decode the node header at tree-relative offset `node`:
+    /// (tag, payload absolute position).
+    fn node_tag(&self, node: NodeRef) -> (NodeTag, usize) {
+        let pos = self.tree + node as usize;
+        let tag = NodeTag::from_byte(self.bytes[pos]).expect("3-bit tag is total");
+        (tag, pos + 1)
+    }
+
+    /// For container nodes: (child count, absolute offset of first id/off).
+    fn container_header(&self, node: NodeRef) -> (NodeTag, usize, usize) {
+        let (tag, p) = self.node_tag(node);
+        let (count, n) =
+            read_varint(self.bytes, p).expect("container count present");
+        (tag, count as usize, p + n)
+    }
+
+    /// Bytes of the scalar value of a string/number node within the value
+    /// segment, as (absolute offset of the body, body length). Used by the
+    /// partial updater.
+    pub(crate) fn scalar_value_span(&self, node: NodeRef) -> Option<(usize, usize)> {
+        let (tag, p) = self.node_tag(node);
+        match tag {
+            NodeTag::Str => {
+                let voff = self.read_off(p) as usize;
+                let (len, n) = read_varint(self.bytes, self.values + voff)?;
+                Some((self.values + voff + n, len as usize))
+            }
+            // numbers are inlined in the tree node
+            NodeTag::NumOra => {
+                let len = self.bytes[p] as usize;
+                Some((p + 1, len))
+            }
+            NodeTag::NumDouble => Some((p, 8)),
+            _ => None,
+        }
+    }
+
+    /// Absolute buffer position of a node's header byte (updater use).
+    pub(crate) fn tree_abs(&self, node: NodeRef) -> usize {
+        self.tree + node as usize
+    }
+}
+
+impl JsonDom for OsonDoc<'_> {
+    fn root(&self) -> NodeRef {
+        self.root as NodeRef
+    }
+
+    fn kind(&self, node: NodeRef) -> NodeKind {
+        match self.node_tag(node).0 {
+            NodeTag::Object => NodeKind::Object,
+            NodeTag::Array => NodeKind::Array,
+            _ => NodeKind::Scalar,
+        }
+    }
+
+    fn object_len(&self, node: NodeRef) -> usize {
+        let (tag, count, _) = self.container_header(node);
+        debug_assert_eq!(tag, NodeTag::Object);
+        count
+    }
+
+    fn object_entry(&self, node: NodeRef, i: usize) -> (&str, NodeRef) {
+        let (_, count, base) = self.container_header(node);
+        debug_assert!(i < count);
+        let id = self.read_id(base + i * self.id_w());
+        let offs = base + count * self.id_w();
+        let child = self.read_off(offs + i * self.off_w());
+        (self.field_name(id), child as NodeRef)
+    }
+
+    fn array_len(&self, node: NodeRef) -> usize {
+        let (tag, count, _) = self.container_header(node);
+        debug_assert_eq!(tag, NodeTag::Array);
+        count
+    }
+
+    fn array_element(&self, node: NodeRef, i: usize) -> NodeRef {
+        let (_, count, base) = self.container_header(node);
+        debug_assert!(i < count);
+        self.read_off(base + i * self.off_w()) as NodeRef
+    }
+
+    fn scalar(&self, node: NodeRef) -> ScalarRef<'_> {
+        let (tag, p) = self.node_tag(node);
+        match tag {
+            NodeTag::Null => ScalarRef::Null,
+            NodeTag::True => ScalarRef::Bool(true),
+            NodeTag::False => ScalarRef::Bool(false),
+            NodeTag::Str => {
+                let voff = self.read_off(p) as usize;
+                let (len, n) =
+                    read_varint(self.bytes, self.values + voff).expect("string length");
+                let start = self.values + voff + n;
+                ScalarRef::Str(
+                    std::str::from_utf8(&self.bytes[start..start + len as usize])
+                        .unwrap_or(""),
+                )
+            }
+            NodeTag::NumOra => {
+                // inlined in the tree node: length byte then OraNum bytes
+                let len = self.bytes[p] as usize;
+                let start = p + 1;
+                let d = OraNum::from_bytes(&self.bytes[start..start + len])
+                    .expect("valid encoded number");
+                ScalarRef::Num(match d.to_i64() {
+                    Some(i) => JsonNumber::Int(i),
+                    None => JsonNumber::Dec(d),
+                })
+            }
+            NodeTag::NumDouble => {
+                let v = f64::from_le_bytes(self.bytes[p..p + 8].try_into().unwrap());
+                ScalarRef::Num(JsonNumber::from(v))
+            }
+            NodeTag::Object | NodeTag::Array => panic!("scalar() on container node"),
+        }
+    }
+
+    /// `JsonDomGetFieldValue`: resolve the name to an instance field id,
+    /// then binary-search the object's sorted id array (§4.2.1–4.2.2).
+    fn get_field(&self, node: NodeRef, name: &str, hash: u32) -> Option<NodeRef> {
+        let id = self.lookup_field_id(name, hash)?;
+        self.get_field_by_id(node, id)
+    }
+
+    fn field_id(&self, name: &str, hash: u32) -> Option<FieldId> {
+        self.lookup_field_id(name, hash)
+    }
+
+    fn has_field_ids(&self) -> bool {
+        true
+    }
+
+    fn verify_field_id(&self, id: FieldId, name: &str, hash: u32) -> bool {
+        (id as usize) < self.nfields
+            && self.entry_hash(id as usize) == hash
+            && self.field_name(id) == name
+    }
+
+    fn get_field_by_id(&self, node: NodeRef, id: FieldId) -> Option<NodeRef> {
+        let (tag, count, base) = self.container_header(node);
+        if tag != NodeTag::Object {
+            return None;
+        }
+        let id_w = self.id_w();
+        let (mut lo, mut hi) = (0usize, count);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.read_id(base + mid * id_w) < id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < count && self.read_id(base + lo * id_w) == id {
+            let offs = base + count * id_w;
+            Some(self.read_off(offs + lo * self.off_w()) as NodeRef)
+        } else {
+            None
+        }
+    }
+
+    /// Computed lazily on first use (queries that never look up a field
+    /// by name — array-only paths — skip it entirely) and cached for the
+    /// lifetime of the view.
+    fn dict_fingerprint(&self) -> u64 {
+        let cached = self.fingerprint.get();
+        if cached != 0 {
+            return cached;
+        }
+        // FNV-1a 64 over the dictionary region; never returns the 0
+        // sentinel (the offset basis bit pattern is restored if it does)
+        let mut fp: u64 = 0xcbf29ce484222325;
+        for &b in &self.bytes[self.hash_arr..self.tree] {
+            fp ^= b as u64;
+            fp = fp.wrapping_mul(0x100000001b3);
+        }
+        if fp == 0 {
+            fp = 0xcbf29ce484222325;
+        }
+        self.fingerprint.set(fp);
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode;
+    use fsdm_json::{field_hash, parse};
+
+    fn doc_of(text: &str) -> (Vec<u8>, fsdm_json::JsonValue) {
+        let v = parse(text).unwrap();
+        (encode(&v).unwrap(), v)
+    }
+
+    #[test]
+    fn materialize_roundtrip() {
+        let texts = [
+            r#"{"a":1,"b":"s","c":true,"d":null,"e":[1,2,{"f":3.5}],"g":{}}"#,
+            r#"{}"#,
+            r#"{"x":[[],[[]]]}"#,
+            r#"{"purchaseOrder":{"id":1,"podate":"2014-09-08","items":[
+                {"name":"phone","price":100,"quantity":2},
+                {"name":"ipad","price":350.86,"quantity":3}]}}"#,
+        ];
+        for t in texts {
+            let (bytes, v) = doc_of(t);
+            assert!(crate::decode(&bytes).unwrap().eq_unordered(&v), "roundtrip {t}");
+        }
+    }
+
+    #[test]
+    fn jump_navigation() {
+        let (bytes, _) = doc_of(r#"{"a":{"b":[10,20,30]},"z":"end"}"#);
+        let d = OsonDoc::new(&bytes).unwrap();
+        let root = d.root();
+        assert_eq!(d.kind(root), NodeKind::Object);
+        let a = d.get_field(root, "a", field_hash("a")).unwrap();
+        let b = d.get_field(a, "b", field_hash("b")).unwrap();
+        assert_eq!(d.array_len(b), 3);
+        // positional jump to the 3rd element without touching the others
+        let e2 = d.array_element(b, 2);
+        assert_eq!(d.scalar(e2), ScalarRef::Num(JsonNumber::Int(30)));
+        assert!(d.get_field(root, "missing", field_hash("missing")).is_none());
+    }
+
+    #[test]
+    fn field_ids_are_dictionary_ordinals() {
+        let (bytes, _) = doc_of(r#"{"alpha":1,"beta":2,"gamma":3}"#);
+        let d = OsonDoc::new(&bytes).unwrap();
+        assert_eq!(d.num_fields(), 3);
+        // every name resolves, ids are dense 0..n
+        let mut ids: Vec<FieldId> = ["alpha", "beta", "gamma"]
+            .iter()
+            .map(|n| d.lookup_field_id(n, field_hash(n)).unwrap())
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // and ids map back to their names
+        for n in ["alpha", "beta", "gamma"] {
+            let id = d.lookup_field_id(n, field_hash(n)).unwrap();
+            assert_eq!(d.field_name(id), n);
+        }
+    }
+
+    #[test]
+    fn get_field_by_id_binary_search() {
+        let (bytes, v) = doc_of(
+            r#"{"f1":1,"f2":2,"f3":3,"f4":4,"f5":5,"f6":6,"f7":7,"f8":8,"f9":9}"#,
+        );
+        let d = OsonDoc::new(&bytes).unwrap();
+        for (k, expected) in v.as_object().unwrap().iter() {
+            let id = d.field_id(k, field_hash(k)).unwrap();
+            let node = d.get_field_by_id(d.root(), id).unwrap();
+            assert_eq!(d.scalar(node), ScalarRef::Num(*expected.as_number().unwrap()));
+        }
+    }
+
+    #[test]
+    fn fingerprints_match_for_homogeneous_instances() {
+        let (b1, _) = doc_of(r#"{"name":"a","price":1}"#);
+        let (b2, _) = doc_of(r#"{"name":"b","price":2}"#);
+        let (b3, _) = doc_of(r#"{"name":"c","cost":2}"#);
+        let d1 = OsonDoc::new(&b1).unwrap();
+        let d2 = OsonDoc::new(&b2).unwrap();
+        let d3 = OsonDoc::new(&b3).unwrap();
+        assert_eq!(d1.dict_fingerprint(), d2.dict_fingerprint());
+        assert_ne!(d1.dict_fingerprint(), d3.dict_fingerprint());
+    }
+
+    #[test]
+    fn object_entry_names() {
+        let (bytes, _) = doc_of(r#"{"b":1,"a":2}"#);
+        let d = OsonDoc::new(&bytes).unwrap();
+        let mut names: Vec<&str> =
+            (0..2).map(|i| d.object_entry(d.root(), i).0).collect();
+        names.sort_unstable();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_corrupt_buffers() {
+        assert!(OsonDoc::new(b"").is_err());
+        assert!(OsonDoc::new(b"NOPE\x01\x00").is_err());
+        let (mut bytes, _) = doc_of(r#"{"a":1}"#);
+        bytes.truncate(bytes.len() - 1);
+        assert!(OsonDoc::new(&bytes).is_err());
+        let (mut bytes2, _) = doc_of(r#"{"a":1}"#);
+        bytes2[4] = 99; // version
+        assert!(OsonDoc::new(&bytes2).is_err());
+    }
+
+    #[test]
+    fn numbers_preserve_decimal_exactness() {
+        let (bytes, _) = doc_of(r#"{"d":350.86}"#);
+        let d = OsonDoc::new(&bytes).unwrap();
+        let n = d.get_field(d.root(), "d", field_hash("d")).unwrap();
+        match d.scalar(n) {
+            ScalarRef::Num(JsonNumber::Dec(x)) => {
+                assert_eq!(x.to_decimal_string(), "350.86")
+            }
+            other => panic!("expected exact decimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_survive() {
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        let bytes = encode(&v).unwrap();
+        let back = crate::decode(&bytes).unwrap();
+        let o = back.as_object().unwrap();
+        assert_eq!(o.len(), 2);
+    }
+}

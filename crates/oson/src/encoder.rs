@@ -1,0 +1,362 @@
+//! OSON encoder: [`JsonValue`] → three-segment binary instance.
+//!
+//! The encoder makes two passes at most: it first serializes with wide
+//! (4-byte) offsets, and if every segment fits comfortably in 16 bits it
+//! re-serializes in the compact 2-byte-offset mode. Small documents —
+//! the common case in the paper's customer collections — therefore pay
+//! only two bytes per node reference.
+
+use std::collections::HashMap;
+
+use fsdm_json::{field_hash, JsonValue};
+
+use crate::wire::{
+    write_varint, NodeTag, FLAG_WIDE_FIELD_IDS, FLAG_WIDE_OFFSETS, MAGIC, VERSION,
+};
+use crate::{OsonError, Result};
+
+/// How JSON numbers are encoded in the leaf-scalar-value segment (§4.2.3:
+/// "By default, OSON uses the Oracle binary number format … JSON numbers
+/// can also be encoded using IEEE double-precision format").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumberMode {
+    /// Oracle NUMBER encoding — exact decimals, SQL-native (default).
+    #[default]
+    OraNum,
+    /// IEEE 754 double precision (8 bytes, lossy for decimals).
+    Double,
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EncoderOptions {
+    /// Scalar number representation.
+    pub number_mode: NumberMode,
+}
+
+/// Encode with default options.
+pub fn encode(v: &JsonValue) -> Result<Vec<u8>> {
+    encode_with(v, EncoderOptions::default())
+}
+
+/// Encode with explicit options.
+pub fn encode_with(v: &JsonValue, opts: EncoderOptions) -> Result<Vec<u8>> {
+    let dict = Dictionary::build(v)?;
+    // Pass 1: wide mode.
+    let wide = Layout { wide_offsets: true, wide_ids: dict.names.len() > 256 };
+    let (tree_w, values_w, root_w) = write_segments(v, &dict, wide, opts)?;
+    let names_len = dict.names_blob.len();
+    let fits_small = dict.names.len() <= 255
+        && names_len < 0xFFF0
+        && tree_w.len() < 0xFFF0
+        && values_w.len() < 0xFFF0;
+    let (layout, tree, values, root) = if fits_small {
+        let small = Layout { wide_offsets: false, wide_ids: false };
+        let (t, va, r) = write_segments(v, &dict, small, opts)?;
+        (small, t, va, r)
+    } else {
+        (wide, tree_w, values_w, root_w)
+    };
+    Ok(assemble(&dict, layout, &tree, &values, root))
+}
+
+/// Offset/id width configuration for one encode.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    wide_offsets: bool,
+    wide_ids: bool,
+}
+
+impl Layout {
+    fn off_w(&self) -> usize {
+        if self.wide_offsets {
+            4
+        } else {
+            2
+        }
+    }
+
+    fn push_off(&self, buf: &mut Vec<u8>, v: u32) {
+        if self.wide_offsets {
+            buf.extend_from_slice(&v.to_le_bytes());
+        } else {
+            debug_assert!(v <= u16::MAX as u32);
+            buf.extend_from_slice(&(v as u16).to_le_bytes());
+        }
+    }
+
+    fn push_id(&self, buf: &mut Vec<u8>, v: u32) {
+        if self.wide_ids {
+            buf.extend_from_slice(&(v as u16).to_le_bytes());
+        } else {
+            debug_assert!(v <= u8::MAX as u32);
+            buf.push(v as u8);
+        }
+    }
+}
+
+/// The field-id-name dictionary under construction: distinct names, their
+/// hashes, sorted by hash (ties broken by name for determinism); the
+/// ordinal after sorting is the field id.
+struct Dictionary {
+    /// (hash, name) sorted by (hash, name).
+    names: Vec<(u32, String)>,
+    /// name → field id.
+    ids: HashMap<String, u32>,
+    /// concatenated UTF-8 names.
+    names_blob: Vec<u8>,
+    /// (offset, len) of each name within `names_blob`, parallel to `names`.
+    name_spans: Vec<(u32, u16)>,
+}
+
+impl Dictionary {
+    fn build(root: &JsonValue) -> Result<Self> {
+        let mut set: HashMap<String, u32> = HashMap::new();
+        collect_names(root, &mut set)?;
+        let mut names: Vec<(u32, String)> =
+            set.into_iter().map(|(n, h)| (h, n)).collect();
+        names.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        if names.len() > u16::MAX as usize {
+            return Err(OsonError::new("too many distinct field names (max 65535)"));
+        }
+        let mut ids = HashMap::with_capacity(names.len());
+        let mut names_blob = Vec::new();
+        let mut name_spans = Vec::with_capacity(names.len());
+        for (id, (_, name)) in names.iter().enumerate() {
+            ids.insert(name.clone(), id as u32);
+            let off = names_blob.len() as u32;
+            names_blob.extend_from_slice(name.as_bytes());
+            name_spans.push((off, name.len() as u16));
+        }
+        Ok(Dictionary { names, ids, names_blob, name_spans })
+    }
+}
+
+fn collect_names(v: &JsonValue, set: &mut HashMap<String, u32>) -> Result<()> {
+    match v {
+        JsonValue::Object(o) => {
+            for (k, c) in o.iter() {
+                if k.len() > u16::MAX as usize {
+                    return Err(OsonError::new("field name longer than 65535 bytes"));
+                }
+                set.entry(k.to_string()).or_insert_with(|| field_hash(k));
+                collect_names(c, set)?;
+            }
+        }
+        JsonValue::Array(a) => {
+            for c in a {
+                collect_names(c, set)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Post-order serialization of the tree and value segments. Children are
+/// written before their parent so the parent can embed their offsets.
+fn write_segments(
+    root: &JsonValue,
+    dict: &Dictionary,
+    layout: Layout,
+    opts: EncoderOptions,
+) -> Result<(Vec<u8>, Vec<u8>, u32)> {
+    let mut tree = Vec::with_capacity(256);
+    let mut values = Vec::with_capacity(256);
+    let root_off = write_node(root, dict, layout, opts, &mut tree, &mut values)?;
+    Ok((tree, values, root_off))
+}
+
+fn write_node(
+    v: &JsonValue,
+    dict: &Dictionary,
+    layout: Layout,
+    opts: EncoderOptions,
+    tree: &mut Vec<u8>,
+    values: &mut Vec<u8>,
+) -> Result<u32> {
+    match v {
+        JsonValue::Null => {
+            let off = tree.len() as u32;
+            tree.push(NodeTag::Null as u8);
+            Ok(off)
+        }
+        JsonValue::Bool(b) => {
+            let off = tree.len() as u32;
+            tree.push(if *b { NodeTag::True as u8 } else { NodeTag::False as u8 });
+            Ok(off)
+        }
+        JsonValue::String(s) => {
+            let voff = values.len() as u32;
+            write_varint(values, s.len() as u64);
+            values.extend_from_slice(s.as_bytes());
+            let off = tree.len() as u32;
+            tree.push(NodeTag::Str as u8);
+            layout.push_off(tree, voff);
+            Ok(off)
+        }
+        JsonValue::Number(n) => {
+            // numbers are inlined in the tree node (no value-segment
+            // indirection): a scalar read is one jump, and number-dense
+            // documents become tree-segment-dominated, matching Table 11's
+            // SensorData profile
+            let off = tree.len() as u32;
+            match opts.number_mode {
+                NumberMode::OraNum => match n.to_oranum() {
+                    Some(d) => {
+                        let b = d.as_bytes();
+                        tree.push(NodeTag::NumOra as u8);
+                        tree.push(b.len() as u8);
+                        tree.extend_from_slice(b);
+                    }
+                    // out of NUMBER range: fall back to double
+                    None => {
+                        tree.push(NodeTag::NumDouble as u8);
+                        tree.extend_from_slice(&n.to_f64().to_le_bytes());
+                    }
+                },
+                NumberMode::Double => {
+                    tree.push(NodeTag::NumDouble as u8);
+                    tree.extend_from_slice(&n.to_f64().to_le_bytes());
+                }
+            }
+            Ok(off)
+        }
+        JsonValue::Array(a) => {
+            let mut kid_offs = Vec::with_capacity(a.len());
+            for c in a {
+                kid_offs.push(write_node(c, dict, layout, opts, tree, values)?);
+            }
+            let off = tree.len() as u32;
+            tree.push(NodeTag::Array as u8);
+            write_varint(tree, a.len() as u64);
+            for k in kid_offs {
+                layout.push_off(tree, k);
+            }
+            Ok(off)
+        }
+        JsonValue::Object(o) => {
+            let mut kids: Vec<(u32, u32)> = Vec::with_capacity(o.len());
+            for (k, c) in o.iter() {
+                let id = *dict.ids.get(k).expect("name collected");
+                let coff = write_node(c, dict, layout, opts, tree, values)?;
+                kids.push((id, coff));
+            }
+            // sorted by field id to enable binary search in the reader —
+            // stable so duplicate keys keep document order among themselves
+            kids.sort_by_key(|(id, _)| *id);
+            let off = tree.len() as u32;
+            tree.push(NodeTag::Object as u8);
+            write_varint(tree, kids.len() as u64);
+            for (id, _) in &kids {
+                layout.push_id(tree, *id);
+            }
+            for (_, coff) in &kids {
+                layout.push_off(tree, *coff);
+            }
+            Ok(off)
+        }
+    }
+}
+
+/// Glue header + dictionary + tree + values into the final buffer.
+fn assemble(
+    dict: &Dictionary,
+    layout: Layout,
+    tree: &[u8],
+    values: &[u8],
+    root: u32,
+) -> Vec<u8> {
+    let w = layout.off_w();
+    let nlen_w = if layout.wide_offsets { 2 } else { 1 }; // name_len width
+    let entry = 4 + w + nlen_w;
+    let cap = 8 + 4 * w + dict.names.len() * entry + dict.names_blob.len()
+        + tree.len()
+        + values.len();
+    let mut out = Vec::with_capacity(cap);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    let mut flags = 0u8;
+    if layout.wide_offsets {
+        flags |= FLAG_WIDE_OFFSETS;
+    }
+    if layout.wide_ids {
+        flags |= FLAG_WIDE_FIELD_IDS;
+    }
+    out.push(flags);
+    out.extend_from_slice(&(dict.names.len() as u16).to_le_bytes());
+    layout.push_off(&mut out, root);
+    layout.push_off(&mut out, dict.names_blob.len() as u32);
+    layout.push_off(&mut out, tree.len() as u32);
+    layout.push_off(&mut out, values.len() as u32);
+    for (i, (hash, _)) in dict.names.iter().enumerate() {
+        out.extend_from_slice(&hash.to_le_bytes());
+        let (noff, nlen) = dict.name_spans[i];
+        layout.push_off(&mut out, noff);
+        if layout.wide_offsets {
+            out.extend_from_slice(&nlen.to_le_bytes());
+        } else {
+            out.push(nlen as u8);
+        }
+    }
+    out.extend_from_slice(&dict.names_blob);
+    out.extend_from_slice(tree);
+    out.extend_from_slice(values);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdm_json::parse;
+
+    #[test]
+    fn header_magic_and_version() {
+        let b = encode(&parse(r#"{"a":1}"#).unwrap()).unwrap();
+        assert_eq!(&b[0..4], b"OSON");
+        assert_eq!(b[4], VERSION);
+        assert_eq!(b[5] & FLAG_WIDE_OFFSETS, 0, "small doc uses narrow offsets");
+    }
+
+    #[test]
+    fn field_names_stored_once() {
+        // 100 objects with the same two field names: the names appear once
+        let doc = format!(
+            "[{}]",
+            (0..100).map(|i| format!(r#"{{"name":"x","price":{i}}}"#)).collect::<Vec<_>>().join(",")
+        );
+        let v = parse(&doc).unwrap();
+        let b = encode(&v).unwrap();
+        let hay = b.windows(4).filter(|w| w == b"name").count();
+        assert_eq!(hay, 1, "repeated field name must be deduplicated");
+    }
+
+    #[test]
+    fn scalars_only_document() {
+        for t in ["null", "true", "false", "42", "\"s\"", "3.5"] {
+            let v = parse(t).unwrap();
+            assert!(encode(&v).is_ok(), "scalar root {t}");
+        }
+    }
+
+    #[test]
+    fn double_mode_uses_eight_byte_values() {
+        let v = parse(r#"{"n":1.5}"#).unwrap();
+        let ora = encode(&v).unwrap();
+        let dbl =
+            encode_with(&v, EncoderOptions { number_mode: NumberMode::Double }).unwrap();
+        // value segment: OraNum for 1.5 is len-prefixed 3 bytes (4 total);
+        // the double is always 8
+        assert!(dbl.len() >= ora.len());
+    }
+
+    #[test]
+    fn large_document_switches_to_wide_offsets() {
+        let big: String = format!(
+            r#"{{"k":"{}"}}"#,
+            "x".repeat(70_000)
+        );
+        let b = encode(&parse(&big).unwrap()).unwrap();
+        assert_ne!(b[5] & FLAG_WIDE_OFFSETS, 0);
+    }
+}

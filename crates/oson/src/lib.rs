@@ -1,0 +1,73 @@
+//! `fsdm-oson`: the OSON binary JSON format (§4 of the paper).
+//!
+//! OSON is a **self-contained**, compact binary encoding of a JSON
+//! document designed for rapid SQL/JSON path navigation without a central
+//! schema. An encoded instance has three segments (§4.2):
+//!
+//! 1. **Field-id-name dictionary segment** — every distinct field name is
+//!    stored once; names are hashed, the (hash, name) entries are sorted
+//!    by hash, and the *ordinal position* of an entry is that name's field
+//!    id. Repeated names in nested arrays of objects cost nothing beyond
+//!    their id references.
+//! 2. **Tree-node navigation segment** — the structural skeleton. Nodes
+//!    are addressed by byte offset. An object node stores its children's
+//!    field ids in **sorted order** next to their offsets, so child lookup
+//!    is a binary search over small integers. An array node stores child
+//!    offsets positionally, so the N-th element is one indexed read.
+//! 3. **Leaf-scalar-value segment** — concatenated scalar bytes. Numbers
+//!    use the Oracle NUMBER encoding ([`fsdm_json::OraNum`]) by default so
+//!    values cross into SQL without conversion (design criterion 3), with
+//!    an IEEE-double alternative.
+//!
+//! [`OsonDoc`] implements [`fsdm_json::JsonDom`] *directly over the
+//! serialized bytes* — the "DOM read operations against the serialized
+//! instance" of §5.1 — including instance field-id resolution and the
+//! dictionary fingerprint that powers the cross-document look-back cache
+//! of §4.2.1. Partial updates of existing leaf scalar values are supported
+//! in place (§4.2.3's stated update trade-off).
+
+pub mod doc;
+pub mod encoder;
+pub mod set;
+pub mod stats;
+pub mod update;
+mod wire;
+
+pub use doc::OsonDoc;
+pub use set::{OsonSet, OsonSetBuilder, SetDictionary, SetDoc};
+pub use encoder::{encode, encode_with, EncoderOptions, NumberMode};
+pub use stats::SegmentStats;
+pub use update::{update_scalar, UpdateOutcome};
+
+use std::fmt;
+
+/// Errors produced by the OSON codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OsonError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl OsonError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        OsonError { message: message.into() }
+    }
+}
+
+impl fmt::Display for OsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for OsonError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, OsonError>;
+
+/// Decode an OSON buffer back into the JSON value model.
+pub fn decode(bytes: &[u8]) -> Result<fsdm_json::JsonValue> {
+    use fsdm_json::JsonDom;
+    let doc = OsonDoc::new(bytes)?;
+    Ok(doc.materialize(doc.root()))
+}

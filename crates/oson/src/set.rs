@@ -1,0 +1,528 @@
+//! OSON **set encoding** — the paper's §7 future-work direction,
+//! implemented: "the common field-id-name dictionary segments can be
+//! extracted from each OSON instance and merged into a single dictionary
+//! in the in-memory store. This would reduce memory consumption and
+//! improve query performance because field name to id mapping can be done
+//! once for the entire in-memory store."
+//!
+//! Unlike Dremel's columnar encoding, the set encoding keeps every
+//! instance's own tree — so fully **heterogeneous** collections are fine:
+//! a field may be a string in one document, a number in the next, an
+//! object or array in a third (§7's explicit requirement). Only the
+//! name→id mapping is hoisted out and shared.
+//!
+//! Per the paper's closing vision: the on-disk format stays the
+//! self-contained instance encoding (`fsdm_oson::encode`); this module is
+//! the non-self-contained, query-friendly **in-memory** companion.
+
+use std::collections::HashMap;
+
+use fsdm_json::{
+    field_hash, FieldId, JsonDom, JsonNumber, JsonValue, NodeKind, NodeRef, OraNum, ScalarRef,
+};
+
+use crate::wire::{read_varint, write_varint, NodeTag};
+use crate::{OsonError, Result};
+
+/// The shared field-id-name dictionary of a set.
+#[derive(Debug, Default)]
+pub struct SetDictionary {
+    /// (hash, name) sorted by (hash, name); ordinal = field id.
+    entries: Vec<(u32, String)>,
+    ids: HashMap<String, u32>,
+}
+
+impl SetDictionary {
+    /// Number of distinct field names across the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no names are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Name of a field id.
+    pub fn name(&self, id: FieldId) -> &str {
+        &self.entries[id as usize].1
+    }
+
+    /// Resolve a name (binary search by hash, then name compare).
+    pub fn lookup(&self, name: &str, hash: u32) -> Option<FieldId> {
+        let mut lo = 0usize;
+        let mut hi = self.entries.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.entries[mid].0 < hash {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        while lo < self.entries.len() && self.entries[lo].0 == hash {
+            if self.entries[lo].1 == name {
+                return Some(lo as u32);
+            }
+            lo += 1;
+        }
+        None
+    }
+
+    /// Bytes used by the dictionary.
+    pub fn heap_size(&self) -> usize {
+        self.entries.iter().map(|(_, n)| n.len() + 8).sum::<usize>()
+    }
+}
+
+/// Builder: collect documents, then finalize into an [`OsonSet`].
+#[derive(Default)]
+pub struct OsonSetBuilder {
+    docs: Vec<JsonValue>,
+    names: HashMap<String, u32>,
+}
+
+impl OsonSetBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one document to the set.
+    pub fn add(&mut self, doc: JsonValue) {
+        collect_names(&doc, &mut self.names);
+        self.docs.push(doc);
+    }
+
+    /// Number of documents added.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents were added.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Assign global field ids and encode every instance against the
+    /// shared dictionary.
+    pub fn finalize(self) -> Result<OsonSet> {
+        let mut entries: Vec<(u32, String)> =
+            self.names.into_iter().map(|(n, h)| (h, n)).collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        if entries.len() > u32::MAX as usize / 2 {
+            return Err(OsonError::new("set dictionary too large"));
+        }
+        let mut ids = HashMap::with_capacity(entries.len());
+        for (i, (_, n)) in entries.iter().enumerate() {
+            ids.insert(n.clone(), i as u32);
+        }
+        let dict = SetDictionary { entries, ids };
+        let mut instances = Vec::with_capacity(self.docs.len());
+        for d in &self.docs {
+            instances.push(encode_instance(d, &dict)?);
+        }
+        Ok(OsonSet { dict, instances })
+    }
+}
+
+fn collect_names(v: &JsonValue, out: &mut HashMap<String, u32>) {
+    match v {
+        JsonValue::Object(o) => {
+            for (k, c) in o.iter() {
+                out.entry(k.to_string()).or_insert_with(|| field_hash(k));
+                collect_names(c, out);
+            }
+        }
+        JsonValue::Array(a) => {
+            for c in a {
+                collect_names(c, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One set-encoded instance: tree + values only (no dictionary — that is
+/// the whole point). Offsets are 4-byte, field ids LEB128 varints against
+/// the shared dictionary.
+struct SetInstance {
+    tree: Vec<u8>,
+    values: Vec<u8>,
+    root: u32,
+}
+
+/// A set-encoded in-memory collection.
+pub struct OsonSet {
+    dict: SetDictionary,
+    instances: Vec<SetInstance>,
+}
+
+impl OsonSet {
+    /// The shared dictionary.
+    pub fn dictionary(&self) -> &SetDictionary {
+        &self.dict
+    }
+
+    /// Number of documents in the set.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the set holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// A [`JsonDom`] view over one document.
+    pub fn doc(&self, i: usize) -> SetDoc<'_> {
+        SetDoc { set: self, inst: &self.instances[i] }
+    }
+
+    /// Total heap bytes: shared dictionary once + per-instance tree/value
+    /// segments. Compare against the sum of self-contained instance
+    /// encodings to see §7's memory saving.
+    pub fn heap_size(&self) -> usize {
+        self.dict.heap_size()
+            + self
+                .instances
+                .iter()
+                .map(|i| i.tree.len() + i.values.len())
+                .sum::<usize>()
+    }
+}
+
+fn encode_instance(doc: &JsonValue, dict: &SetDictionary) -> Result<SetInstance> {
+    let mut tree = Vec::with_capacity(128);
+    let mut values = Vec::with_capacity(128);
+    let root = write_node(doc, dict, &mut tree, &mut values)?;
+    Ok(SetInstance { tree, values, root })
+}
+
+fn write_node(
+    v: &JsonValue,
+    dict: &SetDictionary,
+    tree: &mut Vec<u8>,
+    values: &mut Vec<u8>,
+) -> Result<u32> {
+    Ok(match v {
+        JsonValue::Null => {
+            let off = tree.len() as u32;
+            tree.push(NodeTag::Null as u8);
+            off
+        }
+        JsonValue::Bool(b) => {
+            let off = tree.len() as u32;
+            tree.push(if *b { NodeTag::True as u8 } else { NodeTag::False as u8 });
+            off
+        }
+        JsonValue::String(s) => {
+            let voff = values.len() as u32;
+            write_varint(values, s.len() as u64);
+            values.extend_from_slice(s.as_bytes());
+            let off = tree.len() as u32;
+            tree.push(NodeTag::Str as u8);
+            tree.extend_from_slice(&voff.to_le_bytes());
+            off
+        }
+        JsonValue::Number(n) => {
+            let off = tree.len() as u32;
+            match n.to_oranum() {
+                Some(d) => {
+                    let b = d.as_bytes();
+                    tree.push(NodeTag::NumOra as u8);
+                    tree.push(b.len() as u8);
+                    tree.extend_from_slice(b);
+                }
+                None => {
+                    tree.push(NodeTag::NumDouble as u8);
+                    tree.extend_from_slice(&n.to_f64().to_le_bytes());
+                }
+            }
+            off
+        }
+        JsonValue::Array(a) => {
+            let kids: Vec<u32> = a
+                .iter()
+                .map(|c| write_node(c, dict, tree, values))
+                .collect::<Result<_>>()?;
+            let off = tree.len() as u32;
+            tree.push(NodeTag::Array as u8);
+            write_varint(tree, kids.len() as u64);
+            for k in kids {
+                tree.extend_from_slice(&k.to_le_bytes());
+            }
+            off
+        }
+        JsonValue::Object(o) => {
+            let mut kids: Vec<(u32, u32)> = Vec::with_capacity(o.len());
+            for (k, c) in o.iter() {
+                let id = *dict
+                    .ids
+                    .get(k)
+                    .ok_or_else(|| OsonError::new(format!("name {k:?} not in set dictionary")))?;
+                let coff = write_node(c, dict, tree, values)?;
+                kids.push((id, coff));
+            }
+            kids.sort_by_key(|(id, _)| *id);
+            let off = tree.len() as u32;
+            tree.push(NodeTag::Object as u8);
+            write_varint(tree, kids.len() as u64);
+            // ids fixed-width u32 to keep binary search trivial (this is an
+            // in-memory format; compactness is secondary to scan speed)
+            for (id, _) in &kids {
+                tree.extend_from_slice(&id.to_le_bytes());
+            }
+            for (_, coff) in &kids {
+                tree.extend_from_slice(&coff.to_le_bytes());
+            }
+            off
+        }
+    })
+}
+
+/// [`JsonDom`] over one set-encoded instance. Field resolution goes
+/// through the **shared** dictionary, so the engine's look-back cache
+/// validates trivially for every document of the set — the "field name to
+/// id mapping done once for the entire in-memory store" of §7.
+pub struct SetDoc<'a> {
+    set: &'a OsonSet,
+    inst: &'a SetInstance,
+}
+
+impl SetDoc<'_> {
+    fn u32_at(&self, pos: usize) -> u32 {
+        u32::from_le_bytes(self.inst.tree[pos..pos + 4].try_into().unwrap())
+    }
+
+    fn header(&self, node: NodeRef) -> (NodeTag, usize) {
+        let p = node as usize;
+        (NodeTag::from_byte(self.inst.tree[p]).expect("tag"), p + 1)
+    }
+
+    fn container(&self, node: NodeRef) -> (NodeTag, usize, usize) {
+        let (tag, p) = self.header(node);
+        let (count, n) = read_varint(&self.inst.tree, p).expect("count");
+        (tag, count as usize, p + n)
+    }
+}
+
+impl JsonDom for SetDoc<'_> {
+    fn root(&self) -> NodeRef {
+        self.inst.root as NodeRef
+    }
+
+    fn kind(&self, node: NodeRef) -> NodeKind {
+        match self.header(node).0 {
+            NodeTag::Object => NodeKind::Object,
+            NodeTag::Array => NodeKind::Array,
+            _ => NodeKind::Scalar,
+        }
+    }
+
+    fn object_len(&self, node: NodeRef) -> usize {
+        self.container(node).1
+    }
+
+    fn object_entry(&self, node: NodeRef, i: usize) -> (&str, NodeRef) {
+        let (_, count, base) = self.container(node);
+        let id = self.u32_at(base + i * 4);
+        let child = self.u32_at(base + count * 4 + i * 4);
+        (self.set.dict.name(id), child as NodeRef)
+    }
+
+    fn array_len(&self, node: NodeRef) -> usize {
+        self.container(node).1
+    }
+
+    fn array_element(&self, node: NodeRef, i: usize) -> NodeRef {
+        let (_, _, base) = self.container(node);
+        self.u32_at(base + i * 4) as NodeRef
+    }
+
+    fn scalar(&self, node: NodeRef) -> ScalarRef<'_> {
+        let (tag, p) = self.header(node);
+        match tag {
+            NodeTag::Null => ScalarRef::Null,
+            NodeTag::True => ScalarRef::Bool(true),
+            NodeTag::False => ScalarRef::Bool(false),
+            NodeTag::NumOra => {
+                let len = self.inst.tree[p] as usize;
+                let d = OraNum::from_bytes(&self.inst.tree[p + 1..p + 1 + len])
+                    .expect("valid number");
+                ScalarRef::Num(match d.to_i64() {
+                    Some(i) => JsonNumber::Int(i),
+                    None => JsonNumber::Dec(d),
+                })
+            }
+            NodeTag::NumDouble => {
+                let v = f64::from_le_bytes(self.inst.tree[p..p + 8].try_into().unwrap());
+                ScalarRef::Num(JsonNumber::from(v))
+            }
+            NodeTag::Str => {
+                let voff = self.u32_at(p) as usize;
+                let (len, n) = read_varint(&self.inst.values, voff).expect("len");
+                let start = voff + n;
+                ScalarRef::Str(
+                    std::str::from_utf8(&self.inst.values[start..start + len as usize])
+                        .unwrap_or(""),
+                )
+            }
+            NodeTag::Object | NodeTag::Array => panic!("scalar() on container"),
+        }
+    }
+
+    fn get_field(&self, node: NodeRef, name: &str, hash: u32) -> Option<NodeRef> {
+        let id = self.set.dict.lookup(name, hash)?;
+        self.get_field_by_id(node, id)
+    }
+
+    fn field_id(&self, name: &str, hash: u32) -> Option<FieldId> {
+        self.set.dict.lookup(name, hash)
+    }
+
+    fn has_field_ids(&self) -> bool {
+        true
+    }
+
+    /// Ids are global to the set: a cached id is valid for *every*
+    /// instance — resolution happens once for the whole store (§7).
+    fn verify_field_id(&self, id: FieldId, name: &str, hash: u32) -> bool {
+        (id as usize) < self.set.dict.len() && {
+            let (h, n) = &self.set.dict.entries[id as usize];
+            *h == hash && n == name
+        }
+    }
+
+    fn get_field_by_id(&self, node: NodeRef, id: FieldId) -> Option<NodeRef> {
+        let (tag, count, base) = self.container(node);
+        if tag != NodeTag::Object {
+            return None;
+        }
+        let mut lo = 0usize;
+        let mut hi = count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.u32_at(base + mid * 4) < id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < count && self.u32_at(base + lo * 4) == id {
+            Some(self.u32_at(base + count * 4 + lo * 4) as NodeRef)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdm_json::parse;
+
+    fn build(texts: &[&str]) -> OsonSet {
+        let mut b = OsonSetBuilder::new();
+        for t in texts {
+            b.add(parse(t).unwrap());
+        }
+        b.finalize().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_per_document() {
+        let texts = [
+            r#"{"name":"a","price":1.5,"tags":["x","y"]}"#,
+            r#"{"name":"b","price":2,"nested":{"deep":[true,null]}}"#,
+            r#"{"other":42}"#,
+        ];
+        let set = build(&texts);
+        assert_eq!(set.len(), 3);
+        for (i, t) in texts.iter().enumerate() {
+            let doc = set.doc(i);
+            let back = doc.materialize(doc.root());
+            assert!(back.eq_unordered(&parse(t).unwrap()), "doc {i}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_types_per_field_are_fine() {
+        // §7: "field 'name' is a string … an integer … a nested object …
+        // an array" — the per-instance trees make this trivial
+        let set = build(&[
+            r#"{"name":"s"}"#,
+            r#"{"name":7}"#,
+            r#"{"name":{"inner":1}}"#,
+            r#"{"name":[1,2]}"#,
+        ]);
+        use fsdm_json::NodeKind::*;
+        let kinds: Vec<_> = (0..4)
+            .map(|i| {
+                let d = set.doc(i);
+                let n = d.get_field(d.root(), "name", field_hash("name")).unwrap();
+                d.kind(n)
+            })
+            .collect();
+        assert_eq!(kinds, vec![Scalar, Scalar, Object, Array]);
+    }
+
+    #[test]
+    fn shared_dictionary_saves_memory_on_homogeneous_sets() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let docs: Vec<JsonValue> = (0..200)
+            .map(|i| {
+                fsdm_workloads_like_doc(&mut rng, i) // local helper below
+            })
+            .collect();
+        let individual: usize =
+            docs.iter().map(|d| crate::encode(d).unwrap().len()).sum();
+        let mut b = OsonSetBuilder::new();
+        for d in docs {
+            b.add(d);
+        }
+        let set = b.finalize().unwrap();
+        let shared = set.heap_size();
+        assert!(
+            (shared as f64) < individual as f64 * 0.85,
+            "set {shared} vs individual {individual}"
+        );
+    }
+
+    /// NOBENCH-ish doc without depending on fsdm-workloads (cycle).
+    fn fsdm_workloads_like_doc(rng: &mut rand::rngs::StdRng, i: usize) -> JsonValue {
+        use rand::Rng;
+        let text = format!(
+            r#"{{"customer_reference":"c{}","shipping_priority":{},"order_total_amount":{}.{:02},
+                "warehouse_location":"w{}","delivery_instructions":"leave at door {}"}}"#,
+            i,
+            rng.gen_range(0..5),
+            rng.gen_range(1..999),
+            rng.gen_range(0..99),
+            rng.gen_range(0..50),
+            i
+        );
+        parse(&text).unwrap()
+    }
+
+    #[test]
+    fn lookback_always_hits_across_the_set() {
+        // the engine's verify step: resolve once, reuse on every doc
+        let set = build(&[r#"{"a":1,"b":2}"#, r#"{"a":3}"#, r#"{"b":4,"a":5}"#]);
+        let h = field_hash("a");
+        let id = set.doc(0).field_id("a", h).unwrap();
+        for i in 0..set.len() {
+            assert!(set.doc(i).verify_field_id(id, "a", h), "doc {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_unknown_names() {
+        let set = build(&[r#"{}"#]);
+        let d = set.doc(0);
+        assert_eq!(d.object_len(d.root()), 0);
+        assert!(d.get_field(d.root(), "zz", field_hash("zz")).is_none());
+        assert!(set.dictionary().is_empty());
+    }
+}

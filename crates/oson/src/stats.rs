@@ -1,0 +1,116 @@
+//! Per-segment size statistics (reproduces Table 11's measurement).
+
+use crate::doc::OsonDoc;
+use crate::wire::{FLAG_WIDE_OFFSETS, MAGIC};
+use crate::{OsonError, Result};
+
+/// Byte sizes of the three OSON segments (plus fixed header) for one
+/// encoded instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Header bytes (magic, flags, segment directory).
+    pub header: usize,
+    /// Field-id-name dictionary segment (hash-id array + names blob).
+    pub dictionary: usize,
+    /// Tree-node navigation segment.
+    pub tree: usize,
+    /// Leaf-scalar-value segment.
+    pub values: usize,
+}
+
+impl SegmentStats {
+    /// Measure an encoded OSON buffer.
+    pub fn of(bytes: &[u8]) -> Result<SegmentStats> {
+        if bytes.len() < 8 || bytes[0..4] != MAGIC {
+            return Err(OsonError::new("bad magic"));
+        }
+        // validate framing via the doc reader, then derive region sizes
+        let _doc = OsonDoc::new(bytes)?;
+        let wide = bytes[5] & FLAG_WIDE_OFFSETS != 0;
+        let w = if wide { 4usize } else { 2 };
+        let nlen_w = if wide { 2usize } else { 1 };
+        let nfields = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
+        let rd = |pos: usize| -> usize {
+            if wide {
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize
+            } else {
+                u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap()) as usize
+            }
+        };
+        let header = 8 + 4 * w;
+        let names_len = rd(8 + w);
+        let tree = rd(8 + 2 * w);
+        let values = rd(8 + 3 * w);
+        let dictionary = nfields * (4 + w + nlen_w) + names_len;
+        Ok(SegmentStats { header, dictionary, tree, values })
+    }
+
+    /// Total encoded size.
+    pub fn total(&self) -> usize {
+        self.header + self.dictionary + self.tree + self.values
+    }
+
+    /// Fraction of the total taken by the dictionary segment.
+    pub fn dictionary_ratio(&self) -> f64 {
+        self.dictionary as f64 / self.total() as f64
+    }
+
+    /// Fraction of the total taken by the tree-navigation segment.
+    pub fn tree_ratio(&self) -> f64 {
+        self.tree as f64 / self.total() as f64
+    }
+
+    /// Fraction of the total taken by the leaf-scalar-value segment.
+    pub fn values_ratio(&self) -> f64 {
+        self.values as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode;
+    use fsdm_json::parse;
+
+    #[test]
+    fn stats_sum_to_buffer_size() {
+        let v = parse(r#"{"a":1,"b":[{"c":"x"},{"c":"y"}]}"#).unwrap();
+        let bytes = encode(&v).unwrap();
+        let s = SegmentStats::of(&bytes).unwrap();
+        assert_eq!(s.total(), bytes.len());
+        assert!(s.dictionary > 0 && s.tree > 0 && s.values > 0);
+    }
+
+    #[test]
+    fn ratios_sum_near_one_minus_header() {
+        let v = parse(r#"{"k1":"v1","k2":"v2"}"#).unwrap();
+        let bytes = encode(&v).unwrap();
+        let s = SegmentStats::of(&bytes).unwrap();
+        let sum = s.dictionary_ratio() + s.tree_ratio() + s.values_ratio();
+        assert!((sum + s.header as f64 / s.total() as f64 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repetitive_arrays_shrink_dictionary_share() {
+        // a single object vs. 500 identically-shaped objects: the
+        // dictionary is constant, so its share must collapse — the Table 11
+        // TwitterMsgArchive/SensorData effect
+        let one = parse(r#"[{"fieldname_one":1,"fieldname_two":2}]"#).unwrap();
+        let many_text = format!(
+            "[{}]",
+            (0..500)
+                .map(|i| format!(r#"{{"fieldname_one":{i},"fieldname_two":{i}}}"#))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let many = parse(&many_text).unwrap();
+        let s1 = SegmentStats::of(&encode(&one).unwrap()).unwrap();
+        let s2 = SegmentStats::of(&encode(&many).unwrap()).unwrap();
+        assert!(s2.dictionary_ratio() < s1.dictionary_ratio() / 10.0);
+    }
+
+    #[test]
+    fn rejects_non_oson() {
+        assert!(SegmentStats::of(b"JSON").is_err());
+    }
+}

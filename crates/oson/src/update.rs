@@ -1,0 +1,217 @@
+//! Partial in-place update of leaf scalar values (§4.2.3).
+//!
+//! OSON maximizes path-query efficiency, so "partial update support is
+//! limited to changes of existing leaf scalar values": a new value may be
+//! written over an existing string or number leaf *when its encoding fits
+//! in the existing slot*; otherwise the caller must re-encode the whole
+//! document. Booleans and nulls are encoded in the node header itself and
+//! cannot be patched without altering tree-segment layout, so they also
+//! report [`UpdateOutcome::NeedsReencode`].
+
+use fsdm_json::{JsonDom, JsonValue, NodeRef};
+
+use crate::doc::OsonDoc;
+use crate::wire::NodeTag;
+use crate::{OsonError, Result};
+
+/// Result of attempting a partial update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The new value was written in place.
+    Updated,
+    /// The new value does not fit the existing slot (or the node kind does
+    /// not support patching); the document must be re-encoded.
+    NeedsReencode,
+}
+
+/// Overwrite the scalar leaf at `node` with `new_value`, in place, when the
+/// encodings are compatible and the new bytes fit. `buf` must contain a
+/// valid OSON document (as produced by [`crate::encode`]).
+pub fn update_scalar(
+    buf: &mut [u8],
+    node: NodeRef,
+    new_value: &JsonValue,
+) -> Result<UpdateOutcome> {
+    let doc = OsonDoc::new(buf)?;
+    if doc.kind(node) != fsdm_json::NodeKind::Scalar {
+        return Err(OsonError::new("update target is not a scalar leaf"));
+    }
+    let tag = NodeTag::from_byte(buf[tree_abs(&doc, node)]).expect("valid node");
+    let plan = match (tag, new_value) {
+        (NodeTag::Str, JsonValue::String(s)) => {
+            let (body, old_len) = doc.scalar_value_span(node).expect("string span");
+            if s.len() > old_len {
+                return Ok(UpdateOutcome::NeedsReencode);
+            }
+            // shorter strings are allowed only if the varint length prefix
+            // width is unchanged (one byte covers < 128)
+            if varint_width(s.len()) != varint_width(old_len) {
+                return Ok(UpdateOutcome::NeedsReencode);
+            }
+            Plan::Str { body, new: s.as_bytes().to_vec(), old_len }
+        }
+        (NodeTag::NumOra, JsonValue::Number(n)) => {
+            let d = match n.to_oranum() {
+                Some(d) => d,
+                None => return Ok(UpdateOutcome::NeedsReencode),
+            };
+            let (body, old_len) = doc.scalar_value_span(node).expect("number span");
+            if d.as_bytes().len() > old_len {
+                return Ok(UpdateOutcome::NeedsReencode);
+            }
+            Plan::Num { body, new: d.as_bytes().to_vec(), old_len }
+        }
+        (NodeTag::NumDouble, JsonValue::Number(n)) => {
+            let (body, _) = doc.scalar_value_span(node).expect("double span");
+            Plan::Dbl { body, new: n.to_f64() }
+        }
+        _ => return Ok(UpdateOutcome::NeedsReencode),
+    };
+    match plan {
+        Plan::Str { body, new, old_len } => {
+            // rewrite the one-byte-compatible varint length, body, and pad
+            // the remainder with spaces (kept inside the old slot)
+            let len_pos = body - varint_width(old_len);
+            debug_assert_eq!(varint_width(new.len()), varint_width(old_len));
+            write_varint_exact(&mut buf[len_pos..body], new.len());
+            buf[body..body + new.len()].copy_from_slice(&new);
+            for b in &mut buf[body + new.len()..body + old_len] {
+                *b = b' ';
+            }
+        }
+        Plan::Num { body, new, old_len } => {
+            buf[body - 1] = new.len() as u8;
+            buf[body..body + new.len()].copy_from_slice(&new);
+            // slack bytes after a shorter number are dead; zero them
+            for b in &mut buf[body + new.len()..body + old_len] {
+                *b = 0;
+            }
+        }
+        Plan::Dbl { body, new } => {
+            buf[body..body + 8].copy_from_slice(&new.to_le_bytes());
+        }
+    }
+    Ok(UpdateOutcome::Updated)
+}
+
+enum Plan {
+    Str { body: usize, new: Vec<u8>, old_len: usize },
+    Num { body: usize, new: Vec<u8>, old_len: usize },
+    Dbl { body: usize, new: f64 },
+}
+
+/// Absolute buffer position of the node's header byte.
+fn tree_abs(doc: &OsonDoc<'_>, node: NodeRef) -> usize {
+    doc.tree_abs(node)
+}
+
+fn varint_width(len: usize) -> usize {
+    let mut v = len as u64;
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn write_varint_exact(slot: &mut [u8], mut v: usize) {
+    for i in 0..slot.len() {
+        let last = i == slot.len() - 1;
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        slot[i] = if last { b } else { b | 0x80 };
+    }
+    debug_assert_eq!(v, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode;
+    use fsdm_json::{field_hash, parse, JsonDom};
+
+    fn field_node(bytes: &[u8], name: &str) -> NodeRef {
+        let d = OsonDoc::new(bytes).unwrap();
+        d.get_field(d.root(), name, field_hash(name)).unwrap()
+    }
+
+    #[test]
+    fn update_number_in_place() {
+        let v = parse(r#"{"price":350.86,"name":"ipad"}"#).unwrap();
+        let mut bytes = encode(&v).unwrap();
+        let node = field_node(&bytes, "price");
+        let out = update_scalar(&mut bytes, node, &parse("99.5").unwrap()).unwrap();
+        assert_eq!(out, UpdateOutcome::Updated);
+        let back = crate::decode(&bytes).unwrap();
+        assert_eq!(back.get("price").unwrap().as_f64(), Some(99.5));
+        assert_eq!(back.get("name").unwrap().as_str(), Some("ipad"));
+    }
+
+    #[test]
+    fn update_string_same_or_shorter() {
+        let v = parse(r#"{"s":"hello"}"#).unwrap();
+        let mut bytes = encode(&v).unwrap();
+        let node = field_node(&bytes, "s");
+        assert_eq!(
+            update_scalar(&mut bytes, node, &parse("\"world\"").unwrap()).unwrap(),
+            UpdateOutcome::Updated
+        );
+        assert_eq!(crate::decode(&bytes).unwrap().get("s").unwrap().as_str(), Some("world"));
+        let node = field_node(&bytes, "s");
+        assert_eq!(
+            update_scalar(&mut bytes, node, &parse("\"hi\"").unwrap()).unwrap(),
+            UpdateOutcome::Updated
+        );
+        assert_eq!(crate::decode(&bytes).unwrap().get("s").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn longer_string_needs_reencode() {
+        let v = parse(r#"{"s":"ab"}"#).unwrap();
+        let mut bytes = encode(&v).unwrap();
+        let before = bytes.clone();
+        let node = field_node(&bytes, "s");
+        assert_eq!(
+            update_scalar(&mut bytes, node, &parse("\"abcdef\"").unwrap()).unwrap(),
+            UpdateOutcome::NeedsReencode
+        );
+        assert_eq!(bytes, before, "buffer untouched on refusal");
+    }
+
+    #[test]
+    fn type_change_needs_reencode() {
+        let v = parse(r#"{"s":"ab","n":5}"#).unwrap();
+        let mut bytes = encode(&v).unwrap();
+        let s = field_node(&bytes, "s");
+        assert_eq!(
+            update_scalar(&mut bytes, s, &parse("42").unwrap()).unwrap(),
+            UpdateOutcome::NeedsReencode
+        );
+        let n = field_node(&bytes, "n");
+        assert_eq!(
+            update_scalar(&mut bytes, n, &parse("true").unwrap()).unwrap(),
+            UpdateOutcome::NeedsReencode
+        );
+    }
+
+    #[test]
+    fn container_target_is_an_error() {
+        let v = parse(r#"{"a":[1]}"#).unwrap();
+        let mut bytes = encode(&v).unwrap();
+        let a = field_node(&bytes, "a");
+        assert!(update_scalar(&mut bytes, a, &parse("1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn shorter_number_zero_pads() {
+        let v = parse(r#"{"n":123456789.25}"#).unwrap();
+        let mut bytes = encode(&v).unwrap();
+        let n = field_node(&bytes, "n");
+        assert_eq!(
+            update_scalar(&mut bytes, n, &parse("7").unwrap()).unwrap(),
+            UpdateOutcome::Updated
+        );
+        assert_eq!(crate::decode(&bytes).unwrap().get("n").unwrap().as_i64(), Some(7));
+    }
+}

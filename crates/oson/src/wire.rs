@@ -1,0 +1,134 @@
+//! Wire-level constants and primitives shared by the OSON encoder and
+//! decoder.
+//!
+//! Header layout (all multi-byte integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "OSON"
+//! 4       1     version (1)
+//! 5       1     flags: bit0 = wide offsets (u32, else u16)
+//!                      bit1 = wide field ids (u16, else u8)
+//! 6       2     nfields (number of dictionary entries)
+//! 8       w     root node offset (within tree segment)
+//! 8+w     w     names blob length
+//! 8+2w    w     tree segment length
+//! 8+3w    w     value segment length
+//! ```
+//!
+//! followed by: the hash-id array (`nfields` entries of
+//! `hash:u32, name_off:w, name_len:(1|2)`), the names blob, the tree
+//! segment, and the value segment. `w` is 2 or 4 per flag bit 0.
+
+pub const MAGIC: [u8; 4] = *b"OSON";
+pub const VERSION: u8 = 1;
+
+pub const FLAG_WIDE_OFFSETS: u8 = 0b01;
+pub const FLAG_WIDE_FIELD_IDS: u8 = 0b10;
+
+/// Node-type tags carried in the low 3 bits of each tree-node header byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeTag {
+    Object = 0,
+    Array = 1,
+    Str = 2,
+    NumOra = 3,
+    NumDouble = 4,
+    True = 5,
+    False = 6,
+    Null = 7,
+}
+
+impl NodeTag {
+    pub fn from_byte(b: u8) -> Option<NodeTag> {
+        Some(match b & 0x07 {
+            0 => NodeTag::Object,
+            1 => NodeTag::Array,
+            2 => NodeTag::Str,
+            3 => NodeTag::NumOra,
+            4 => NodeTag::NumDouble,
+            5 => NodeTag::True,
+            6 => NodeTag::False,
+            7 => NodeTag::Null,
+            _ => return None,
+        })
+    }
+}
+
+/// Append a LEB128 varint (used for container child counts, which are
+/// usually < 128 and thus one byte).
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            break;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Read a LEB128 varint; returns (value, bytes consumed).
+pub fn read_varint(buf: &[u8], pos: usize) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    let mut n = 0;
+    loop {
+        let b = *buf.get(pos + n)?;
+        v |= ((b & 0x7F) as u64) << shift;
+        n += 1;
+        if b & 0x80 == 0 {
+            return Some((v, n));
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 255, 300, 65535, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, n) = read_varint(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_counts() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 12);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        assert!(read_varint(&[0x80], 0).is_none());
+        assert!(read_varint(&[], 0).is_none());
+    }
+
+    #[test]
+    fn node_tags_roundtrip() {
+        for t in [
+            NodeTag::Object,
+            NodeTag::Array,
+            NodeTag::Str,
+            NodeTag::NumOra,
+            NodeTag::NumDouble,
+            NodeTag::True,
+            NodeTag::False,
+            NodeTag::Null,
+        ] {
+            assert_eq!(NodeTag::from_byte(t as u8), Some(t));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! SQL tokenizer.
+
+use crate::{Result, SqlError};
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (uppercased for matching; original preserved).
+    Ident(String),
+    /// Quoted identifier (`"Name"`), case preserved.
+    QuotedIdent(String),
+    /// Numeric literal text.
+    Number(String),
+    /// String literal (single-quoted).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Keyword test (case-insensitive on plain identifiers).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let b = sql.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => return Err(SqlError::new("unterminated string literal")),
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // consume one UTF-8 scalar
+                            let rest = &sql[i..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'"' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && b[i] != b'"' {
+                    i += 1;
+                }
+                if i == b.len() {
+                    return Err(SqlError::new("unterminated quoted identifier"));
+                }
+                out.push(Token::QuotedIdent(sql[start..i].to_string()));
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_digit()
+                        || b[i] == b'.'
+                        || b[i] == b'e'
+                        || b[i] == b'E'
+                        || ((b[i] == b'+' || b[i] == b'-')
+                            && matches!(b.get(i - 1), Some(b'e') | Some(b'E'))))
+                {
+                    i += 1;
+                }
+                out.push(Token::Number(sql[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || b[i] == b'$'
+                        || b[i] == b'#')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_string()));
+            }
+            _ => {
+                // peek two bytes only when both are ASCII (multibyte input
+                // must not be sliced mid-character)
+                let two: &str = if i + 1 < b.len() && b[i].is_ascii() && b[i + 1].is_ascii() {
+                    std::str::from_utf8(&b[i..i + 2]).unwrap_or("")
+                } else {
+                    ""
+                };
+                let sym: &'static str = match two {
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "<>" => "<>",
+                    "!=" => "<>",
+                    "||" => "||",
+                    _ => match c {
+                        b'(' => "(",
+                        b')' => ")",
+                        b',' => ",",
+                        b'.' => ".",
+                        b'*' => "*",
+                        b'+' => "+",
+                        b'-' => "-",
+                        b'/' => "/",
+                        b'=' => "=",
+                        b'<' => "<",
+                        b'>' => ">",
+                        b';' => ";",
+                        b'?' => "?",
+                        _ => {
+                            return Err(SqlError::new(format!(
+                                "unexpected character {:?}",
+                                c as char
+                            )))
+                        }
+                    },
+                };
+                i += sym.len();
+                out.push(Token::Sym(sym));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_query() {
+        let toks = tokenize(
+            "SELECT costcenter, count(*) FROM po_mv WHERE x >= 1.5 -- trailing\nGROUP BY costcenter",
+        )
+        .unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("select")));
+        assert!(toks.contains(&Token::Sym(">=")));
+        assert!(toks.contains(&Token::Number("1.5".to_string())));
+        assert!(!toks.iter().any(|t| t.is_kw("trailing")));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".to_string())]);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("\"JCOL$id\"").unwrap();
+        assert_eq!(toks, vec![Token::QuotedIdent("JCOL$id".to_string())]);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let toks = tokenize("a /* b */ c").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT 'open").is_err());
+        assert!(tokenize("a ~ b").is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! The streaming path engine over text parse events (§5.1).
+//!
+//! For *simple* paths — chains of field steps, array index selectors and
+//! array wildcards — SQL/JSON operators on textual JSON are evaluated in
+//! one pass over the event stream without materializing a DOM. Complex
+//! operators (filters, `last`, item methods, JSON_TABLE) "require the
+//! engine to memorize event sequences, in effect partially or completely
+//! negating the benefit of avoiding DOM construction" — those fall back to
+//! parsing the document into a DOM and running the [`crate::engine`]
+//! evaluator, exactly the trade-off the paper describes.
+
+use fsdm_json::{Event, EventParser, JsonError, JsonValue, Object, ValueDom};
+
+use crate::engine::PathEvaluator;
+use crate::path::{ArraySel, IndexExpr, JsonPath, Step};
+
+/// Evaluate a path over JSON text. Uses the streaming engine when the path
+/// is streamable; otherwise parses a DOM and runs the DOM engine.
+pub fn eval_text(text: &str, path: &JsonPath) -> Result<Vec<JsonValue>, JsonError> {
+    if path.is_streamable() {
+        stream_values(text, path)
+    } else {
+        let v = fsdm_json::parse(text)?;
+        let dom = ValueDom::new(&v);
+        let mut ev = PathEvaluator::new(path.clone());
+        Ok(ev.evaluate_values(&dom))
+    }
+}
+
+/// Existence test over JSON text, short-circuiting on the first match when
+/// streaming applies.
+pub fn exists_text(text: &str, path: &JsonPath) -> Result<bool, JsonError> {
+    if path.is_streamable() {
+        stream_exists(text, path)
+    } else {
+        let v = fsdm_json::parse(text)?;
+        let dom = ValueDom::new(&v);
+        let mut ev = PathEvaluator::new(path.clone());
+        Ok(ev.exists(&dom))
+    }
+}
+
+/// Streaming evaluation of a streamable path, materializing every match.
+pub fn stream_values(text: &str, path: &JsonPath) -> Result<Vec<JsonValue>, JsonError> {
+    debug_assert!(path.is_streamable());
+    let mut m = Matcher::new(path, false);
+    m.run(text)?;
+    Ok(m.results)
+}
+
+/// Streaming existence test: stops at the first match.
+pub fn stream_exists(text: &str, path: &JsonPath) -> Result<bool, JsonError> {
+    debug_assert!(path.is_streamable());
+    let mut m = Matcher::new(path, true);
+    m.run(text)?;
+    Ok(m.found)
+}
+
+/// Positions are indices into `path.steps`; a value holding position
+/// `len(steps)` is a match.
+struct Matcher<'p> {
+    steps: &'p [Step],
+    exists_only: bool,
+    results: Vec<JsonValue>,
+    found: bool,
+    /// Stack frame per open container.
+    frames: Vec<Frame>,
+    /// In-flight capture builders (rarely more than one).
+    builders: Vec<Builder>,
+}
+
+struct Frame {
+    /// True for arrays (drives element indexing), false for objects.
+    is_array: bool,
+    /// Positions applicable to values directly inside this container.
+    /// For objects these are filtered per key at each `Key` event.
+    positions: Vec<usize>,
+    /// Positions for the *next* value inside an object (set by `Key`).
+    value_positions: Vec<usize>,
+    /// Next element index (arrays).
+    next_index: usize,
+}
+
+impl<'p> Matcher<'p> {
+    fn new(path: &'p JsonPath, exists_only: bool) -> Self {
+        Matcher {
+            steps: &path.steps,
+            exists_only,
+            results: Vec::new(),
+            found: false,
+            frames: Vec::new(),
+            builders: Vec::new(),
+        }
+    }
+
+    fn run(&mut self, text: &str) -> Result<(), JsonError> {
+        let mut parser = EventParser::new(text);
+        // the root value carries position 0
+        let mut pending: Vec<usize> = vec![0];
+        while let Some(event) = parser.next_event()? {
+            if self.exists_only && self.found {
+                // drain the parser cheaply to validate the document? No —
+                // exists can return immediately; the caller only needed a
+                // verdict on well-formed prefixes.
+                return Ok(());
+            }
+            match event {
+                Event::Key(k) => {
+                    let frame = self.frames.last_mut().expect("key inside object");
+                    let mut next = Vec::new();
+                    for &p in &frame.positions {
+                        if let Some(Step::Field { name, .. }) = self.steps.get(p) {
+                            if name == &k {
+                                next.push(p + 1);
+                            }
+                        }
+                    }
+                    frame.value_positions = next;
+                    for b in &mut self.builders {
+                        b.key(k.clone());
+                    }
+                }
+                Event::StartObject | Event::StartArray => {
+                    let is_array = matches!(event, Event::StartArray);
+                    let positions = self.value_positions(&mut pending, is_array);
+                    // feed the container start to builders already open
+                    // *before* opening a capture rooted at this container
+                    for b in &mut self.builders {
+                        b.start_container(is_array);
+                    }
+                    self.begin_value_captures(&positions, is_array);
+                    // positions that apply to the container's *children*:
+                    let child_positions = if is_array {
+                        let mut cp = Vec::new();
+                        for &p in &positions {
+                            match self.steps.get(p) {
+                                Some(Step::ArrayWildcard) | Some(Step::Array(_)) => cp.push(p),
+                                // lax implicit unwrap: a field step over an
+                                // array applies to its (object) elements
+                                Some(Step::Field { .. }) => cp.push(p),
+                                _ => {}
+                            }
+                        }
+                        cp
+                    } else {
+                        positions.clone()
+                    };
+                    self.frames.push(Frame {
+                        is_array,
+                        positions: child_positions,
+                        value_positions: Vec::new(),
+                        next_index: 0,
+                    });
+                }
+                Event::EndObject | Event::EndArray => {
+                    self.frames.pop();
+                    let mut finished = Vec::new();
+                    for (i, b) in self.builders.iter_mut().enumerate() {
+                        if b.end_container() {
+                            finished.push(i);
+                        }
+                    }
+                    // pop finished builders (outermost may finish only after
+                    // inner ones; indices are removed back-to-front)
+                    for &i in finished.iter().rev() {
+                        let b = self.builders.remove(i);
+                        self.results.push(b.into_value());
+                    }
+                }
+                scalar => {
+                    let positions = self.value_positions(&mut pending, false);
+                    let v = scalar_value(&scalar);
+                    let is_match = positions.iter().any(|&p| p == self.steps.len());
+                    if is_match {
+                        self.found = true;
+                        if !self.exists_only {
+                            self.results.push(v.clone());
+                        }
+                    }
+                    for b in &mut self.builders {
+                        b.scalar(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Positions applicable to the value that is starting now, including
+    /// lax array-wrapping expansion (an array step applied to a non-array
+    /// selects the value itself when index 0 is in the selector).
+    fn value_positions(&mut self, pending: &mut Vec<usize>, value_is_array: bool) -> Vec<usize> {
+        let mut positions = match self.frames.last_mut() {
+            None => std::mem::take(pending),
+            Some(f) if f.is_array => {
+                let idx = f.next_index;
+                f.next_index += 1;
+                let mut out = Vec::new();
+                for &p in &f.positions {
+                    match self.steps.get(p) {
+                        Some(Step::ArrayWildcard) => out.push(p + 1),
+                        Some(Step::Array(sels)) => {
+                            if sels.iter().any(|s| sel_matches(s, idx)) {
+                                out.push(p + 1);
+                            }
+                        }
+                        // lax unwrap: the element re-tries the field step
+                        Some(Step::Field { .. }) => out.push(p),
+                        _ => {}
+                    }
+                }
+                out
+            }
+            Some(f) => std::mem::take(&mut f.value_positions),
+        };
+        if !value_is_array {
+            // lax wrap: array steps treat a non-array as [value]
+            let mut i = 0;
+            while i < positions.len() {
+                let p = positions[i];
+                let wrap = match self.steps.get(p) {
+                    Some(Step::ArrayWildcard) => true,
+                    Some(Step::Array(sels)) => sels.iter().any(|s| sel_matches(s, 0)),
+                    _ => false,
+                };
+                if wrap && !positions.contains(&(p + 1)) {
+                    positions.push(p + 1);
+                }
+                i += 1;
+            }
+        }
+        positions.sort_unstable();
+        positions.dedup();
+        positions
+    }
+
+    fn begin_value_captures(&mut self, positions: &[usize], is_array: bool) {
+        if positions.iter().any(|&p| p == self.steps.len()) {
+            self.found = true;
+            if !self.exists_only {
+                self.builders.push(Builder::new_container(is_array));
+            }
+        }
+    }
+}
+
+fn sel_matches(sel: &ArraySel, idx: usize) -> bool {
+    match sel {
+        ArraySel::Index(IndexExpr::At(i)) => *i == idx,
+        ArraySel::Range(IndexExpr::At(a), IndexExpr::At(b)) => idx >= *a && idx <= *b,
+        // `last` selectors are rejected by is_streamable
+        _ => false,
+    }
+}
+
+fn scalar_value(e: &Event) -> JsonValue {
+    match e {
+        Event::String(s) => JsonValue::String(s.clone()),
+        Event::Number(n) => JsonValue::Number(*n),
+        Event::Bool(b) => JsonValue::Bool(*b),
+        Event::Null => JsonValue::Null,
+        _ => unreachable!("scalar event"),
+    }
+}
+
+/// Incremental DOM builder fed by the event stream while a capture is
+/// open. Tracks its own depth; `end_container` returns true when the
+/// captured subtree is complete.
+struct Builder {
+    stack: Vec<JsonValue>,
+    keys: Vec<Option<String>>,
+    pending_key: Option<String>,
+    done: Option<JsonValue>,
+}
+
+impl Builder {
+    fn new_container(is_array: bool) -> Self {
+        let root = if is_array {
+            JsonValue::Array(Vec::new())
+        } else {
+            JsonValue::Object(Object::new())
+        };
+        Builder { stack: vec![root], keys: vec![None], pending_key: None, done: None }
+    }
+
+    fn key(&mut self, k: String) {
+        self.pending_key = Some(k);
+    }
+
+    fn start_container(&mut self, is_array: bool) {
+        let v = if is_array {
+            JsonValue::Array(Vec::new())
+        } else {
+            JsonValue::Object(Object::new())
+        };
+        self.keys.push(self.pending_key.take());
+        self.stack.push(v);
+    }
+
+    fn scalar(&mut self, v: JsonValue) {
+        let key = self.pending_key.take();
+        self.attach(key, v);
+    }
+
+    /// Returns true when the capture root has closed.
+    fn end_container(&mut self) -> bool {
+        let v = self.stack.pop().expect("container open");
+        let key = self.keys.pop().expect("key slot");
+        if self.stack.is_empty() {
+            self.done = Some(v);
+            true
+        } else {
+            self.attach(key, v);
+            false
+        }
+    }
+
+    fn attach(&mut self, key: Option<String>, v: JsonValue) {
+        match self.stack.last_mut().expect("open container") {
+            JsonValue::Array(a) => a.push(v),
+            JsonValue::Object(o) => o.push(key.expect("object member key"), v),
+            _ => unreachable!(),
+        }
+    }
+
+    fn into_value(self) -> JsonValue {
+        self.done.expect("capture complete")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::parse_path;
+    use fsdm_json::parse;
+
+    const PO: &str = r#"{"purchaseOrder":{"id":1,"podate":"2014-09-08","items":[
+        {"name":"phone","price":100,"quantity":2},
+        {"name":"ipad","price":350.86,"quantity":3},
+        {"name":"case","price":15,"quantity":10}]}}"#;
+
+    fn stream(doc: &str, path: &str) -> Vec<JsonValue> {
+        let p = parse_path(path).unwrap();
+        assert!(p.is_streamable(), "{path} must be streamable");
+        stream_values(doc, &p).unwrap()
+    }
+
+    #[test]
+    fn streams_scalars() {
+        assert_eq!(stream(PO, "$.purchaseOrder.id"), vec![parse("1").unwrap()]);
+        assert_eq!(stream(PO, "$.purchaseOrder.items[1].price"), vec![parse("350.86").unwrap()]);
+        assert_eq!(stream(PO, "$.purchaseOrder.items[*].name").len(), 3);
+        assert!(stream(PO, "$.purchaseOrder.nothing").is_empty());
+    }
+
+    #[test]
+    fn streams_containers() {
+        let items = stream(PO, "$.purchaseOrder.items");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].as_array().unwrap().len(), 3);
+        let first = stream(PO, "$.purchaseOrder.items[0]");
+        assert_eq!(first[0].get("name").unwrap().as_str(), Some("phone"));
+    }
+
+    #[test]
+    fn lax_unwrap_in_stream() {
+        assert_eq!(stream(PO, "$.purchaseOrder.items.name").len(), 3);
+    }
+
+    #[test]
+    fn lax_wrap_in_stream() {
+        assert_eq!(stream(PO, "$.purchaseOrder.id[0]"), vec![parse("1").unwrap()]);
+        assert_eq!(stream(PO, "$.purchaseOrder.id[*]"), vec![parse("1").unwrap()]);
+        assert!(stream(PO, "$.purchaseOrder.id[1]").is_empty());
+    }
+
+    #[test]
+    fn range_selectors() {
+        assert_eq!(stream(PO, "$.purchaseOrder.items[0 to 1].price").len(), 2);
+        assert_eq!(stream(PO, "$.purchaseOrder.items[0,2].price").len(), 2);
+    }
+
+    #[test]
+    fn exists_short_circuits() {
+        let p = parse_path("$.purchaseOrder.items[*].price").unwrap();
+        assert!(stream_exists(PO, &p).unwrap());
+        let p2 = parse_path("$.zz").unwrap();
+        assert!(!stream_exists(PO, &p2).unwrap());
+    }
+
+    #[test]
+    fn agrees_with_dom_engine() {
+        let paths = [
+            "$.purchaseOrder.id",
+            "$.purchaseOrder.items",
+            "$.purchaseOrder.items[*]",
+            "$.purchaseOrder.items[1 to 2].name",
+            "$.purchaseOrder.items.quantity",
+            "$.purchaseOrder.id[0]",
+        ];
+        let v = parse(PO).unwrap();
+        for p in paths {
+            let jp = parse_path(p).unwrap();
+            let streamed = stream_values(PO, &jp).unwrap();
+            let dom = ValueDom::new(&v);
+            let mut ev = PathEvaluator::new(jp.clone());
+            let via_dom = ev.evaluate_values(&dom);
+            assert_eq!(streamed.len(), via_dom.len(), "{p}");
+            for (a, b) in streamed.iter().zip(&via_dom) {
+                assert!(a.eq_unordered(b), "{p}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_text_falls_back_for_filters() {
+        let p = parse_path("$.purchaseOrder.items[*]?(@.price > 100).name").unwrap();
+        assert!(!p.is_streamable());
+        let r = eval_text(PO, &p).unwrap();
+        assert_eq!(r, vec![parse("\"ipad\"").unwrap()]);
+        assert!(exists_text(PO, &p).unwrap());
+    }
+
+    #[test]
+    fn nested_capture_regions() {
+        // the array itself and one of its elements both match
+        let doc = r#"{"a":[[5],[6]]}"#;
+        let p = parse_path("$.a[*]").unwrap();
+        let r = stream_values(doc, &p).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], parse("[5]").unwrap());
+    }
+}

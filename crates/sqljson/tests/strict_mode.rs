@@ -1,0 +1,42 @@
+//! Strict-mode path semantics: no implicit array wrapping/unwrapping.
+
+use fsdm_json::{parse, JsonValue, ValueDom};
+use fsdm_sqljson::{parse_path, PathEvaluator};
+
+fn eval(doc: &str, path: &str) -> Vec<JsonValue> {
+    let v = parse(doc).unwrap();
+    let dom = ValueDom::new(&v);
+    let mut ev = PathEvaluator::new(parse_path(path).unwrap());
+    ev.evaluate_values(&dom)
+}
+
+const DOC: &str = r#"{"a":{"b":1},"items":[{"p":1},{"p":2}],"s":5}"#;
+
+#[test]
+fn strict_no_unwrap_for_field_steps() {
+    // lax: field step over an array unwraps; strict: empty
+    assert_eq!(eval(DOC, "$.items.p").len(), 2);
+    assert_eq!(eval(DOC, "strict $.items.p").len(), 0);
+    assert_eq!(eval(DOC, "strict $.items[*].p").len(), 2);
+}
+
+#[test]
+fn strict_no_wrap_for_array_steps() {
+    assert_eq!(eval(DOC, "$.s[0]").len(), 1);
+    assert_eq!(eval(DOC, "strict $.s[0]").len(), 0);
+    assert_eq!(eval(DOC, "$.s[*]").len(), 1);
+    assert_eq!(eval(DOC, "strict $.s[*]").len(), 0);
+}
+
+#[test]
+fn strict_plain_navigation_still_works() {
+    assert_eq!(eval(DOC, "strict $.a.b"), vec![parse("1").unwrap()]);
+    assert_eq!(eval(DOC, "strict $.items[1].p"), vec![parse("2").unwrap()]);
+    assert_eq!(eval(DOC, "strict $.items[0 to 1].p").len(), 2);
+}
+
+#[test]
+fn strict_wildcards_on_matching_kinds() {
+    assert_eq!(eval(DOC, "strict $.*").len(), 3);
+    assert_eq!(eval(DOC, "strict $.items[*]").len(), 2);
+}

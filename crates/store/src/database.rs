@@ -1,0 +1,712 @@
+//! The database: named tables, registered views, and the volcano-style
+//! executor for [`Query`] plans.
+
+use std::collections::HashMap;
+
+use fsdm_sqljson::Datum;
+
+use crate::expr::{AggFun, Expr};
+use crate::query::{AggSpec, Query, QueryResult, SortKey, WindowFun};
+use crate::table::{Cell, Row, StoreError, Table};
+
+/// An embedded database instance.
+#[derive(Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, Query>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.schema.name.clone(), table);
+    }
+
+    /// Access a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Register a named view over a plan (DataGuide-generated DMDVs land
+    /// here).
+    pub fn create_view(&mut self, name: impl Into<String>, plan: Query) {
+        self.views.insert(name.into(), plan);
+    }
+
+    /// Look up a view plan.
+    pub fn view(&self, name: &str) -> Option<&Query> {
+        self.views.get(name)
+    }
+
+    /// Output column names of a plan without executing it (the SQL planner
+    /// resolves identifiers against this).
+    pub fn plan_columns(&self, plan: &Query) -> Result<Vec<String>, StoreError> {
+        Ok(match plan {
+            Query::Scan { table, .. } => self
+                .tables
+                .get(table)
+                .ok_or_else(|| StoreError::new(format!("no table {table}")))?
+                .scan_column_names(),
+            Query::ViewScan { view } => {
+                let plan = self
+                    .views
+                    .get(view)
+                    .ok_or_else(|| StoreError::new(format!("no view {view}")))?;
+                self.plan_columns(plan)?
+            }
+            Query::Filter { input, .. }
+            | Query::Limit { input, .. }
+            | Query::Sort { input, .. }
+            | Query::Sample { input, .. } => self.plan_columns(input)?,
+            Query::Project { exprs, .. } => exprs.iter().map(|(n, _)| n.clone()).collect(),
+            Query::JsonTable { input, def, .. } => {
+                let mut cols = self.plan_columns(input)?;
+                cols.extend(def.column_names());
+                cols
+            }
+            Query::HashJoin { left, right, .. } => {
+                let mut cols = self.plan_columns(left)?;
+                cols.extend(self.plan_columns(right)?);
+                cols
+            }
+            Query::GroupBy { keys, aggs, .. } => keys
+                .iter()
+                .map(|(n, _)| n.clone())
+                .chain(aggs.iter().map(|a| a.name.clone()))
+                .collect(),
+            Query::Window { input, name, .. } => {
+                let mut cols = self.plan_columns(input)?;
+                cols.push(name.clone());
+                cols
+            }
+        })
+    }
+
+    /// Execute a plan to a materialized result. Plans are first run
+    /// through the optimizer (notably the §6.3 JSON_EXISTS predicate
+    /// pushdown into JSON_TABLE pipelines).
+    pub fn execute(&self, plan: &Query) -> Result<QueryResult, StoreError> {
+        let optimized = crate::optimizer::optimize(self, plan.clone());
+        self.execute_unoptimized(&optimized)
+    }
+
+    /// Execute a plan exactly as given (no rewrites) — used by tests and
+    /// by the ablation benchmark that measures the pushdown's effect.
+    pub fn execute_unoptimized(&self, plan: &Query) -> Result<QueryResult, StoreError> {
+        let (columns, rows) = self.exec(plan)?;
+        let rows = rows
+            .into_iter()
+            .map(|r| {
+                r.into_iter()
+                    .map(|c| match c {
+                        Cell::D(d) => d,
+                        Cell::J(j) => Datum::Str(j.decode_to_text()),
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(QueryResult { columns, rows })
+    }
+
+    fn exec(&self, plan: &Query) -> Result<(Vec<String>, Vec<Row>), StoreError> {
+        match plan {
+            Query::Scan { table, filter } => {
+                let t = self
+                    .tables
+                    .get(table)
+                    .ok_or_else(|| StoreError::new(format!("no table {table}")))?;
+                let names = t.scan_column_names();
+                let build_row = |i: usize, row: &Row| -> Result<Row, StoreError> {
+                    // §5.2.2 transparent rewrite: substitute cached OSON
+                    // bytes for text cells when the IMC is populated
+                    let mut r = t.imc_row(row, Some(i));
+                    // virtual columns: from IMC vectors when materialized,
+                    // computed on the fly otherwise
+                    for (vi, vc) in t.virtual_columns.iter().enumerate() {
+                        let idx = t.schema.width() + vi;
+                        let cell = match t.imc.vectors.get(&idx) {
+                            Some(vector) => Cell::D(vector.get(i)),
+                            None => Cell::D(vc.expr.eval(&r)?),
+                        };
+                        r.push(cell);
+                    }
+                    Ok(r)
+                };
+                // columnar fast path (§5.2.1): a fully IMC-covered filter
+                // selects row ids over the typed vectors; only qualifying
+                // rows are materialized
+                if let Some(pred) = filter {
+                    if let Some(sel) = crate::imc::vectorized_selection(t, pred) {
+                        let mut out = Vec::with_capacity(sel.len());
+                        for i in sel {
+                            out.push(build_row(i, &t.rows[i])?);
+                        }
+                        return Ok((names, out));
+                    }
+                }
+                let mut out = Vec::with_capacity(t.rows.len());
+                for (i, row) in t.rows.iter().enumerate() {
+                    let r = build_row(i, row)?;
+                    if let Some(pred) = filter {
+                        if !pred.matches(&r)? {
+                            continue;
+                        }
+                    }
+                    out.push(r);
+                }
+                Ok((names, out))
+            }
+            Query::ViewScan { view } => {
+                let plan = self
+                    .views
+                    .get(view)
+                    .ok_or_else(|| StoreError::new(format!("no view {view}")))?;
+                self.exec(plan)
+            }
+            Query::Filter { input, pred } => {
+                let (names, rows) = self.exec(input)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    if pred.matches(&r)? {
+                        out.push(r);
+                    }
+                }
+                Ok((names, out))
+            }
+            Query::Project { input, exprs } => {
+                let (_, rows) = self.exec(input)?;
+                let names = exprs.iter().map(|(n, _)| n.clone()).collect();
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    let mut o = Vec::with_capacity(exprs.len());
+                    for (_, e) in exprs {
+                        o.push(Cell::D(e.eval(&r)?));
+                    }
+                    out.push(o);
+                }
+                Ok((names, out))
+            }
+            Query::JsonTable { input, json_col, def } => {
+                let (mut names, rows) = self.exec(input)?;
+                names.extend(def.column_names());
+                let width = def.width();
+                // one cursor for the whole scan: compiled paths and their
+                // §4.2.1 look-back caches persist across documents
+                let mut cursor = fsdm_sqljson::json_table::JsonTableCursor::new(def);
+                let mut out = Vec::new();
+                for r in rows {
+                    let jt_rows = match r.get(*json_col) {
+                        Some(Cell::J(j)) => j.json_table_rows_with(&mut cursor),
+                        _ => Vec::new(),
+                    };
+                    if jt_rows.is_empty() {
+                        let mut padded = r.clone();
+                        padded.extend(std::iter::repeat_n(Cell::D(Datum::Null), width));
+                        out.push(padded);
+                    } else {
+                        for jt in jt_rows {
+                            let mut combined = r.clone();
+                            combined.extend(jt.into_iter().map(Cell::D));
+                            out.push(combined);
+                        }
+                    }
+                }
+                Ok((names, out))
+            }
+            Query::HashJoin { left, right, left_key, right_key } => {
+                let (lnames, lrows) = self.exec(left)?;
+                let (rnames, rrows) = self.exec(right)?;
+                let mut names = lnames;
+                names.extend(rnames);
+                let mut build: HashMap<Datum, Vec<usize>> = HashMap::new();
+                for (i, r) in lrows.iter().enumerate() {
+                    if let Some(Cell::D(d)) = r.get(*left_key) {
+                        if !d.is_null() {
+                            build.entry(d.clone()).or_default().push(i);
+                        }
+                    }
+                }
+                let mut out = Vec::new();
+                for r in &rrows {
+                    if let Some(Cell::D(d)) = r.get(*right_key) {
+                        if let Some(matches) = build.get(d) {
+                            for &li in matches {
+                                let mut combined = lrows[li].clone();
+                                combined.extend(r.iter().cloned());
+                                out.push(combined);
+                            }
+                        }
+                    }
+                }
+                Ok((names, out))
+            }
+            Query::GroupBy { input, keys, aggs } => {
+                let (_, rows) = self.exec(input)?;
+                self.group_by(rows, keys, aggs)
+            }
+            Query::Sort { input, keys } => {
+                let (names, mut rows) = self.exec(input)?;
+                sort_rows(&mut rows, keys)?;
+                Ok((names, rows))
+            }
+            Query::Window { input, name, fun, order } => {
+                let (mut names, mut rows) = self.exec(input)?;
+                sort_rows(&mut rows, order)?;
+                names.push(name.clone());
+                match fun {
+                    WindowFun::Lag { expr, offset, default } => {
+                        let vals: Vec<Datum> =
+                            rows.iter().map(|r| expr.eval(r)).collect::<Result<_, _>>()?;
+                        for i in 0..rows.len() {
+                            let cell = if i >= *offset {
+                                vals[i - *offset].clone()
+                            } else {
+                                match default {
+                                    Some(d) => d.eval(&rows[i])?,
+                                    None => Datum::Null,
+                                }
+                            };
+                            rows[i].push(Cell::D(cell));
+                        }
+                    }
+                }
+                Ok((names, rows))
+            }
+            Query::Limit { input, n } => {
+                let (names, mut rows) = self.exec(input)?;
+                rows.truncate(*n);
+                Ok((names, rows))
+            }
+            Query::Sample { input, pct } => {
+                let (names, rows) = self.exec(input)?;
+                let keep = |i: usize| -> bool {
+                    let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+                    ((h % 10_000) as f64) < pct * 100.0
+                };
+                let out = rows
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| keep(*i))
+                    .map(|(_, r)| r)
+                    .collect();
+                Ok((names, out))
+            }
+        }
+    }
+
+    fn group_by(
+        &self,
+        rows: Vec<Row>,
+        keys: &[(String, Expr)],
+        aggs: &[AggSpec],
+    ) -> Result<(Vec<String>, Vec<Row>), StoreError> {
+        let names: Vec<String> = keys
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(aggs.iter().map(|a| a.name.clone()))
+            .collect();
+        let mut groups: HashMap<Vec<Datum>, Vec<Acc>> = HashMap::new();
+        let mut order: Vec<Vec<Datum>> = Vec::new();
+        for r in &rows {
+            let key: Vec<Datum> =
+                keys.iter().map(|(_, e)| e.eval(r)).collect::<Result<_, _>>()?;
+            let accs = match groups.get_mut(&key) {
+                Some(a) => a,
+                None => {
+                    order.push(key.clone());
+                    groups
+                        .entry(key.clone())
+                        .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.fun)).collect())
+                }
+            };
+            for (acc, spec) in accs.iter_mut().zip(aggs) {
+                let arg = match &spec.arg {
+                    Some(e) => Some(e.eval(r)?),
+                    None => None,
+                };
+                acc.update(arg);
+            }
+        }
+        // no input rows + no keys: SQL still returns one row of aggregates
+        if rows.is_empty() && keys.is_empty() {
+            let accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.fun)).collect();
+            let row: Row = accs.into_iter().map(|a| Cell::D(a.finish())).collect();
+            return Ok((names, vec![row]));
+        }
+        let mut out = Vec::with_capacity(order.len());
+        for key in order {
+            let accs = groups.remove(&key).expect("group present");
+            let mut row: Row = key.into_iter().map(Cell::D).collect();
+            row.extend(accs.into_iter().map(|a| Cell::D(a.finish())));
+            out.push(row);
+        }
+        Ok((names, out))
+    }
+}
+
+fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> Result<(), StoreError> {
+    // precompute key tuples (expressions may be JSON ops — evaluate once)
+    let mut keyed: Vec<(usize, Vec<Datum>)> = Vec::with_capacity(rows.len());
+    for (i, r) in rows.iter().enumerate() {
+        let k: Vec<Datum> =
+            keys.iter().map(|s| s.expr.eval(r)).collect::<Result<_, _>>()?;
+        keyed.push((i, k));
+    }
+    keyed.sort_by(|(_, a), (_, b)| {
+        for (i, sk) in keys.iter().enumerate() {
+            let ord = a[i].order_key_cmp(&b[i]);
+            let ord = if sk.desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let perm: Vec<usize> = keyed.into_iter().map(|(i, _)| i).collect();
+    let mut tmp: Vec<Row> = rows.to_vec();
+    for (dst, src) in perm.into_iter().enumerate() {
+        std::mem::swap(&mut rows[dst], &mut tmp[src]);
+    }
+    Ok(())
+}
+
+/// Aggregate accumulator.
+enum Acc {
+    Count(u64),
+    CountNonNull(u64),
+    Sum { total: f64, any: bool },
+    Avg { total: f64, n: u64 },
+    Min(Option<Datum>),
+    Max(Option<Datum>),
+}
+
+impl Acc {
+    fn new(fun: AggFun) -> Acc {
+        match fun {
+            AggFun::CountStar => Acc::Count(0),
+            AggFun::Count => Acc::CountNonNull(0),
+            AggFun::Sum => Acc::Sum { total: 0.0, any: false },
+            AggFun::Avg => Acc::Avg { total: 0.0, n: 0 },
+            AggFun::Min => Acc::Min(None),
+            AggFun::Max => Acc::Max(None),
+        }
+    }
+
+    fn update(&mut self, arg: Option<Datum>) {
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::CountNonNull(n) => {
+                if matches!(&arg, Some(d) if !d.is_null()) {
+                    *n += 1;
+                }
+            }
+            Acc::Sum { total, any } => {
+                if let Some(v) = arg.as_ref().and_then(|d| d.as_num()) {
+                    *total += v.to_f64();
+                    *any = true;
+                }
+            }
+            Acc::Avg { total, n } => {
+                if let Some(v) = arg.as_ref().and_then(|d| d.as_num()) {
+                    *total += v.to_f64();
+                    *n += 1;
+                }
+            }
+            Acc::Min(cur) => {
+                if let Some(d) = arg {
+                    if !d.is_null()
+                        && cur
+                            .as_ref()
+                            .map(|c| d.order_key_cmp(c).is_lt())
+                            .unwrap_or(true)
+                    {
+                        *cur = Some(d);
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(d) = arg {
+                    if !d.is_null()
+                        && cur
+                            .as_ref()
+                            .map(|c| d.order_key_cmp(c).is_gt())
+                            .unwrap_or(true)
+                    {
+                        *cur = Some(d);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Datum {
+        match self {
+            Acc::Count(n) | Acc::CountNonNull(n) => Datum::from(n as i64),
+            Acc::Sum { total, any } => {
+                if any {
+                    Datum::from(total)
+                } else {
+                    Datum::Null
+                }
+            }
+            Acc::Avg { total, n } => {
+                if n > 0 {
+                    Datum::from(total / n as f64)
+                } else {
+                    Datum::Null
+                }
+            }
+            Acc::Min(d) | Acc::Max(d) => d.unwrap_or(Datum::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::jsonaccess::JsonStorage;
+    use crate::schema::{ColType, ColumnSpec, ConstraintMode, TableSchema};
+    use crate::table::InsertValue;
+    use fsdm_sqljson::json_table::{ColumnDef, JsonTableDef};
+    use fsdm_sqljson::{parse_path, SqlType};
+
+    fn sample_db(storage: JsonStorage) -> Database {
+        let mut t = Table::new(TableSchema::new(
+            "po",
+            vec![
+                ColumnSpec::new("did", ColType::Number),
+                ColumnSpec::json("jdoc", storage, ConstraintMode::IsJson),
+            ],
+        ));
+        for (i, (cc, items)) in [
+            ("A", vec![("phone", 100.0, 2), ("case", 15.0, 1)]),
+            ("B", vec![("ipad", 350.86, 3)]),
+            ("A", vec![("tv", 500.0, 1), ("mount", 40.0, 2), ("cable", 5.0, 3)]),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let items_json: Vec<String> = items
+                .iter()
+                .map(|(n, p, q)| format!(r#"{{"name":"{n}","price":{p},"quantity":{q}}}"#))
+                .collect();
+            let doc = format!(
+                r#"{{"costcenter":"{cc}","reference":"R-{i}","items":[{}]}}"#,
+                items_json.join(",")
+            );
+            t.insert(vec![(i as i64).into(), InsertValue::Json(doc)]).unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table(t);
+        db
+    }
+
+    fn items_def() -> JsonTableDef {
+        JsonTableDef {
+            row_path: parse_path("$.items[*]").unwrap(),
+            columns: vec![
+                ColumnDef::value("name", SqlType::Varchar2(16), parse_path("$.name").unwrap()),
+                ColumnDef::value("price", SqlType::Number, parse_path("$.price").unwrap()),
+                ColumnDef::value("quantity", SqlType::Number, parse_path("$.quantity").unwrap()),
+            ],
+            nested: vec![],
+        }
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        for storage in [JsonStorage::Text, JsonStorage::Bson, JsonStorage::Oson] {
+            let db = sample_db(storage);
+            let q = Query::scan("po")
+                .filter(Expr::cmp(
+                    Expr::json_value(1, parse_path("$.costcenter").unwrap(), SqlType::Varchar2(4)),
+                    CmpOp::Eq,
+                    Expr::Lit(Datum::from("A")),
+                ))
+                .project(vec![("did", Expr::Col(0))]);
+            let r = db.execute(&q).unwrap();
+            assert_eq!(r.rows.len(), 2, "{storage:?}");
+        }
+    }
+
+    #[test]
+    fn json_table_lateral_expansion() {
+        let db = sample_db(JsonStorage::Oson);
+        let q = Query::JsonTable {
+            input: Box::new(Query::scan("po")),
+            json_col: 1,
+            def: items_def(),
+        };
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 6, "2 + 1 + 3 items");
+        assert_eq!(r.columns, vec!["did", "jdoc", "name", "price", "quantity"]);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let db = sample_db(JsonStorage::Oson);
+        // revenue per costcenter over the un-nested items
+        let q = Query::GroupBy {
+            input: Box::new(Query::JsonTable {
+                input: Box::new(Query::scan("po")),
+                json_col: 1,
+                def: items_def(),
+            }),
+            keys: vec![(
+                "cc".to_string(),
+                Expr::json_value(1, parse_path("$.costcenter").unwrap(), SqlType::Varchar2(4)),
+            )],
+            aggs: vec![
+                AggSpec::count_star("n"),
+                AggSpec::of(
+                    "revenue",
+                    AggFun::Sum,
+                    Expr::Arith(
+                        Box::new(Expr::Col(3)),
+                        crate::expr::ArithOp::Mul,
+                        Box::new(Expr::Col(4)),
+                    ),
+                ),
+                AggSpec::of("maxp", AggFun::Max, Expr::Col(3)),
+                AggSpec::of("avgq", AggFun::Avg, Expr::Col(4)),
+            ],
+        };
+        let mut r = db.execute(&q).unwrap();
+        r.rows.sort_by(|a, b| a[0].order_key_cmp(&b[0]));
+        assert_eq!(r.rows.len(), 2);
+        // A: phone 100*2 + case 15*1 + tv 500 + mount 80 + cable 15 = 810
+        assert_eq!(r.cell(0, "cc"), Some(&Datum::from("A")));
+        assert_eq!(r.cell(0, "revenue"), Some(&Datum::from(810.0)));
+        assert_eq!(r.cell(0, "n"), Some(&Datum::from(5i64)));
+        assert_eq!(r.cell(0, "maxp"), Some(&Datum::from(500.0)));
+        // B: 350.86 * 3
+        assert_eq!(r.cell(1, "revenue"), Some(&Datum::from(1052.58)));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let db = sample_db(JsonStorage::Text);
+        let q = Query::JsonTable {
+            input: Box::new(Query::scan("po")),
+            json_col: 1,
+            def: items_def(),
+        }
+        .sort(vec![SortKey::desc(Expr::Col(3))])
+        .limit(2);
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.cell(0, "name"), Some(&Datum::from("tv")));
+        assert_eq!(r.cell(1, "name"), Some(&Datum::from("ipad")));
+    }
+
+    #[test]
+    fn window_lag() {
+        let db = sample_db(JsonStorage::Oson);
+        let q = Query::Window {
+            input: Box::new(Query::JsonTable {
+                input: Box::new(Query::scan("po")),
+                json_col: 1,
+                def: items_def(),
+            }),
+            name: "prev_price".to_string(),
+            fun: WindowFun::Lag { expr: Expr::Col(3), offset: 1, default: Some(Expr::Col(3)) },
+            order: vec![SortKey::asc(Expr::Col(3))],
+        };
+        let r = db.execute(&q).unwrap();
+        // sorted by price asc: 5,15,40,100,350.86,500
+        assert_eq!(r.cell(0, "prev_price"), Some(&Datum::from(5.0)), "default = own value");
+        assert_eq!(r.cell(1, "prev_price"), Some(&Datum::from(5.0)));
+        assert_eq!(r.cell(5, "prev_price"), Some(&Datum::from(350.86)));
+    }
+
+    #[test]
+    fn hash_join() {
+        // relational master/detail join
+        let mut master = Table::new(TableSchema::new(
+            "m",
+            vec![
+                ColumnSpec::new("id", ColType::Number),
+                ColumnSpec::new("cc", ColType::Varchar2(4)),
+            ],
+        ));
+        master.insert(vec![1i64.into(), "A".into()]).unwrap();
+        master.insert(vec![2i64.into(), "B".into()]).unwrap();
+        let mut detail = Table::new(TableSchema::new(
+            "d",
+            vec![
+                ColumnSpec::new("mid", ColType::Number),
+                ColumnSpec::new("price", ColType::Number),
+            ],
+        ));
+        detail.insert(vec![1i64.into(), InsertValue::Datum(Datum::from(10i64))]).unwrap();
+        detail.insert(vec![1i64.into(), InsertValue::Datum(Datum::from(20i64))]).unwrap();
+        detail.insert(vec![2i64.into(), InsertValue::Datum(Datum::from(30i64))]).unwrap();
+        detail.insert(vec![9i64.into(), InsertValue::Datum(Datum::from(99i64))]).unwrap();
+        let mut db = Database::new();
+        db.add_table(master);
+        db.add_table(detail);
+        let q = Query::HashJoin {
+            left: Box::new(Query::scan("m")),
+            right: Box::new(Query::scan("d")),
+            left_key: 0,
+            right_key: 0,
+        };
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 3, "unmatched detail row drops");
+        assert_eq!(r.columns, vec!["id", "cc", "mid", "price"]);
+    }
+
+    #[test]
+    fn views_expand() {
+        let db = {
+            let mut db = sample_db(JsonStorage::Oson);
+            let plan = Query::JsonTable {
+                input: Box::new(Query::scan("po")),
+                json_col: 1,
+                def: items_def(),
+            };
+            db.create_view("po_item_dmdv", plan);
+            db
+        };
+        let r = db.execute(&Query::view("po_item_dmdv")).unwrap();
+        assert_eq!(r.rows.len(), 6);
+        assert!(db.execute(&Query::view("nope")).is_err());
+    }
+
+    #[test]
+    fn empty_group_by_returns_single_row() {
+        let db = sample_db(JsonStorage::Text);
+        let q = Query::scan_where(
+            "po",
+            Expr::cmp(Expr::Col(0), CmpOp::Eq, Expr::Lit(Datum::from(999i64))),
+        )
+        .group_by(vec![], vec![AggSpec::count_star("n")]);
+        let r = db.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.cell(0, "n"), Some(&Datum::from(0i64)));
+    }
+
+    #[test]
+    fn oson_imc_transparent_rewrite() {
+        let mut db = sample_db(JsonStorage::Text);
+        let q = Query::scan("po").project(vec![(
+            "cc",
+            Expr::json_value(1, parse_path("$.costcenter").unwrap(), SqlType::Varchar2(4)),
+        )]);
+        let before = db.execute(&q).unwrap();
+        db.table_mut("po").unwrap().populate_oson_imc().unwrap();
+        let after = db.execute(&q).unwrap();
+        assert_eq!(before, after, "IMC must not change results");
+    }
+}

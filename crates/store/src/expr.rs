@@ -1,0 +1,530 @@
+//! Row expressions: column references, literals, comparisons, arithmetic,
+//! scalar functions, and the SQL/JSON operators.
+
+use std::cell::RefCell;
+
+use fsdm_sqljson::path::JsonPath;
+use fsdm_sqljson::{Datum, PathEvaluator, SqlType};
+
+use crate::table::{Cell, Row, StoreError};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Built-in scalar functions (the subset the paper's queries use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFun {
+    /// `SUBSTR(s, pos [, len])` — 1-based as in Oracle.
+    Substr,
+    /// `INSTR(s, sub)` — 1-based position, 0 when absent.
+    Instr,
+    /// `UPPER(s)`.
+    Upper,
+    /// `LOWER(s)`.
+    Lower,
+    /// `LENGTH(s)`.
+    Length,
+    /// `CONCAT(a, b)` / `||`.
+    Concat,
+    /// `ABS(n)`.
+    Abs,
+    /// `NVL(a, b)`.
+    Nvl,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFun {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(expr)` (non-null values).
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+/// A row expression tree.
+pub enum Expr {
+    /// Column reference by position in the input row.
+    Col(usize),
+    /// Constant.
+    Lit(Datum),
+    /// Comparison (SQL three-valued logic; unknown is treated as false by
+    /// filters).
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+    /// `expr IN (v1, v2, …)`.
+    InList(Box<Expr>, Vec<Datum>),
+    /// `a LIKE 'pat%'` (supports `%` and `_`).
+    Like(Box<Expr>, String),
+    /// Arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Scalar function call.
+    Fun(ScalarFun, Vec<Expr>),
+    /// `JSON_VALUE(col, path RETURNING ty)` — carries its own evaluation
+    /// cursor so the look-back field-id cache persists across rows.
+    JsonValue {
+        /// JSON column position.
+        col: usize,
+        /// Compiled path.
+        path: JsonPath,
+        /// RETURNING type.
+        ty: SqlType,
+        /// Reusable cursor (interior-mutable: expression trees are shared
+        /// immutably by the executor).
+        ev: RefCell<PathEvaluator>,
+    },
+    /// `JSON_EXISTS(col, path)`.
+    JsonExists {
+        /// JSON column position.
+        col: usize,
+        /// Compiled path.
+        path: JsonPath,
+        /// Reusable cursor.
+        ev: RefCell<PathEvaluator>,
+    },
+}
+
+impl std::fmt::Debug for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "col#{i}"),
+            Expr::Lit(d) => write!(f, "{d}"),
+            Expr::Cmp(a, op, b) => write!(f, "({a:?} {op:?} {b:?})"),
+            Expr::And(a, b) => write!(f, "({a:?} AND {b:?})"),
+            Expr::Or(a, b) => write!(f, "({a:?} OR {b:?})"),
+            Expr::Not(a) => write!(f, "NOT {a:?}"),
+            Expr::IsNull(a) => write!(f, "{a:?} IS NULL"),
+            Expr::InList(a, l) => write!(f, "{a:?} IN {l:?}"),
+            Expr::Like(a, p) => write!(f, "{a:?} LIKE {p:?}"),
+            Expr::Arith(a, op, b) => write!(f, "({a:?} {op:?} {b:?})"),
+            Expr::Fun(fun, args) => write!(f, "{fun:?}{args:?}"),
+            Expr::JsonValue { col, path, ty, .. } => {
+                write!(f, "JSON_VALUE(col#{col}, '{}' RET {ty})", path.text())
+            }
+            Expr::JsonExists { col, path, .. } => {
+                write!(f, "JSON_EXISTS(col#{col}, '{}')", path.text())
+            }
+        }
+    }
+}
+
+impl Clone for Expr {
+    fn clone(&self) -> Self {
+        match self {
+            Expr::Col(i) => Expr::Col(*i),
+            Expr::Lit(d) => Expr::Lit(d.clone()),
+            Expr::Cmp(a, op, b) => Expr::Cmp(a.clone(), *op, b.clone()),
+            Expr::And(a, b) => Expr::And(a.clone(), b.clone()),
+            Expr::Or(a, b) => Expr::Or(a.clone(), b.clone()),
+            Expr::Not(a) => Expr::Not(a.clone()),
+            Expr::IsNull(a) => Expr::IsNull(a.clone()),
+            Expr::InList(a, l) => Expr::InList(a.clone(), l.clone()),
+            Expr::Like(a, p) => Expr::Like(a.clone(), p.clone()),
+            Expr::Arith(a, op, b) => Expr::Arith(a.clone(), *op, b.clone()),
+            Expr::Fun(fun, args) => Expr::Fun(*fun, args.clone()),
+            Expr::JsonValue { col, path, ty, .. } => Expr::json_value(*col, path.clone(), *ty),
+            Expr::JsonExists { col, path, .. } => Expr::json_exists(*col, path.clone()),
+        }
+    }
+}
+
+impl Expr {
+    /// Convenience constructor: `JSON_VALUE`.
+    pub fn json_value(col: usize, path: JsonPath, ty: SqlType) -> Expr {
+        let ev = RefCell::new(PathEvaluator::new(path.clone()));
+        Expr::JsonValue { col, path, ty, ev }
+    }
+
+    /// Convenience constructor: `JSON_EXISTS`.
+    pub fn json_exists(col: usize, path: JsonPath) -> Expr {
+        let ev = RefCell::new(PathEvaluator::new(path.clone()));
+        Expr::JsonExists { col, path, ev }
+    }
+
+    /// Convenience constructor: comparison with a literal.
+    pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(lhs), op, Box::new(rhs))
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> Result<Datum, StoreError> {
+        Ok(match self {
+            Expr::Col(i) => match row.get(*i) {
+                Some(Cell::D(d)) => d.clone(),
+                Some(Cell::J(j)) => Datum::Str(j.decode_to_text()),
+                None => return Err(StoreError::new(format!("column {i} out of range"))),
+            },
+            Expr::Lit(d) => d.clone(),
+            Expr::Cmp(a, op, b) => {
+                let (x, y) = (a.eval(row)?, b.eval(row)?);
+                match x.sql_cmp(&y) {
+                    None => Datum::Null, // unknown
+                    Some(ord) => Datum::Bool(match op {
+                        CmpOp::Eq => ord.is_eq(),
+                        CmpOp::Ne => ord.is_ne(),
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Ge => ord.is_ge(),
+                    }),
+                }
+            }
+            Expr::And(a, b) => three_valued_and(a.eval(row)?, b.eval(row)?),
+            Expr::Or(a, b) => three_valued_or(a.eval(row)?, b.eval(row)?),
+            Expr::Not(a) => match a.eval(row)? {
+                Datum::Bool(v) => Datum::Bool(!v),
+                Datum::Null => Datum::Null,
+                _ => return Err(StoreError::new("NOT applied to non-boolean")),
+            },
+            Expr::IsNull(a) => Datum::Bool(a.eval(row)?.is_null()),
+            Expr::InList(a, list) => {
+                let v = a.eval(row)?;
+                if v.is_null() {
+                    Datum::Null
+                } else {
+                    Datum::Bool(list.iter().any(|d| {
+                        v.sql_cmp(d).map(|o| o.is_eq()).unwrap_or(false)
+                    }))
+                }
+            }
+            Expr::Like(a, pat) => {
+                let v = a.eval(row)?;
+                match v {
+                    Datum::Null => Datum::Null,
+                    other => Datum::Bool(like_match(&other.to_text(), pat)),
+                }
+            }
+            Expr::Arith(a, op, b) => {
+                let (x, y) = (a.eval(row)?, b.eval(row)?);
+                if x.is_null() || y.is_null() {
+                    return Ok(Datum::Null);
+                }
+                let (nx, ny) = match (x.as_num(), y.as_num()) {
+                    (Some(nx), Some(ny)) => (nx.to_f64(), ny.to_f64()),
+                    _ => return Err(StoreError::new("arithmetic on non-numeric value")),
+                };
+                let r = match op {
+                    ArithOp::Add => nx + ny,
+                    ArithOp::Sub => nx - ny,
+                    ArithOp::Mul => nx * ny,
+                    ArithOp::Div => {
+                        if ny == 0.0 {
+                            return Err(StoreError::new("division by zero"));
+                        }
+                        nx / ny
+                    }
+                };
+                Datum::from(r)
+            }
+            Expr::Fun(fun, args) => eval_fun(*fun, args, row)?,
+            Expr::JsonValue { col, ty, ev, .. } => match row.get(*col) {
+                Some(Cell::J(j)) => j.json_value(&mut ev.borrow_mut(), *ty),
+                Some(Cell::D(_)) | None => {
+                    return Err(StoreError::new("JSON_VALUE on non-JSON column"))
+                }
+            },
+            Expr::JsonExists { col, ev, .. } => match row.get(*col) {
+                Some(Cell::J(j)) => Datum::Bool(j.json_exists(&mut ev.borrow_mut())),
+                Some(Cell::D(_)) | None => {
+                    return Err(StoreError::new("JSON_EXISTS on non-JSON column"))
+                }
+            },
+        })
+    }
+
+    /// Predicate evaluation: SQL WHERE semantics (NULL/unknown = reject).
+    pub fn matches(&self, row: &Row) -> Result<bool, StoreError> {
+        Ok(matches!(self.eval(row)?, Datum::Bool(true)))
+    }
+}
+
+fn three_valued_and(a: Datum, b: Datum) -> Datum {
+    match (a, b) {
+        (Datum::Bool(false), _) | (_, Datum::Bool(false)) => Datum::Bool(false),
+        (Datum::Bool(true), Datum::Bool(true)) => Datum::Bool(true),
+        _ => Datum::Null,
+    }
+}
+
+fn three_valued_or(a: Datum, b: Datum) -> Datum {
+    match (a, b) {
+        (Datum::Bool(true), _) | (_, Datum::Bool(true)) => Datum::Bool(true),
+        (Datum::Bool(false), Datum::Bool(false)) => Datum::Bool(false),
+        _ => Datum::Null,
+    }
+}
+
+fn eval_fun(fun: ScalarFun, args: &[Expr], row: &Row) -> Result<Datum, StoreError> {
+    let vals: Vec<Datum> = args.iter().map(|a| a.eval(row)).collect::<Result<_, _>>()?;
+    let s = |i: usize| -> Option<String> {
+        vals.get(i).and_then(|d| if d.is_null() { None } else { Some(d.to_text()) })
+    };
+    Ok(match fun {
+        ScalarFun::Upper => match s(0) {
+            Some(x) => Datum::Str(x.to_uppercase()),
+            None => Datum::Null,
+        },
+        ScalarFun::Lower => match s(0) {
+            Some(x) => Datum::Str(x.to_lowercase()),
+            None => Datum::Null,
+        },
+        ScalarFun::Length => match s(0) {
+            Some(x) => Datum::from(x.chars().count() as i64),
+            None => Datum::Null,
+        },
+        ScalarFun::Concat => match (s(0), s(1)) {
+            (Some(a), Some(b)) => Datum::Str(a + &b),
+            _ => Datum::Null,
+        },
+        ScalarFun::Abs => match vals.first().and_then(|d| d.as_num()) {
+            Some(n) => Datum::from(n.to_f64().abs()),
+            None => Datum::Null,
+        },
+        ScalarFun::Nvl => {
+            let first = vals.first().cloned().unwrap_or(Datum::Null);
+            if first.is_null() {
+                vals.get(1).cloned().unwrap_or(Datum::Null)
+            } else {
+                first
+            }
+        }
+        ScalarFun::Instr => match (s(0), s(1)) {
+            (Some(hay), Some(needle)) => {
+                // 1-based character position, 0 when absent (Oracle INSTR)
+                match hay.find(&needle) {
+                    Some(byte_pos) => {
+                        Datum::from(hay[..byte_pos].chars().count() as i64 + 1)
+                    }
+                    None => Datum::from(0i64),
+                }
+            }
+            _ => Datum::Null,
+        },
+        ScalarFun::Substr => {
+            let text = match s(0) {
+                Some(t) => t,
+                None => return Ok(Datum::Null),
+            };
+            let pos = vals
+                .get(1)
+                .and_then(|d| d.as_num())
+                .and_then(|n| n.to_i64())
+                .ok_or_else(|| StoreError::new("SUBSTR position must be an integer"))?;
+            let chars: Vec<char> = text.chars().collect();
+            // Oracle SUBSTR: 1-based; 0 treated as 1; negative counts from
+            // the end
+            let start = if pos > 0 {
+                (pos - 1) as usize
+            } else if pos == 0 {
+                0
+            } else {
+                chars.len().saturating_sub((-pos) as usize)
+            };
+            let len = match vals.get(2) {
+                None => chars.len().saturating_sub(start),
+                Some(d) => match d.as_num().and_then(|n| n.to_i64()) {
+                    Some(l) if l > 0 => l as usize,
+                    _ => return Ok(Datum::Null),
+                },
+            };
+            let out: String = chars.iter().skip(start).take(len).collect();
+            Datum::Str(out)
+        }
+    })
+}
+
+/// SQL LIKE with `%` and `_` wildcards.
+fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
+            }
+            Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some(c) => t.first() == Some(c) && rec(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonaccess::{JsonCell, JsonStorage};
+    use fsdm_sqljson::parse_path;
+
+    fn row() -> Row {
+        let doc = fsdm_json::parse(r#"{"id":5,"name":"phone-x","price":99.5}"#).unwrap();
+        vec![
+            Cell::D(Datum::from(1i64)),
+            Cell::D(Datum::from("REF-2021-77")),
+            Cell::J(JsonCell::encode(&doc, JsonStorage::Oson).unwrap()),
+            Cell::D(Datum::Null),
+        ]
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let r = row();
+        let e = Expr::cmp(Expr::Col(0), CmpOp::Eq, Expr::Lit(Datum::from(1i64)));
+        assert!(e.matches(&r).unwrap());
+        let f = Expr::And(
+            Box::new(Expr::cmp(Expr::Col(0), CmpOp::Ge, Expr::Lit(Datum::from(1i64)))),
+            Box::new(Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::Col(0)))))),
+        );
+        assert!(f.matches(&r).unwrap());
+        // NULL comparisons are unknown, and filters reject unknown
+        let g = Expr::cmp(Expr::Col(3), CmpOp::Eq, Expr::Lit(Datum::Null));
+        assert!(!g.matches(&r).unwrap());
+    }
+
+    #[test]
+    fn in_list_and_like() {
+        let r = row();
+        let e = Expr::InList(
+            Box::new(Expr::Col(0)),
+            vec![Datum::from(7i64), Datum::from(1i64)],
+        );
+        assert!(e.matches(&r).unwrap());
+        let l = Expr::Like(Box::new(Expr::Col(1)), "REF-%".into());
+        assert!(l.matches(&r).unwrap());
+        let l2 = Expr::Like(Box::new(Expr::Col(1)), "REF-____-77".into());
+        assert!(l2.matches(&r).unwrap());
+        let l3 = Expr::Like(Box::new(Expr::Col(1)), "XYZ%".into());
+        assert!(!l3.matches(&r).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = row();
+        let e = Expr::Arith(
+            Box::new(Expr::Col(0)),
+            ArithOp::Add,
+            Box::new(Expr::Lit(Datum::from(2i64))),
+        );
+        assert_eq!(e.eval(&r).unwrap(), Datum::from(3i64));
+        let div0 = Expr::Arith(
+            Box::new(Expr::Col(0)),
+            ArithOp::Div,
+            Box::new(Expr::Lit(Datum::from(0i64))),
+        );
+        assert!(div0.eval(&r).is_err());
+        // NULL propagates
+        let n = Expr::Arith(Box::new(Expr::Col(3)), ArithOp::Mul, Box::new(Expr::Col(0)));
+        assert!(n.eval(&r).unwrap().is_null());
+    }
+
+    #[test]
+    fn q6_style_substr_instr() {
+        let r = row();
+        // SUBSTR(ref, INSTR(ref, '-') + 1) → "2021-77"
+        let instr = Expr::Fun(
+            ScalarFun::Instr,
+            vec![Expr::Col(1), Expr::Lit(Datum::from("-"))],
+        );
+        let sub = Expr::Fun(
+            ScalarFun::Substr,
+            vec![
+                Expr::Col(1),
+                Expr::Arith(
+                    Box::new(instr),
+                    ArithOp::Add,
+                    Box::new(Expr::Lit(Datum::from(1i64))),
+                ),
+            ],
+        );
+        assert_eq!(sub.eval(&r).unwrap(), Datum::from("2021-77"));
+    }
+
+    #[test]
+    fn substr_variants() {
+        let r = vec![Cell::D(Datum::from("abcdef"))];
+        let sub = |pos: i64, len: Option<i64>| {
+            let mut args = vec![Expr::Col(0), Expr::Lit(Datum::from(pos))];
+            if let Some(l) = len {
+                args.push(Expr::Lit(Datum::from(l)));
+            }
+            Expr::Fun(ScalarFun::Substr, args).eval(&r).unwrap()
+        };
+        assert_eq!(sub(2, None), Datum::from("bcdef"));
+        assert_eq!(sub(2, Some(3)), Datum::from("bcd"));
+        assert_eq!(sub(-2, None), Datum::from("ef"));
+        assert_eq!(sub(0, Some(2)), Datum::from("ab"));
+    }
+
+    #[test]
+    fn json_exprs_on_rows() {
+        let r = row();
+        let jv = Expr::json_value(2, parse_path("$.price").unwrap(), SqlType::Number);
+        assert_eq!(jv.eval(&r).unwrap(), Datum::from(99.5));
+        let je = Expr::json_exists(2, parse_path("$?(@.id == 5)").unwrap());
+        assert_eq!(je.eval(&r).unwrap(), Datum::Bool(true));
+        // JSON op on a scalar column is a planning error
+        let bad = Expr::json_value(0, parse_path("$.x").unwrap(), SqlType::Any);
+        assert!(bad.eval(&r).is_err());
+    }
+
+    #[test]
+    fn nvl_and_concat() {
+        let r = row();
+        let e = Expr::Fun(ScalarFun::Nvl, vec![Expr::Col(3), Expr::Lit(Datum::from("dflt"))]);
+        assert_eq!(e.eval(&r).unwrap(), Datum::from("dflt"));
+        let c = Expr::Fun(
+            ScalarFun::Concat,
+            vec![Expr::Lit(Datum::from("a")), Expr::Lit(Datum::from("b"))],
+        );
+        assert_eq!(c.eval(&r).unwrap(), Datum::from("ab"));
+    }
+
+    #[test]
+    fn clone_preserves_behaviour() {
+        let r = row();
+        let jv = Expr::json_value(2, parse_path("$.id").unwrap(), SqlType::Number);
+        let jv2 = jv.clone();
+        assert_eq!(jv.eval(&r).unwrap(), jv2.eval(&r).unwrap());
+    }
+}

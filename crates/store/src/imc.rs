@@ -1,0 +1,421 @@
+//! The in-memory store (§5.2).
+//!
+//! Two complementary caches per table:
+//!
+//! * **OSON-IMC** (§5.2.2): for a JSON column stored as *text* on disk, a
+//!   hidden OSON encoding of every document is kept in memory; scans
+//!   transparently substitute the binary for the text so "SQL/JSON queries
+//!   over the JSON textual column are transparently rewritten to access
+//!   the OSON virtual column instead".
+//! * **VC-IMC** (§5.2.1): virtual columns (typically
+//!   `JSON_VALUE(jcol, path)`) are materialized into typed column vectors
+//!   — numbers as `f64` with a null slot, strings dictionary-encoded — so
+//!   predicates, aggregations and projections on those columns never touch
+//!   the JSON at all.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fsdm_sqljson::Datum;
+
+use crate::expr::{CmpOp, Expr};
+use crate::jsonaccess::JsonCell;
+use crate::table::{Cell, StoreError, Table};
+
+/// A typed in-memory column vector.
+#[derive(Debug, Clone)]
+pub enum ColumnVector {
+    /// Numeric column (`None` = SQL NULL).
+    Numbers(Vec<Option<f64>>),
+    /// Dictionary-encoded string column.
+    Strings {
+        /// Distinct values.
+        dict: Vec<String>,
+        /// Per-row dictionary codes.
+        codes: Vec<Option<u32>>,
+    },
+    /// Boolean column.
+    Bools(Vec<Option<bool>>),
+}
+
+impl ColumnVector {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVector::Numbers(v) => v.len(),
+            ColumnVector::Strings { codes, .. } => codes.len(),
+            ColumnVector::Bools(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read one row back as a datum.
+    pub fn get(&self, row: usize) -> Datum {
+        match self {
+            ColumnVector::Numbers(v) => match v[row] {
+                Some(x) => Datum::from(x),
+                None => Datum::Null,
+            },
+            ColumnVector::Strings { dict, codes } => match codes[row] {
+                Some(c) => Datum::Str(dict[c as usize].clone()),
+                None => Datum::Null,
+            },
+            ColumnVector::Bools(v) => match v[row] {
+                Some(b) => Datum::Bool(b),
+                None => Datum::Null,
+            },
+        }
+    }
+
+    /// Build from a sequence of datums, choosing the densest representation
+    /// for the observed values.
+    pub fn from_datums(values: &[Datum]) -> ColumnVector {
+        let mut any_num = false;
+        let mut any_str = false;
+        let mut any_bool = false;
+        for v in values {
+            match v {
+                Datum::Num(_) => any_num = true,
+                Datum::Str(_) => any_str = true,
+                Datum::Bool(_) => any_bool = true,
+                Datum::Null => {}
+            }
+        }
+        if any_str || (!any_num && !any_bool) {
+            let mut dict: Vec<String> = Vec::new();
+            let mut map: HashMap<String, u32> = HashMap::new();
+            let codes = values
+                .iter()
+                .map(|v| {
+                    if v.is_null() {
+                        None
+                    } else {
+                        let s = v.to_text();
+                        Some(*map.entry(s.clone()).or_insert_with(|| {
+                            dict.push(s);
+                            (dict.len() - 1) as u32
+                        }))
+                    }
+                })
+                .collect();
+            ColumnVector::Strings { dict, codes }
+        } else if any_num {
+            ColumnVector::Numbers(
+                values.iter().map(|v| v.as_num().map(|n| n.to_f64())).collect(),
+            )
+        } else {
+            ColumnVector::Bools(values.iter().map(|v| v.as_bool()).collect())
+        }
+    }
+}
+
+/// Per-table in-memory store state.
+#[derive(Debug, Default)]
+pub struct ImcStore {
+    /// OSON bytes per row for one JSON column (`oson_col`).
+    pub oson: Option<Vec<Option<Arc<Vec<u8>>>>>,
+    /// Which column the OSON cache shadows.
+    pub oson_col: Option<usize>,
+    /// Materialized (virtual) column vectors, keyed by scan column index.
+    pub vectors: HashMap<usize, ColumnVector>,
+}
+
+impl ImcStore {
+    /// Drop all cached state (back to pure disk/TEXT mode).
+    pub fn clear(&mut self) {
+        self.oson = None;
+        self.oson_col = None;
+        self.vectors.clear();
+    }
+
+    /// Total bytes held by the OSON cache.
+    pub fn oson_bytes(&self) -> usize {
+        self.oson
+            .as_ref()
+            .map(|v| v.iter().flatten().map(|b| b.len()).sum())
+            .unwrap_or(0)
+    }
+}
+
+impl Table {
+    /// Populate the hidden OSON column cache for the first JSON column
+    /// (OSON-IMC mode). Text rows are parsed and encoded once here — the
+    /// implicit `OSON()` constructor invocation of §5.2.2 at load time.
+    pub fn populate_oson_imc(&mut self) -> Result<(), StoreError> {
+        let col = self
+            .schema
+            .columns
+            .iter()
+            .position(|c| matches!(c.ty, crate::schema::ColType::Json(_)))
+            .ok_or_else(|| StoreError::new("no JSON column"))?;
+        let mut cache: Vec<Option<Arc<Vec<u8>>>> = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            match row.get(col) {
+                Some(Cell::J(JsonCell::Oson(b))) => cache.push(Some(b.clone())),
+                Some(Cell::J(j)) => {
+                    let doc = j.decode()?;
+                    let bytes = fsdm_oson::encode(&doc)
+                        .map_err(|e| StoreError::new(e.to_string()))?;
+                    cache.push(Some(Arc::new(bytes)));
+                }
+                _ => cache.push(None),
+            }
+        }
+        self.imc.oson = Some(cache);
+        self.imc.oson_col = Some(col);
+        Ok(())
+    }
+
+    /// Materialize the listed scan columns (base or virtual) into IMC
+    /// column vectors (VC-IMC mode).
+    pub fn populate_vc_imc(&mut self, columns: &[&str]) -> Result<(), StoreError> {
+        for name in columns {
+            let idx = self
+                .scan_col_index(name)
+                .ok_or_else(|| StoreError::new(format!("no column {name}")))?;
+            let width = self.schema.width();
+            let mut vals = Vec::with_capacity(self.rows.len());
+            for (i, row) in self.rows.iter().enumerate() {
+                let d = if idx < width {
+                    match &row[idx] {
+                        Cell::D(d) => d.clone(),
+                        Cell::J(j) => Datum::Str(j.decode_to_text()),
+                    }
+                } else {
+                    let vc = &self.virtual_columns[idx - width];
+                    // evaluate against the IMC-substituted row so VC
+                    // population itself benefits from the OSON cache
+                    let row_imc = self.imc_row(row, Some(i));
+                    vc.expr.eval(&row_imc)?
+                };
+                vals.push(d);
+            }
+            self.imc.vectors.insert(idx, ColumnVector::from_datums(&vals));
+        }
+        Ok(())
+    }
+
+    /// Apply the OSON-IMC substitution to one row (used by scans).
+    pub fn imc_row(&self, row: &crate::table::Row, row_id: Option<usize>) -> crate::table::Row {
+        match (&self.imc.oson, self.imc.oson_col, row_id) {
+            (Some(cache), Some(col), Some(id)) => {
+                let mut out = row.clone();
+                if let Some(Some(bytes)) = cache.get(id) {
+                    out[col] = Cell::J(JsonCell::Oson(bytes.clone()));
+                }
+                out
+            }
+            _ => row.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonaccess::JsonStorage;
+    use crate::schema::{ColType, ColumnSpec, ConstraintMode, TableSchema};
+    use crate::table::InsertValue;
+    use fsdm_sqljson::{parse_path, SqlType};
+
+    fn text_table(n: usize) -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![
+                ColumnSpec::new("id", ColType::Number),
+                ColumnSpec::json("j", JsonStorage::Text, ConstraintMode::IsJson),
+            ],
+        ));
+        for i in 0..n {
+            t.insert(vec![
+                (i as i64).into(),
+                InsertValue::Json(format!(r#"{{"v":{i},"s":"row{i}"}}"#)),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn oson_imc_population() {
+        let mut t = text_table(10);
+        assert_eq!(t.imc.oson_bytes(), 0);
+        t.populate_oson_imc().unwrap();
+        assert!(t.imc.oson_bytes() > 0);
+        // rows on disk remain text; the substitution happens per scan row
+        assert!(matches!(&t.rows[0][1], Cell::J(JsonCell::Text(_))));
+        let sub = t.imc_row(&t.rows[0], Some(0));
+        assert!(matches!(&sub[1], Cell::J(JsonCell::Oson(_))));
+        t.imc.clear();
+        assert_eq!(t.imc.oson_bytes(), 0);
+    }
+
+    #[test]
+    fn vc_imc_vectors() {
+        let mut t = text_table(20);
+        t.add_virtual_column(
+            "j$v",
+            crate::expr::Expr::json_value(1, parse_path("$.v").unwrap(), SqlType::Number),
+        );
+        t.add_virtual_column(
+            "j$s",
+            crate::expr::Expr::json_value(1, parse_path("$.s").unwrap(), SqlType::Varchar2(16)),
+        );
+        t.populate_vc_imc(&["j$v", "j$s"]).unwrap();
+        let vi = t.scan_col_index("j$v").unwrap();
+        let si = t.scan_col_index("j$s").unwrap();
+        match &t.imc.vectors[&vi] {
+            ColumnVector::Numbers(v) => {
+                assert_eq!(v.len(), 20);
+                assert_eq!(v[7], Some(7.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &t.imc.vectors[&si] {
+            ColumnVector::Strings { dict, codes } => {
+                assert_eq!(codes.len(), 20);
+                assert_eq!(dict.len(), 20);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.imc.vectors[&vi].get(3), Datum::from(3.0));
+    }
+
+    #[test]
+    fn vector_type_inference() {
+        let nums = ColumnVector::from_datums(&[Datum::from(1i64), Datum::Null]);
+        assert!(matches!(nums, ColumnVector::Numbers(_)));
+        let mixed = ColumnVector::from_datums(&[Datum::from(1i64), Datum::from("x")]);
+        assert!(matches!(mixed, ColumnVector::Strings { .. }));
+        let bools = ColumnVector::from_datums(&[Datum::Bool(true), Datum::Null]);
+        assert!(matches!(bools, ColumnVector::Bools(_)));
+        assert_eq!(bools.get(1), Datum::Null);
+    }
+
+    #[test]
+    fn dictionary_encoding_dedups() {
+        let vals: Vec<Datum> =
+            (0..100).map(|i| Datum::from(if i % 2 == 0 { "a" } else { "b" })).collect();
+        match ColumnVector::from_datums(&vals) {
+            ColumnVector::Strings { dict, .. } => assert_eq!(dict.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+/// Vectorized predicate evaluation (§5.2.1's "genuine columnar
+/// processing"): when every conjunct of a scan filter is a comparison
+/// between an IMC-materialized column and a literal, the qualifying row
+/// ids are computed by tight loops over the typed vectors — no row
+/// materialization, no JSON access. Returns `None` when the predicate is
+/// not fully vectorizable (the caller falls back to row-at-a-time).
+pub fn vectorized_selection(table: &Table, pred: &Expr) -> Option<Vec<usize>> {
+    if table.imc.vectors.is_empty() {
+        return None;
+    }
+    let mut conjuncts = Vec::new();
+    split_and(pred, &mut conjuncts);
+    let nrows = table.rows.len();
+    let mut selected: Option<Vec<bool>> = None;
+    for c in conjuncts {
+        let Expr::Cmp(l, op, r) = c else { return None };
+        let (col, lit, op) = match (&**l, &**r) {
+            (Expr::Col(i), Expr::Lit(d)) => (*i, d, *op),
+            (Expr::Lit(d), Expr::Col(i)) => (*i, d, flip(*op)),
+            _ => return None,
+        };
+        let vector = table.imc.vectors.get(&col)?;
+        let mut mask = vec![false; nrows];
+        match vector {
+            ColumnVector::Numbers(vals) => {
+                let x = lit.as_num()?.to_f64();
+                for (i, v) in vals.iter().enumerate() {
+                    if let Some(v) = v {
+                        mask[i] = cmp_f64(*v, op, x);
+                    }
+                }
+            }
+            ColumnVector::Strings { dict, codes } => {
+                // evaluate the predicate once per dictionary entry, then
+                // map codes — the dictionary-encoding payoff
+                let x = match lit {
+                    Datum::Str(s) => s.as_str(),
+                    _ => return None,
+                };
+                let verdict: Vec<bool> = dict
+                    .iter()
+                    .map(|d| cmp_ord(d.as_str().cmp(x), op))
+                    .collect();
+                for (i, c) in codes.iter().enumerate() {
+                    if let Some(c) = c {
+                        mask[i] = verdict[*c as usize];
+                    }
+                }
+            }
+            ColumnVector::Bools(vals) => {
+                let x = lit.as_bool()?;
+                for (i, v) in vals.iter().enumerate() {
+                    if let Some(v) = v {
+                        mask[i] = cmp_ord(v.cmp(&x), op);
+                    }
+                }
+            }
+        }
+        selected = Some(match selected {
+            None => mask,
+            Some(mut acc) => {
+                for (a, m) in acc.iter_mut().zip(&mask) {
+                    *a &= m;
+                }
+                acc
+            }
+        });
+    }
+    let sel = selected?;
+    Some(sel.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
+}
+
+fn split_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::And(a, b) = e {
+        split_and(a, out);
+        split_and(b, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn cmp_f64(v: f64, op: CmpOp, x: f64) -> bool {
+    match op {
+        CmpOp::Eq => v == x,
+        CmpOp::Ne => v != x,
+        CmpOp::Lt => v < x,
+        CmpOp::Le => v <= x,
+        CmpOp::Gt => v > x,
+        CmpOp::Ge => v >= x,
+    }
+}
+
+fn cmp_ord(ord: std::cmp::Ordering, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}

@@ -1,0 +1,237 @@
+//! Physical JSON storage formats and format-dispatched SQL/JSON
+//! evaluation.
+//!
+//! This module is where the §6.3 comparison lives: the *same* SQL/JSON
+//! operator runs against a `Text` cell (streaming engine or parse-to-DOM),
+//! a `Bson` cell (skip navigation), or an `Oson` cell (jump navigation) —
+//! the query layer is storage-agnostic, exactly like the views in the
+//! paper that "hide the underlying physical data storage model
+//! differences".
+
+use fsdm_json::{JsonValue, ValueDom};
+use fsdm_sqljson::json_table::{JsonTableCursor, JsonTableDef};
+use fsdm_sqljson::ops::{json_value, OnError};
+use fsdm_sqljson::{Datum, PathEvaluator, SqlType};
+
+use crate::table::StoreError;
+
+/// Physical storage of a JSON column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonStorage {
+    /// Compact JSON text (the paper's varchar2 storage).
+    Text,
+    /// BSON bytes (raw storage).
+    Bson,
+    /// OSON bytes (raw storage).
+    Oson,
+}
+
+/// One stored JSON document. Binary payloads are reference-counted so
+/// the in-memory store can hand OSON bytes to query rows without copying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonCell {
+    /// JSON text (shared: scans hand the same buffer to many rows).
+    Text(std::sync::Arc<str>),
+    /// BSON-encoded bytes.
+    Bson(std::sync::Arc<Vec<u8>>),
+    /// OSON-encoded bytes.
+    Oson(std::sync::Arc<Vec<u8>>),
+}
+
+impl JsonCell {
+    /// Encode a document for the given storage.
+    pub fn encode(doc: &JsonValue, storage: JsonStorage) -> Result<JsonCell, StoreError> {
+        Ok(match storage {
+            JsonStorage::Text => JsonCell::Text(fsdm_json::to_string(doc).into()),
+            JsonStorage::Bson => JsonCell::Bson(std::sync::Arc::new(
+                fsdm_bson::encode(doc).map_err(|e| StoreError::new(e.to_string()))?,
+            )),
+            JsonStorage::Oson => JsonCell::Oson(std::sync::Arc::new(
+                fsdm_oson::encode(doc).map_err(|e| StoreError::new(e.to_string()))?,
+            )),
+        })
+    }
+
+    /// Store already-serialized JSON text without re-encoding (used by the
+    /// no-constraint insert mode, which must not even parse).
+    pub fn raw_text(text: impl Into<String>) -> JsonCell {
+        JsonCell::Text(text.into().into())
+    }
+
+    /// Size in bytes as stored.
+    pub fn stored_size(&self) -> usize {
+        match self {
+            JsonCell::Text(s) => s.len(),
+            JsonCell::Bson(b) | JsonCell::Oson(b) => b.len(),
+        }
+    }
+
+    /// Fully decode to the value model (used by DataGuide maintenance and
+    /// re-encoding, not by queries).
+    pub fn decode(&self) -> Result<JsonValue, StoreError> {
+        match self {
+            JsonCell::Text(s) => {
+                fsdm_json::parse(s).map_err(|e| StoreError::new(e.to_string()))
+            }
+            JsonCell::Bson(b) => {
+                fsdm_bson::decode(b).map_err(|e| StoreError::new(e.to_string()))
+            }
+            JsonCell::Oson(b) => {
+                fsdm_oson::decode(b).map_err(|e| StoreError::new(e.to_string()))
+            }
+        }
+    }
+
+    /// Render as JSON text (selecting a raw JSON column in a query).
+    pub fn decode_to_text(&self) -> String {
+        match self {
+            JsonCell::Text(s) => s.to_string(),
+            other => match other.decode() {
+                Ok(v) => fsdm_json::to_string(&v),
+                Err(_) => String::new(),
+            },
+        }
+    }
+
+    /// `JSON_VALUE` against this cell, paying each format's native access
+    /// cost (text: parse / stream; BSON: sequential scan; OSON: jump).
+    pub fn json_value(&self, ev: &mut PathEvaluator, ty: SqlType) -> Datum {
+        match self {
+            JsonCell::Text(s) => {
+                // §5.1: streaming for simple paths, DOM otherwise — both
+                // pay the text parse
+                match fsdm_sqljson::streaming::eval_text(s, ev.path()) {
+                    Ok(values) => single_scalar(values, ty),
+                    Err(_) => Datum::Null,
+                }
+            }
+            JsonCell::Bson(b) => match fsdm_bson::BsonDoc::new(b) {
+                Ok(doc) => {
+                    json_value(&doc, ev, ty, OnError::Null).unwrap_or(Datum::Null)
+                }
+                Err(_) => Datum::Null,
+            },
+            JsonCell::Oson(b) => match fsdm_oson::OsonDoc::new(b) {
+                Ok(doc) => {
+                    json_value(&doc, ev, ty, OnError::Null).unwrap_or(Datum::Null)
+                }
+                Err(_) => Datum::Null,
+            },
+        }
+    }
+
+    /// `JSON_EXISTS` against this cell.
+    pub fn json_exists(&self, ev: &mut PathEvaluator) -> bool {
+        match self {
+            JsonCell::Text(s) => {
+                fsdm_sqljson::streaming::exists_text(s, ev.path()).unwrap_or(false)
+            }
+            JsonCell::Bson(b) => {
+                fsdm_bson::BsonDoc::new(b).map(|d| ev.exists(&d)).unwrap_or(false)
+            }
+            JsonCell::Oson(b) => {
+                fsdm_oson::OsonDoc::new(b).map(|d| ev.exists(&d)).unwrap_or(false)
+            }
+        }
+    }
+
+    /// Run a JSON_TABLE definition against this cell (one-shot; hot loops
+    /// should use [`JsonCell::json_table_rows_with`] and share a cursor).
+    pub fn json_table_rows(&self, def: &JsonTableDef) -> Vec<Vec<Datum>> {
+        let mut cursor = JsonTableCursor::new(def);
+        self.json_table_rows_with(&mut cursor)
+    }
+
+    /// Run JSON_TABLE with a caller-owned cursor, so compiled paths and
+    /// their field-id look-back caches persist across documents.
+    pub fn json_table_rows_with(&self, cursor: &mut JsonTableCursor) -> Vec<Vec<Datum>> {
+        match self {
+            JsonCell::Text(s) => match fsdm_json::parse(s) {
+                Ok(v) => {
+                    let dom = ValueDom::new(&v);
+                    cursor.rows(&dom)
+                }
+                Err(_) => Vec::new(),
+            },
+            JsonCell::Bson(b) => match fsdm_bson::BsonDoc::new(b) {
+                Ok(doc) => cursor.rows(&doc),
+                Err(_) => Vec::new(),
+            },
+            JsonCell::Oson(b) => match fsdm_oson::OsonDoc::new(b) {
+                Ok(doc) => cursor.rows(&doc),
+                Err(_) => Vec::new(),
+            },
+        }
+    }
+}
+
+/// JSON_VALUE cardinality + coercion over materialized path results.
+fn single_scalar(values: Vec<JsonValue>, ty: SqlType) -> Datum {
+    if values.len() != 1 {
+        return Datum::Null;
+    }
+    match Datum::from_json_scalar(&values[0]) {
+        Some(d) => d.coerce(ty).unwrap_or(Datum::Null),
+        None => Datum::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdm_json::parse;
+    use fsdm_sqljson::parse_path;
+
+    const DOC: &str = r#"{"po":{"id":4,"items":[{"p":10},{"p":20}]}}"#;
+
+    fn cells() -> Vec<JsonCell> {
+        let v = parse(DOC).unwrap();
+        vec![
+            JsonCell::encode(&v, JsonStorage::Text).unwrap(),
+            JsonCell::encode(&v, JsonStorage::Bson).unwrap(),
+            JsonCell::encode(&v, JsonStorage::Oson).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn json_value_agrees_across_storages() {
+        for cell in cells() {
+            let mut ev = PathEvaluator::new(parse_path("$.po.id").unwrap());
+            assert_eq!(cell.json_value(&mut ev, SqlType::Number), Datum::from(4i64));
+        }
+    }
+
+    #[test]
+    fn json_exists_agrees_across_storages() {
+        for cell in cells() {
+            let mut yes =
+                PathEvaluator::new(parse_path("$.po.items[*]?(@.p > 15)").unwrap());
+            let mut no =
+                PathEvaluator::new(parse_path("$.po.items[*]?(@.p > 99)").unwrap());
+            assert!(cell.json_exists(&mut yes));
+            assert!(!cell.json_exists(&mut no));
+        }
+    }
+
+    #[test]
+    fn decode_roundtrips() {
+        let v = parse(DOC).unwrap();
+        for cell in cells() {
+            assert!(cell.decode().unwrap().eq_unordered(&v));
+        }
+    }
+
+    #[test]
+    fn stored_sizes_differ_by_format() {
+        let sizes: Vec<usize> = cells().iter().map(|c| c.stored_size()).collect();
+        assert!(sizes.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn multi_match_json_value_is_null() {
+        for cell in cells() {
+            let mut ev = PathEvaluator::new(parse_path("$.po.items[*].p").unwrap());
+            assert!(cell.json_value(&mut ev, SqlType::Number).is_null());
+        }
+    }
+}

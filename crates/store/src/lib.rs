@@ -1,0 +1,41 @@
+//! `fsdm-store`: the miniature relational engine underneath the FSDM
+//! stack — the substrate standing in for the Oracle kernel in the paper's
+//! evaluation.
+//!
+//! What it provides, mapped to the paper:
+//!
+//! * **Tables with typed columns** including JSON columns in three
+//!   physical storages — `Text` (compact JSON text), `Bson`, `Oson` — plus
+//!   ordinary scalar columns for the relationally-decomposed baseline
+//!   (§6.3's four storage methods).
+//! * **IS JSON check constraints** with optional DataGuide maintenance
+//!   integrated into the insert pipeline, including the structure-
+//!   signature fast path (§3.2.1; measured in Figures 7–8). A table can
+//!   also carry a full [`fsdm_index::SearchIndex`].
+//! * **Virtual columns** defined by expressions (e.g. `JSON_VALUE(…)`), as
+//!   produced by the DataGuide's `AddVC()` (§3.3.1, §5.2.1).
+//! * A **volcano-style executor** (scan / filter / project / hash join /
+//!   group by / sort / window LAG / JSON_TABLE lateral) sufficient for the
+//!   paper's OLAP and NOBENCH query sets.
+//! * The **in-memory store** (§5.2): an OSON byte cache per JSON column
+//!   (OSON-IMC — text on disk, binary in memory, queries transparently
+//!   rewritten) and typed column vectors for (virtual) columns (VC-IMC).
+
+pub mod database;
+pub mod expr;
+pub mod imc;
+pub mod jsonaccess;
+pub mod optimizer;
+pub mod query;
+pub mod schema;
+pub mod table;
+
+pub use database::Database;
+pub use expr::{AggFun, CmpOp, Expr, ScalarFun};
+pub use imc::{ColumnVector, ImcStore};
+pub use jsonaccess::{JsonCell, JsonStorage};
+pub use query::{Query, QueryResult, SortKey, WindowFun};
+pub use schema::{ColType, ColumnSpec, ConstraintMode, TableSchema};
+pub use table::{Cell, InsertValue, Row, StoreError, Table};
+
+pub use fsdm_sqljson::{Datum, SqlType};

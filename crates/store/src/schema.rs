@@ -1,0 +1,124 @@
+//! Table schemas: column types, JSON storage choices, constraints.
+
+use fsdm_sqljson::SqlType;
+
+use crate::jsonaccess::JsonStorage;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// Oracle-style NUMBER.
+    Number,
+    /// Bounded string.
+    Varchar2(usize),
+    /// Boolean.
+    Boolean,
+    /// A JSON document column with a physical storage format.
+    Json(JsonStorage),
+}
+
+impl ColType {
+    /// The SQL scalar type scalars of this column coerce to (JSON columns
+    /// have no scalar type).
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            ColType::Number => Some(SqlType::Number),
+            ColType::Varchar2(n) => Some(SqlType::Varchar2(*n)),
+            ColType::Boolean => Some(SqlType::Boolean),
+            ColType::Json(_) => None,
+        }
+    }
+}
+
+/// Validation performed on JSON column writes (Figure 7's three modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConstraintMode {
+    /// No `IS JSON` constraint: bytes are stored unvalidated.
+    None,
+    /// `IS JSON`: the document is parsed/validated on insert.
+    #[default]
+    IsJson,
+    /// `IS JSON` + persistent DataGuide maintenance (and search index when
+    /// attached).
+    IsJsonWithDataGuide,
+}
+
+/// One column definition.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Column name (case-sensitive as given).
+    pub name: String,
+    /// Data type.
+    pub ty: ColType,
+    /// Constraint on JSON columns.
+    pub constraint: ConstraintMode,
+}
+
+impl ColumnSpec {
+    /// A scalar column.
+    pub fn new(name: impl Into<String>, ty: ColType) -> Self {
+        ColumnSpec { name: name.into(), ty, constraint: ConstraintMode::None }
+    }
+
+    /// A JSON column with the given storage and constraint mode.
+    pub fn json(
+        name: impl Into<String>,
+        storage: JsonStorage,
+        constraint: ConstraintMode,
+    ) -> Self {
+        ColumnSpec { name: name.into(), ty: ColType::Json(storage), constraint }
+    }
+}
+
+/// A table schema.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in position order.
+    pub columns: Vec<ColumnSpec>,
+}
+
+impl TableSchema {
+    /// Build a schema.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnSpec>) -> Self {
+        TableSchema { name: name.into(), columns }
+    }
+
+    /// Position of a column by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = TableSchema::new(
+            "po",
+            vec![
+                ColumnSpec::new("did", ColType::Number),
+                ColumnSpec::json("jdoc", JsonStorage::Text, ConstraintMode::IsJson),
+            ],
+        );
+        assert_eq!(s.col_index("did"), Some(0));
+        assert_eq!(s.col_index("jdoc"), Some(1));
+        assert_eq!(s.col_index("nope"), None);
+        assert_eq!(s.width(), 2);
+    }
+
+    #[test]
+    fn sql_types() {
+        assert_eq!(ColType::Number.sql_type(), Some(SqlType::Number));
+        assert_eq!(ColType::Varchar2(8).sql_type(), Some(SqlType::Varchar2(8)));
+        assert_eq!(ColType::Json(JsonStorage::Oson).sql_type(), None);
+    }
+}

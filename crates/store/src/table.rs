@@ -1,0 +1,444 @@
+//! Tables: rows, the insert pipeline with IS JSON validation and
+//! DataGuide/search-index maintenance, virtual columns, and key indexes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fsdm_dataguide::{structure_signature, DataGuide};
+use fsdm_index::SearchIndex;
+use fsdm_json::JsonValue;
+use fsdm_sqljson::Datum;
+
+use crate::expr::Expr;
+use crate::imc::ImcStore;
+use crate::jsonaccess::{JsonCell, JsonStorage};
+use crate::schema::{ColType, ConstraintMode, TableSchema};
+
+/// Storage engine error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl StoreError {
+    /// Build an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        StoreError { message: message.into() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store error: {}", self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One stored cell: a SQL scalar or a JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Scalar.
+    D(Datum),
+    /// JSON document in its physical storage form.
+    J(JsonCell),
+}
+
+/// A table row.
+pub type Row = Vec<Cell>;
+
+/// A value supplied to `insert`: scalars as datums, JSON as text (the wire
+/// form an application sends).
+#[derive(Debug, Clone)]
+pub enum InsertValue {
+    /// Scalar value.
+    Datum(Datum),
+    /// JSON document text.
+    Json(String),
+}
+
+impl From<Datum> for InsertValue {
+    fn from(d: Datum) -> Self {
+        InsertValue::Datum(d)
+    }
+}
+impl From<i64> for InsertValue {
+    fn from(v: i64) -> Self {
+        InsertValue::Datum(Datum::from(v))
+    }
+}
+impl From<&str> for InsertValue {
+    fn from(v: &str) -> Self {
+        InsertValue::Datum(Datum::from(v))
+    }
+}
+
+/// A named virtual column defined by an expression over the base row
+/// (§3.3.1 / §5.2.1 — typically `JSON_VALUE(jcol, path)`).
+#[derive(Debug, Clone)]
+pub struct VirtualColumn {
+    /// Column name.
+    pub name: String,
+    /// Defining expression (over base columns).
+    pub expr: Expr,
+}
+
+/// A heap table.
+pub struct Table {
+    /// Schema.
+    pub schema: TableSchema,
+    /// Row storage.
+    pub rows: Vec<Row>,
+    /// Virtual columns appended after base columns in scan output.
+    pub virtual_columns: Vec<VirtualColumn>,
+    /// Persistent DataGuide (maintained when a JSON column has
+    /// `IsJsonWithDataGuide`).
+    pub dataguide: DataGuide,
+    /// Structure signatures seen (the §3.2.1 fast path).
+    seen_signatures: std::collections::HashSet<u64>,
+    /// Count of inserts whose DataGuide work was skipped by the signature
+    /// fast path.
+    pub guide_fast_path_hits: u64,
+    /// Optional full search index (JSON search index of §3.2).
+    pub search_index: Option<SearchIndex>,
+    /// Equality indexes: column position → value → row ids.
+    pub key_indexes: HashMap<usize, HashMap<Datum, Vec<usize>>>,
+    /// In-memory store (§5.2).
+    pub imc: ImcStore,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            virtual_columns: Vec::new(),
+            dataguide: DataGuide::new(),
+            seen_signatures: Default::default(),
+            guide_fast_path_hits: 0,
+            search_index: None,
+            key_indexes: HashMap::new(),
+            imc: ImcStore::default(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total stored bytes (Figure 4's storage-size comparison): scalar
+    /// cells cost their textual width, JSON cells their encoded size.
+    pub fn storage_size(&self) -> usize {
+        let data: usize = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|c| match c {
+                        Cell::D(d) => d.to_text().len().max(1),
+                        Cell::J(j) => j.stored_size(),
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        // key indexes cost roughly one entry (value + row id) per row
+        let index: usize = self
+            .key_indexes
+            .values()
+            .map(|ix| ix.values().map(|v| v.len() * 16).sum::<usize>())
+            .sum();
+        data + index
+    }
+
+    /// Insert a row. JSON columns go through the §3.2.1 pipeline:
+    /// validation per the column's [`ConstraintMode`], then DataGuide /
+    /// search-index maintenance.
+    pub fn insert(&mut self, values: Vec<InsertValue>) -> Result<usize, StoreError> {
+        if values.len() != self.schema.width() {
+            return Err(StoreError::new(format!(
+                "expected {} values, got {}",
+                self.schema.width(),
+                values.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(values.len());
+        let mut guide_docs: Vec<JsonValue> = Vec::new();
+        for (spec, value) in self.schema.columns.iter().zip(values) {
+            match (&spec.ty, value) {
+                (ColType::Json(storage), InsertValue::Json(text)) => {
+                    match spec.constraint {
+                        ConstraintMode::None => {
+                            // no IS JSON check: bytes stored as-is; only
+                            // valid for text storage (binary formats
+                            // require a parse by construction)
+                            match storage {
+                                JsonStorage::Text => {
+                                    row.push(Cell::J(JsonCell::raw_text(text)));
+                                }
+                                _ => {
+                                    let doc = fsdm_json::parse(&text)
+                                        .map_err(|e| StoreError::new(e.to_string()))?;
+                                    row.push(Cell::J(JsonCell::encode(&doc, *storage)?));
+                                }
+                            }
+                        }
+                        ConstraintMode::IsJson => {
+                            let doc = fsdm_json::parse(&text)
+                                .map_err(|e| StoreError::new(format!("IS JSON violated: {e}")))?;
+                            row.push(Cell::J(encode_preferring_text(&doc, text, *storage)?));
+                        }
+                        ConstraintMode::IsJsonWithDataGuide => {
+                            let doc = fsdm_json::parse(&text)
+                                .map_err(|e| StoreError::new(format!("IS JSON violated: {e}")))?;
+                            row.push(Cell::J(encode_preferring_text(&doc, text, *storage)?));
+                            guide_docs.push(doc);
+                        }
+                    }
+                }
+                (ColType::Json(_), InsertValue::Datum(_)) => {
+                    return Err(StoreError::new(format!(
+                        "column {} requires a JSON value",
+                        spec.name
+                    )))
+                }
+                (_, InsertValue::Json(_)) => {
+                    return Err(StoreError::new(format!(
+                        "column {} is not a JSON column",
+                        spec.name
+                    )))
+                }
+                (ty, InsertValue::Datum(d)) => {
+                    let sql_ty = ty.sql_type().expect("scalar type");
+                    let coerced = d
+                        .coerce(sql_ty)
+                        .ok_or_else(|| {
+                            StoreError::new(format!("value does not fit column {}", spec.name))
+                        })?;
+                    row.push(Cell::D(coerced));
+                }
+            }
+        }
+        let row_id = self.rows.len();
+        // maintain key indexes
+        for (col, index) in self.key_indexes.iter_mut() {
+            if let Some(Cell::D(d)) = row.get(*col) {
+                index.entry(d.clone()).or_default().push(row_id);
+            }
+        }
+        // DataGuide maintenance with the structure-signature fast path
+        for doc in &guide_docs {
+            let sig = structure_signature(doc);
+            if self.seen_signatures.insert(sig) {
+                self.dataguide.add_document(doc);
+            } else {
+                self.dataguide.doc_count += 1;
+                self.guide_fast_path_hits += 1;
+            }
+            if let Some(ix) = &mut self.search_index {
+                ix.insert(row_id as u64, doc);
+            }
+        }
+        self.rows.push(row);
+        Ok(row_id)
+    }
+
+    /// Create an equality index on a scalar column (PK/FK acceleration for
+    /// the relational baseline).
+    pub fn create_key_index(&mut self, column: &str) -> Result<(), StoreError> {
+        let col = self
+            .schema
+            .col_index(column)
+            .ok_or_else(|| StoreError::new(format!("no column {column}")))?;
+        let mut index: HashMap<Datum, Vec<usize>> = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(Cell::D(d)) = row.get(col) {
+                index.entry(d.clone()).or_default().push(i);
+            }
+        }
+        self.key_indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// Attach (and build) a JSON search index over the first JSON column.
+    pub fn create_search_index(&mut self) -> Result<(), StoreError> {
+        let col = self
+            .schema
+            .columns
+            .iter()
+            .position(|c| matches!(c.ty, ColType::Json(_)))
+            .ok_or_else(|| StoreError::new("no JSON column to index"))?;
+        let mut ix = SearchIndex::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(Cell::J(j)) = row.get(col) {
+                let doc = j.decode()?;
+                ix.insert(i as u64, &doc);
+            }
+        }
+        self.search_index = Some(ix);
+        Ok(())
+    }
+
+    /// Register a virtual column (appears after base columns in scans).
+    pub fn add_virtual_column(&mut self, name: impl Into<String>, expr: Expr) {
+        self.virtual_columns.push(VirtualColumn { name: name.into(), expr });
+    }
+
+    /// Output column names of a scan (base + virtual).
+    pub fn scan_column_names(&self) -> Vec<String> {
+        self.schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .chain(self.virtual_columns.iter().map(|v| v.name.clone()))
+            .collect()
+    }
+
+    /// Position of a scan output column (base or virtual).
+    pub fn scan_col_index(&self, name: &str) -> Option<usize> {
+        self.schema.col_index(name).or_else(|| {
+            self.virtual_columns
+                .iter()
+                .position(|v| v.name == name)
+                .map(|i| self.schema.width() + i)
+        })
+    }
+}
+
+/// For text storage keep the application's original bytes (the paper
+/// stores minified text as received); binary storages re-encode.
+fn encode_preferring_text(
+    doc: &JsonValue,
+    original: String,
+    storage: JsonStorage,
+) -> Result<JsonCell, StoreError> {
+    match storage {
+        JsonStorage::Text => Ok(JsonCell::Text(original.into())),
+        other => JsonCell::encode(doc, other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSpec;
+
+    fn po_schema(storage: JsonStorage, mode: ConstraintMode) -> TableSchema {
+        TableSchema::new(
+            "po",
+            vec![
+                ColumnSpec::new("did", ColType::Number),
+                ColumnSpec::json("jdoc", storage, mode),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_and_validate() {
+        let mut t = Table::new(po_schema(JsonStorage::Text, ConstraintMode::IsJson));
+        t.insert(vec![1i64.into(), InsertValue::Json(r#"{"a":1}"#.into())]).unwrap();
+        assert_eq!(t.len(), 1);
+        // malformed JSON rejected by IS JSON
+        let err = t
+            .insert(vec![2i64.into(), InsertValue::Json("{oops".into())])
+            .unwrap_err();
+        assert!(err.message.contains("IS JSON"));
+    }
+
+    #[test]
+    fn no_constraint_stores_anything() {
+        let mut t = Table::new(po_schema(JsonStorage::Text, ConstraintMode::None));
+        t.insert(vec![1i64.into(), InsertValue::Json("{not json".into())]).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dataguide_maintenance_with_fast_path() {
+        let mut t =
+            Table::new(po_schema(JsonStorage::Text, ConstraintMode::IsJsonWithDataGuide));
+        for i in 0..50 {
+            t.insert(vec![
+                (i as i64).into(),
+                InsertValue::Json(format!(r#"{{"a":{i},"b":"x"}}"#)),
+            ])
+            .unwrap();
+        }
+        assert_eq!(t.dataguide.doc_count, 50);
+        assert_eq!(t.guide_fast_path_hits, 49);
+        // heterogeneous doc grows the guide
+        t.insert(vec![99i64.into(), InsertValue::Json(r#"{"a":1,"new_field":true}"#.into())])
+            .unwrap();
+        assert!(t.dataguide.rows().iter().any(|r| r.path == "$.new_field"));
+    }
+
+    #[test]
+    fn binary_storages_reencode() {
+        for storage in [JsonStorage::Bson, JsonStorage::Oson] {
+            let mut t = Table::new(po_schema(storage, ConstraintMode::IsJson));
+            t.insert(vec![1i64.into(), InsertValue::Json(r#"{"k":[1,2,3]}"#.into())])
+                .unwrap();
+            match &t.rows[0][1] {
+                Cell::J(j) => {
+                    let v = j.decode().unwrap();
+                    assert_eq!(v.get("k").unwrap().as_array().unwrap().len(), 3);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_type_enforcement() {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![ColumnSpec::new("s", ColType::Varchar2(3))],
+        ));
+        assert!(t.insert(vec!["abc".into()]).is_ok());
+        assert!(t.insert(vec!["abcd".into()]).is_err());
+        assert!(t.insert(vec![InsertValue::Json("{}".into())]).is_err());
+    }
+
+    #[test]
+    fn key_index_maintenance() {
+        let mut t = Table::new(TableSchema::new(
+            "t",
+            vec![ColumnSpec::new("k", ColType::Number)],
+        ));
+        t.insert(vec![5i64.into()]).unwrap();
+        t.create_key_index("k").unwrap();
+        t.insert(vec![5i64.into()]).unwrap();
+        t.insert(vec![6i64.into()]).unwrap();
+        let ix = &t.key_indexes[&0];
+        assert_eq!(ix[&Datum::from(5i64)], vec![0, 1]);
+        assert_eq!(ix[&Datum::from(6i64)], vec![2]);
+    }
+
+    #[test]
+    fn search_index_built_from_existing_rows() {
+        let mut t = Table::new(po_schema(JsonStorage::Oson, ConstraintMode::IsJson));
+        t.insert(vec![1i64.into(), InsertValue::Json(r#"{"tag":"red"}"#.into())]).unwrap();
+        t.insert(vec![2i64.into(), InsertValue::Json(r#"{"tag":"blue"}"#.into())]).unwrap();
+        t.create_search_index().unwrap();
+        let ix = t.search_index.as_ref().unwrap();
+        assert_eq!(ix.docs_with_value("$.tag", "blue"), vec![1]);
+    }
+
+    #[test]
+    fn virtual_columns_in_scan_schema() {
+        use fsdm_sqljson::{parse_path, SqlType};
+        let mut t = Table::new(po_schema(JsonStorage::Text, ConstraintMode::IsJson));
+        t.add_virtual_column(
+            "jdoc$a",
+            Expr::json_value(1, parse_path("$.a").unwrap(), SqlType::Number),
+        );
+        assert_eq!(t.scan_column_names(), vec!["did", "jdoc", "jdoc$a"]);
+        assert_eq!(t.scan_col_index("jdoc$a"), Some(2));
+    }
+}

@@ -1,0 +1,31 @@
+//! `fsdm-workloads`: deterministic generators for every document
+//! collection in the paper's evaluation (§6.1, Table 10) plus the NOBENCH
+//! and OLAP (Table 13) query workloads.
+//!
+//! All generators are seeded (`StdRng`), so repeated runs produce the
+//! identical corpus. The twelve collections reproduce the *shape*
+//! characteristics the paper reports: average document size (Table 10),
+//! distinct-path counts and DMDV fan-out (Table 12), and the OSON segment
+//! balance (Table 11) — e.g. `LoanNotes` is field-name-heavy (dictionary
+//! ≈ 60 % of the encoding), `SensorData` is a huge array of numeric
+//! samples (tree ≈ 80 %), `TwitterMsgArchive` amortizes one dictionary
+//! over thousands of repeated structures.
+
+pub mod collections;
+pub mod nobench;
+pub mod olap;
+
+pub use collections::{generate, Collection};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for a named workload.
+pub fn rng_for(name: &str, seed: u64) -> StdRng {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ seed)
+}

@@ -1,0 +1,168 @@
+//! The NOBENCH workload (Chasseur, Li, Patel — WebDB 2013), used by the
+//! paper for Figures 5–9: a genuinely semi-structured collection with a
+//! few common fields and ~1000 sparse fields, plus the 11-query workload.
+
+use fsdm_json::{JsonValue, Object};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of distinct sparse attributes in the collection.
+pub const SPARSE_FIELDS: usize = 1000;
+/// Sparse attributes present in each document (one 10-field cluster).
+pub const SPARSE_PER_DOC: usize = 10;
+
+/// Generate the `i`-th NOBENCH document (~530 bytes):
+///
+/// * `str1`, `str2` — strings;
+/// * `num` — integer (correlated with `i` so range predicates have
+///   tunable selectivity);
+/// * `bool` — boolean;
+/// * `dyn1`, `dyn2` — *dynamically typed*: string in some documents,
+///   number in others (the heterogeneity Dremel-style fixed schemas
+///   cannot express, §7);
+/// * `nested_obj` — object with `str` and `num`;
+/// * `nested_arr` — array of strings;
+/// * `thousandth` — `i % 1000` (the Q10 group-by key);
+/// * one cluster of 10 consecutive `sparse_XXX` fields.
+pub fn doc(rng: &mut StdRng, i: usize) -> JsonValue {
+    let mut o = Object::new();
+    o.push("str1", crate::collections::word(rng, 12));
+    o.push("str2", crate::collections::word(rng, 12));
+    o.push("num", JsonValue::from(i as i64));
+    o.push("bool", JsonValue::Bool(i % 2 == 0));
+    if i % 2 == 0 {
+        o.push("dyn1", JsonValue::from(i as i64));
+        o.push("dyn2", crate::collections::word(rng, 8));
+    } else {
+        o.push("dyn1", format!("{:08}", i));
+        o.push("dyn2", JsonValue::from(i as i64));
+    }
+    let mut nested = Object::new();
+    nested.push("str", crate::collections::word(rng, 10));
+    nested.push("num", JsonValue::from(rng.gen_range(0..1_000_000)));
+    o.push("nested_obj", JsonValue::Object(nested));
+    let arr: Vec<JsonValue> = (0..rng.gen_range(2..6))
+        .map(|_| crate::collections::word(rng, 8).into())
+        .collect();
+    o.push("nested_arr", JsonValue::Array(arr));
+    o.push("thousandth", JsonValue::from((i % 1000) as i64));
+    // one cluster of ten consecutive sparse fields
+    let cluster = (i % (SPARSE_FIELDS / SPARSE_PER_DOC)) * SPARSE_PER_DOC;
+    for s in cluster..cluster + SPARSE_PER_DOC {
+        o.push(format!("sparse_{s:03}"), crate::collections::word(rng, 8));
+    }
+    JsonValue::Object(o)
+}
+
+/// The 11 NOBENCH queries as SQL over a collection table `(did, jdoc)`.
+/// `n` is the corpus size (selectivity parameters scale with it).
+pub fn query_sql(q: usize, n: usize) -> String {
+    let lo = n / 2;
+    let hi = lo + n / 10; // ~10% selectivity range scans
+    let hi1 = lo + n / 1000 + 2; // ~0.1% for the join probe
+    match q {
+        1 => "select json_value(jdoc, '$.str1'), json_value(jdoc, '$.num' returning number) \
+              from nobench"
+            .to_string(),
+        2 => "select json_value(jdoc, '$.nested_obj.str'), \
+              json_value(jdoc, '$.nested_obj.num' returning number) from nobench"
+            .to_string(),
+        3 => "select json_value(jdoc, '$.sparse_110'), json_value(jdoc, '$.sparse_119') \
+              from nobench where json_exists(jdoc, '$.sparse_110')"
+            .to_string(),
+        4 => "select json_value(jdoc, '$.sparse_110'), json_value(jdoc, '$.sparse_220') \
+              from nobench where json_exists(jdoc, '$.sparse_110') or \
+              json_exists(jdoc, '$.sparse_220')"
+            .to_string(),
+        5 => "select did, jdoc from nobench where json_value(jdoc, '$.str1') = ?".to_string(),
+        6 => format!(
+            "select json_value(jdoc, '$.num' returning number) from nobench \
+             where json_value(jdoc, '$.num' returning number) between {lo} and {hi}"
+        ),
+        7 => format!(
+            "select json_value(jdoc, '$.dyn1') from nobench \
+             where json_value(jdoc, '$.dyn1' returning number) between {lo} and {hi}"
+        ),
+        8 => "select did from nobench where json_exists(jdoc, '$.nested_arr?(@ == \"notpresent\")') \
+              or json_exists(jdoc, '$.nested_arr?(@ starts with \"a\")')"
+            .to_string(),
+        9 => "select did from nobench where json_value(jdoc, '$.sparse_550') is not null"
+            .to_string(),
+        10 => format!(
+            "select json_value(jdoc, '$.thousandth' returning number), count(*) from nobench \
+             where json_value(jdoc, '$.num' returning number) between {lo} and {hi} \
+             group by json_value(jdoc, '$.thousandth' returning number)"
+        ),
+        11 => format!(
+            // self equi-join; executed programmatically by the harness in
+            // plan form, this SQL documents the intent
+            "select count(*) from nobench a, nobench b \
+             where json_value(a.jdoc, '$.nested_obj.str') = json_value(b.jdoc, '$.str1') \
+             and json_value(a.jdoc, '$.num' returning number) between {lo} and {hi1}"
+        ),
+        other => panic!("NOBENCH has queries 1..=11, not {other}"),
+    }
+}
+
+/// Query ids that benefit from the three VC-IMC virtual columns
+/// (`$.str1`, `$.num`, `$.dyn1`) — Figure 6's subset.
+pub const VC_QUERIES: [usize; 4] = [6, 7, 10, 11];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+
+    #[test]
+    fn doc_shape() {
+        let mut rng = rng_for("nobench", 9);
+        let d = doc(&mut rng, 123);
+        for f in [
+            "str1", "str2", "num", "bool", "dyn1", "dyn2", "nested_obj", "nested_arr",
+            "thousandth",
+        ] {
+            assert!(d.get(f).is_some(), "missing {f}");
+        }
+        assert_eq!(d.get("num").unwrap().as_i64(), Some(123));
+        assert_eq!(d.get("thousandth").unwrap().as_i64(), Some(123));
+        // doc 123 carries cluster 23 → sparse_230..sparse_239
+        assert!(d.get("sparse_230").is_some());
+        assert!(d.get("sparse_239").is_some());
+        assert!(d.get("sparse_240").is_none());
+    }
+
+    #[test]
+    fn dyn_fields_alternate_types() {
+        let mut rng = rng_for("nobench", 9);
+        let even = doc(&mut rng, 2);
+        let odd = doc(&mut rng, 3);
+        assert!(even.get("dyn1").unwrap().as_number().is_some());
+        assert!(odd.get("dyn1").unwrap().as_str().is_some());
+    }
+
+    #[test]
+    fn sparse_universe_is_1000_wide() {
+        let mut rng = rng_for("nobench", 9);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            let d = doc(&mut rng, i);
+            if let Some(o) = d.as_object() {
+                for (k, _) in o.iter() {
+                    if let Some(sfx) = k.strip_prefix("sparse_") {
+                        seen.insert(sfx.parse::<usize>().unwrap());
+                    }
+                }
+            }
+        }
+        assert!(seen.len() >= 900, "saw {} sparse ids", seen.len());
+        assert!(seen.iter().all(|&s| s < SPARSE_FIELDS));
+    }
+
+    #[test]
+    fn all_queries_render() {
+        for q in 1..=11 {
+            let sql = query_sql(q, 10_000);
+            assert!(sql.to_lowercase().contains("from nobench"), "Q{q}: {sql}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The §6.3 OLAP experiment workload: the purchaseOrder collection in the
+//! four storage methods and the nine Table 13 queries over the `po_mv`
+//! and `po_item_dmdv` view abstractions.
+
+use fsdm_json::JsonValue;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::collections::purchase_order;
+
+/// Generate the §6.3 corpus (the paper uses 100 000 documents).
+pub fn corpus(rng: &mut StdRng, n: usize) -> Vec<JsonValue> {
+    (0..n).map(|i| purchase_order(rng, i)).collect()
+}
+
+/// A Table 13 query: id, SQL over the view abstraction, bind values
+/// drawn deterministically from the corpus.
+#[derive(Debug, Clone)]
+pub struct OlapQuery {
+    /// 1..=9 as in Table 13.
+    pub id: usize,
+    /// SQL text over `po_mv` / `po_item_dmdv`.
+    pub sql: String,
+    /// Positional binds.
+    pub binds: Vec<String>,
+}
+
+/// The nine OLAP queries (Table 13). Binds reference values that exist in
+/// the generated corpus so selectivities are realistic.
+pub fn queries(rng: &mut StdRng, corpus: &[JsonValue]) -> Vec<OlapQuery> {
+    let pick = |rng: &mut StdRng| -> &JsonValue {
+        &corpus[rng.gen_range(0..corpus.len())]
+    };
+    let po = |d: &JsonValue| d.get("purchaseOrder").unwrap().clone();
+    let some_ref = po(pick(rng)).get("reference").unwrap().as_str().unwrap().to_string();
+    let some_requestor =
+        po(pick(rng)).get("requestor").unwrap().as_str().unwrap().to_string();
+    let partno_of = |d: &JsonValue| {
+        po(d).get("items").unwrap().at(0).unwrap().get("partno").unwrap().as_str().unwrap().to_string()
+    };
+    let p1 = partno_of(pick(rng));
+    let p2 = partno_of(pick(rng));
+    let p3 = partno_of(pick(rng));
+    let p4 = partno_of(pick(rng));
+    vec![
+        OlapQuery {
+            id: 1,
+            sql: "select count(*) from po_mv p where p.reference = ?".into(),
+            binds: vec![some_ref],
+        },
+        OlapQuery {
+            id: 2,
+            sql: "select costcenter, count(*) from po_mv group by costcenter order by 1"
+                .into(),
+            binds: vec![],
+        },
+        OlapQuery {
+            id: 3,
+            sql: format!(
+                "select costcenter, count(*) from po_item_dmdv where partno = '{p1}' \
+                 group by costcenter"
+            ),
+            binds: vec![],
+        },
+        OlapQuery {
+            id: 4,
+            sql: "select reference, instructions, itemno, partno, description, quantity, \
+                  unitprice from po_item_dmdv d where d.requestor = ? and d.quantity > ? \
+                  and d.unitprice > ?"
+                .into(),
+            binds: vec![some_requestor, "5".into(), "100".into()],
+        },
+        OlapQuery {
+            id: 5,
+            sql: format!(
+                "select l.reference, l.itemno, l.partno, l.description from po_item_dmdv l \
+                 where l.partno in ('{p2}', '{p3}', '{p4}')"
+            ),
+            binds: vec![],
+        },
+        OlapQuery {
+            id: 6,
+            sql: format!(
+                "select partno, reference, quantity, quantity - LAG(quantity, 1, quantity) \
+                 over (order by substr(reference, instr(reference, '-') + 1)) as difference \
+                 from po_item_dmdv where partno = '{p1}' \
+                 order by substr(reference, instr(reference, '-') + 1) desc"
+            ),
+            binds: vec![],
+        },
+        OlapQuery {
+            id: 7,
+            sql: "select sum(quantity * unitprice) from po_item_dmdv group by costcenter \
+                  order by 1"
+                .into(),
+            binds: vec![],
+        },
+        OlapQuery {
+            id: 8,
+            sql: "select reference, instructions, itemno, partno, description, quantity, \
+                  unitprice from po_item_dmdv where quantity > ? and unitprice > ?"
+                .into(),
+            binds: vec!["15".into(), "700".into()],
+        },
+        OlapQuery {
+            id: 9,
+            sql: "select reference, instructions, itemno, partno, description, quantity, \
+                  unitprice from po_item_dmdv"
+                .into(),
+            binds: vec![],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+
+    #[test]
+    fn corpus_and_queries_are_consistent() {
+        let mut rng = rng_for("olap", 1);
+        let docs = corpus(&mut rng, 100);
+        assert_eq!(docs.len(), 100);
+        let qs = queries(&mut rng, &docs);
+        assert_eq!(qs.len(), 9);
+        assert_eq!(qs[0].binds.len(), 1);
+        // the Q1 bind is a reference that exists in the corpus
+        let target = &qs[0].binds[0];
+        assert!(docs.iter().any(|d| d
+            .get("purchaseOrder")
+            .unwrap()
+            .get("reference")
+            .unwrap()
+            .as_str()
+            == Some(target)));
+    }
+
+    #[test]
+    fn queries_cover_both_views() {
+        let mut rng = rng_for("olap", 2);
+        let docs = corpus(&mut rng, 10);
+        let qs = queries(&mut rng, &docs);
+        assert!(qs.iter().filter(|q| q.sql.contains("po_mv")).count() >= 2);
+        assert!(qs.iter().filter(|q| q.sql.contains("po_item_dmdv")).count() >= 7);
+    }
+}

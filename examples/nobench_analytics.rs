@@ -1,0 +1,58 @@
+//! NOBENCH analytics through the three execution modes of §5.2/§6.4:
+//! TEXT (parse per query), OSON-IMC (binary in memory, text on disk), and
+//! VC-IMC (columnar virtual columns).
+//!
+//! ```sh
+//! cargo run --release --example nobench_analytics
+//! ```
+
+use std::time::Instant;
+
+use fsdm_bench::setup::{add_nobench_vcs, nobench_db};
+use fsdm_workloads::nobench::query_sql;
+
+fn main() {
+    let n = 10_000;
+    println!("loading {n} NOBENCH documents (text storage)…");
+    let mut session = nobench_db(n);
+    let q6 = query_sql(6, n);
+    let q10 = query_sql(10, n);
+
+    let time = |s: &mut fsdm::sql::Session, sql: &str| -> (f64, usize) {
+        s.execute(sql).unwrap(); // warm
+        let t = Instant::now();
+        let r = s.execute(sql).unwrap();
+        (t.elapsed().as_secs_f64() * 1e3, r.rows.len())
+    };
+
+    let (t6_text, n6) = time(&mut session, &q6);
+    let (t10_text, n10) = time(&mut session, &q10);
+    println!("\nTEXT-MODE       Q6 {t6_text:8.1} ms ({n6} rows)   Q10 {t10_text:8.1} ms ({n10} groups)");
+
+    session.db.table_mut("nobench").unwrap().populate_oson_imc().unwrap();
+    let (t6_oson, _) = time(&mut session, &q6);
+    let (t10_oson, _) = time(&mut session, &q10);
+    println!("OSON-IMC-MODE   Q6 {t6_oson:8.1} ms             Q10 {t10_oson:8.1} ms");
+
+    add_nobench_vcs(&mut session);
+    session
+        .db
+        .table_mut("nobench")
+        .unwrap()
+        .populate_vc_imc(&["nb$str1", "nb$num", "nb$dyn1"])
+        .unwrap();
+    let q6_vc = format!(
+        "select \"nb$num\" from nobench where \"nb$num\" between {} and {}",
+        n / 2,
+        n / 2 + n / 10
+    );
+    let (t6_vc, n6vc) = time(&mut session, &q6_vc);
+    assert_eq!(n6, n6vc, "VC-IMC must return identical results");
+    println!("VC-IMC-MODE     Q6 {t6_vc:8.1} ms");
+
+    println!(
+        "\nspeedups: OSON-IMC {:.1}x over TEXT; VC-IMC {:.1}x over OSON-IMC",
+        t6_text / t6_oson,
+        t6_oson / t6_vc
+    );
+}

@@ -1,0 +1,27 @@
+//! `fsdm`: umbrella crate re-exporting the whole FSDM stack.
+//!
+//! This workspace reproduces "Closing the Functional and Performance Gap
+//! between SQL and NoSQL" (SIGMOD 2016): the OSON binary JSON format, the
+//! JSON DataGuide dynamic soft schema, SQL/JSON query processing, and the
+//! in-memory store integration. Start with [`FsdmDatabase`].
+
+pub use fsdm_core::*;
+
+/// The JSON substrate: value model, parser, serializer, OraNum.
+pub use fsdm_json as json;
+/// BSON baseline codec.
+pub use fsdm_bson as bson;
+/// The OSON binary format.
+pub use fsdm_oson as oson;
+/// SQL/JSON path language and operators.
+pub use fsdm_sqljson as sqljson;
+/// The JSON DataGuide.
+pub use fsdm_dataguide as dataguide;
+/// The JSON search index.
+pub use fsdm_index as index;
+/// The relational engine.
+pub use fsdm_store as store;
+/// The SQL front end.
+pub use fsdm_sql as sql;
+/// Workload generators.
+pub use fsdm_workloads as workloads;

@@ -1,0 +1,144 @@
+//! Integration test: cross-format agreement over the workload corpora —
+//! every collection document round-trips through all three formats, and
+//! path evaluation agrees across text streaming, DOM, BSON and OSON.
+
+use fsdm::json::{JsonDom, ValueDom};
+use fsdm::sqljson::{parse_path, PathEvaluator};
+use fsdm_workloads::{generate, rng_for, Collection};
+
+fn corpus(c: Collection, n: usize) -> Vec<fsdm::json::JsonValue> {
+    let mut rng = rng_for(c.name(), 77);
+    (0..n).map(|i| generate(c, &mut rng, i)).collect()
+}
+
+#[test]
+fn all_small_collections_roundtrip_all_formats() {
+    for c in Collection::ALL {
+        if matches!(c, Collection::TwitterMsgArchive | Collection::SensorData) {
+            continue; // covered by the dedicated large-doc test below
+        }
+        for d in corpus(c, 25) {
+            let text = fsdm::json::to_string(&d);
+            assert_eq!(fsdm::json::parse(&text).unwrap(), d, "{} text", c.name());
+            let bson = fsdm::bson::encode(&d).unwrap();
+            assert!(
+                fsdm::bson::decode(&bson).unwrap().eq_unordered(&d),
+                "{} bson",
+                c.name()
+            );
+            let oson = fsdm::oson::encode(&d).unwrap();
+            assert!(
+                fsdm::oson::decode(&oson).unwrap().eq_unordered(&d),
+                "{} oson",
+                c.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn large_documents_roundtrip_oson() {
+    let mut rng = rng_for("big", 1);
+    let archive = generate(Collection::TwitterMsgArchive, &mut rng, 0);
+    let oson = fsdm::oson::encode(&archive).unwrap();
+    // wide-offset mode must engage for multi-megabyte documents
+    assert!(oson.len() > 500_000);
+    let back = fsdm::oson::decode(&oson).unwrap();
+    assert!(back.eq_unordered(&archive));
+}
+
+#[test]
+fn path_engines_agree_on_purchase_orders() {
+    let paths = [
+        "$.purchaseOrder.reference",
+        "$.purchaseOrder.items[*].partno",
+        "$.purchaseOrder.items[0].unitprice",
+        "$.purchaseOrder.items[*]?(@.quantity > 10).itemno",
+        "$.purchaseOrder.items.size()",
+    ];
+    for d in corpus(Collection::PurchaseOrder, 40) {
+        let text = fsdm::json::to_string(&d);
+        let bson = fsdm::bson::encode(&d).unwrap();
+        let oson = fsdm::oson::encode(&d).unwrap();
+        for p in paths {
+            let jp = parse_path(p).unwrap();
+            let dom = ValueDom::new(&d);
+            let mut e = PathEvaluator::new(jp.clone());
+            let expected = e.evaluate_values(&dom);
+
+            let via_text = fsdm::sqljson::streaming::eval_text(&text, &jp).unwrap();
+            assert_eq!(via_text.len(), expected.len(), "{p} text");
+
+            let bdoc = fsdm::bson::BsonDoc::new(&bson).unwrap();
+            let mut eb = PathEvaluator::new(jp.clone());
+            assert_eq!(eb.evaluate_values(&bdoc).len(), expected.len(), "{p} bson");
+
+            let odoc = fsdm::oson::OsonDoc::new(&oson).unwrap();
+            let mut eo = PathEvaluator::new(jp.clone());
+            let via_oson = eo.evaluate_values(&odoc);
+            assert_eq!(via_oson.len(), expected.len(), "{p} oson");
+            for (a, b) in expected.iter().zip(&via_oson) {
+                assert!(a.eq_unordered(b), "{p}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dataguide_identical_regardless_of_insertion_order() {
+    use fsdm::dataguide::DataGuide;
+    let docs = corpus(Collection::EventMessage, 30);
+    let mut forward = DataGuide::new();
+    for d in &docs {
+        forward.add_document(d);
+    }
+    let mut backward = DataGuide::new();
+    for d in docs.iter().rev() {
+        backward.add_document(d);
+    }
+    let fr: Vec<(String, String)> =
+        forward.rows().into_iter().map(|r| (r.path, r.type_str)).collect();
+    let br: Vec<(String, String)> =
+        backward.rows().into_iter().map(|r| (r.path, r.type_str)).collect();
+    assert_eq!(fr, br, "path/type rows are order-independent");
+}
+
+#[test]
+fn search_index_agrees_with_path_engine() {
+    use fsdm::index::SearchIndex;
+    let docs = corpus(Collection::PurchaseOrder, 60);
+    let mut ix = SearchIndex::new();
+    for (i, d) in docs.iter().enumerate() {
+        ix.insert(i as u64, d);
+    }
+    // pick a partno that exists and cross-check index vs engine
+    let target = docs[7]
+        .get("purchaseOrder")
+        .unwrap()
+        .get("items")
+        .unwrap()
+        .at(0)
+        .unwrap()
+        .get("partno")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let via_index = ix.docs_with_value("$.purchaseOrder.items.partno", &target);
+    let jp = parse_path(&format!(
+        "$.purchaseOrder.items[*]?(@.partno == \"{target}\")"
+    ))
+    .unwrap();
+    let mut ev = PathEvaluator::new(jp);
+    let via_engine: Vec<u64> = docs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            let dom = ValueDom::new(d);
+            ev.exists(&dom)
+        })
+        .map(|(i, _)| i as u64)
+        .collect();
+    assert_eq!(via_index, via_engine);
+    assert!(via_index.contains(&7));
+}

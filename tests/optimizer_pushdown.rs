@@ -1,0 +1,68 @@
+//! Integration test for the §6.3 predicate pushdown: the optimizer must
+//! never change results, only cost.
+
+use fsdm_bench::setup::{bind_datum, olap_db, olap_queries, StorageMethod};
+use fsdm_sqljson::Datum;
+
+#[test]
+fn pushdown_preserves_every_olap_result() {
+    let n = 300;
+    let queries = olap_queries(n);
+    for method in [StorageMethod::Json, StorageMethod::Oson] {
+        let mut session = olap_db(method, n);
+        for q in &queries {
+            let binds: Vec<Datum> = q.binds.iter().map(|b| bind_datum(b)).collect();
+            // optimized path (execute applies the rewrites)
+            let optimized = session.execute_with(&q.sql, &binds).unwrap();
+            // unoptimized path: plan then execute verbatim
+            let plan = session.plan(&q.sql, &binds).unwrap();
+            let raw = session.db.execute_unoptimized(&plan).unwrap();
+            let mut a = optimized.rows.clone();
+            let mut b = raw.rows.clone();
+            let key = |r: &Vec<Datum>| {
+                r.iter().map(|d| d.to_text()).collect::<Vec<_>>().join("\u{1}")
+            };
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "Q{} under {:?}", q.id, method);
+        }
+    }
+}
+
+#[test]
+fn pushdown_handles_between_and_in() {
+    let n = 200;
+    let mut session = olap_db(StorageMethod::Oson, n);
+    // BETWEEN splits into two pushable conjuncts
+    let r1 = session
+        .execute("select count(*) from po_item_dmdv where quantity between 3 and 7")
+        .unwrap();
+    let plan = session
+        .plan("select count(*) from po_item_dmdv where quantity between 3 and 7", &[])
+        .unwrap();
+    let r2 = session.db.execute_unoptimized(&plan).unwrap();
+    assert_eq!(r1, r2);
+    assert!(r1.rows[0][0].as_num().unwrap().to_i64().unwrap() > 0);
+    // IN over strings
+    let q = olap_queries(n).into_iter().find(|q| q.id == 5).unwrap();
+    let r3 = session.execute(&q.sql).unwrap();
+    let plan = session.plan(&q.sql, &[]).unwrap();
+    let r4 = session.db.execute_unoptimized(&plan).unwrap();
+    assert_eq!(r3.rows.len(), r4.rows.len());
+}
+
+#[test]
+fn pushdown_is_a_real_speedup_on_selective_predicates() {
+    // not a strict perf assertion — just that the pre-filter drops most
+    // documents before expansion (observable through timing at this scale
+    // would be flaky; instead verify plan shape)
+    let n = 50;
+    let session = olap_db(StorageMethod::Oson, n);
+    let plan = session
+        .plan("select count(*) from po_item_dmdv where partno = 'XYZ'", &[])
+        .unwrap();
+    let optimized = fsdm::store::optimizer::optimize(&session.db, plan);
+    let txt = format!("{optimized:?}");
+    assert!(txt.contains("JSON_EXISTS"), "prefilter missing: {txt}");
+    assert!(txt.contains("partno"), "{txt}");
+}
