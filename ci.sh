@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate for the fsdm workspace.
+#
+# The build environment has no crates.io access: every dependency is an
+# in-workspace path crate (including the rand/proptest/criterion
+# stand-ins), so nothing here touches the network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (tier-1: root package) =="
+cargo test -q
+
+echo "== tests (full workspace) =="
+cargo test --workspace -q
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

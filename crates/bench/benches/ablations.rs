@@ -30,9 +30,8 @@ fn ablation_pushdown(c: &mut Criterion) {
 
 fn ablation_lookback(c: &mut Criterion) {
     let mut rng = rng_for("ablation-lookback", 1);
-    let docs: Vec<Vec<u8>> = (0..500)
-        .map(|i| fsdm_oson::encode(&purchase_order(&mut rng, i)).unwrap())
-        .collect();
+    let docs: Vec<Vec<u8>> =
+        (0..500).map(|i| fsdm_oson::encode(&purchase_order(&mut rng, i)).unwrap()).collect();
     let path = parse_path("$.purchaseOrder.items[*].unitprice").unwrap();
     let mut g = c.benchmark_group("ablation_lookback");
     g.bench_function("shared_cursor_cache_hits", |b| {
@@ -67,20 +66,14 @@ fn ablation_number_mode(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_number_mode");
     g.bench_function("encode_oranum", |b| {
         b.iter(|| {
-            encode_with(
-                black_box(&doc),
-                EncoderOptions { number_mode: NumberMode::OraNum },
-            )
-            .unwrap()
+            encode_with(black_box(&doc), EncoderOptions { number_mode: NumberMode::OraNum })
+                .unwrap()
         })
     });
     g.bench_function("encode_double", |b| {
         b.iter(|| {
-            encode_with(
-                black_box(&doc),
-                EncoderOptions { number_mode: NumberMode::Double },
-            )
-            .unwrap()
+            encode_with(black_box(&doc), EncoderOptions { number_mode: NumberMode::Double })
+                .unwrap()
         })
     });
     g.finish();
@@ -90,10 +83,8 @@ fn ablation_set_encoding(c: &mut Criterion) {
     // §7 future work, implemented: per-instance self-contained OSON vs the
     // shared-dictionary set encoding for the in-memory store
     let mut rng = rng_for("ablation-set", 2);
-    let docs: Vec<fsdm_json::JsonValue> =
-        (0..300).map(|i| purchase_order(&mut rng, i)).collect();
-    let individual: Vec<Vec<u8>> =
-        docs.iter().map(|d| fsdm_oson::encode(d).unwrap()).collect();
+    let docs: Vec<fsdm_json::JsonValue> = (0..300).map(|i| purchase_order(&mut rng, i)).collect();
+    let individual: Vec<Vec<u8>> = docs.iter().map(|d| fsdm_oson::encode(d).unwrap()).collect();
     let mut b = fsdm_oson::OsonSetBuilder::new();
     for d in &docs {
         b.add(d.clone());

@@ -26,10 +26,7 @@ fn bench_nobench(c: &mut Criterion) {
     let mut vc = nobench_db(n);
     add_nobench_vcs(&mut vc);
     vc.db.table_mut("nobench").unwrap().populate_oson_imc().unwrap();
-    vc.db.table_mut("nobench")
-        .unwrap()
-        .populate_vc_imc(&["nb$str1", "nb$num", "nb$dyn1"])
-        .unwrap();
+    vc.db.table_mut("nobench").unwrap().populate_vc_imc(&["nb$str1", "nb$num", "nb$dyn1"]).unwrap();
     g.bench_function("vc_imc_mode", |b| b.iter(|| vc.execute(&q6_vc).unwrap()));
     g.finish();
 }

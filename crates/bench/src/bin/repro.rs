@@ -16,6 +16,12 @@
 //!
 //! Absolute numbers depend on the host; what must match the paper is the
 //! *shape* — who wins, by roughly what factor (see EXPERIMENTS.md).
+//!
+//! Every run finishes by printing the engine-wide metrics snapshot
+//! (`oson.*`, `sqljson.*`, `dataguide.*`, `index.*`, `store.*` — see
+//! README's Observability section) and writing it as JSON to
+//! `repro-metrics.json` for offline diffing. Pass `--no-metrics` to skip
+//! both.
 
 use fsdm_bench::experiments::*;
 use fsdm_bench::ms;
@@ -57,6 +63,22 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if !args.iter().any(|a| a == "--no-metrics") {
+        dump_metrics();
+    }
+}
+
+/// Print the engine-wide metrics accumulated while regenerating the
+/// tables/figures and persist them as JSON next to the results.
+fn dump_metrics() {
+    let snap = fsdm_obs::snapshot();
+    println!("\n== Engine metrics (cumulative over this run) ==");
+    print!("{}", snap.to_table());
+    let path = "repro-metrics.json";
+    match std::fs::write(path, snap.to_json()) {
+        Ok(()) => println!("metrics snapshot written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 fn table10(scale: usize) {
@@ -64,10 +86,7 @@ fn table10(scale: usize) {
     println!("{:<20} {:>6} {:>12} {:>12} {:>12}", "collection", "docs", "JSON", "BSON", "OSON");
     let (rows, _) = run_size_stats(scale);
     for r in rows {
-        println!(
-            "{:<20} {:>6} {:>12} {:>12} {:>12}",
-            r.collection, r.docs, r.json, r.bson, r.oson
-        );
+        println!("{:<20} {:>6} {:>12} {:>12} {:>12}", r.collection, r.docs, r.json, r.bson, r.oson);
     }
 }
 
@@ -179,12 +198,7 @@ fn fig8(n: usize) {
     let cells = run_homo_hetero(n);
     let homo = cells[0].time.as_secs_f64();
     for c in &cells {
-        println!(
-            "{:<28} {:>10}  ({:.2}x homo)",
-            c.mode,
-            ms(c.time),
-            c.time.as_secs_f64() / homo
-        );
+        println!("{:<28} {:>10}  ({:.2}x homo)", c.mode, ms(c.time), c.time.as_secs_f64() / homo);
     }
 }
 

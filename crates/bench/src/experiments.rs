@@ -191,33 +191,33 @@ pub fn run_nobench(n: usize, reps: usize) -> Vec<NobenchCell> {
     let mut session = nobench_db(n);
     let q5_bind = nobench_q5_bind(n);
     let mut cells = Vec::new();
-    let run_all = |session: &mut fsdm_sql::Session, mode: &'static str,
-                       cells: &mut Vec<NobenchCell>| {
-        for q in 1..=11usize {
-            let mut rows = 0usize;
-            let time = if q == 11 {
-                let plan = nobench_q11_plan(n, false);
-                time_best(
-                    || {
-                        rows = session.db.execute(&plan).unwrap().rows.len();
-                    },
-                    1,
-                    reps,
-                )
-            } else {
-                let sql = nobench::query_sql(q, n);
-                let binds = if q == 5 { vec![q5_bind.clone()] } else { vec![] };
-                time_best(
-                    || {
-                        rows = session.execute_with(&sql, &binds).unwrap().rows.len();
-                    },
-                    1,
-                    reps,
-                )
-            };
-            cells.push(NobenchCell { query: q, mode, time, rows });
-        }
-    };
+    let run_all =
+        |session: &mut fsdm_sql::Session, mode: &'static str, cells: &mut Vec<NobenchCell>| {
+            for q in 1..=11usize {
+                let mut rows = 0usize;
+                let time = if q == 11 {
+                    let plan = nobench_q11_plan(n, false);
+                    time_best(
+                        || {
+                            rows = session.db.execute(&plan).unwrap().rows.len();
+                        },
+                        1,
+                        reps,
+                    )
+                } else {
+                    let sql = nobench::query_sql(q, n);
+                    let binds = if q == 5 { vec![q5_bind.clone()] } else { vec![] };
+                    time_best(
+                        || {
+                            rows = session.execute_with(&sql, &binds).unwrap().rows.len();
+                        },
+                        1,
+                        reps,
+                    )
+                };
+                cells.push(NobenchCell { query: q, mode, time, rows });
+            }
+        };
     run_all(&mut session, "TEXT", &mut cells);
     session.db.table_mut("nobench").unwrap().populate_oson_imc().unwrap();
     run_all(&mut session, "OSON-IMC", &mut cells);
@@ -232,17 +232,16 @@ pub fn run_nobench(n: usize, reps: usize) -> Vec<NobenchCell> {
     let lo = n / 2;
     let hi = lo + n / 10;
     let vc_sql: [(usize, String); 3] = [
-        (6, format!(
-            "select \"nb$num\" from nobench where \"nb$num\" between {lo} and {hi}"
-        )),
-        (7, format!(
-            "select \"nb$dyn1\" from nobench where \"nb$dyn1\" between {lo} and {hi}"
-        )),
-        (10, format!(
-            "select json_value(jdoc, '$.thousandth' returning number), count(*) from nobench \
+        (6, format!("select \"nb$num\" from nobench where \"nb$num\" between {lo} and {hi}")),
+        (7, format!("select \"nb$dyn1\" from nobench where \"nb$dyn1\" between {lo} and {hi}")),
+        (
+            10,
+            format!(
+                "select json_value(jdoc, '$.thousandth' returning number), count(*) from nobench \
              where \"nb$num\" between {lo} and {hi} \
              group by json_value(jdoc, '$.thousandth' returning number)"
-        )),
+            ),
+        ),
     ];
     for (q, sql) in &vc_sql {
         let mut rows = 0usize;
@@ -331,9 +330,8 @@ pub fn run_insertion_modes(n: usize) -> Vec<InsertCell> {
 /// Figure 8: homogeneous vs heterogeneous inserts with DataGuide on.
 pub fn run_homo_hetero(n: usize) -> Vec<InsertCell> {
     let mut rng = rng_for("fig8", 4);
-    let homo: Vec<String> = (0..n)
-        .map(|_| fsdm_json::to_string(&nobench::doc(&mut rng, 0)))
-        .collect();
+    let homo: Vec<String> =
+        (0..n).map(|_| fsdm_json::to_string(&nobench::doc(&mut rng, 0))).collect();
     let hetero: Vec<String> = (0..n)
         .map(|i| {
             let mut d = nobench::doc(&mut rng, 0);

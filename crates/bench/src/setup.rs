@@ -88,11 +88,8 @@ pub fn olap_db(method: StorageMethod, n: usize) -> Session {
                 ],
             ));
             for (i, d) in docs.iter().enumerate() {
-                t.insert(vec![
-                    (i as i64).into(),
-                    InsertValue::Json(fsdm_json::to_string(d)),
-                ])
-                .unwrap();
+                t.insert(vec![(i as i64).into(), InsertValue::Json(fsdm_json::to_string(d))])
+                    .unwrap();
             }
             session.db.add_table(t);
             register_json_views(&mut session);
@@ -253,9 +250,7 @@ fn setup_rel(session: &mut Session, docs: &[JsonValue]) {
         ("quantity".to_string(), Expr::Col(10)),
         ("unitprice".to_string(), Expr::Col(11)),
     ];
-    session
-        .db
-        .create_view("po_item_dmdv", Query::Project { input: Box::new(join), exprs });
+    session.db.create_view("po_item_dmdv", Query::Project { input: Box::new(join), exprs });
 }
 
 /// Total stored bytes for a storage method's database (Figure 4).
@@ -283,8 +278,7 @@ pub fn nobench_db(n: usize) -> Session {
     let mut rng = rng_for("nobench-corpus", 5);
     for i in 0..n {
         let d = nobench::doc(&mut rng, i);
-        t.insert(vec![(i as i64).into(), InsertValue::Json(fsdm_json::to_string(&d))])
-            .unwrap();
+        t.insert(vec![(i as i64).into(), InsertValue::Json(fsdm_json::to_string(&d))]).unwrap();
     }
     session.db.add_table(t);
     session
@@ -376,8 +370,7 @@ mod tests {
             let counts: Vec<usize> = queries
                 .iter()
                 .map(|q| {
-                    let binds: Vec<Datum> =
-                        q.binds.iter().map(|b| bind_datum(b)).collect();
+                    let binds: Vec<Datum> = q.binds.iter().map(|b| bind_datum(b)).collect();
                     s.execute_with(&q.sql, &binds).unwrap().rows.len()
                 })
                 .collect();

@@ -102,8 +102,7 @@ impl<'a> Iterator for ElementIter<'a, '_> {
             .iter()
             .position(|&b| b == 0)
             .expect("name terminator");
-        let name =
-            std::str::from_utf8(&self.doc.bytes[name_start..name_start + rel]).unwrap_or("");
+        let name = std::str::from_utf8(&self.doc.bytes[name_start..name_start + rel]).unwrap_or("");
         let val_off = name_start + rel + 1;
         self.pos = val_off + self.doc.value_size(t, val_off);
         Some((name, t, val_off))
@@ -154,8 +153,7 @@ impl JsonDom for BsonDoc<'_> {
             }
             tag::STRING => {
                 let len = self.read_i32(off) as usize;
-                let s = std::str::from_utf8(&self.bytes[off + 4..off + 4 + len - 1])
-                    .unwrap_or("");
+                let s = std::str::from_utf8(&self.bytes[off + 4..off + 4 + len - 1]).unwrap_or("");
                 ScalarRef::Str(s)
             }
             tag::BOOL => ScalarRef::Bool(self.bytes[off] != 0),
@@ -175,9 +173,7 @@ impl JsonDom for BsonDoc<'_> {
         if t != tag::DOCUMENT {
             return None;
         }
-        self.elements(off)
-            .find(|(n, _, _)| *n == name)
-            .map(|(_, t, voff)| pack(voff, t))
+        self.elements(off).find(|(n, _, _)| *n == name).map(|(_, t, voff)| pack(voff, t))
     }
 }
 
@@ -232,10 +228,7 @@ mod tests {
         let b = doc.get_field(a, "b", field_hash("b")).unwrap();
         assert_eq!(doc.kind(b), NodeKind::Array);
         assert_eq!(doc.array_len(b), 2);
-        assert_eq!(
-            doc.scalar(doc.array_element(b, 0)),
-            ScalarRef::Num(JsonNumber::Int(10))
-        );
+        assert_eq!(doc.scalar(doc.array_element(b, 0)), ScalarRef::Num(JsonNumber::Int(10)));
         assert_eq!(doc.scalar(doc.array_element(b, 1)), ScalarRef::Str("x"));
         let (name, c) = doc.object_entry(root, 1);
         assert_eq!(name, "c");

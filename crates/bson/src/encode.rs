@@ -8,9 +8,7 @@ use crate::{tag, BsonError, Result};
 /// root; other roots are rejected (all collection documents in this stack
 /// are objects, matching the paper's workloads).
 pub fn encode(v: &JsonValue) -> Result<Vec<u8>> {
-    let obj = v
-        .as_object()
-        .ok_or_else(|| BsonError::new("BSON root must be an object"))?;
+    let obj = v.as_object().ok_or_else(|| BsonError::new("BSON root must be an object"))?;
     let mut out = Vec::with_capacity(256);
     write_document(&mut out, obj.iter())?;
     Ok(out)

@@ -80,10 +80,7 @@ mod tests {
         // \x16\x00\x00\x00\x02hello\x00\x06\x00\x00\x00world\x00\x00
         let v = parse(r#"{"hello":"world"}"#).unwrap();
         let bytes = encode(&v).unwrap();
-        assert_eq!(
-            bytes,
-            b"\x16\x00\x00\x00\x02hello\x00\x06\x00\x00\x00world\x00\x00"
-        );
+        assert_eq!(bytes, b"\x16\x00\x00\x00\x02hello\x00\x06\x00\x00\x00world\x00\x00");
     }
 
     #[test]

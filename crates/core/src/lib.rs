@@ -188,10 +188,7 @@ impl FsdmDatabase {
         for (i, vc) in vcs.iter().enumerate() {
             mv_exprs.push((vc.name.clone(), Expr::Col(base_width + i)));
         }
-        let mv_plan = Query::Project {
-            input: Box::new(Query::scan(collection)),
-            exprs: mv_exprs,
-        };
+        let mv_plan = Query::Project { input: Box::new(Query::scan(collection)), exprs: mv_exprs };
         self.session.db.create_view(format!("{collection}_mv"), mv_plan);
         // <name>_dmdv
         let view = create_view_on_path(
@@ -213,12 +210,8 @@ impl FsdmDatabase {
             exprs: {
                 // expose did + the JSON_TABLE columns, hiding the raw jdoc
                 let mut exprs: Vec<(String, Expr)> = vec![("did".to_string(), Expr::Col(0))];
-                let vc_count = self
-                    .session
-                    .db
-                    .table(collection)
-                    .map(|t| t.virtual_columns.len())
-                    .unwrap_or(0);
+                let vc_count =
+                    self.session.db.table(collection).map(|t| t.virtual_columns.len()).unwrap_or(0);
                 let jt_base = 2 + vc_count; // did, jdoc, VCs…, then JT cols
                 for (i, c) in columns.iter().enumerate() {
                     exprs.push((c.clone(), Expr::Col(jt_base + i)));
@@ -246,6 +239,25 @@ impl FsdmDatabase {
         self.session.execute_with(sql, binds)
     }
 
+    /// Run SQL while profiling the executor: for a SELECT the result
+    /// comes back with an `EXPLAIN ANALYZE`-style
+    /// [`fsdm_store::QueryProfile`] (per-operator output rows and
+    /// inclusive wall time); DDL/DML return `None` for the profile.
+    pub fn profile_sql(
+        &mut self,
+        sql: &str,
+    ) -> Result<(QueryResult, Option<fsdm_store::QueryProfile>)> {
+        self.session.profile(sql)
+    }
+
+    /// Snapshot of every metric recorded so far in the global
+    /// [`fsdm_obs`] registry (`oson.*`, `sqljson.*`, `dataguide.*`,
+    /// `index.*`, `store.*`). Use [`fsdm_obs::MetricsSnapshot::diff`]
+    /// against an earlier snapshot to isolate one workload's activity.
+    pub fn metrics_snapshot(&self) -> fsdm_obs::MetricsSnapshot {
+        fsdm_obs::snapshot()
+    }
+
     /// Evaluate a SQL/JSON path against every document; returns (id,
     /// matched values as JSON text) pairs.
     pub fn find(&self, collection: &str, path: &str) -> Result<Vec<(u64, Vec<String>)>> {
@@ -260,21 +272,19 @@ impl FsdmDatabase {
         for (i, row) in table.rows.iter().enumerate() {
             if let Some(Cell::J(j)) = row.get(1) {
                 let values: Vec<String> = match j {
-                    fsdm_store::JsonCell::Text(s) => {
-                        fsdm_sqljson::streaming::eval_text(s, &jp)
-                            .map_err(|e| SqlError::new(e.to_string()))?
-                            .iter()
-                            .map(fsdm_json::to_string)
-                            .collect()
-                    }
+                    fsdm_store::JsonCell::Text(s) => fsdm_sqljson::streaming::eval_text(s, &jp)
+                        .map_err(|e| SqlError::new(e.to_string()))?
+                        .iter()
+                        .map(fsdm_json::to_string)
+                        .collect(),
                     fsdm_store::JsonCell::Oson(b) => {
-                        let doc = fsdm_oson::OsonDoc::new(b)
-                            .map_err(|e| SqlError::new(e.to_string()))?;
+                        let doc =
+                            fsdm_oson::OsonDoc::new(b).map_err(|e| SqlError::new(e.to_string()))?;
                         ev.evaluate_values(&doc).iter().map(fsdm_json::to_string).collect()
                     }
                     fsdm_store::JsonCell::Bson(b) => {
-                        let doc = fsdm_bson::BsonDoc::new(b)
-                            .map_err(|e| SqlError::new(e.to_string()))?;
+                        let doc =
+                            fsdm_bson::BsonDoc::new(b).map_err(|e| SqlError::new(e.to_string()))?;
                         ev.evaluate_values(&doc).iter().map(fsdm_json::to_string).collect()
                     }
                 };
@@ -377,10 +387,7 @@ mod tests {
         assert_eq!(db.count("po"), 3);
         let text = db.get("po", 0).unwrap();
         let v = fsdm_json::parse(&text).unwrap();
-        assert_eq!(
-            v.get("purchaseOrder").unwrap().get("id").unwrap().as_i64(),
-            Some(1)
-        );
+        assert_eq!(v.get("purchaseOrder").unwrap().get("id").unwrap().as_i64(), Some(1));
         assert!(db.get("po", 99).is_none());
     }
 
@@ -406,9 +413,7 @@ mod tests {
         let dmdv = db.sql(&format!("select * from {}", schema.dmdv_view)).unwrap();
         assert_eq!(dmdv.rows.len(), 4);
         // SQL analytics over the inferred schema
-        let r = db
-            .sql("select count(*) from po_dmdv where \"jdoc$price\" > 100")
-            .unwrap();
+        let r = db.sql("select count(*) from po_dmdv where \"jdoc$price\" > 100").unwrap();
         assert_eq!(r.rows[0][0], Datum::from(2i64));
         assert!(schema.view_sql.contains("JSON_TABLE"));
     }
@@ -451,6 +456,48 @@ mod tests {
         db.populate_vc_imc("po", &["jdoc$id"]).unwrap();
         let vc = db.sql("select count(*) from po where \"jdoc$id\" >= 2").unwrap();
         assert_eq!(vc.rows[0][0], before.rows[0][0]);
+    }
+
+    #[test]
+    fn profile_sql_reports_operator_tree() {
+        let mut db = seeded();
+        db.infer_relational_schema("po").unwrap();
+        let (r, profile) =
+            db.profile_sql("select count(*) from po_dmdv where \"jdoc$price\" > 100").unwrap();
+        assert_eq!(r.rows[0][0], Datum::from(2i64));
+        let p = profile.expect("SELECT yields a profile");
+        assert!(p.elapsed_ns() > 0);
+        // the DMDV view expands to a JSON_TABLE pipeline over the scan;
+        // the profile mirrors the *optimized* plan, where the §6.3
+        // pushdown pre-filters the scan to the 2 qualifying documents
+        assert_eq!(p.find("Scan(po,filtered)").unwrap().rows_out, 2);
+        assert_eq!(p.find("JsonTable").unwrap().rows_out, 3, "2 + 1 items survive");
+        assert_eq!(p.find("Filter").unwrap().rows_out, 2, "items with price > 100");
+        assert_eq!(p.find("GroupBy").unwrap().rows_out, 1);
+        // DDL does not run through the volcano executor
+        let (_, none) = db.profile_sql("create table x (a number)").unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn metrics_snapshot_observes_activity() {
+        let mut db = FsdmDatabase::new();
+        let before = db.metrics_snapshot();
+        db.create_collection("m", CollectionOptions::default()).unwrap();
+        for i in 0..5 {
+            db.put("m", &format!(r#"{{"a":{i},"b":"x"}}"#)).unwrap();
+        }
+        db.sql("select count(*) from m where json_value(jdoc, '$.a' returning number) >= 0")
+            .unwrap();
+        let delta = db.metrics_snapshot().diff(&before);
+        // OSON encodes on insert; the DataGuide takes the signature fast
+        // path for 4 of the 5 identically-shaped docs; the query runs
+        // through the instrumented executor and path evaluator.
+        assert!(delta.counter("oson.encode.docs") >= 5);
+        assert!(delta.counter("dataguide.insert.changed") >= 1);
+        assert!(delta.counter("store.insert.guide_fast_path") >= 4);
+        assert!(delta.counter("store.exec.queries") >= 1);
+        assert!(delta.counter("sqljson.eval.paths") >= 5);
     }
 
     #[test]

@@ -74,7 +74,8 @@ mod tests {
     fn docs() -> Vec<JsonValue> {
         (0..20)
             .map(|i| {
-                let extra = if i % 4 == 0 { format!(",\"sparse_{i}\":true") } else { String::new() };
+                let extra =
+                    if i % 4 == 0 { format!(",\"sparse_{i}\":true") } else { String::new() };
                 parse(&format!(r#"{{"id":{i},"name":"d{i}"{extra}}}"#)).unwrap()
             })
             .collect()

@@ -212,12 +212,20 @@ impl GuideNode {
     /// elements at the *same* path with `under_array = true` (this is what
     /// produces "array of …" types and lets object elements contribute
     /// child paths).
-    fn observe(&mut self, v: &JsonValue, doc_id: u64, under_array: bool) {
+    ///
+    /// Returns the number of guide nodes (distinct paths) this value
+    /// created — 0 means the document's structure was already fully
+    /// covered by the guide.
+    fn observe(&mut self, v: &JsonValue, doc_id: u64, under_array: bool) -> u64 {
+        let mut new_paths = 0u64;
         match v {
             JsonValue::Object(o) => {
                 self.object.hit(doc_id, under_array);
                 for (k, c) in o.iter() {
-                    self.children.entry(k.to_string()).or_default().observe(
+                    if !self.children.contains_key(k) {
+                        new_paths += 1;
+                    }
+                    new_paths += self.children.entry(k.to_string()).or_default().observe(
                         c,
                         doc_id,
                         under_array,
@@ -233,22 +241,26 @@ impl GuideNode {
                         // "array of object"
                         JsonValue::Object(o) => {
                             for (k, c) in o.iter() {
-                                self.children.entry(k.to_string()).or_default().observe(
-                                    c,
-                                    doc_id,
-                                    true,
-                                );
+                                if !self.children.contains_key(k) {
+                                    new_paths += 1;
+                                }
+                                new_paths += self
+                                    .children
+                                    .entry(k.to_string())
+                                    .or_default()
+                                    .observe(c, doc_id, true);
                             }
                         }
                         // a nested array is recorded at the same path with
                         // the under-array flag → "array of array" (Table 4)
-                        JsonValue::Array(_) => self.observe(e, doc_id, true),
+                        JsonValue::Array(_) => new_paths += self.observe(e, doc_id, true),
                         scalar => self.scalars.observe(scalar, doc_id, true),
                     }
                 }
             }
             scalar => self.scalars.observe(scalar, doc_id, under_array),
         }
+        new_paths
     }
 
     fn merge(&mut self, other: &GuideNode) {
@@ -307,10 +319,18 @@ impl DataGuide {
     }
 
     /// Merge one document instance into the guide (instance extraction +
-    /// merge-union in a single walk).
-    pub fn add_document(&mut self, doc: &JsonValue) {
+    /// merge-union in a single walk). Returns how many previously-unseen
+    /// paths the document contributed — 0 means the guide was unchanged.
+    pub fn add_document(&mut self, doc: &JsonValue) -> u64 {
         self.doc_count += 1;
-        self.root.observe(doc, self.doc_count, false);
+        let new_paths = self.root.observe(doc, self.doc_count, false);
+        if new_paths > 0 {
+            fsdm_obs::counter!("dataguide.insert.changed").inc();
+            fsdm_obs::gauge!("dataguide.paths").add(new_paths as i64);
+        } else {
+            fsdm_obs::counter!("dataguide.insert.unchanged").inc();
+        }
+        new_paths
     }
 
     /// Merge another guide (used by the SQL aggregate's combine phase).
@@ -338,9 +358,7 @@ impl DataGuide {
     pub fn leaf_paths(&self) -> usize {
         self.rows()
             .iter()
-            .filter(|r| {
-                !r.type_str.ends_with("object") && !r.type_str.ends_with("array")
-            })
+            .filter(|r| !r.type_str.ends_with("object") && !r.type_str.ends_with("array"))
             .count()
     }
 
@@ -497,10 +515,8 @@ mod tests {
     /// Table 3 + Table 4: a deeper child hierarchy adds exactly 4 rows.
     #[test]
     fn table4_growth_deeper() {
-        let mut g = guide_of(&[
-            r#"{"purchaseOrder":{"id":1,"podate":"2014-09-08","items":[
-                {"name":"phone","price":100,"quantity":2}]}}"#,
-        ]);
+        let mut g = guide_of(&[r#"{"purchaseOrder":{"id":1,"podate":"2014-09-08","items":[
+                {"name":"phone","price":100,"quantity":2}]}}"#]);
         let before = g.distinct_paths();
         g.add_document(
             &parse(
@@ -578,16 +594,11 @@ mod tests {
 
     #[test]
     fn singleton_detection() {
-        let g = guide_of(&[
-            r#"{"purchaseOrder":{"id":1,"items":[{"name":"x"}]}}"#,
-        ]);
+        let g = guide_of(&[r#"{"purchaseOrder":{"id":1,"items":[{"name":"x"}]}}"#]);
         let po = g.node_at("$.purchaseOrder").unwrap();
         assert!(!po.is_singleton_scalar());
         assert!(g.node_at("$.purchaseOrder.id").unwrap().is_singleton_scalar());
-        assert!(!g
-            .node_at("$.purchaseOrder.items.name")
-            .unwrap()
-            .is_singleton_scalar());
+        assert!(!g.node_at("$.purchaseOrder.items.name").unwrap().is_singleton_scalar());
     }
 
     #[test]
@@ -602,10 +613,8 @@ mod tests {
 
     #[test]
     fn distinct_vs_leaf_paths() {
-        let g = guide_of(&[
-            r#"{"purchaseOrder":{"id":1,"podate":"x","items":[
-                {"name":"a","price":1,"quantity":1}]}}"#,
-        ]);
+        let g = guide_of(&[r#"{"purchaseOrder":{"id":1,"podate":"x","items":[
+                {"name":"a","price":1,"quantity":1}]}}"#]);
         // rows: purchaseOrder(object), id, podate, items(array), name,
         // price, quantity = 7; leaves = 5
         assert_eq!(g.distinct_paths(), 7);

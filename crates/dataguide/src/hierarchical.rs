@@ -60,11 +60,7 @@ fn node_json(n: &GuideNode, total_docs: u64, name: Option<&str>) -> JsonValue {
     if let Some(nm) = name {
         o.push("o:preferred_column_name", preferred_column_name(nm));
     }
-    let docs = n
-        .object
-        .doc_count
-        .max(n.array.doc_count)
-        .max(n.scalars.doc_count());
+    let docs = n.object.doc_count.max(n.array.doc_count).max(n.scalars.doc_count());
     if total_docs > 0 && docs > 0 {
         o.push("o:frequency", frequency_pct(docs, total_docs));
     }
@@ -138,16 +134,10 @@ mod tests {
         let flat = to_flat_json(&g);
         let rows = flat.as_array().unwrap();
         assert_eq!(rows.len(), g.distinct_paths());
-        let a_row = rows
-            .iter()
-            .find(|r| r.get("o:path").unwrap().as_str() == Some("$.a"))
-            .unwrap();
+        let a_row = rows.iter().find(|r| r.get("o:path").unwrap().as_str() == Some("$.a")).unwrap();
         assert_eq!(a_row.get("type").unwrap().as_str(), Some("number"));
         assert_eq!(a_row.get("o:frequency").unwrap().as_i64(), Some(100));
-        let b_row = rows
-            .iter()
-            .find(|r| r.get("o:path").unwrap().as_str() == Some("$.b"))
-            .unwrap();
+        let b_row = rows.iter().find(|r| r.get("o:path").unwrap().as_str() == Some("$.b")).unwrap();
         assert_eq!(b_row.get("o:frequency").unwrap().as_i64(), Some(50));
     }
 
@@ -163,10 +153,7 @@ mod tests {
         let name = items.get("items").unwrap().get("name").unwrap();
         assert_eq!(name.get("type").unwrap().as_str(), Some("string"));
         assert_eq!(name.get("o:length").unwrap().as_i64(), Some(2));
-        assert_eq!(
-            name.get("o:preferred_column_name").unwrap().as_str(),
-            Some("NAME")
-        );
+        assert_eq!(name.get("o:preferred_column_name").unwrap().as_str(), Some("NAME"));
     }
 
     #[test]

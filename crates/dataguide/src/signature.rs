@@ -111,10 +111,7 @@ mod tests {
             sig(r#"{"items":[{"p":1},{"p":2}]}"#),
             sig(r#"{"items":[{"p":9},{"p":8},{"p":7}]}"#)
         );
-        assert_ne!(
-            sig(r#"{"items":[{"p":1}]}"#),
-            sig(r#"{"items":[{"p":1},{"q":2}]}"#)
-        );
+        assert_ne!(sig(r#"{"items":[{"p":1}]}"#), sig(r#"{"items":[{"p":1},{"q":2}]}"#));
     }
 
     #[test]

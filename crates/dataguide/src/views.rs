@@ -82,9 +82,7 @@ fn collect_vc(
             if freq >= min_freq {
                 let col = unique_name(format!("{json_col}${name}"), used);
                 let ty = scalar_sql_type(child);
-                let sql = format!(
-                    "JSON_VALUE({json_col}, '{child_path}' returning {ty})"
-                );
+                let sql = format!("JSON_VALUE({json_col}, '{child_path}' returning {ty})");
                 out.push(VirtualColumnDef { name: col, path: child_path.clone(), ty, sql });
             }
         }
@@ -110,12 +108,7 @@ pub fn create_view_on_path(
     overrides: &HashMap<String, ColumnOverride>,
 ) -> Option<ViewDef> {
     let node = guide.node_at(root_path)?;
-    let ctx = Ctx {
-        json_col,
-        total_docs: guide.doc_count,
-        min_freq: min_frequency_pct,
-        overrides,
-    };
+    let ctx = Ctx { json_col, total_docs: guide.doc_count, min_freq: min_frequency_pct, overrides };
     let mut used = HashMap::new();
     let mut abs = root_path.to_string();
     if abs == "$" {
@@ -123,11 +116,7 @@ pub fn create_view_on_path(
         abs.push('$');
     }
     let (columns, nested) = build_level(node, &abs, "$", &ctx, &mut used);
-    let table_def = JsonTableDef {
-        row_path: parse_path(root_path).ok()?,
-        columns,
-        nested,
-    };
+    let table_def = JsonTableDef { row_path: parse_path(root_path).ok()?, columns, nested };
     let sql = render_sql(view_name, json_col, root_path, &table_def);
     Some(ViewDef { name: view_name.to_string(), table_def, sql })
 }
@@ -175,11 +164,7 @@ fn walk_level(
         if over.is_some_and(|o| o.exclude) {
             continue;
         }
-        let docs = child
-            .object
-            .doc_count
-            .max(child.array.doc_count)
-            .max(child.scalars.doc_count());
+        let docs = child.object.doc_count.max(child.array.doc_count).max(child.scalars.doc_count());
         if frequency_pct(docs, ctx.total_docs) < ctx.min_freq {
             continue;
         }
@@ -223,9 +208,8 @@ fn make_column(
     over: Option<&ColumnOverride>,
 ) -> ColumnDef {
     let default_name = format!("{}${}", ctx.json_col, field);
-    let name = over
-        .and_then(|o| o.rename.clone())
-        .unwrap_or_else(|| unique_name(default_name, used));
+    let name =
+        over.and_then(|o| o.rename.clone()).unwrap_or_else(|| unique_name(default_name, used));
     let ty = over.and_then(|o| o.retype).unwrap_or_else(|| scalar_sql_type(node));
     ColumnDef::value(name, ty, parse_path(rel).expect("generated path parses"))
 }
@@ -344,9 +328,12 @@ mod tests {
         assert!(names.contains(&"JCOL$id".to_string()));
         assert!(names.contains(&"JCOL$name".to_string()));
         assert!(names.contains(&"JCOL$partName".to_string()));
-        assert!(view.sql.contains("NESTED PATH '$.items[*]'")
-            || view.sql.contains("NESTED PATH '$.purchaseOrder.items[*]'"),
-            "{}", view.sql);
+        assert!(
+            view.sql.contains("NESTED PATH '$.items[*]'")
+                || view.sql.contains("NESTED PATH '$.purchaseOrder.items[*]'"),
+            "{}",
+            view.sql
+        );
 
         // executing the generated view over the documents produces the
         // de-normalized master-detail rows

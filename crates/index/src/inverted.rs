@@ -54,6 +54,8 @@ impl SearchIndex {
     pub fn insert(&mut self, id: DocId, doc: &JsonValue) -> bool {
         let mut keys = Vec::new();
         index_value(doc, "$", id, &mut self.postings, &mut keys);
+        fsdm_obs::counter!("index.postings.added").add(keys.len() as u64);
+        fsdm_obs::counter!("index.insert.docs").inc();
         self.doc_keys.insert(id, keys);
         // §3.2.1: DataGuide maintenance rides on document processing, with
         // a short-circuit when no schema change is possible
@@ -108,6 +110,7 @@ impl SearchIndex {
 
     /// Documents containing the given path (`$.a.b`, arrays transparent).
     pub fn docs_with_path(&self, path: &str) -> Vec<DocId> {
+        fsdm_obs::counter!("index.lookup.path").inc();
         self.postings.get(path).map(|p| p.presence.clone()).unwrap_or_default()
     }
 
@@ -116,6 +119,7 @@ impl SearchIndex {
     /// `"7"` from the number `7` — so numeric-looking input probes both
     /// the numeric and the string postings (union, document order).
     pub fn docs_with_value(&self, path: &str, value: &str) -> Vec<DocId> {
+        fsdm_obs::counter!("index.lookup.value").inc();
         let Some(pp) = self.postings.get(path) else {
             return Vec::new();
         };
@@ -147,6 +151,7 @@ impl SearchIndex {
     /// `JSON_TEXTCONTAINS`: documents whose string leaf at `path` contains
     /// the keyword (case-insensitive full word).
     pub fn docs_text_contains(&self, path: &str, keyword: &str) -> Vec<DocId> {
+        fsdm_obs::counter!("index.lookup.text").inc();
         self.postings
             .get(path)
             .and_then(|p| p.keywords.get(&keyword.to_lowercase()))
@@ -199,9 +204,7 @@ fn canonical_value_key_from_text(text: &str) -> String {
 
 /// Tokenize a string leaf into lowercase keywords.
 pub fn tokenize(s: &str) -> impl Iterator<Item = String> + '_ {
-    s.split(|c: char| !c.is_alphanumeric())
-        .filter(|w| !w.is_empty())
-        .map(|w| w.to_lowercase())
+    s.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()).map(|w| w.to_lowercase())
 }
 
 fn index_value(
@@ -264,9 +267,7 @@ fn push_unique(list: &mut Vec<DocId>, id: DocId) {
 /// rule as `path_step_text` there).
 fn fsdm_sqljson_step(name: &str) -> String {
     let simple = !name.is_empty()
-        && name
-            .bytes()
-            .all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
+        && name.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
         && !name.as_bytes()[0].is_ascii_digit();
     if simple {
         format!(".{name}")
@@ -290,11 +291,7 @@ mod tests {
 
     #[test]
     fn presence_postings() {
-        let ix = index(&[
-            r#"{"a":{"b":1}}"#,
-            r#"{"a":{"c":2}}"#,
-            r#"{"a":{"b":3,"c":4}}"#,
-        ]);
+        let ix = index(&[r#"{"a":{"b":1}}"#, r#"{"a":{"c":2}}"#, r#"{"a":{"b":3,"c":4}}"#]);
         assert_eq!(ix.docs_with_path("$.a.b"), vec![1, 3]);
         assert_eq!(ix.docs_with_path("$.a.c"), vec![2, 3]);
         assert_eq!(ix.docs_with_path("$.a"), vec![1, 2, 3]);
@@ -334,11 +331,7 @@ mod tests {
         assert_eq!(ix.docs_with_value("$.a", "1"), vec![2]);
         assert!(ix.docs_text_contains("$.s", "hello").is_empty());
         // dataguide remains additive: path $.s still known
-        assert!(ix
-            .dataguide()
-            .rows()
-            .iter()
-            .any(|r| r.path == "$.s"));
+        assert!(ix.dataguide().rows().iter().any(|r| r.path == "$.s"));
     }
 
     #[test]

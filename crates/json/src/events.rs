@@ -50,8 +50,8 @@ enum Frame {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Pending {
-    Value,     // a value is required next (document start, after ':' or ',')
-    KeyOrEnd,  // inside object: expecting key or '}'
+    Value,    // a value is required next (document start, after ':' or ',')
+    KeyOrEnd, // inside object: expecting key or '}'
     CommaOrEnd,
     Done,
 }
@@ -98,29 +98,27 @@ impl<'a> EventParser<'a> {
                     return Ok(None);
                 }
                 Pending::Value => return self.parse_value_event().map(Some),
-                Pending::KeyOrEnd => {
-                    match self.p.input.get(self.p.pos) {
-                        Some(b'}') => {
-                            self.p.pos += 1;
-                            self.pop_container();
-                            return Ok(Some(Event::EndObject));
-                        }
-                        Some(b'"') => {
-                            let key = self.p.parse_string()?;
-                            self.p.skip_ws();
-                            if self.p.input.get(self.p.pos) != Some(&b':') {
-                                return Err(JsonError::at("expected ':'", self.p.pos));
-                            }
-                            self.p.pos += 1;
-                            if let Some(Frame::Object(seen)) = self.stack.last_mut() {
-                                *seen = true;
-                            }
-                            self.state = Pending::Value;
-                            return Ok(Some(Event::Key(key)));
-                        }
-                        _ => return Err(JsonError::at("expected key or '}'", self.p.pos)),
+                Pending::KeyOrEnd => match self.p.input.get(self.p.pos) {
+                    Some(b'}') => {
+                        self.p.pos += 1;
+                        self.pop_container();
+                        return Ok(Some(Event::EndObject));
                     }
-                }
+                    Some(b'"') => {
+                        let key = self.p.parse_string()?;
+                        self.p.skip_ws();
+                        if self.p.input.get(self.p.pos) != Some(&b':') {
+                            return Err(JsonError::at("expected ':'", self.p.pos));
+                        }
+                        self.p.pos += 1;
+                        if let Some(Frame::Object(seen)) = self.stack.last_mut() {
+                            *seen = true;
+                        }
+                        self.state = Pending::Value;
+                        return Ok(Some(Event::Key(key)));
+                    }
+                    _ => return Err(JsonError::at("expected key or '}'", self.p.pos)),
+                },
                 Pending::CommaOrEnd => match (self.stack.last(), self.p.input.get(self.p.pos)) {
                     (Some(Frame::Object(_)), Some(b',')) => {
                         self.p.pos += 1;
@@ -209,7 +207,9 @@ impl<'a> EventParser<'a> {
                 self.after_scalar();
                 Ok(Event::Number(n))
             }
-            Some(c) => Err(JsonError::at(format!("unexpected character {:?}", c as char), self.p.pos)),
+            Some(c) => {
+                Err(JsonError::at(format!("unexpected character {:?}", c as char), self.p.pos))
+            }
             None => Err(JsonError::at("unexpected end of input", self.p.pos)),
         }
     }
@@ -294,7 +294,8 @@ mod tests {
     fn stream_matches_dom_shape() {
         let doc = r#"{"purchaseOrder":{"id":1,"items":[{"name":"phone","price":100}]}}"#;
         let evs = events(doc);
-        let starts = evs.iter().filter(|e| matches!(e, Event::StartObject | Event::StartArray)).count();
+        let starts =
+            evs.iter().filter(|e| matches!(e, Event::StartObject | Event::StartArray)).count();
         let ends = evs.iter().filter(|e| matches!(e, Event::EndObject | Event::EndArray)).count();
         assert_eq!(starts, ends);
         assert_eq!(starts, 4);
@@ -311,10 +312,7 @@ mod tests {
     #[test]
     fn rejects_malformed_streams() {
         for bad in ["{", "[1,", "{\"a\"}", "{\"a\":1,}", "[1]extra", "{,}"] {
-            assert!(
-                EventParser::new(bad).collect_events().is_err(),
-                "should reject {bad:?}"
-            );
+            assert!(EventParser::new(bad).collect_events().is_err(), "should reject {bad:?}");
         }
     }
 

@@ -274,11 +274,10 @@ impl OraNum {
             e10 += 1;
         }
         padded.extend_from_slice(sig);
-        if padded.len() % 2 != 0 {
+        if !padded.len().is_multiple_of(2) {
             padded.push(0);
         }
-        let digits100: Vec<u8> =
-            padded.chunks_exact(2).map(|p| p[0] * 10 + p[1]).collect();
+        let digits100: Vec<u8> = padded.chunks_exact(2).map(|p| p[0] * 10 + p[1]).collect();
         let exp100: i64 = e10 / 2 - 1;
         if exp100 > 62 {
             return Err(JsonError::new(format!("OraNum: magnitude overflow in {s:?}")));
@@ -533,7 +532,7 @@ impl Eq for JsonNumber {}
 
 impl PartialOrd for JsonNumber {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for JsonNumber {
@@ -605,19 +604,7 @@ mod tests {
 
     #[test]
     fn i64_roundtrip() {
-        for v in [
-            0i64,
-            1,
-            -1,
-            99,
-            100,
-            101,
-            12345,
-            -12345,
-            9_999_999,
-            i64::MAX,
-            i64::MIN + 1,
-        ] {
+        for v in [0i64, 1, -1, 99, 100, 101, 12345, -12345, 9_999_999, i64::MAX, i64::MIN + 1] {
             let n = OraNum::from_i64(v);
             assert_eq!(n.to_i64(), Some(v), "roundtrip {v}");
         }
@@ -626,8 +613,20 @@ mod tests {
     #[test]
     fn decimal_string_roundtrip() {
         for s in [
-            "0", "1", "-1", "3.14", "-3.14", "0.5", "0.005", "100.25", "1234567.89",
-            "350.86", "52.78", "35.24", "345.55", "546.78",
+            "0",
+            "1",
+            "-1",
+            "3.14",
+            "-3.14",
+            "0.5",
+            "0.005",
+            "100.25",
+            "1234567.89",
+            "350.86",
+            "52.78",
+            "35.24",
+            "345.55",
+            "546.78",
         ] {
             let n = OraNum::from_decimal_str(s).unwrap();
             assert_eq!(n.to_decimal_string(), s, "canonical form of {s}");
@@ -638,10 +637,7 @@ mod tests {
     fn scientific_input() {
         assert_eq!(OraNum::from_decimal_str("1e2").unwrap().to_i64(), Some(100));
         assert_eq!(OraNum::from_decimal_str("1.5e3").unwrap().to_i64(), Some(1500));
-        assert_eq!(
-            OraNum::from_decimal_str("25e-2").unwrap().to_decimal_string(),
-            "0.25"
-        );
+        assert_eq!(OraNum::from_decimal_str("25e-2").unwrap().to_decimal_string(), "0.25");
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl<'a> Parser<'a> {
             Some(c) if c == b'-' || c.is_ascii_digit() => {
                 Ok(JsonValue::Number(self.parse_number()?))
             }
-            Some(c) => Err(JsonError::at(format!("unexpected character {:?}", c as char), self.pos)),
+            Some(c) => {
+                Err(JsonError::at(format!("unexpected character {:?}", c as char), self.pos))
+            }
             None => Err(JsonError::at("unexpected end of input", self.pos)),
         }
     }
@@ -166,9 +168,7 @@ impl<'a> Parser<'a> {
                     return Ok(s.to_string());
                 }
                 b'\\' => break,
-                0x00..=0x1F => {
-                    return Err(JsonError::at("unescaped control character", self.pos))
-                }
+                0x00..=0x1F => return Err(JsonError::at("unescaped control character", self.pos)),
                 _ => self.pos += 1,
             }
         }
@@ -215,11 +215,10 @@ impl<'a> Parser<'a> {
                                             self.pos,
                                         ));
                                     }
-                                    let c = 0x10000
-                                        + ((cp - 0xD800) << 10)
-                                        + (low - 0xDC00);
-                                    char::from_u32(c)
-                                        .ok_or_else(|| JsonError::at("bad surrogate pair", self.pos))?
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(c).ok_or_else(|| {
+                                        JsonError::at("bad surrogate pair", self.pos)
+                                    })?
                                 } else {
                                     return Err(JsonError::at("lone high surrogate", self.pos));
                                 }
@@ -348,8 +347,20 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.", "1e", "\"a",
-            "\"\\q\"", "{\"a\":1} extra", "[1 2]", "\"\\ud800\"",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"a",
+            "\"\\q\"",
+            "{\"a\":1} extra",
+            "[1 2]",
+            "\"\\ud800\"",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -390,9 +401,6 @@ mod tests {
             parse("12345678901234567890123").unwrap(),
             JsonValue::Number(JsonNumber::Dec(_))
         ));
-        assert!(matches!(
-            parse("1e308").unwrap(),
-            JsonValue::Number(JsonNumber::Dbl(_))
-        ));
+        assert!(matches!(parse("1e308").unwrap(), JsonValue::Number(JsonNumber::Dbl(_))));
     }
 }

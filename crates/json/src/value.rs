@@ -278,9 +278,7 @@ impl JsonValue {
     /// Maximum depth of the tree (a scalar has depth 1).
     pub fn depth(&self) -> usize {
         match self {
-            JsonValue::Object(o) => {
-                1 + o.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
-            }
+            JsonValue::Object(o) => 1 + o.iter().map(|(_, v)| v.depth()).max().unwrap_or(0),
             JsonValue::Array(a) => 1 + a.iter().map(|v| v.depth()).max().unwrap_or(0),
             _ => 1,
         }

@@ -1,9 +1,7 @@
 //! Property-based tests for the JSON substrate: text round-tripping,
 //! OraNum order preservation, and parser/event-stream agreement.
 
-use fsdm_json::{
-    parse, to_string, Event, EventParser, JsonNumber, JsonValue, Object, OraNum,
-};
+use fsdm_json::{parse, to_string, Event, EventParser, JsonNumber, JsonValue, Object, OraNum};
 use proptest::prelude::*;
 
 /// Generator for arbitrary JSON values of bounded depth/size.
@@ -12,27 +10,24 @@ fn arb_json() -> impl Strategy<Value = JsonValue> {
         Just(JsonValue::Null),
         any::<bool>().prop_map(JsonValue::Bool),
         any::<i64>().prop_map(|v| JsonValue::Number(JsonNumber::Int(v))),
-        (-1_000_000i64..1_000_000, 0u32..10_000)
-            .prop_map(|(i, f)| JsonValue::Number(
-                JsonNumber::from_literal(&format!("{i}.{f:04}")).unwrap()
-            )),
+        (-1_000_000i64..1_000_000, 0u32..10_000).prop_map(|(i, f)| JsonValue::Number(
+            JsonNumber::from_literal(&format!("{i}.{f:04}")).unwrap()
+        )),
         "[a-zA-Z0-9 _\\-\u{e9}\u{1F600}]{0,20}".prop_map(JsonValue::String),
     ];
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..8).prop_map(JsonValue::Array),
-            prop::collection::vec(("[a-zA-Z_][a-zA-Z0-9_]{0,12}", inner), 0..8).prop_map(
-                |pairs| {
-                    let mut o = Object::new();
-                    let mut seen = std::collections::HashSet::new();
-                    for (k, v) in pairs {
-                        if seen.insert(k.clone()) {
-                            o.push(k, v);
-                        }
+            prop::collection::vec(("[a-zA-Z_][a-zA-Z0-9_]{0,12}", inner), 0..8).prop_map(|pairs| {
+                let mut o = Object::new();
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in pairs {
+                    if seen.insert(k.clone()) {
+                        o.push(k, v);
                     }
-                    JsonValue::Object(o)
                 }
-            ),
+                JsonValue::Object(o)
+            }),
         ]
     })
 }

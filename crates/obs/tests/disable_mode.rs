@@ -1,0 +1,31 @@
+//! The disable/no-op mode. Lives in its own integration-test binary (own
+//! process) because it toggles the process-global enable flag, which would
+//! race with unit tests that assert exact counts.
+
+#[test]
+fn disabled_recording_is_a_noop() {
+    let r = fsdm_obs::MetricsRegistry::new();
+    let c = r.counter("d.m.count");
+    let g = r.gauge("d.m.level");
+    let h = r.histogram("d.m.ns");
+
+    c.inc();
+    g.set(5);
+    h.record(100);
+
+    fsdm_obs::set_enabled(false);
+    assert!(!fsdm_obs::enabled());
+    c.add(10);
+    g.set(99);
+    g.add(1);
+    h.record(100);
+
+    // nothing moved while disabled
+    assert_eq!(c.get(), 1);
+    assert_eq!(g.get(), 5);
+    assert_eq!(r.snapshot().histograms["d.m.ns"].count, 1);
+
+    fsdm_obs::set_enabled(true);
+    c.inc();
+    assert_eq!(c.get(), 2);
+}

@@ -151,8 +151,7 @@ impl<'a> OsonDoc<'a> {
         } else {
             self.bytes[pos + 2] as usize
         };
-        std::str::from_utf8(&self.bytes[self.names + noff..self.names + noff + nlen])
-            .unwrap_or("")
+        std::str::from_utf8(&self.bytes[self.names + noff..self.names + noff + nlen]).unwrap_or("")
     }
 
     /// Resolve a field name to its instance field id: binary search on the
@@ -160,7 +159,9 @@ impl<'a> OsonDoc<'a> {
     /// (§4.2.1).
     pub fn lookup_field_id(&self, name: &str, hash: u32) -> Option<FieldId> {
         let (mut lo, mut hi) = (0usize, self.nfields);
+        let mut probes: u64 = 0;
         while lo < hi {
+            probes += 1;
             let mid = (lo + hi) / 2;
             if self.entry_hash(mid) < hash {
                 lo = mid + 1;
@@ -168,14 +169,19 @@ impl<'a> OsonDoc<'a> {
                 hi = mid;
             }
         }
+        let mut found = None;
         let mut i = lo;
         while i < self.nfields && self.entry_hash(i) == hash {
+            probes += 1;
             if self.field_name(i as FieldId) == name {
-                return Some(i as FieldId);
+                found = Some(i as FieldId);
+                break;
             }
             i += 1;
         }
-        None
+        fsdm_obs::counter!("oson.dict.lookups").inc();
+        fsdm_obs::counter!("oson.dict.probes").add(probes);
+        found
     }
 
     /// Decode the node header at tree-relative offset `node`:
@@ -189,8 +195,7 @@ impl<'a> OsonDoc<'a> {
     /// For container nodes: (child count, absolute offset of first id/off).
     fn container_header(&self, node: NodeRef) -> (NodeTag, usize, usize) {
         let (tag, p) = self.node_tag(node);
-        let (count, n) =
-            read_varint(self.bytes, p).expect("container count present");
+        let (count, n) = read_varint(self.bytes, p).expect("container count present");
         (tag, count as usize, p + n)
     }
 
@@ -269,12 +274,10 @@ impl JsonDom for OsonDoc<'_> {
             NodeTag::False => ScalarRef::Bool(false),
             NodeTag::Str => {
                 let voff = self.read_off(p) as usize;
-                let (len, n) =
-                    read_varint(self.bytes, self.values + voff).expect("string length");
+                let (len, n) = read_varint(self.bytes, self.values + voff).expect("string length");
                 let start = self.values + voff + n;
                 ScalarRef::Str(
-                    std::str::from_utf8(&self.bytes[start..start + len as usize])
-                        .unwrap_or(""),
+                    std::str::from_utf8(&self.bytes[start..start + len as usize]).unwrap_or(""),
                 )
             }
             NodeTag::NumOra => {
@@ -324,7 +327,9 @@ impl JsonDom for OsonDoc<'_> {
         }
         let id_w = self.id_w();
         let (mut lo, mut hi) = (0usize, count);
+        let mut probes: u64 = 1;
         while lo < hi {
+            probes += 1;
             let mid = (lo + hi) / 2;
             if self.read_id(base + mid * id_w) < id {
                 lo = mid + 1;
@@ -332,6 +337,8 @@ impl JsonDom for OsonDoc<'_> {
                 hi = mid;
             }
         }
+        fsdm_obs::counter!("oson.node.lookups").inc();
+        fsdm_obs::counter!("oson.node.probes").add(probes);
         if lo < count && self.read_id(base + lo * id_w) == id {
             let offs = base + count * id_w;
             Some(self.read_off(offs + lo * self.off_w()) as NodeRef)
@@ -426,9 +433,8 @@ mod tests {
 
     #[test]
     fn get_field_by_id_binary_search() {
-        let (bytes, v) = doc_of(
-            r#"{"f1":1,"f2":2,"f3":3,"f4":4,"f5":5,"f6":6,"f7":7,"f8":8,"f9":9}"#,
-        );
+        let (bytes, v) =
+            doc_of(r#"{"f1":1,"f2":2,"f3":3,"f4":4,"f5":5,"f6":6,"f7":7,"f8":8,"f9":9}"#);
         let d = OsonDoc::new(&bytes).unwrap();
         for (k, expected) in v.as_object().unwrap().iter() {
             let id = d.field_id(k, field_hash(k)).unwrap();
@@ -453,8 +459,7 @@ mod tests {
     fn object_entry_names() {
         let (bytes, _) = doc_of(r#"{"b":1,"a":2}"#);
         let d = OsonDoc::new(&bytes).unwrap();
-        let mut names: Vec<&str> =
-            (0..2).map(|i| d.object_entry(d.root(), i).0).collect();
+        let mut names: Vec<&str> = (0..2).map(|i| d.object_entry(d.root(), i).0).collect();
         names.sort_unstable();
         assert_eq!(names, ["a", "b"]);
     }

@@ -10,9 +10,7 @@ use std::collections::HashMap;
 
 use fsdm_json::{field_hash, JsonValue};
 
-use crate::wire::{
-    write_varint, NodeTag, FLAG_WIDE_FIELD_IDS, FLAG_WIDE_OFFSETS, MAGIC, VERSION,
-};
+use crate::wire::{write_varint, NodeTag, FLAG_WIDE_FIELD_IDS, FLAG_WIDE_OFFSETS, MAGIC, VERSION};
 use crate::{OsonError, Result};
 
 /// How JSON numbers are encoded in the leaf-scalar-value segment (§4.2.3:
@@ -57,7 +55,19 @@ pub fn encode_with(v: &JsonValue, opts: EncoderOptions) -> Result<Vec<u8>> {
     } else {
         (wide, tree_w, values_w, root_w)
     };
-    Ok(assemble(&dict, layout, &tree, &values, root))
+    let out = assemble(&dict, layout, &tree, &values, root);
+    // per-segment byte accounting (§4 / Table 11); the enabled() guard
+    // also skips the SegmentStats header re-parse in no-op mode
+    if fsdm_obs::enabled() {
+        if let Ok(s) = crate::stats::SegmentStats::of(&out) {
+            fsdm_obs::counter!("oson.encode.docs").inc();
+            fsdm_obs::histogram!("oson.encode.bytes").record(out.len() as u64);
+            fsdm_obs::counter!("oson.segment.dictionary_bytes").add(s.dictionary as u64);
+            fsdm_obs::counter!("oson.segment.tree_bytes").add(s.tree as u64);
+            fsdm_obs::counter!("oson.segment.values_bytes").add(s.values as u64);
+        }
+    }
+    Ok(out)
 }
 
 /// Offset/id width configuration for one encode.
@@ -113,8 +123,7 @@ impl Dictionary {
     fn build(root: &JsonValue) -> Result<Self> {
         let mut set: HashMap<String, u32> = HashMap::new();
         collect_names(root, &mut set)?;
-        let mut names: Vec<(u32, String)> =
-            set.into_iter().map(|(n, h)| (h, n)).collect();
+        let mut names: Vec<(u32, String)> = set.into_iter().map(|(n, h)| (h, n)).collect();
         names.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         if names.len() > u16::MAX as usize {
             return Err(OsonError::new("too many distinct field names (max 65535)"));
@@ -260,19 +269,12 @@ fn write_node(
 }
 
 /// Glue header + dictionary + tree + values into the final buffer.
-fn assemble(
-    dict: &Dictionary,
-    layout: Layout,
-    tree: &[u8],
-    values: &[u8],
-    root: u32,
-) -> Vec<u8> {
+fn assemble(dict: &Dictionary, layout: Layout, tree: &[u8], values: &[u8], root: u32) -> Vec<u8> {
     let w = layout.off_w();
     let nlen_w = if layout.wide_offsets { 2 } else { 1 }; // name_len width
     let entry = 4 + w + nlen_w;
-    let cap = 8 + 4 * w + dict.names.len() * entry + dict.names_blob.len()
-        + tree.len()
-        + values.len();
+    let cap =
+        8 + 4 * w + dict.names.len() * entry + dict.names_blob.len() + tree.len() + values.len();
     let mut out = Vec::with_capacity(cap);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
@@ -323,7 +325,10 @@ mod tests {
         // 100 objects with the same two field names: the names appear once
         let doc = format!(
             "[{}]",
-            (0..100).map(|i| format!(r#"{{"name":"x","price":{i}}}"#)).collect::<Vec<_>>().join(",")
+            (0..100)
+                .map(|i| format!(r#"{{"name":"x","price":{i}}}"#))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         let v = parse(&doc).unwrap();
         let b = encode(&v).unwrap();
@@ -343,8 +348,7 @@ mod tests {
     fn double_mode_uses_eight_byte_values() {
         let v = parse(r#"{"n":1.5}"#).unwrap();
         let ora = encode(&v).unwrap();
-        let dbl =
-            encode_with(&v, EncoderOptions { number_mode: NumberMode::Double }).unwrap();
+        let dbl = encode_with(&v, EncoderOptions { number_mode: NumberMode::Double }).unwrap();
         // value segment: OraNum for 1.5 is len-prefixed 3 bytes (4 total);
         // the double is always 8
         assert!(dbl.len() >= ora.len());
@@ -352,10 +356,7 @@ mod tests {
 
     #[test]
     fn large_document_switches_to_wide_offsets() {
-        let big: String = format!(
-            r#"{{"k":"{}"}}"#,
-            "x".repeat(70_000)
-        );
+        let big: String = format!(r#"{{"k":"{}"}}"#, "x".repeat(70_000));
         let b = encode(&parse(&big).unwrap()).unwrap();
         assert_ne!(b[5] & FLAG_WIDE_OFFSETS, 0);
     }

@@ -34,8 +34,8 @@ pub mod update;
 mod wire;
 
 pub use doc::OsonDoc;
-pub use set::{OsonSet, OsonSetBuilder, SetDictionary, SetDoc};
 pub use encoder::{encode, encode_with, EncoderOptions, NumberMode};
+pub use set::{OsonSet, OsonSetBuilder, SetDictionary, SetDoc};
 pub use stats::SegmentStats;
 pub use update::{update_scalar, UpdateOutcome};
 
@@ -69,5 +69,6 @@ pub type Result<T> = std::result::Result<T, OsonError>;
 pub fn decode(bytes: &[u8]) -> Result<fsdm_json::JsonValue> {
     use fsdm_json::JsonDom;
     let doc = OsonDoc::new(bytes)?;
+    fsdm_obs::counter!("oson.decode.docs").inc();
     Ok(doc.materialize(doc.root()))
 }

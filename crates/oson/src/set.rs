@@ -107,8 +107,7 @@ impl OsonSetBuilder {
     /// Assign global field ids and encode every instance against the
     /// shared dictionary.
     pub fn finalize(self) -> Result<OsonSet> {
-        let mut entries: Vec<(u32, String)> =
-            self.names.into_iter().map(|(n, h)| (h, n)).collect();
+        let mut entries: Vec<(u32, String)> = self.names.into_iter().map(|(n, h)| (h, n)).collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         if entries.len() > u32::MAX as usize / 2 {
             return Err(OsonError::new("set dictionary too large"));
@@ -184,11 +183,7 @@ impl OsonSet {
     /// encodings to see §7's memory saving.
     pub fn heap_size(&self) -> usize {
         self.dict.heap_size()
-            + self
-                .instances
-                .iter()
-                .map(|i| i.tree.len() + i.values.len())
-                .sum::<usize>()
+            + self.instances.iter().map(|i| i.tree.len() + i.values.len()).sum::<usize>()
     }
 }
 
@@ -242,10 +237,8 @@ fn write_node(
             off
         }
         JsonValue::Array(a) => {
-            let kids: Vec<u32> = a
-                .iter()
-                .map(|c| write_node(c, dict, tree, values))
-                .collect::<Result<_>>()?;
+            let kids: Vec<u32> =
+                a.iter().map(|c| write_node(c, dict, tree, values)).collect::<Result<_>>()?;
             let off = tree.len() as u32;
             tree.push(NodeTag::Array as u8);
             write_varint(tree, kids.len() as u64);
@@ -348,8 +341,8 @@ impl JsonDom for SetDoc<'_> {
             NodeTag::False => ScalarRef::Bool(false),
             NodeTag::NumOra => {
                 let len = self.inst.tree[p] as usize;
-                let d = OraNum::from_bytes(&self.inst.tree[p + 1..p + 1 + len])
-                    .expect("valid number");
+                let d =
+                    OraNum::from_bytes(&self.inst.tree[p + 1..p + 1 + len]).expect("valid number");
                 ScalarRef::Num(match d.to_i64() {
                     Some(i) => JsonNumber::Int(i),
                     None => JsonNumber::Dec(d),
@@ -476,8 +469,7 @@ mod tests {
                 fsdm_workloads_like_doc(&mut rng, i) // local helper below
             })
             .collect();
-        let individual: usize =
-            docs.iter().map(|d| crate::encode(d).unwrap().len()).sum();
+        let individual: usize = docs.iter().map(|d| crate::encode(d).unwrap().len()).sum();
         let mut b = OsonSetBuilder::new();
         for d in docs {
             b.add(d);

@@ -32,6 +32,20 @@ pub fn update_scalar(
     node: NodeRef,
     new_value: &JsonValue,
 ) -> Result<UpdateOutcome> {
+    let out = update_scalar_inner(buf, node, new_value)?;
+    // §4.3 piggyback-vs-rewrite accounting
+    match out {
+        UpdateOutcome::Updated => fsdm_obs::counter!("oson.update.in_place").inc(),
+        UpdateOutcome::NeedsReencode => fsdm_obs::counter!("oson.update.reencode").inc(),
+    }
+    Ok(out)
+}
+
+fn update_scalar_inner(
+    buf: &mut [u8],
+    node: NodeRef,
+    new_value: &JsonValue,
+) -> Result<UpdateOutcome> {
     let doc = OsonDoc::new(buf)?;
     if doc.kind(node) != fsdm_json::NodeKind::Scalar {
         return Err(OsonError::new("update target is not a scalar leaf"));

@@ -91,7 +91,6 @@ proptest! {
         let doc = OsonDoc::new(&bytes).unwrap();
         let a = doc.get_field(doc.root(), "a", field_hash("a")).unwrap();
         let new = JsonValue::from(seed_val % 100); // short int always fits
-        drop(doc);
         let out = update_scalar(&mut bytes, a, &new).unwrap();
         prop_assert_eq!(out, UpdateOutcome::Updated);
         let back = decode(&bytes).unwrap();

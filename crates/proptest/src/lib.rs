@@ -1,0 +1,139 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! crate cannot be fetched; this package shadows it through a workspace
+//! path dependency and implements exactly the subset the repo's property
+//! tests use:
+//!
+//! * the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`
+//!   and `prop_oneof!` macros,
+//! * `Strategy` with `prop_map`, `prop_recursive` and `boxed`,
+//! * `Just`, `any::<T>()`, half-open integer ranges, tuples up to arity 6,
+//!   `prop::collection::vec`, and a small generator for the character-class
+//!   regex patterns used by `&str` strategies,
+//! * `ProptestConfig::with_cases` and `TestCaseError`.
+//!
+//! It generates random cases deterministically (seeded per test name) but
+//! performs **no shrinking** — a failing case reports its seed and values
+//! instead. That is a deliberate trade for zero dependencies.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! Mirrors `proptest::prelude::prop`, the module-alias namespace.
+        pub use crate::collection;
+    }
+}
+
+/// Deterministic test-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// New generator with the given seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi)` over i128 space (shared by all the
+    /// integer range strategies).
+    pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        let v = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        lo + v as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        let s = (0u8..5, -10i64..10, any::<bool>());
+        for _ in 0..500 {
+            let (a, b, _c) = s.generate(&mut rng);
+            assert!(a < 5);
+            assert!((-10..10).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_charclass() {
+        let mut rng = crate::TestRng::new(2);
+        let s = "[a-c]{2,4}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..=4).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(i64),
+            Node(Vec<T>),
+        }
+        let s = (0i64..10).prop_map(T::Leaf).boxed().prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(T::Node)
+        });
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            fn depth(t: &T) -> usize {
+                match t {
+                    T::Leaf(n) => {
+                        assert!((0..10).contains(n));
+                        1
+                    }
+                    T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&v) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0i64..100, (b, c) in (0u8..4, any::<bool>())) {
+            prop_assume!(b != 3);
+            prop_assert!(a < 100);
+            prop_assert_eq!(b as i64 + a - a, b as i64, "b was {}", b);
+            prop_assert_ne!(!c, c);
+        }
+    }
+}

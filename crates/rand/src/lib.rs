@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rand` crate, covering exactly the API surface
+//! this workspace uses: `StdRng::seed_from_u64` and `Rng::gen_range` over
+//! half-open integer and `f64` ranges.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! crate cannot be fetched; this package shadows it via a workspace path
+//! dependency. The generator is SplitMix64 — statistically fine for
+//! workload synthesis and deterministic for a given seed, which is all the
+//! benchmarks and property tests need. It makes no cross-version
+//! reproducibility promise with the real `rand`.
+
+use std::ops::Range;
+
+/// Core source of randomness: a 64-bit output stream.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range`. Panics on an empty range, like the
+    /// real `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that can be sampled uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// The single blanket impl over [`SampleUniform`] matters: it lets type
+/// inference flow from the use site back into unsuffixed range literals
+/// (`LETTERS[rng.gen_range(0..26)]` forces `usize`), exactly like the real
+/// crate.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end)
+    }
+}
+
+/// Scalar types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[lo, hi)`; panics if the range is empty.
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo with a 128-bit widening: bias is < 2^-64 for the
+                // spans used here, irrelevant for test-data synthesis.
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "cannot sample empty f64 range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (subset of `rand::rngs`).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let f = r.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+            let u = r.gen_range(0u8..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn covers_full_span() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

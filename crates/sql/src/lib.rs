@@ -28,6 +28,8 @@ pub use lexer::{tokenize, Token};
 pub use parser::parse_sql;
 pub use planner::Session;
 
+pub use fsdm_store::{OpProfile, QueryProfile};
+
 use std::fmt;
 
 /// SQL front-end error.

@@ -85,9 +85,9 @@ impl Parser {
 
     fn uint_lit(&mut self) -> Result<usize> {
         match self.next() {
-            Some(Token::Number(s)) => s
-                .parse()
-                .map_err(|_| SqlError::new(format!("expected integer, found {s}"))),
+            Some(Token::Number(s)) => {
+                s.parse().map_err(|_| SqlError::new(format!("expected integer, found {s}")))
+            }
             other => Err(SqlError::new(format!("expected integer, found {other:?}"))),
         }
     }
@@ -217,9 +217,7 @@ impl Parser {
                     Some(self.ident()?)
                 } else {
                     match self.peek() {
-                        Some(Token::Ident(s))
-                            if !is_clause_kw(s) =>
-                        {
+                        Some(Token::Ident(s)) if !is_clause_kw(s) => {
                             let a = s.clone();
                             self.i += 1;
                             Some(a)
@@ -249,9 +247,9 @@ impl Parser {
                 if self.eat_kw("sample") {
                     self.expect_sym("(")?;
                     let pct = match self.next() {
-                        Some(Token::Number(s)) => s
-                            .parse::<f64>()
-                            .map_err(|_| SqlError::new("bad sample percentage"))?,
+                        Some(Token::Number(s)) => {
+                            s.parse::<f64>().map_err(|_| SqlError::new("bad sample percentage"))?
+                        }
                         other => {
                             return Err(SqlError::new(format!("bad sample clause: {other:?}")))
                         }
@@ -260,7 +258,9 @@ impl Parser {
                     sample_pct = Some(pct);
                 }
                 let alias = match self.peek() {
-                    Some(Token::Ident(s)) if !is_clause_kw(s) && !s.eq_ignore_ascii_case("json_table") => {
+                    Some(Token::Ident(s))
+                        if !is_clause_kw(s) && !s.eq_ignore_ascii_case("json_table") =>
+                    {
                         let a = s.clone();
                         self.i += 1;
                         Some(a)
@@ -496,11 +496,7 @@ impl Parser {
             Some(Token::Sym("-")) => {
                 self.i += 1;
                 let e = self.primary()?;
-                Ok(SqlExpr::Binary(
-                    Box::new(SqlExpr::NumLit("0".into())),
-                    "-".into(),
-                    Box::new(e),
-                ))
+                Ok(SqlExpr::Binary(Box::new(SqlExpr::NumLit("0".into())), "-".into(), Box::new(e)))
             }
             Some(Token::Number(n)) => {
                 self.i += 1;
@@ -549,11 +545,7 @@ impl Parser {
                 let col = self.expr()?;
                 self.expect_sym(",")?;
                 let path = self.string_lit()?;
-                let ret = if self.eat_kw("returning") {
-                    Some(self.type_name()?)
-                } else {
-                    None
-                };
+                let ret = if self.eat_kw("returning") { Some(self.type_name()?) } else { None };
                 self.expect_sym(")")?;
                 Ok(SqlExpr::JsonValue(Box::new(col), path, ret))
             }
@@ -651,10 +643,8 @@ mod tests {
 
     #[test]
     fn parses_table13_q2() {
-        let s = parse_sql(
-            "select costcenter, count(*) from po_mv group by costcenter order by 1",
-        )
-        .unwrap();
+        let s = parse_sql("select costcenter, count(*) from po_mv group by costcenter order by 1")
+            .unwrap();
         match s {
             Statement::Select(sel) => {
                 assert_eq!(sel.items.len(), 2);
@@ -719,15 +709,15 @@ mod tests {
 
     #[test]
     fn parses_create_table_and_insert() {
-        let s = parse_sql(
-            "create table po (did number, jdoc json store as oson with dataguide)",
-        )
-        .unwrap();
+        let s = parse_sql("create table po (did number, jdoc json store as oson with dataguide)")
+            .unwrap();
         match s {
             Statement::CreateTable { name, columns } => {
                 assert_eq!(name, "po");
-                assert!(matches!(&columns[1].ty, CreateColType::Json { storage, dataguide: true, .. }
-                    if storage == "oson"));
+                assert!(
+                    matches!(&columns[1].ty, CreateColType::Json { storage, dataguide: true, .. }
+                    if storage == "oson")
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -753,10 +743,7 @@ mod tests {
         match s {
             Statement::Select(sel) => {
                 assert_eq!(sel.sample_pct, Some(50.0));
-                assert!(matches!(
-                    &sel.items[0],
-                    SelectItem::Expr(SqlExpr::DataGuideAgg(_), None)
-                ));
+                assert!(matches!(&sel.items[0], SelectItem::Expr(SqlExpr::DataGuideAgg(_), None)));
             }
             other => panic!("{other:?}"),
         }

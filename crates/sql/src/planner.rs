@@ -8,7 +8,7 @@ use fsdm_sqljson::{parse_path, Datum, SqlType};
 use fsdm_store::table::InsertValue;
 use fsdm_store::{
     AggFun, CmpOp, ColType, ColumnSpec, ConstraintMode, Database, Expr, JsonStorage, Query,
-    QueryResult, ScalarFun, SortKey, Table, TableSchema, WindowFun,
+    QueryProfile, QueryResult, ScalarFun, SortKey, Table, TableSchema, WindowFun,
 };
 
 use crate::ast::*;
@@ -66,6 +66,33 @@ impl Session {
         }
     }
 
+    /// Parse and execute one statement while profiling the executor.
+    ///
+    /// For a SELECT this returns the result together with the
+    /// `EXPLAIN ANALYZE`-style [`QueryProfile`] (per-operator output rows
+    /// and inclusive wall time). DDL/DML and the session-driven
+    /// `JSON_DATAGUIDEAGG` path do not run through the volcano executor,
+    /// so they execute normally and return `None` for the profile.
+    pub fn profile(&mut self, sql: &str) -> Result<(QueryResult, Option<QueryProfile>)> {
+        self.profile_with(sql, &[])
+    }
+
+    /// [`Session::profile`] with positional `?` bind values.
+    pub fn profile_with(
+        &mut self,
+        sql: &str,
+        binds: &[Datum],
+    ) -> Result<(QueryResult, Option<QueryProfile>)> {
+        if let Statement::Select(sel) = parse_sql(sql)? {
+            if dataguide_agg_target(&sel).is_none() {
+                let plan = self.plan_select(&sel, binds)?;
+                let (result, profile) = self.db.execute_profiled(&plan)?;
+                return Ok((result, Some(profile)));
+            }
+        }
+        Ok((self.execute_with(sql, binds)?, None))
+    }
+
     /// Plan (without executing) a SELECT — used to register views and by
     /// the benchmark harness to pre-plan hot queries.
     pub fn plan(&self, sql: &str, binds: &[Datum]) -> Result<Query> {
@@ -110,20 +137,15 @@ impl Session {
                 }
             }
         }
+        if self.db.table(name).is_some() {
+            return Err(SqlError::new(format!("table {name} already exists")));
+        }
         self.db.add_table(Table::new(TableSchema::new(name, specs)));
         Ok(())
     }
 
-    fn run_insert(
-        &mut self,
-        name: &str,
-        rows: &[Vec<SqlExpr>],
-        binds: &[Datum],
-    ) -> Result<usize> {
-        let table = self
-            .db
-            .table(name)
-            .ok_or_else(|| SqlError::new(format!("no table {name}")))?;
+    fn run_insert(&mut self, name: &str, rows: &[Vec<SqlExpr>], binds: &[Datum]) -> Result<usize> {
+        let table = self.db.table(name).ok_or_else(|| SqlError::new(format!("no table {name}")))?;
         let types: Vec<ColType> = table.schema.columns.iter().map(|c| c.ty).collect();
         let mut bind_pos = 0usize;
         let mut converted: Vec<Vec<InsertValue>> = Vec::with_capacity(rows.len());
@@ -261,14 +283,9 @@ impl Session {
                     };
                     let def = build_jt_def(row_path, columns)?;
                     let names = def.column_names();
-                    scope.plan = Query::JsonTable {
-                        input: Box::new(scope.plan.clone()),
-                        json_col,
-                        def,
-                    };
-                    scope
-                        .segments
-                        .push((alias.clone().unwrap_or_else(|| "jt".to_string()), names));
+                    scope.plan =
+                        Query::JsonTable { input: Box::new(scope.plan.clone()), json_col, def };
+                    scope.segments.push((alias.clone().unwrap_or_else(|| "jt".to_string()), names));
                 }
                 FromSource::Table { name, alias } => {
                     // comma join: require an equi-join condition in WHERE
@@ -376,9 +393,7 @@ impl Session {
                     };
                     let order = order
                         .iter()
-                        .map(|o| {
-                            Ok(SortKey { expr: scope.translate(&o.expr)?, desc: o.desc })
-                        })
+                        .map(|o| Ok(SortKey { expr: scope.translate(&o.expr)?, desc: o.desc }))
                         .collect::<Result<Vec<_>>>()?;
                     plan = Query::Window {
                         input: Box::new(plan),
@@ -395,8 +410,8 @@ impl Session {
 
         // ORDER BY non-ordinal keys are resolved against the pre-projection
         // scope, so sort first
-        let ordinal_only = !sel.order_by.is_empty()
-            && sel.order_by.iter().all(|o| ordinal_of(&o.expr).is_some());
+        let ordinal_only =
+            !sel.order_by.is_empty() && sel.order_by.iter().all(|o| ordinal_of(&o.expr).is_some());
         if !sel.order_by.is_empty() && !ordinal_only {
             let keys = sel
                 .order_by
@@ -462,9 +477,8 @@ impl Session {
         };
         // post-aggregation scope: group keys then aggregates
         let group_exprs: Vec<&SqlExpr> = sel.group_by.iter().collect();
-        let resolve_post = |e: &SqlExpr| -> Result<Expr> {
-            resolve_over_aggregate(e, &group_exprs, &agg_sources, scope)
-        };
+        let resolve_post =
+            |e: &SqlExpr| -> Result<Expr> { resolve_over_aggregate(e, &group_exprs, &agg_sources) };
         // projection in select-list order
         let mut exprs = Vec::new();
         for (i, item) in sel.items.iter().enumerate() {
@@ -570,11 +584,7 @@ struct Scope {
 impl Scope {
     fn next_bind(&self) -> Result<Datum> {
         let i = self.bind_cursor.get();
-        let d = self
-            .binds
-            .get(i)
-            .cloned()
-            .ok_or_else(|| SqlError::new("missing bind value"))?;
+        let d = self.binds.get(i).cloned().ok_or_else(|| SqlError::new("missing bind value"))?;
         self.bind_cursor.set(i + 1);
         Ok(d)
     }
@@ -583,9 +593,7 @@ impl Scope {
         let mut base = 0usize;
         for (alias, cols) in &self.segments {
             if qualifier.map(|q| q.eq_ignore_ascii_case(alias)).unwrap_or(true) {
-                if let Some(i) =
-                    cols.iter().position(|c| c.eq_ignore_ascii_case(name))
-                {
+                if let Some(i) = cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                     return Some(base + i);
                 }
             }
@@ -690,9 +698,7 @@ impl Scope {
                 let xs = args.iter().map(|a| self.translate(a)).collect::<Result<Vec<_>>>()?;
                 Expr::Fun(fun, xs)
             }
-            SqlExpr::CountStar => {
-                return Err(SqlError::new("COUNT(*) outside an aggregate query"))
-            }
+            SqlExpr::CountStar => return Err(SqlError::new("COUNT(*) outside an aggregate query")),
             SqlExpr::JsonValue(col, path, ret) => {
                 let c = match self.resolve_ident(col)? {
                     Expr::Col(i) => i,
@@ -863,16 +869,8 @@ fn agg_fun(name: &str) -> Option<AggFun> {
 
 fn collect_aggs(e: &SqlExpr, out: &mut Vec<SqlExpr>) {
     match e {
-        SqlExpr::CountStar => {
-            if !out.contains(e) {
-                out.push(e.clone());
-            }
-        }
-        SqlExpr::Call(f, _) if agg_fun(f).is_some() => {
-            if !out.contains(e) {
-                out.push(e.clone());
-            }
-        }
+        SqlExpr::CountStar if !out.contains(e) => out.push(e.clone()),
+        SqlExpr::Call(f, _) if agg_fun(f).is_some() && !out.contains(e) => out.push(e.clone()),
         SqlExpr::Binary(l, _, r) => {
             collect_aggs(l, out);
             collect_aggs(r, out);
@@ -887,7 +885,6 @@ fn resolve_over_aggregate(
     e: &SqlExpr,
     group_exprs: &[&SqlExpr],
     agg_sources: &[SqlExpr],
-    scope: &Scope,
 ) -> Result<Expr> {
     // exact aggregate match
     if let Some(i) = agg_sources.iter().position(|a| a == e) {
@@ -899,8 +896,8 @@ fn resolve_over_aggregate(
     }
     match e {
         SqlExpr::Binary(l, op, r) => {
-            let a = resolve_over_aggregate(l, group_exprs, agg_sources, scope)?;
-            let b = resolve_over_aggregate(r, group_exprs, agg_sources, scope)?;
+            let a = resolve_over_aggregate(l, group_exprs, agg_sources)?;
+            let b = resolve_over_aggregate(r, group_exprs, agg_sources)?;
             Ok(match op.as_str() {
                 "+" => arith(a, fsdm_store::expr::ArithOp::Add, b),
                 "-" => arith(a, fsdm_store::expr::ArithOp::Sub, b),
@@ -909,9 +906,7 @@ fn resolve_over_aggregate(
                 other => return Err(SqlError::new(format!("operator {other} over aggregates"))),
             })
         }
-        other => Err(SqlError::new(format!(
-            "{other:?} is neither a group key nor an aggregate"
-        ))),
+        other => Err(SqlError::new(format!("{other:?} is neither a group key nor an aggregate"))),
     }
 }
 

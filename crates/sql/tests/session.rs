@@ -6,16 +6,24 @@ use fsdm_sqljson::Datum;
 
 fn seeded_session() -> Session {
     let mut s = Session::new();
-    s.execute("create table po (did number, jdoc json store as oson with dataguide)")
-        .unwrap();
+    s.execute("create table po (did number, jdoc json store as oson with dataguide)").unwrap();
     let docs = [
-        (1, r#"{"reference":"ABC-1","costcenter":"A1","requestor":"alice",
+        (
+            1,
+            r#"{"reference":"ABC-1","costcenter":"A1","requestor":"alice",
                "items":[{"itemno":1,"partno":"P100","description":"phone","quantity":2,"unitprice":100},
-                        {"itemno":2,"partno":"P200","description":"ipad","quantity":3,"unitprice":350.86}]}"#),
-        (2, r#"{"reference":"ABC-2","costcenter":"B2","requestor":"bob",
-               "items":[{"itemno":1,"partno":"P100","description":"phone","quantity":1,"unitprice":100}]}"#),
-        (3, r#"{"reference":"XYZ-3","costcenter":"A1","requestor":"alice",
-               "items":[{"itemno":1,"partno":"P300","description":"tv","quantity":5,"unitprice":500}]}"#),
+                        {"itemno":2,"partno":"P200","description":"ipad","quantity":3,"unitprice":350.86}]}"#,
+        ),
+        (
+            2,
+            r#"{"reference":"ABC-2","costcenter":"B2","requestor":"bob",
+               "items":[{"itemno":1,"partno":"P100","description":"phone","quantity":1,"unitprice":100}]}"#,
+        ),
+        (
+            3,
+            r#"{"reference":"XYZ-3","costcenter":"A1","requestor":"alice",
+               "items":[{"itemno":1,"partno":"P300","description":"tv","quantity":5,"unitprice":500}]}"#,
+        ),
     ];
     for (id, doc) in docs {
         let sql = format!("insert into po values ({id}, '{}')", doc.replace('\n', " "));
@@ -53,13 +61,13 @@ fn create_insert_select_roundtrip() {
 fn json_value_predicates() {
     let mut s = seeded_session();
     let r = s
-        .execute(
-            "select did from po where json_value(jdoc, '$.costcenter') = 'A1' order by did",
-        )
+        .execute("select did from po where json_value(jdoc, '$.costcenter') = 'A1' order by did")
         .unwrap();
     assert_eq!(r.rows.len(), 2);
     let r2 = s
-        .execute("select count(*) from po where json_exists(jdoc, '$.items[*]?(@.unitprice > 400)')")
+        .execute(
+            "select count(*) from po where json_exists(jdoc, '$.items[*]?(@.unitprice > 400)')",
+        )
         .unwrap();
     assert_eq!(r2.rows[0][0], Datum::from(1i64));
 }
@@ -203,7 +211,9 @@ fn select_wildcards_and_aliases() {
     assert_eq!(r.columns, vec!["did", "jdoc"]);
     assert_eq!(r.rows.len(), 1);
     // JSON columns render as text in results
-    assert!(r.rows[0][1].to_text().contains("purchase") || r.rows[0][1].to_text().contains("reference"));
+    assert!(
+        r.rows[0][1].to_text().contains("purchase") || r.rows[0][1].to_text().contains("reference")
+    );
 }
 
 #[test]
@@ -211,9 +221,7 @@ fn limit_and_fetch_first() {
     let mut s = seeded_session();
     let r = s.execute("select did from po order by did limit 2").unwrap();
     assert_eq!(r.rows.len(), 2);
-    let r2 = s
-        .execute("select did from po order by did fetch first 1 rows only")
-        .unwrap();
+    let r2 = s.execute("select did from po order by did fetch first 1 rows only").unwrap();
     assert_eq!(r2.rows.len(), 1);
 }
 

@@ -140,12 +140,8 @@ impl Datum {
             (Datum::Num(a), Datum::Num(b)) => Some(a.total_cmp(b)),
             (Datum::Str(a), Datum::Str(b)) => Some(a.cmp(b)),
             (Datum::Bool(a), Datum::Bool(b)) => Some(a.cmp(b)),
-            (Datum::Num(a), Datum::Str(_)) => {
-                other.as_num().map(|b| a.total_cmp(&b))
-            }
-            (Datum::Str(_), Datum::Num(b)) => {
-                self.as_num().map(|a| a.total_cmp(b))
-            }
+            (Datum::Num(a), Datum::Str(_)) => other.as_num().map(|b| a.total_cmp(&b)),
+            (Datum::Str(_), Datum::Num(b)) => self.as_num().map(|a| a.total_cmp(b)),
             _ => None,
         }
     }
@@ -245,20 +241,11 @@ mod tests {
 
     #[test]
     fn coercion_rules() {
-        assert_eq!(
-            Datum::from("42").coerce(SqlType::Number),
-            Some(Datum::from(42i64))
-        );
+        assert_eq!(Datum::from("42").coerce(SqlType::Number), Some(Datum::from(42i64)));
         assert_eq!(Datum::from("x").coerce(SqlType::Number), None);
-        assert_eq!(
-            Datum::from(7i64).coerce(SqlType::Varchar2(10)),
-            Some(Datum::from("7"))
-        );
+        assert_eq!(Datum::from(7i64).coerce(SqlType::Varchar2(10)), Some(Datum::from("7")));
         assert_eq!(Datum::from("too long!!").coerce(SqlType::Varchar2(3)), None);
-        assert_eq!(
-            Datum::from("TRUE").coerce(SqlType::Boolean),
-            Some(Datum::Bool(true))
-        );
+        assert_eq!(Datum::from("TRUE").coerce(SqlType::Boolean), Some(Datum::Bool(true)));
         assert_eq!(Datum::Null.coerce(SqlType::Number), Some(Datum::Null));
     }
 
@@ -270,10 +257,7 @@ mod tests {
 
     #[test]
     fn sql_cmp_numeric_string_coercion() {
-        assert_eq!(
-            Datum::from("10").sql_cmp(&Datum::from(9i64)),
-            Some(Ordering::Greater)
-        );
+        assert_eq!(Datum::from("10").sql_cmp(&Datum::from(9i64)), Some(Ordering::Greater));
         assert_eq!(Datum::from("abc").sql_cmp(&Datum::from(9i64)), None);
     }
 

@@ -44,17 +44,21 @@ pub struct PathEvaluator {
     /// Count of field resolutions skipped thanks to the look-back cache
     /// (observability for tests/benches).
     pub lookback_hits: u64,
+    /// Count of field resolutions that had to consult the instance
+    /// dictionary (cache empty, stale, or the field absent).
+    pub lookback_misses: u64,
 }
 
 impl PathEvaluator {
     /// Build a cursor for a compiled path.
     pub fn new(path: JsonPath) -> Self {
-        let nfields = path
-            .steps
-            .iter()
-            .filter(|s| matches!(s, Step::Field { .. }))
-            .count();
-        PathEvaluator { path, lookback: vec![LookBack::Empty; nfields], lookback_hits: 0 }
+        let nfields = path.steps.iter().filter(|s| matches!(s, Step::Field { .. })).count();
+        PathEvaluator {
+            path,
+            lookback: vec![LookBack::Empty; nfields],
+            lookback_hits: 0,
+            lookback_misses: 0,
+        }
     }
 
     /// The compiled path.
@@ -75,7 +79,9 @@ impl PathEvaluator {
         let mut field_idx = 0usize;
         let steps = std::mem::take(&mut self.path.steps);
         let mut computed: Option<Vec<PathOutput>> = None;
+        fsdm_obs::counter!("sqljson.eval.paths").inc();
         for step in &steps {
+            fsdm_obs::counter!("sqljson.eval.nodes_visited").add(current.len() as u64);
             match step {
                 Step::Field { name, hash } => {
                     let slot = field_idx;
@@ -148,13 +154,19 @@ impl PathEvaluator {
             match self.lookback[slot] {
                 LookBack::Id(id) if dom.verify_field_id(id, name, hash) => {
                     self.lookback_hits += 1;
+                    fsdm_obs::counter!("sqljson.lookback.hit").inc();
                     Some(Some(id))
                 }
                 _ => {
                     let id = dom.field_id(name, hash);
+                    self.lookback_misses += 1;
+                    fsdm_obs::counter!("sqljson.lookback.miss").inc();
                     self.lookback[slot] = match id {
                         Some(i) => LookBack::Id(i),
-                        None => LookBack::Absent,
+                        None => {
+                            fsdm_obs::counter!("sqljson.lookback.absent").inc();
+                            LookBack::Absent
+                        }
                     };
                     Some(id)
                 }
@@ -460,9 +472,7 @@ fn apply_method<D: JsonDom>(dom: &D, n: NodeRef, m: Method) -> Option<JsonValue>
         },
         Method::Number => match scalar()? {
             v @ JsonValue::Number(_) => Some(v),
-            JsonValue::String(s) => {
-                JsonNumber::from_literal(s.trim()).ok().map(JsonValue::Number)
-            }
+            JsonValue::String(s) => JsonNumber::from_literal(s.trim()).ok().map(JsonValue::Number),
             _ => None,
         },
         Method::StringM => match scalar()? {
@@ -483,9 +493,7 @@ fn apply_method<D: JsonDom>(dom: &D, n: NodeRef, m: Method) -> Option<JsonValue>
         Method::Ceiling => num_method(scalar()?, f64::ceil),
         Method::Floor => num_method(scalar()?, f64::floor),
         Method::Double => match scalar()? {
-            JsonValue::Number(x) => {
-                Some(JsonValue::Number(JsonNumber::Dbl(x.to_f64())))
-            }
+            JsonValue::Number(x) => Some(JsonValue::Number(JsonNumber::Dbl(x.to_f64()))),
             JsonValue::String(s) => {
                 s.trim().parse::<f64>().ok().map(|v| JsonValue::Number(JsonNumber::Dbl(v)))
             }
@@ -536,16 +544,13 @@ mod tests {
 
     #[test]
     fn array_selectors() {
-        assert_eq!(
-            eval(PO, "$.purchaseOrder.items[1].name"),
-            vec![parse("\"ipad\"").unwrap()]
-        );
-        assert_eq!(
-            eval(PO, "$.purchaseOrder.items[last].name"),
-            vec![parse("\"case\"").unwrap()]
-        );
+        assert_eq!(eval(PO, "$.purchaseOrder.items[1].name"), vec![parse("\"ipad\"").unwrap()]);
+        assert_eq!(eval(PO, "$.purchaseOrder.items[last].name"), vec![parse("\"case\"").unwrap()]);
         assert_eq!(eval(PO, "$.purchaseOrder.items[0 to 1].name").len(), 2);
-        assert_eq!(eval(PO, "$.purchaseOrder.items[last - 2].name"), vec![parse("\"phone\"").unwrap()]);
+        assert_eq!(
+            eval(PO, "$.purchaseOrder.items[last - 2].name"),
+            vec![parse("\"phone\"").unwrap()]
+        );
         assert!(eval(PO, "$.purchaseOrder.items[9].name").is_empty());
     }
 
@@ -599,7 +604,10 @@ mod tests {
         assert_eq!(eval(PO, "$.purchaseOrder.items.type()"), vec![parse("\"array\"").unwrap()]);
         assert_eq!(eval(PO, "$.purchaseOrder.items.size()"), vec![parse("3").unwrap()]);
         assert_eq!(eval(PO, "$.purchaseOrder.podate.length()"), vec![parse("10").unwrap()]);
-        assert_eq!(eval(PO, "$.purchaseOrder.items[0].name.upper()"), vec![parse("\"PHONE\"").unwrap()]);
+        assert_eq!(
+            eval(PO, "$.purchaseOrder.items[0].name.upper()"),
+            vec![parse("\"PHONE\"").unwrap()]
+        );
         assert_eq!(eval("{\"x\":\"12.5\"}", "$.x.number()"), vec![parse("12.5").unwrap()]);
         assert_eq!(eval("{\"x\":-3}", "$.x.abs()"), vec![parse("3").unwrap()]);
         assert_eq!(eval("{\"x\":2.3}", "$.x.ceiling()"), vec![parse("3").unwrap()]);

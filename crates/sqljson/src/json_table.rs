@@ -154,11 +154,7 @@ struct NestedCursor {
 
 fn build_cols(cols: &[ColumnDef]) -> Vec<ColCursor> {
     cols.iter()
-        .map(|c| ColCursor {
-            kind: c.kind,
-            ty: c.ty,
-            ev: PathEvaluator::new(c.path.clone()),
-        })
+        .map(|c| ColCursor { kind: c.kind, ty: c.ty, ev: PathEvaluator::new(c.path.clone()) })
         .collect()
 }
 
@@ -260,14 +256,7 @@ fn block_rows<D: JsonDom>(
         let mut row = vec![Datum::Null; width];
         fill_columns(dom, *node, &mut block.cols, offset, ord + 1, &mut row);
         let mut expanded = Vec::new();
-        expand_nested(
-            dom,
-            *node,
-            &mut block.nested,
-            offset + cols_len,
-            &row,
-            &mut expanded,
-        );
+        expand_nested(dom, *node, &mut block.nested, offset + cols_len, &row, &mut expanded);
         out.extend(expanded);
     }
     out
@@ -284,9 +273,7 @@ fn fill_columns<D: JsonDom>(
     for (i, col) in cols.iter_mut().enumerate() {
         let cell = match col.kind {
             ColKind::Ordinality => Datum::from(ordinality as i64),
-            ColKind::Exists => {
-                Datum::from(i64::from(!col.ev.evaluate_from(dom, node).is_empty()))
-            }
+            ColKind::Exists => Datum::from(i64::from(!col.ev.evaluate_from(dom, node).is_empty())),
             ColKind::Value => json_value_from(dom, node, &mut col.ev, col.ty),
         };
         row[offset + i] = cell;

@@ -186,9 +186,7 @@ mod tests {
         let v = parse(PO).unwrap();
         let dom = ValueDom::new(&v);
         let p = "$.purchaseOrder.items[*].price";
-        assert!(json_value(&dom, &mut ev(p), SqlType::Number, OnError::Null)
-            .unwrap()
-            .is_null());
+        assert!(json_value(&dom, &mut ev(p), SqlType::Number, OnError::Null).unwrap().is_null());
         assert!(json_value(&dom, &mut ev(p), SqlType::Number, OnError::Error).is_err());
     }
 
@@ -205,9 +203,7 @@ mod tests {
         let v = parse(PO).unwrap();
         let dom = ValueDom::new(&v);
         let p = "$.purchaseOrder.podate";
-        assert!(json_value(&dom, &mut ev(p), SqlType::Number, OnError::Null)
-            .unwrap()
-            .is_null());
+        assert!(json_value(&dom, &mut ev(p), SqlType::Number, OnError::Null).unwrap().is_null());
         assert!(json_value(&dom, &mut ev(p), SqlType::Number, OnError::Error).is_err());
     }
 
@@ -215,14 +211,10 @@ mod tests {
     fn json_query_fragments() {
         let v = parse(PO).unwrap();
         let dom = ValueDom::new(&v);
-        let frag = json_query(
-            &dom,
-            &mut ev("$.purchaseOrder.items"),
-            WrapperMode::Without,
-            OnError::Null,
-        )
-        .unwrap()
-        .unwrap();
+        let frag =
+            json_query(&dom, &mut ev("$.purchaseOrder.items"), WrapperMode::Without, OnError::Null)
+                .unwrap()
+                .unwrap();
         assert_eq!(frag.as_array().unwrap().len(), 2);
         // scalar without wrapper: error → None
         assert!(json_query(

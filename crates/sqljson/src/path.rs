@@ -636,9 +636,7 @@ impl P<'_> {
 /// identifiers). Used by the DataGuide when synthesizing paths.
 pub fn path_step_text(name: &str) -> String {
     let simple = !name.is_empty()
-        && name
-            .bytes()
-            .all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
+        && name.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
         && !name.as_bytes()[0].is_ascii_digit();
     if simple {
         format!(".{name}")
@@ -748,8 +746,17 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "a.b", "$.", "$[", "$[1", "$[1 to]", "$?(", "$?(@.a ==)", "$?(@.a)",
-            "$.a b", "$.unknown()",
+            "",
+            "a.b",
+            "$.",
+            "$[",
+            "$[1",
+            "$[1 to]",
+            "$?(",
+            "$?(@.a ==)",
+            "$?(@.a)",
+            "$.a b",
+            "$.unknown()",
         ] {
             assert!(parse_path(bad).is_err(), "should reject {bad:?}");
         }

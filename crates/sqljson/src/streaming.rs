@@ -56,6 +56,12 @@ pub fn stream_exists(text: &str, path: &JsonPath) -> Result<bool, JsonError> {
     Ok(m.found)
 }
 
+/// A pending step index plus whether it was already carried through one
+/// lax array unwrap. Lax mode unwraps a single array level per field step
+/// (ISO SQL/JSON; matching the DOM engine), so a field step that already
+/// crossed into an array's elements must not cross into a nested array.
+type Pos = (usize, bool);
+
 /// Positions are indices into `path.steps`; a value holding position
 /// `len(steps)` is a match.
 struct Matcher<'p> {
@@ -74,9 +80,9 @@ struct Frame {
     is_array: bool,
     /// Positions applicable to values directly inside this container.
     /// For objects these are filtered per key at each `Key` event.
-    positions: Vec<usize>,
+    positions: Vec<Pos>,
     /// Positions for the *next* value inside an object (set by `Key`).
-    value_positions: Vec<usize>,
+    value_positions: Vec<Pos>,
     /// Next element index (arrays).
     next_index: usize,
 }
@@ -96,7 +102,7 @@ impl<'p> Matcher<'p> {
     fn run(&mut self, text: &str) -> Result<(), JsonError> {
         let mut parser = EventParser::new(text);
         // the root value carries position 0
-        let mut pending: Vec<usize> = vec![0];
+        let mut pending: Vec<Pos> = vec![(0, false)];
         while let Some(event) = parser.next_event()? {
             if self.exists_only && self.found {
                 // drain the parser cheaply to validate the document? No —
@@ -108,10 +114,10 @@ impl<'p> Matcher<'p> {
                 Event::Key(k) => {
                     let frame = self.frames.last_mut().expect("key inside object");
                     let mut next = Vec::new();
-                    for &p in &frame.positions {
+                    for &(p, _) in &frame.positions {
                         if let Some(Step::Field { name, .. }) = self.steps.get(p) {
                             if name == &k {
-                                next.push(p + 1);
+                                next.push((p + 1, false));
                             }
                         }
                     }
@@ -132,12 +138,16 @@ impl<'p> Matcher<'p> {
                     // positions that apply to the container's *children*:
                     let child_positions = if is_array {
                         let mut cp = Vec::new();
-                        for &p in &positions {
+                        for &(p, unwrapped) in &positions {
                             match self.steps.get(p) {
-                                Some(Step::ArrayWildcard) | Some(Step::Array(_)) => cp.push(p),
+                                Some(Step::ArrayWildcard) | Some(Step::Array(_)) => {
+                                    cp.push((p, unwrapped))
+                                }
                                 // lax implicit unwrap: a field step over an
-                                // array applies to its (object) elements
-                                Some(Step::Field { .. }) => cp.push(p),
+                                // array applies to its (object) elements —
+                                // one level only, so a position that already
+                                // crossed an array does not cross another
+                                Some(Step::Field { .. }) if !unwrapped => cp.push((p, true)),
                                 _ => {}
                             }
                         }
@@ -170,7 +180,7 @@ impl<'p> Matcher<'p> {
                 scalar => {
                     let positions = self.value_positions(&mut pending, false);
                     let v = scalar_value(&scalar);
-                    let is_match = positions.iter().any(|&p| p == self.steps.len());
+                    let is_match = positions.iter().any(|&(p, _)| p == self.steps.len());
                     if is_match {
                         self.found = true;
                         if !self.exists_only {
@@ -189,23 +199,21 @@ impl<'p> Matcher<'p> {
     /// Positions applicable to the value that is starting now, including
     /// lax array-wrapping expansion (an array step applied to a non-array
     /// selects the value itself when index 0 is in the selector).
-    fn value_positions(&mut self, pending: &mut Vec<usize>, value_is_array: bool) -> Vec<usize> {
+    fn value_positions(&mut self, pending: &mut Vec<Pos>, value_is_array: bool) -> Vec<Pos> {
         let mut positions = match self.frames.last_mut() {
             None => std::mem::take(pending),
             Some(f) if f.is_array => {
                 let idx = f.next_index;
                 f.next_index += 1;
                 let mut out = Vec::new();
-                for &p in &f.positions {
+                for &(p, unwrapped) in &f.positions {
                     match self.steps.get(p) {
-                        Some(Step::ArrayWildcard) => out.push(p + 1),
-                        Some(Step::Array(sels)) => {
-                            if sels.iter().any(|s| sel_matches(s, idx)) {
-                                out.push(p + 1);
-                            }
+                        Some(Step::ArrayWildcard) => out.push((p + 1, false)),
+                        Some(Step::Array(sels)) if sels.iter().any(|s| sel_matches(s, idx)) => {
+                            out.push((p + 1, false))
                         }
                         // lax unwrap: the element re-tries the field step
-                        Some(Step::Field { .. }) => out.push(p),
+                        Some(Step::Field { .. }) => out.push((p, unwrapped)),
                         _ => {}
                     }
                 }
@@ -217,14 +225,14 @@ impl<'p> Matcher<'p> {
             // lax wrap: array steps treat a non-array as [value]
             let mut i = 0;
             while i < positions.len() {
-                let p = positions[i];
+                let (p, _) = positions[i];
                 let wrap = match self.steps.get(p) {
                     Some(Step::ArrayWildcard) => true,
                     Some(Step::Array(sels)) => sels.iter().any(|s| sel_matches(s, 0)),
                     _ => false,
                 };
-                if wrap && !positions.contains(&(p + 1)) {
-                    positions.push(p + 1);
+                if wrap && !positions.iter().any(|q| q.0 == p + 1) {
+                    positions.push((p + 1, false));
                 }
                 i += 1;
             }
@@ -234,8 +242,8 @@ impl<'p> Matcher<'p> {
         positions
     }
 
-    fn begin_value_captures(&mut self, positions: &[usize], is_array: bool) {
-        if positions.iter().any(|&p| p == self.steps.len()) {
+    fn begin_value_captures(&mut self, positions: &[Pos], is_array: bool) {
+        if positions.iter().any(|&(p, _)| p == self.steps.len()) {
             self.found = true;
             if !self.exists_only {
                 self.builders.push(Builder::new_container(is_array));
@@ -275,11 +283,8 @@ struct Builder {
 
 impl Builder {
     fn new_container(is_array: bool) -> Self {
-        let root = if is_array {
-            JsonValue::Array(Vec::new())
-        } else {
-            JsonValue::Object(Object::new())
-        };
+        let root =
+            if is_array { JsonValue::Array(Vec::new()) } else { JsonValue::Object(Object::new()) };
         Builder { stack: vec![root], keys: vec![None], pending_key: None, done: None }
     }
 
@@ -288,11 +293,8 @@ impl Builder {
     }
 
     fn start_container(&mut self, is_array: bool) {
-        let v = if is_array {
-            JsonValue::Array(Vec::new())
-        } else {
-            JsonValue::Object(Object::new())
-        };
+        let v =
+            if is_array { JsonValue::Array(Vec::new()) } else { JsonValue::Object(Object::new()) };
         self.keys.push(self.pending_key.take());
         self.stack.push(v);
     }

@@ -2,10 +2,12 @@
 //! executor for [`Query`] plans.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use fsdm_sqljson::Datum;
 
 use crate::expr::{AggFun, Expr};
+use crate::profile::{OpProfile, QueryProfile};
 use crate::query::{AggSpec, Query, QueryResult, SortKey, WindowFun};
 use crate::table::{Cell, Row, StoreError, Table};
 
@@ -22,9 +24,12 @@ impl Database {
         Self::default()
     }
 
-    /// Register a table.
-    pub fn add_table(&mut self, table: Table) {
-        self.tables.insert(table.schema.name.clone(), table);
+    /// Register a table. If a table with the same name already exists it
+    /// is replaced and the old table is returned, so callers can detect
+    /// (and refuse, or log) accidental overwrites instead of silently
+    /// losing data.
+    pub fn add_table(&mut self, table: Table) -> Option<Table> {
+        self.tables.insert(table.schema.name.clone(), table)
     }
 
     /// Access a table.
@@ -103,22 +108,63 @@ impl Database {
     /// Execute a plan exactly as given (no rewrites) — used by tests and
     /// by the ablation benchmark that measures the pushdown's effect.
     pub fn execute_unoptimized(&self, plan: &Query) -> Result<QueryResult, StoreError> {
-        let (columns, rows) = self.exec(plan)?;
-        let rows = rows
-            .into_iter()
-            .map(|r| {
-                r.into_iter()
-                    .map(|c| match c {
-                        Cell::D(d) => d,
-                        Cell::J(j) => Datum::Str(j.decode_to_text()),
-                    })
-                    .collect()
-            })
-            .collect();
-        Ok(QueryResult { columns, rows })
+        let start = Instant::now();
+        let (columns, rows) = self.exec(plan, &mut None)?;
+        fsdm_obs::counter!("store.exec.queries").inc();
+        fsdm_obs::histogram!("store.exec.ns").record(start.elapsed().as_nanos() as u64);
+        Ok(materialize(columns, rows))
     }
 
-    fn exec(&self, plan: &Query) -> Result<(Vec<String>, Vec<Row>), StoreError> {
+    /// Execute a plan (optimized, like [`Database::execute`]) while
+    /// recording per-operator output cardinality and inclusive wall time.
+    /// Returns the result together with an `EXPLAIN ANALYZE`-style
+    /// [`QueryProfile`] mirroring the *optimized* plan shape.
+    pub fn execute_profiled(
+        &self,
+        plan: &Query,
+    ) -> Result<(QueryResult, QueryProfile), StoreError> {
+        let optimized = crate::optimizer::optimize(self, plan.clone());
+        let mut sink = Some(Vec::new());
+        let (columns, rows) = self.exec(&optimized, &mut sink)?;
+        let root =
+            sink.and_then(|mut ops| ops.pop()).expect("profiled execution yields a root operator");
+        fsdm_obs::counter!("store.exec.queries").inc();
+        fsdm_obs::histogram!("store.exec.ns").record(root.elapsed_ns);
+        Ok((materialize(columns, rows), QueryProfile { root }))
+    }
+
+    /// Recursive entry point of the volcano executor. When `prof` carries
+    /// a sink, the operator's output row count and inclusive elapsed time
+    /// are measured and pushed into it (children collected via a fresh
+    /// sink passed down to [`Database::exec_inner`]); with `None` the
+    /// executor runs with zero profiling overhead.
+    fn exec(
+        &self,
+        plan: &Query,
+        prof: &mut Option<Vec<OpProfile>>,
+    ) -> Result<(Vec<String>, Vec<Row>), StoreError> {
+        match prof {
+            None => self.exec_inner(plan, &mut None),
+            Some(sink) => {
+                let mut child_sink = Some(Vec::new());
+                let start = Instant::now();
+                let (names, rows) = self.exec_inner(plan, &mut child_sink)?;
+                sink.push(OpProfile {
+                    op: op_label(plan),
+                    rows_out: rows.len(),
+                    elapsed_ns: start.elapsed().as_nanos() as u64,
+                    children: child_sink.unwrap_or_default(),
+                });
+                Ok((names, rows))
+            }
+        }
+    }
+
+    fn exec_inner(
+        &self,
+        plan: &Query,
+        prof: &mut Option<Vec<OpProfile>>,
+    ) -> Result<(Vec<String>, Vec<Row>), StoreError> {
         match plan {
             Query::Scan { table, filter } => {
                 let t = self
@@ -171,10 +217,10 @@ impl Database {
                     .views
                     .get(view)
                     .ok_or_else(|| StoreError::new(format!("no view {view}")))?;
-                self.exec(plan)
+                self.exec(plan, prof)
             }
             Query::Filter { input, pred } => {
-                let (names, rows) = self.exec(input)?;
+                let (names, rows) = self.exec(input, prof)?;
                 let mut out = Vec::with_capacity(rows.len());
                 for r in rows {
                     if pred.matches(&r)? {
@@ -184,7 +230,7 @@ impl Database {
                 Ok((names, out))
             }
             Query::Project { input, exprs } => {
-                let (_, rows) = self.exec(input)?;
+                let (_, rows) = self.exec(input, prof)?;
                 let names = exprs.iter().map(|(n, _)| n.clone()).collect();
                 let mut out = Vec::with_capacity(rows.len());
                 for r in rows {
@@ -197,7 +243,7 @@ impl Database {
                 Ok((names, out))
             }
             Query::JsonTable { input, json_col, def } => {
-                let (mut names, rows) = self.exec(input)?;
+                let (mut names, rows) = self.exec(input, prof)?;
                 names.extend(def.column_names());
                 let width = def.width();
                 // one cursor for the whole scan: compiled paths and their
@@ -224,8 +270,8 @@ impl Database {
                 Ok((names, out))
             }
             Query::HashJoin { left, right, left_key, right_key } => {
-                let (lnames, lrows) = self.exec(left)?;
-                let (rnames, rrows) = self.exec(right)?;
+                let (lnames, lrows) = self.exec(left, prof)?;
+                let (rnames, rrows) = self.exec(right, prof)?;
                 let mut names = lnames;
                 names.extend(rnames);
                 let mut build: HashMap<Datum, Vec<usize>> = HashMap::new();
@@ -251,16 +297,16 @@ impl Database {
                 Ok((names, out))
             }
             Query::GroupBy { input, keys, aggs } => {
-                let (_, rows) = self.exec(input)?;
+                let (_, rows) = self.exec(input, prof)?;
                 self.group_by(rows, keys, aggs)
             }
             Query::Sort { input, keys } => {
-                let (names, mut rows) = self.exec(input)?;
+                let (names, mut rows) = self.exec(input, prof)?;
                 sort_rows(&mut rows, keys)?;
                 Ok((names, rows))
             }
             Query::Window { input, name, fun, order } => {
-                let (mut names, mut rows) = self.exec(input)?;
+                let (mut names, mut rows) = self.exec(input, prof)?;
                 sort_rows(&mut rows, order)?;
                 names.push(name.clone());
                 match fun {
@@ -283,12 +329,12 @@ impl Database {
                 Ok((names, rows))
             }
             Query::Limit { input, n } => {
-                let (names, mut rows) = self.exec(input)?;
+                let (names, mut rows) = self.exec(input, prof)?;
                 rows.truncate(*n);
                 Ok((names, rows))
             }
             Query::Sample { input, pct } => {
-                let (names, rows) = self.exec(input)?;
+                let (names, rows) = self.exec(input, prof)?;
                 let keep = |i: usize| -> bool {
                     let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
                     ((h % 10_000) as f64) < pct * 100.0
@@ -318,8 +364,7 @@ impl Database {
         let mut groups: HashMap<Vec<Datum>, Vec<Acc>> = HashMap::new();
         let mut order: Vec<Vec<Datum>> = Vec::new();
         for r in &rows {
-            let key: Vec<Datum> =
-                keys.iter().map(|(_, e)| e.eval(r)).collect::<Result<_, _>>()?;
+            let key: Vec<Datum> = keys.iter().map(|(_, e)| e.eval(r)).collect::<Result<_, _>>()?;
             let accs = match groups.get_mut(&key) {
                 Some(a) => a,
                 None => {
@@ -354,12 +399,51 @@ impl Database {
     }
 }
 
+/// Convert executor rows (which may still hold binary JSON cells) into the
+/// datum-only [`QueryResult`] surface.
+fn materialize(columns: Vec<String>, rows: Vec<Row>) -> QueryResult {
+    let rows = rows
+        .into_iter()
+        .map(|r| {
+            r.into_iter()
+                .map(|c| match c {
+                    Cell::D(d) => d,
+                    Cell::J(j) => Datum::Str(j.decode_to_text()),
+                })
+                .collect()
+        })
+        .collect();
+    QueryResult { columns, rows }
+}
+
+/// Display label of a plan node for [`QueryProfile`] output.
+fn op_label(plan: &Query) -> String {
+    match plan {
+        Query::Scan { table, filter } => {
+            if filter.is_some() {
+                format!("Scan({table},filtered)")
+            } else {
+                format!("Scan({table})")
+            }
+        }
+        Query::ViewScan { view } => format!("ViewScan({view})"),
+        Query::Filter { .. } => "Filter".to_string(),
+        Query::Project { .. } => "Project".to_string(),
+        Query::JsonTable { .. } => "JsonTable".to_string(),
+        Query::HashJoin { .. } => "HashJoin".to_string(),
+        Query::GroupBy { .. } => "GroupBy".to_string(),
+        Query::Sort { .. } => "Sort".to_string(),
+        Query::Window { name, .. } => format!("Window({name})"),
+        Query::Limit { n, .. } => format!("Limit({n})"),
+        Query::Sample { pct, .. } => format!("Sample({pct})"),
+    }
+}
+
 fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> Result<(), StoreError> {
     // precompute key tuples (expressions may be JSON ops — evaluate once)
     let mut keyed: Vec<(usize, Vec<Datum>)> = Vec::with_capacity(rows.len());
     for (i, r) in rows.iter().enumerate() {
-        let k: Vec<Datum> =
-            keys.iter().map(|s| s.expr.eval(r)).collect::<Result<_, _>>()?;
+        let k: Vec<Datum> = keys.iter().map(|s| s.expr.eval(r)).collect::<Result<_, _>>()?;
         keyed.push((i, k));
     }
     keyed.sort_by(|(_, a), (_, b)| {
@@ -425,10 +509,7 @@ impl Acc {
             Acc::Min(cur) => {
                 if let Some(d) = arg {
                     if !d.is_null()
-                        && cur
-                            .as_ref()
-                            .map(|c| d.order_key_cmp(c).is_lt())
-                            .unwrap_or(true)
+                        && cur.as_ref().map(|c| d.order_key_cmp(c).is_lt()).unwrap_or(true)
                     {
                         *cur = Some(d);
                     }
@@ -437,10 +518,7 @@ impl Acc {
             Acc::Max(cur) => {
                 if let Some(d) = arg {
                     if !d.is_null()
-                        && cur
-                            .as_ref()
-                            .map(|c| d.order_key_cmp(c).is_gt())
-                            .unwrap_or(true)
+                        && cur.as_ref().map(|c| d.order_key_cmp(c).is_gt()).unwrap_or(true)
                     {
                         *cur = Some(d);
                     }
@@ -543,11 +621,8 @@ mod tests {
     #[test]
     fn json_table_lateral_expansion() {
         let db = sample_db(JsonStorage::Oson);
-        let q = Query::JsonTable {
-            input: Box::new(Query::scan("po")),
-            json_col: 1,
-            def: items_def(),
-        };
+        let q =
+            Query::JsonTable { input: Box::new(Query::scan("po")), json_col: 1, def: items_def() };
         let r = db.execute(&q).unwrap();
         assert_eq!(r.rows.len(), 6, "2 + 1 + 3 items");
         assert_eq!(r.columns, vec!["did", "jdoc", "name", "price", "quantity"]);
@@ -597,13 +672,10 @@ mod tests {
     #[test]
     fn sort_and_limit() {
         let db = sample_db(JsonStorage::Text);
-        let q = Query::JsonTable {
-            input: Box::new(Query::scan("po")),
-            json_col: 1,
-            def: items_def(),
-        }
-        .sort(vec![SortKey::desc(Expr::Col(3))])
-        .limit(2);
+        let q =
+            Query::JsonTable { input: Box::new(Query::scan("po")), json_col: 1, def: items_def() }
+                .sort(vec![SortKey::desc(Expr::Col(3))])
+                .limit(2);
         let r = db.execute(&q).unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.cell(0, "name"), Some(&Datum::from("tv")));
@@ -695,6 +767,63 @@ mod tests {
         let r = db.execute(&q).unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.cell(0, "n"), Some(&Datum::from(0i64)));
+    }
+
+    #[test]
+    fn execute_profiled_reports_per_operator_rows_and_time() {
+        let db = sample_db(JsonStorage::Oson);
+        let q =
+            Query::JsonTable { input: Box::new(Query::scan("po")), json_col: 1, def: items_def() }
+                .sort(vec![SortKey::desc(Expr::Col(3))])
+                .limit(2);
+        let (result, profile) = db.execute_profiled(&q).unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result, db.execute(&q).unwrap(), "profiling must not change results");
+        // operator tree mirrors the plan: Limit -> Sort -> JsonTable -> Scan
+        let labels: Vec<&str> = profile.ops().iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(labels, vec!["Limit(2)", "Sort", "JsonTable", "Scan(po)"]);
+        assert_eq!(profile.find("Limit").unwrap().rows_out, 2);
+        assert_eq!(profile.find("Sort").unwrap().rows_out, 6);
+        assert_eq!(profile.find("JsonTable").unwrap().rows_out, 6, "2 + 1 + 3 items");
+        assert_eq!(profile.find("Scan").unwrap().rows_out, 3);
+        // inclusive timing: every parent covers its children
+        assert!(profile.elapsed_ns() > 0);
+        assert!(
+            profile.find("Limit").unwrap().elapsed_ns >= profile.find("Sort").unwrap().elapsed_ns
+        );
+        assert!(
+            profile.find("JsonTable").unwrap().elapsed_ns
+                >= profile.find("Scan").unwrap().elapsed_ns
+        );
+        let rendered = profile.render();
+        assert!(rendered.contains("JsonTable  rows=6"), "{rendered}");
+    }
+
+    #[test]
+    fn profiled_view_scan_nests_view_plan() {
+        let mut db = sample_db(JsonStorage::Oson);
+        db.create_view(
+            "po_item_dmdv",
+            Query::JsonTable { input: Box::new(Query::scan("po")), json_col: 1, def: items_def() },
+        );
+        let (r, p) = db.execute_profiled(&Query::view("po_item_dmdv")).unwrap();
+        assert_eq!(r.rows.len(), 6);
+        // the optimizer inlines the view, so the profile shows its plan
+        assert_eq!(p.root.op, "JsonTable");
+        assert_eq!(p.find("JsonTable").unwrap().rows_out, 6);
+        assert_eq!(p.find("Scan(po)").unwrap().rows_out, 3);
+    }
+
+    #[test]
+    fn add_table_returns_replaced_table() {
+        let mut db = Database::new();
+        let mut t1 = Table::new(TableSchema::new("t", vec![ColumnSpec::new("a", ColType::Number)]));
+        t1.insert(vec![1i64.into()]).unwrap();
+        assert!(db.add_table(t1).is_none(), "first registration replaces nothing");
+        let t2 = Table::new(TableSchema::new("t", vec![ColumnSpec::new("a", ColType::Number)]));
+        let replaced = db.add_table(t2).expect("same-name registration returns old table");
+        assert_eq!(replaced.rows.len(), 1, "the displaced table is handed back intact");
+        assert_eq!(db.table("t").unwrap().rows.len(), 0);
     }
 
     #[test]

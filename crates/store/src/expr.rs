@@ -223,9 +223,9 @@ impl Expr {
                 if v.is_null() {
                     Datum::Null
                 } else {
-                    Datum::Bool(list.iter().any(|d| {
-                        v.sql_cmp(d).map(|o| o.is_eq()).unwrap_or(false)
-                    }))
+                    Datum::Bool(
+                        list.iter().any(|d| v.sql_cmp(d).map(|o| o.is_eq()).unwrap_or(false)),
+                    )
                 }
             }
             Expr::Like(a, pat) => {
@@ -333,9 +333,7 @@ fn eval_fun(fun: ScalarFun, args: &[Expr], row: &Row) -> Result<Datum, StoreErro
             (Some(hay), Some(needle)) => {
                 // 1-based character position, 0 when absent (Oracle INSTR)
                 match hay.find(&needle) {
-                    Some(byte_pos) => {
-                        Datum::from(hay[..byte_pos].chars().count() as i64 + 1)
-                    }
+                    Some(byte_pos) => Datum::from(hay[..byte_pos].chars().count() as i64 + 1),
                     None => Datum::from(0i64),
                 }
             }
@@ -379,9 +377,7 @@ fn like_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.first() {
             None => t.is_empty(),
-            Some('%') => {
-                (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
-            }
+            Some('%') => (0..=t.len()).any(|k| rec(&t[k..], &p[1..])),
             Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
             Some(c) => t.first() == Some(c) && rec(&t[1..], &p[1..]),
         }
@@ -425,10 +421,7 @@ mod tests {
     #[test]
     fn in_list_and_like() {
         let r = row();
-        let e = Expr::InList(
-            Box::new(Expr::Col(0)),
-            vec![Datum::from(7i64), Datum::from(1i64)],
-        );
+        let e = Expr::InList(Box::new(Expr::Col(0)), vec![Datum::from(7i64), Datum::from(1i64)]);
         assert!(e.matches(&r).unwrap());
         let l = Expr::Like(Box::new(Expr::Col(1)), "REF-%".into());
         assert!(l.matches(&r).unwrap());
@@ -462,19 +455,12 @@ mod tests {
     fn q6_style_substr_instr() {
         let r = row();
         // SUBSTR(ref, INSTR(ref, '-') + 1) → "2021-77"
-        let instr = Expr::Fun(
-            ScalarFun::Instr,
-            vec![Expr::Col(1), Expr::Lit(Datum::from("-"))],
-        );
+        let instr = Expr::Fun(ScalarFun::Instr, vec![Expr::Col(1), Expr::Lit(Datum::from("-"))]);
         let sub = Expr::Fun(
             ScalarFun::Substr,
             vec![
                 Expr::Col(1),
-                Expr::Arith(
-                    Box::new(instr),
-                    ArithOp::Add,
-                    Box::new(Expr::Lit(Datum::from(1i64))),
-                ),
+                Expr::Arith(Box::new(instr), ArithOp::Add, Box::new(Expr::Lit(Datum::from(1i64)))),
             ],
         );
         assert_eq!(sub.eval(&r).unwrap(), Datum::from("2021-77"));

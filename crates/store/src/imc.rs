@@ -104,9 +104,7 @@ impl ColumnVector {
                 .collect();
             ColumnVector::Strings { dict, codes }
         } else if any_num {
-            ColumnVector::Numbers(
-                values.iter().map(|v| v.as_num().map(|n| n.to_f64())).collect(),
-            )
+            ColumnVector::Numbers(values.iter().map(|v| v.as_num().map(|n| n.to_f64())).collect())
         } else {
             ColumnVector::Bools(values.iter().map(|v| v.as_bool()).collect())
         }
@@ -134,10 +132,7 @@ impl ImcStore {
 
     /// Total bytes held by the OSON cache.
     pub fn oson_bytes(&self) -> usize {
-        self.oson
-            .as_ref()
-            .map(|v| v.iter().flatten().map(|b| b.len()).sum())
-            .unwrap_or(0)
+        self.oson.as_ref().map(|v| v.iter().flatten().map(|b| b.len()).sum()).unwrap_or(0)
     }
 }
 
@@ -158,8 +153,8 @@ impl Table {
                 Some(Cell::J(JsonCell::Oson(b))) => cache.push(Some(b.clone())),
                 Some(Cell::J(j)) => {
                     let doc = j.decode()?;
-                    let bytes = fsdm_oson::encode(&doc)
-                        .map_err(|e| StoreError::new(e.to_string()))?;
+                    let bytes =
+                        fsdm_oson::encode(&doc).map_err(|e| StoreError::new(e.to_string()))?;
                     cache.push(Some(Arc::new(bytes)));
                 }
                 _ => cache.push(None),
@@ -211,6 +206,117 @@ impl Table {
             }
             _ => row.clone(),
         }
+    }
+}
+
+/// Vectorized predicate evaluation (§5.2.1's "genuine columnar
+/// processing"): when every conjunct of a scan filter is a comparison
+/// between an IMC-materialized column and a literal, the qualifying row
+/// ids are computed by tight loops over the typed vectors — no row
+/// materialization, no JSON access. Returns `None` when the predicate is
+/// not fully vectorizable (the caller falls back to row-at-a-time).
+pub fn vectorized_selection(table: &Table, pred: &Expr) -> Option<Vec<usize>> {
+    if table.imc.vectors.is_empty() {
+        return None;
+    }
+    let mut conjuncts = Vec::new();
+    split_and(pred, &mut conjuncts);
+    let nrows = table.rows.len();
+    let mut selected: Option<Vec<bool>> = None;
+    for c in conjuncts {
+        let Expr::Cmp(l, op, r) = c else { return None };
+        let (col, lit, op) = match (&**l, &**r) {
+            (Expr::Col(i), Expr::Lit(d)) => (*i, d, *op),
+            (Expr::Lit(d), Expr::Col(i)) => (*i, d, flip(*op)),
+            _ => return None,
+        };
+        let vector = table.imc.vectors.get(&col)?;
+        let mut mask = vec![false; nrows];
+        match vector {
+            ColumnVector::Numbers(vals) => {
+                let x = lit.as_num()?.to_f64();
+                for (i, v) in vals.iter().enumerate() {
+                    if let Some(v) = v {
+                        mask[i] = cmp_f64(*v, op, x);
+                    }
+                }
+            }
+            ColumnVector::Strings { dict, codes } => {
+                // evaluate the predicate once per dictionary entry, then
+                // map codes — the dictionary-encoding payoff
+                let x = match lit {
+                    Datum::Str(s) => s.as_str(),
+                    _ => return None,
+                };
+                let verdict: Vec<bool> =
+                    dict.iter().map(|d| cmp_ord(d.as_str().cmp(x), op)).collect();
+                for (i, c) in codes.iter().enumerate() {
+                    if let Some(c) = c {
+                        mask[i] = verdict[*c as usize];
+                    }
+                }
+            }
+            ColumnVector::Bools(vals) => {
+                let x = lit.as_bool()?;
+                for (i, v) in vals.iter().enumerate() {
+                    if let Some(v) = v {
+                        mask[i] = cmp_ord(v.cmp(&x), op);
+                    }
+                }
+            }
+        }
+        selected = Some(match selected {
+            None => mask,
+            Some(mut acc) => {
+                for (a, m) in acc.iter_mut().zip(&mask) {
+                    *a &= m;
+                }
+                acc
+            }
+        });
+    }
+    let sel = selected?;
+    Some(sel.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
+}
+
+fn split_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::And(a, b) = e {
+        split_and(a, out);
+        split_and(b, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn cmp_f64(v: f64, op: CmpOp, x: f64) -> bool {
+    match op {
+        CmpOp::Eq => v == x,
+        CmpOp::Ne => v != x,
+        CmpOp::Lt => v < x,
+        CmpOp::Le => v <= x,
+        CmpOp::Gt => v > x,
+        CmpOp::Ge => v >= x,
+    }
+}
+
+fn cmp_ord(ord: std::cmp::Ordering, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
     }
 }
 
@@ -304,118 +410,5 @@ mod tests {
             ColumnVector::Strings { dict, .. } => assert_eq!(dict.len(), 2),
             other => panic!("{other:?}"),
         }
-    }
-}
-
-/// Vectorized predicate evaluation (§5.2.1's "genuine columnar
-/// processing"): when every conjunct of a scan filter is a comparison
-/// between an IMC-materialized column and a literal, the qualifying row
-/// ids are computed by tight loops over the typed vectors — no row
-/// materialization, no JSON access. Returns `None` when the predicate is
-/// not fully vectorizable (the caller falls back to row-at-a-time).
-pub fn vectorized_selection(table: &Table, pred: &Expr) -> Option<Vec<usize>> {
-    if table.imc.vectors.is_empty() {
-        return None;
-    }
-    let mut conjuncts = Vec::new();
-    split_and(pred, &mut conjuncts);
-    let nrows = table.rows.len();
-    let mut selected: Option<Vec<bool>> = None;
-    for c in conjuncts {
-        let Expr::Cmp(l, op, r) = c else { return None };
-        let (col, lit, op) = match (&**l, &**r) {
-            (Expr::Col(i), Expr::Lit(d)) => (*i, d, *op),
-            (Expr::Lit(d), Expr::Col(i)) => (*i, d, flip(*op)),
-            _ => return None,
-        };
-        let vector = table.imc.vectors.get(&col)?;
-        let mut mask = vec![false; nrows];
-        match vector {
-            ColumnVector::Numbers(vals) => {
-                let x = lit.as_num()?.to_f64();
-                for (i, v) in vals.iter().enumerate() {
-                    if let Some(v) = v {
-                        mask[i] = cmp_f64(*v, op, x);
-                    }
-                }
-            }
-            ColumnVector::Strings { dict, codes } => {
-                // evaluate the predicate once per dictionary entry, then
-                // map codes — the dictionary-encoding payoff
-                let x = match lit {
-                    Datum::Str(s) => s.as_str(),
-                    _ => return None,
-                };
-                let verdict: Vec<bool> = dict
-                    .iter()
-                    .map(|d| cmp_ord(d.as_str().cmp(x), op))
-                    .collect();
-                for (i, c) in codes.iter().enumerate() {
-                    if let Some(c) = c {
-                        mask[i] = verdict[*c as usize];
-                    }
-                }
-            }
-            ColumnVector::Bools(vals) => {
-                let x = lit.as_bool()?;
-                for (i, v) in vals.iter().enumerate() {
-                    if let Some(v) = v {
-                        mask[i] = cmp_ord(v.cmp(&x), op);
-                    }
-                }
-            }
-        }
-        selected = Some(match selected {
-            None => mask,
-            Some(mut acc) => {
-                for (a, m) in acc.iter_mut().zip(&mask) {
-                    *a &= m;
-                }
-                acc
-            }
-        });
-    }
-    let sel = selected?;
-    Some(sel.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
-}
-
-fn split_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
-    if let Expr::And(a, b) = e {
-        split_and(a, out);
-        split_and(b, out);
-    } else {
-        out.push(e);
-    }
-}
-
-fn flip(op: CmpOp) -> CmpOp {
-    match op {
-        CmpOp::Lt => CmpOp::Gt,
-        CmpOp::Le => CmpOp::Ge,
-        CmpOp::Gt => CmpOp::Lt,
-        CmpOp::Ge => CmpOp::Le,
-        other => other,
-    }
-}
-
-fn cmp_f64(v: f64, op: CmpOp, x: f64) -> bool {
-    match op {
-        CmpOp::Eq => v == x,
-        CmpOp::Ne => v != x,
-        CmpOp::Lt => v < x,
-        CmpOp::Le => v <= x,
-        CmpOp::Gt => v > x,
-        CmpOp::Ge => v >= x,
-    }
-}
-
-fn cmp_ord(ord: std::cmp::Ordering, op: CmpOp) -> bool {
-    match op {
-        CmpOp::Eq => ord.is_eq(),
-        CmpOp::Ne => ord.is_ne(),
-        CmpOp::Lt => ord.is_lt(),
-        CmpOp::Le => ord.is_le(),
-        CmpOp::Gt => ord.is_gt(),
-        CmpOp::Ge => ord.is_ge(),
     }
 }

@@ -70,15 +70,9 @@ impl JsonCell {
     /// re-encoding, not by queries).
     pub fn decode(&self) -> Result<JsonValue, StoreError> {
         match self {
-            JsonCell::Text(s) => {
-                fsdm_json::parse(s).map_err(|e| StoreError::new(e.to_string()))
-            }
-            JsonCell::Bson(b) => {
-                fsdm_bson::decode(b).map_err(|e| StoreError::new(e.to_string()))
-            }
-            JsonCell::Oson(b) => {
-                fsdm_oson::decode(b).map_err(|e| StoreError::new(e.to_string()))
-            }
+            JsonCell::Text(s) => fsdm_json::parse(s).map_err(|e| StoreError::new(e.to_string())),
+            JsonCell::Bson(b) => fsdm_bson::decode(b).map_err(|e| StoreError::new(e.to_string())),
+            JsonCell::Oson(b) => fsdm_oson::decode(b).map_err(|e| StoreError::new(e.to_string())),
         }
     }
 
@@ -106,15 +100,11 @@ impl JsonCell {
                 }
             }
             JsonCell::Bson(b) => match fsdm_bson::BsonDoc::new(b) {
-                Ok(doc) => {
-                    json_value(&doc, ev, ty, OnError::Null).unwrap_or(Datum::Null)
-                }
+                Ok(doc) => json_value(&doc, ev, ty, OnError::Null).unwrap_or(Datum::Null),
                 Err(_) => Datum::Null,
             },
             JsonCell::Oson(b) => match fsdm_oson::OsonDoc::new(b) {
-                Ok(doc) => {
-                    json_value(&doc, ev, ty, OnError::Null).unwrap_or(Datum::Null)
-                }
+                Ok(doc) => json_value(&doc, ev, ty, OnError::Null).unwrap_or(Datum::Null),
                 Err(_) => Datum::Null,
             },
         }
@@ -126,12 +116,8 @@ impl JsonCell {
             JsonCell::Text(s) => {
                 fsdm_sqljson::streaming::exists_text(s, ev.path()).unwrap_or(false)
             }
-            JsonCell::Bson(b) => {
-                fsdm_bson::BsonDoc::new(b).map(|d| ev.exists(&d)).unwrap_or(false)
-            }
-            JsonCell::Oson(b) => {
-                fsdm_oson::OsonDoc::new(b).map(|d| ev.exists(&d)).unwrap_or(false)
-            }
+            JsonCell::Bson(b) => fsdm_bson::BsonDoc::new(b).map(|d| ev.exists(&d)).unwrap_or(false),
+            JsonCell::Oson(b) => fsdm_oson::OsonDoc::new(b).map(|d| ev.exists(&d)).unwrap_or(false),
         }
     }
 
@@ -204,10 +190,8 @@ mod tests {
     #[test]
     fn json_exists_agrees_across_storages() {
         for cell in cells() {
-            let mut yes =
-                PathEvaluator::new(parse_path("$.po.items[*]?(@.p > 15)").unwrap());
-            let mut no =
-                PathEvaluator::new(parse_path("$.po.items[*]?(@.p > 99)").unwrap());
+            let mut yes = PathEvaluator::new(parse_path("$.po.items[*]?(@.p > 15)").unwrap());
+            let mut no = PathEvaluator::new(parse_path("$.po.items[*]?(@.p > 99)").unwrap());
             assert!(cell.json_exists(&mut yes));
             assert!(!cell.json_exists(&mut no));
         }

@@ -26,6 +26,7 @@ pub mod expr;
 pub mod imc;
 pub mod jsonaccess;
 pub mod optimizer;
+pub mod profile;
 pub mod query;
 pub mod schema;
 pub mod table;
@@ -34,6 +35,7 @@ pub use database::Database;
 pub use expr::{AggFun, CmpOp, Expr, ScalarFun};
 pub use imc::{ColumnVector, ImcStore};
 pub use jsonaccess::{JsonCell, JsonStorage};
+pub use profile::{OpProfile, QueryProfile};
 pub use query::{Query, QueryResult, SortKey, WindowFun};
 pub use schema::{ColType, ColumnSpec, ConstraintMode, TableSchema};
 pub use table::{Cell, InsertValue, Row, StoreError, Table};

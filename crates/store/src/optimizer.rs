@@ -59,9 +59,7 @@ fn map_children(db: &Database, plan: Query) -> Query {
         Query::GroupBy { input, keys, aggs } => {
             Query::GroupBy { input: Box::new(optimize(db, *input)), keys, aggs }
         }
-        Query::Sort { input, keys } => {
-            Query::Sort { input: Box::new(optimize(db, *input)), keys }
-        }
+        Query::Sort { input, keys } => Query::Sort { input: Box::new(optimize(db, *input)), keys },
         Query::Window { input, name, fun, order } => {
             Query::Window { input: Box::new(optimize(db, *input)), name, fun, order }
         }
@@ -107,10 +105,7 @@ fn try_pushdown(db: &Database, input: Query, pred: Expr) -> Query {
         let restored = rebuild(proj, Query::JsonTable { input: jt_input, json_col, def });
         return Query::Filter { input: Box::new(restored), pred };
     };
-    let scan_width = db
-        .table(&table)
-        .map(|t| t.scan_column_names().len())
-        .unwrap_or(0);
+    let scan_width = db.table(&table).map(|t| t.scan_column_names().len()).unwrap_or(0);
     let mut conjuncts = Vec::new();
     split_and(&pred, &mut conjuncts);
     let col_paths = column_exists_paths(&def);
@@ -252,9 +247,7 @@ fn steps_text(steps: &[Step]) -> String {
     let mut s = String::new();
     for step in steps {
         match step {
-            Step::Field { name, .. } => {
-                s.push_str(&fsdm_sqljson::path::path_step_text(name))
-            }
+            Step::Field { name, .. } => s.push_str(&fsdm_sqljson::path::path_step_text(name)),
             Step::ArrayWildcard => s.push_str("[*]"),
             Step::Array(sels) => {
                 if let [ArraySel::Index(IndexExpr::At(i))] = sels.as_slice() {
@@ -273,9 +266,7 @@ fn simple_sub_path(steps: &[Step]) -> Option<String> {
     let mut s = String::new();
     for step in steps {
         match step {
-            Step::Field { name, .. } => {
-                s.push_str(&fsdm_sqljson::path::path_step_text(name))
-            }
+            Step::Field { name, .. } => s.push_str(&fsdm_sqljson::path::path_step_text(name)),
             _ => return None,
         }
     }
@@ -294,11 +285,7 @@ fn render_literal(lit: &Datum) -> Option<String> {
 }
 
 /// `$<container>?(@<sub> <op> <literal>)` when the literal is renderable.
-fn exists_path(
-    (prefix, sub): &(String, String),
-    op: CmpOp,
-    lit: &Datum,
-) -> Option<String> {
+fn exists_path((prefix, sub): &(String, String), op: CmpOp, lit: &Datum) -> Option<String> {
     let op_text = match op {
         CmpOp::Eq => "==",
         CmpOp::Ne => "!=",

@@ -1,0 +1,128 @@
+//! `EXPLAIN ANALYZE`-style query profiles.
+//!
+//! When a plan is executed through [`crate::Database::execute_profiled`],
+//! every operator in the volcano tree reports its output cardinality and
+//! inclusive wall time. The result is a [`QueryProfile`] mirroring the
+//! plan shape, suitable for spotting where rows explode (JSON_TABLE
+//! un-nesting) or where time goes (path evaluation vs. join vs. sort).
+
+use std::fmt::Write as _;
+
+/// One operator's measurements. `elapsed_ns` is *inclusive* of children,
+/// matching the "actual time" convention of `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Operator label, e.g. `Scan(po)`, `JsonTable`, `GroupBy`.
+    pub op: String,
+    /// Rows emitted by this operator.
+    pub rows_out: usize,
+    /// Inclusive wall time in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Child operators in plan order.
+    pub children: Vec<OpProfile>,
+}
+
+/// Profile of one executed query: the operator tree rooted at the plan's
+/// top operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// The root operator (its `elapsed_ns` is the whole query's time).
+    pub root: OpProfile,
+}
+
+impl QueryProfile {
+    /// Total inclusive wall time of the query in nanoseconds.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.root.elapsed_ns
+    }
+
+    /// Depth-first search for the first operator whose label starts with
+    /// `prefix` (labels carry arguments, e.g. `Scan(po)`).
+    pub fn find(&self, prefix: &str) -> Option<&OpProfile> {
+        fn dfs<'a>(op: &'a OpProfile, prefix: &str) -> Option<&'a OpProfile> {
+            if op.op.starts_with(prefix) {
+                return Some(op);
+            }
+            op.children.iter().find_map(|c| dfs(c, prefix))
+        }
+        dfs(&self.root, prefix)
+    }
+
+    /// All operators in pre-order (root first).
+    pub fn ops(&self) -> Vec<&OpProfile> {
+        fn walk<'a>(op: &'a OpProfile, out: &mut Vec<&'a OpProfile>) {
+            out.push(op);
+            for c in &op.children {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Indented plan-tree rendering:
+    ///
+    /// ```text
+    /// Project  rows=2  time=0.41ms
+    ///   Filter  rows=2  time=0.38ms
+    ///     Scan(po)  rows=3  time=0.29ms
+    /// ```
+    pub fn render(&self) -> String {
+        fn walk(op: &OpProfile, depth: usize, out: &mut String) {
+            let _ = writeln!(
+                out,
+                "{:indent$}{}  rows={}  time={:.2}ms",
+                "",
+                op.op,
+                op.rows_out,
+                op.elapsed_ns as f64 / 1e6,
+                indent = depth * 2
+            );
+            for c in &op.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(&self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryProfile {
+        QueryProfile {
+            root: OpProfile {
+                op: "Project".into(),
+                rows_out: 2,
+                elapsed_ns: 2_000_000,
+                children: vec![OpProfile {
+                    op: "Scan(po)".into(),
+                    rows_out: 3,
+                    elapsed_ns: 1_500_000,
+                    children: vec![],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn find_and_ops() {
+        let p = sample();
+        assert_eq!(p.find("Scan").unwrap().rows_out, 3);
+        assert!(p.find("HashJoin").is_none());
+        let ops: Vec<&str> = p.ops().iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(ops, vec!["Project", "Scan(po)"]);
+        assert_eq!(p.elapsed_ns(), 2_000_000);
+    }
+
+    #[test]
+    fn render_indents_children() {
+        let text = sample().render();
+        assert!(text.contains("Project  rows=2"));
+        assert!(text.contains("\n  Scan(po)  rows=3"), "{text}");
+    }
+}

@@ -61,11 +61,7 @@ impl ColumnSpec {
     }
 
     /// A JSON column with the given storage and constraint mode.
-    pub fn json(
-        name: impl Into<String>,
-        storage: JsonStorage,
-        constraint: ConstraintMode,
-    ) -> Self {
+    pub fn json(name: impl Into<String>, storage: JsonStorage, constraint: ConstraintMode) -> Self {
         ColumnSpec { name: name.into(), ty: ColType::Json(storage), constraint }
     }
 }

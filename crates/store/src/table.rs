@@ -217,11 +217,9 @@ impl Table {
                 }
                 (ty, InsertValue::Datum(d)) => {
                     let sql_ty = ty.sql_type().expect("scalar type");
-                    let coerced = d
-                        .coerce(sql_ty)
-                        .ok_or_else(|| {
-                            StoreError::new(format!("value does not fit column {}", spec.name))
-                        })?;
+                    let coerced = d.coerce(sql_ty).ok_or_else(|| {
+                        StoreError::new(format!("value does not fit column {}", spec.name))
+                    })?;
                     row.push(Cell::D(coerced));
                 }
             }
@@ -241,6 +239,7 @@ impl Table {
             } else {
                 self.dataguide.doc_count += 1;
                 self.guide_fast_path_hits += 1;
+                fsdm_obs::counter!("store.insert.guide_fast_path").inc();
             }
             if let Some(ix) = &mut self.search_index {
                 ix.insert(row_id as u64, doc);
@@ -333,10 +332,7 @@ mod tests {
     fn po_schema(storage: JsonStorage, mode: ConstraintMode) -> TableSchema {
         TableSchema::new(
             "po",
-            vec![
-                ColumnSpec::new("did", ColType::Number),
-                ColumnSpec::json("jdoc", storage, mode),
-            ],
+            vec![ColumnSpec::new("did", ColType::Number), ColumnSpec::json("jdoc", storage, mode)],
         )
     }
 
@@ -346,9 +342,7 @@ mod tests {
         t.insert(vec![1i64.into(), InsertValue::Json(r#"{"a":1}"#.into())]).unwrap();
         assert_eq!(t.len(), 1);
         // malformed JSON rejected by IS JSON
-        let err = t
-            .insert(vec![2i64.into(), InsertValue::Json("{oops".into())])
-            .unwrap_err();
+        let err = t.insert(vec![2i64.into(), InsertValue::Json("{oops".into())]).unwrap_err();
         assert!(err.message.contains("IS JSON"));
     }
 
@@ -361,14 +355,10 @@ mod tests {
 
     #[test]
     fn dataguide_maintenance_with_fast_path() {
-        let mut t =
-            Table::new(po_schema(JsonStorage::Text, ConstraintMode::IsJsonWithDataGuide));
+        let mut t = Table::new(po_schema(JsonStorage::Text, ConstraintMode::IsJsonWithDataGuide));
         for i in 0..50 {
-            t.insert(vec![
-                (i as i64).into(),
-                InsertValue::Json(format!(r#"{{"a":{i},"b":"x"}}"#)),
-            ])
-            .unwrap();
+            t.insert(vec![(i as i64).into(), InsertValue::Json(format!(r#"{{"a":{i},"b":"x"}}"#))])
+                .unwrap();
         }
         assert_eq!(t.dataguide.doc_count, 50);
         assert_eq!(t.guide_fast_path_hits, 49);
@@ -382,8 +372,7 @@ mod tests {
     fn binary_storages_reencode() {
         for storage in [JsonStorage::Bson, JsonStorage::Oson] {
             let mut t = Table::new(po_schema(storage, ConstraintMode::IsJson));
-            t.insert(vec![1i64.into(), InsertValue::Json(r#"{"k":[1,2,3]}"#.into())])
-                .unwrap();
+            t.insert(vec![1i64.into(), InsertValue::Json(r#"{"k":[1,2,3]}"#.into())]).unwrap();
             match &t.rows[0][1] {
                 Cell::J(j) => {
                     let v = j.decode().unwrap();
@@ -396,10 +385,8 @@ mod tests {
 
     #[test]
     fn scalar_type_enforcement() {
-        let mut t = Table::new(TableSchema::new(
-            "t",
-            vec![ColumnSpec::new("s", ColType::Varchar2(3))],
-        ));
+        let mut t =
+            Table::new(TableSchema::new("t", vec![ColumnSpec::new("s", ColType::Varchar2(3))]));
         assert!(t.insert(vec!["abc".into()]).is_ok());
         assert!(t.insert(vec!["abcd".into()]).is_err());
         assert!(t.insert(vec![InsertValue::Json("{}".into())]).is_err());
@@ -407,10 +394,7 @@ mod tests {
 
     #[test]
     fn key_index_maintenance() {
-        let mut t = Table::new(TableSchema::new(
-            "t",
-            vec![ColumnSpec::new("k", ColType::Number)],
-        ));
+        let mut t = Table::new(TableSchema::new("t", vec![ColumnSpec::new("k", ColType::Number)]));
         t.insert(vec![5i64.into()]).unwrap();
         t.create_key_index("k").unwrap();
         t.insert(vec![5i64.into()]).unwrap();

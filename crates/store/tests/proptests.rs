@@ -20,8 +20,11 @@ struct DocRow {
 
 fn arb_rows() -> impl Strategy<Value = Vec<DocRow>> {
     prop::collection::vec(
-        (0u8..5, -1000i32..1000, any::<bool>())
-            .prop_map(|(group, value, flag)| DocRow { group, value, flag }),
+        (0u8..5, -1000i32..1000, any::<bool>()).prop_map(|(group, value, flag)| DocRow {
+            group,
+            value,
+            flag,
+        }),
         0..60,
     )
 }
@@ -35,10 +38,7 @@ fn load(rows: &[DocRow], storage: JsonStorage) -> Database {
         ],
     ));
     for (i, r) in rows.iter().enumerate() {
-        let doc = format!(
-            r#"{{"group":"g{}","value":{},"flag":{}}}"#,
-            r.group, r.value, r.flag
-        );
+        let doc = format!(r#"{{"group":"g{}","value":{},"flag":{}}}"#, r.group, r.value, r.flag);
         t.insert(vec![(i as i64).into(), InsertValue::Json(doc)]).unwrap();
     }
     let mut db = Database::new();

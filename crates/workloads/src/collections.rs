@@ -154,22 +154,26 @@ pub fn work_order(rng: &mut StdRng, i: usize) -> JsonValue {
             ])
         })
         .collect();
-    obj(vec![
-        ("workOrder", obj(vec![
+    obj(vec![(
+        "workOrder",
+        obj(vec![
             ("id", (i as i64).into()),
             ("site", format!("SITE-{}", rng.gen_range(1..99)).into()),
             ("opened", date(rng).into()),
             ("due", date(rng).into()),
             ("priority", rng.gen_range(1..5).into()),
             ("summary", sentence(rng, 8).into()),
-            ("assignee", obj(vec![
-                ("name", word(rng, 7).into()),
-                ("badge", rng.gen_range(1000..9999).into()),
-            ])),
+            (
+                "assignee",
+                obj(vec![
+                    ("name", word(rng, 7).into()),
+                    ("badge", rng.gen_range(1000..9999).into()),
+                ]),
+            ),
             ("tasks", JsonValue::Array(tasks)),
             ("closed", JsonValue::Null),
-        ])),
-    ])
+        ]),
+    )])
 }
 
 /// salesOrder — avg ≈ 670 bytes, ~20 paths, ~3 lines.
@@ -185,26 +189,33 @@ pub fn sales_order(rng: &mut StdRng, i: usize) -> JsonValue {
             ])
         })
         .collect();
-    obj(vec![
-        ("salesOrder", obj(vec![
+    obj(vec![(
+        "salesOrder",
+        obj(vec![
             ("orderNo", (i as i64).into()),
-            ("customer", obj(vec![
-                ("name", sentence(rng, 2).into()),
-                ("email", format!("{}@example.com", word(rng, 8)).into()),
-                ("loyaltyTier", ["gold", "silver", "none"][rng.gen_range(0..3)].into()),
-            ])),
+            (
+                "customer",
+                obj(vec![
+                    ("name", sentence(rng, 2).into()),
+                    ("email", format!("{}@example.com", word(rng, 8)).into()),
+                    ("loyaltyTier", ["gold", "silver", "none"][rng.gen_range(0..3)].into()),
+                ]),
+            ),
             ("placed", date(rng).into()),
             ("channel", ["web", "store", "phone"][rng.gen_range(0..3)].into()),
-            ("shippingAddress", obj(vec![
-                ("street", sentence(rng, 3).into()),
-                ("city", word(rng, 8).into()),
-                ("country", ["US", "DE", "JP"][rng.gen_range(0..3)].into()),
-            ])),
+            (
+                "shippingAddress",
+                obj(vec![
+                    ("street", sentence(rng, 3).into()),
+                    ("city", word(rng, 8).into()),
+                    ("country", ["US", "DE", "JP"][rng.gen_range(0..3)].into()),
+                ]),
+            ),
             ("lines", JsonValue::Array(lines)),
             ("total", money(rng, 2000.0)),
             ("shipped", (rng.gen_range(0..2) == 1).into()),
-        ])),
-    ])
+        ]),
+    )])
 }
 
 /// eventMessage — avg ≈ 1.9 KB, ~79 paths: a wide telemetry envelope.
@@ -243,20 +254,24 @@ pub fn event_message(rng: &mut StdRng, i: usize) -> JsonValue {
             ])
         })
         .collect();
-    obj(vec![
-        ("event", obj(vec![
+    obj(vec![(
+        "event",
+        obj(vec![
             ("header", JsonValue::Object(header)),
             ("category", word(rng, 6).into()),
             ("severity", ["info", "warn", "error"][rng.gen_range(0..3)].into()),
             ("attributes", JsonValue::Object(attrs)),
             ("readings", JsonValue::Array(readings)),
-            ("payload", obj(vec![
-                ("body", sentence(rng, 20).into()),
-                ("contentType", "text/plain".into()),
-                ("bytes", rng.gen_range(100..9999).into()),
-            ])),
-        ])),
-    ])
+            (
+                "payload",
+                obj(vec![
+                    ("body", sentence(rng, 20).into()),
+                    ("contentType", "text/plain".into()),
+                    ("bytes", rng.gen_range(100..9999).into()),
+                ]),
+            ),
+        ]),
+    )])
 }
 
 /// purchaseOrder — the running example: master scalars + items detail
@@ -283,23 +298,35 @@ pub fn purchase_order(rng: &mut StdRng, i: usize) -> JsonValue {
         ("costcenter", format!("C{}", rng.gen_range(1..40)).into()),
         ("podate", date(rng).into()),
         ("instructions", sentence(rng, 6).into()),
-        ("shippingAddress", obj(vec![
-            ("street", sentence(rng, 3).into()),
-            ("city", word(rng, 8).into()),
-            ("state", ["CA", "NY", "TX", "WA"][rng.gen_range(0..4)].into()),
-            ("zip", format!("{}", rng.gen_range(10_000..99_999)).into()),
-        ])),
-        ("contact", obj(vec![
-            ("phone", format!("{}-{:04}", rng.gen_range(200..999), rng.gen_range(0..9999)).into()),
-            ("email", format!("{}@example.com", word(rng, 7)).into()),
-        ])),
+        (
+            "shippingAddress",
+            obj(vec![
+                ("street", sentence(rng, 3).into()),
+                ("city", word(rng, 8).into()),
+                ("state", ["CA", "NY", "TX", "WA"][rng.gen_range(0..4)].into()),
+                ("zip", format!("{}", rng.gen_range(10_000..99_999)).into()),
+            ]),
+        ),
+        (
+            "contact",
+            obj(vec![
+                (
+                    "phone",
+                    format!("{}-{:04}", rng.gen_range(200..999), rng.gen_range(0..9999)).into(),
+                ),
+                ("email", format!("{}@example.com", word(rng, 7)).into()),
+            ]),
+        ),
         ("items", JsonValue::Array(items)),
     ];
-    if i % 4 == 0 {
-        po.push(("specialHandling", obj(vec![
-            ("fragile", (rng.gen_range(0..2) == 1).into()),
-            ("insuredValue", money(rng, 5000.0)),
-        ])));
+    if i.is_multiple_of(4) {
+        po.push((
+            "specialHandling",
+            obj(vec![
+                ("fragile", (rng.gen_range(0..2) == 1).into()),
+                ("insuredValue", money(rng, 5000.0)),
+            ]),
+        ));
     }
     obj(vec![("purchaseOrder", obj(po))])
 }
@@ -312,35 +339,45 @@ pub fn book_order(rng: &mut StdRng, i: usize) -> JsonValue {
             obj(vec![
                 ("isbn", format!("978{}", rng.gen_range(1_000_000_000i64..9_999_999_999)).into()),
                 ("title", sentence(rng, 4).into()),
-                ("author", obj(vec![
-                    ("first", word(rng, 6).into()),
-                    ("last", word(rng, 8).into()),
-                ])),
+                (
+                    "author",
+                    obj(vec![("first", word(rng, 6).into()), ("last", word(rng, 8).into())]),
+                ),
                 ("price", money(rng, 80.0)),
                 ("format", ["hardcover", "paper", "ebook"][rng.gen_range(0..3)].into()),
             ])
         })
         .collect();
-    obj(vec![
-        ("bookOrder", obj(vec![
+    obj(vec![(
+        "bookOrder",
+        obj(vec![
             ("orderId", (i as i64).into()),
-            ("member", obj(vec![
-                ("memberId", rng.gen_range(10_000..99_999).into()),
-                ("tier", ["gold", "silver"][rng.gen_range(0..2)].into()),
-                ("address", obj(vec![
-                    ("street", sentence(rng, 3).into()),
-                    ("city", word(rng, 8).into()),
-                    ("zip", format!("{}", rng.gen_range(10_000..99_999)).into()),
-                ])),
-            ])),
+            (
+                "member",
+                obj(vec![
+                    ("memberId", rng.gen_range(10_000..99_999).into()),
+                    ("tier", ["gold", "silver"][rng.gen_range(0..2)].into()),
+                    (
+                        "address",
+                        obj(vec![
+                            ("street", sentence(rng, 3).into()),
+                            ("city", word(rng, 8).into()),
+                            ("zip", format!("{}", rng.gen_range(10_000..99_999)).into()),
+                        ]),
+                    ),
+                ]),
+            ),
             ("ordered", date(rng).into()),
             ("giftWrap", (rng.gen_range(0..4) == 0).into()),
             ("books", JsonValue::Array(books)),
-            ("couponCodes", JsonValue::Array(
-                (0..rng.gen_range(0..3)).map(|_| word(rng, 6).to_uppercase().into()).collect(),
-            )),
-        ])),
-    ])
+            (
+                "couponCodes",
+                JsonValue::Array(
+                    (0..rng.gen_range(0..3)).map(|_| word(rng, 6).to_uppercase().into()).collect(),
+                ),
+            ),
+        ]),
+    )])
 }
 
 /// LoanNotes — avg ≈ 5 KB, ~153 paths: many distinct long field names
@@ -358,13 +395,34 @@ pub fn loan_notes(rng: &mut StdRng, i: usize) -> JsonValue {
     // across documents, so the DataGuide converges to ~153 paths while the
     // long names keep the OSON dictionary segment dominant (Table 11)
     const QUALIFIERS: [&str; 28] = [
-        "verifiedStatement", "supportingEvidence", "reviewerInitials", "escalationLevel",
-        "documentReference", "expirationNotice", "complianceMarker", "auditTrailToken",
-        "counterpartyNote", "residualExposure", "probabilityGrade", "mitigationPlan",
-        "originationStamp", "jurisdictionCode", "materialityFlag", "supervisorSignoff",
-        "exceptionGranted", "renewalSchedule", "collateralHaircut", "valuationSource",
-        "delinquencyWatch", "restructureTerms", "insurancePolicy", "guarantorProfile",
-        "disbursementHold", "interestAccrual", "portfolioSegment", "retentionPeriod",
+        "verifiedStatement",
+        "supportingEvidence",
+        "reviewerInitials",
+        "escalationLevel",
+        "documentReference",
+        "expirationNotice",
+        "complianceMarker",
+        "auditTrailToken",
+        "counterpartyNote",
+        "residualExposure",
+        "probabilityGrade",
+        "mitigationPlan",
+        "originationStamp",
+        "jurisdictionCode",
+        "materialityFlag",
+        "supervisorSignoff",
+        "exceptionGranted",
+        "renewalSchedule",
+        "collateralHaircut",
+        "valuationSource",
+        "delinquencyWatch",
+        "restructureTerms",
+        "insurancePolicy",
+        "guarantorProfile",
+        "disbursementHold",
+        "interestAccrual",
+        "portfolioSegment",
+        "retentionPeriod",
     ];
     let mut root = Object::new();
     root.push("loanId", JsonValue::from(i as i64));
@@ -403,10 +461,13 @@ fn tweet(rng: &mut StdRng, id: i64) -> JsonValue {
         .map(|_| {
             obj(vec![
                 ("text", word(rng, 8).into()),
-                ("indices", JsonValue::Array(vec![
-                    rng.gen_range(0..50).into(),
-                    rng.gen_range(50..100).into(),
-                ])),
+                (
+                    "indices",
+                    JsonValue::Array(vec![
+                        rng.gen_range(0..50).into(),
+                        rng.gen_range(50..100).into(),
+                    ]),
+                ),
             ])
         })
         .collect();
@@ -439,64 +500,93 @@ fn tweet(rng: &mut StdRng, id: i64) -> JsonValue {
         ("coordinates", JsonValue::Null),
         ("contributors", JsonValue::Null),
         ("source", "<a href=\\\"https://example.com\\\">web</a>".into()),
-        ("user", obj(vec![
-            ("id", rng.gen_range(1_000..9_999_999).into()),
-            ("id_str", rng.gen_range(1_000..9_999_999).to_string().into()),
-            ("screen_name", word(rng, 10).into()),
-            ("name", sentence(rng, 2).into()),
-            ("description", sentence(rng, 8).into()),
-            ("followers_count", rng.gen_range(0..100_000).into()),
-            ("friends_count", rng.gen_range(0..5_000).into()),
-            ("favourites_count", rng.gen_range(0..9_000).into()),
-            ("statuses_count", rng.gen_range(0..50_000).into()),
-            ("listed_count", rng.gen_range(0..300).into()),
-            ("verified", (rng.gen_range(0..50) == 0).into()),
-            ("protected", false.into()),
-            ("geo_enabled", (rng.gen_range(0..3) == 0).into()),
-            ("contributors_enabled", false.into()),
-            ("is_translation_enabled", false.into()),
-            ("default_profile", true.into()),
-            ("default_profile_image", false.into()),
-            ("location", word(rng, 9).into()),
-            ("time_zone", "UTC".into()),
-            ("utc_offset", (-28800i64).into()),
-            ("profile_background_color", "FFFFFF".into()),
-            ("profile_background_tile", false.into()),
-            ("profile_image_url_https", format!("https://pbs.example/{}", word(rng, 10)).into()),
-            ("profile_banner_url", format!("https://pbs.example/{}", word(rng, 10)).into()),
-            ("profile_link_color", "1DA1F2".into()),
-            ("profile_sidebar_border_color", "C0DEED".into()),
-            ("profile_sidebar_fill_color", "DDEEF6".into()),
-            ("profile_text_color", "333333".into()),
-            ("profile_use_background_image", true.into()),
-        ])),
-        ("entities", obj(vec![
-            ("hashtags", JsonValue::Array(hashtags)),
-            ("urls", JsonValue::Array(urls)),
-            ("symbols", JsonValue::Array(vec![])),
-            ("user_mentions", JsonValue::Array(
-                (0..rng.gen_range(0..3))
-                    .map(|_| obj(vec![
-                        ("screen_name", word(rng, 9).into()),
-                        ("id", rng.gen_range(1000..999_999).into()),
-                        ("id_str", rng.gen_range(1000..999_999).to_string().into()),
-                    ]))
-                    .collect(),
-            )),
-        ])),
-        ("place", obj(vec![
-            ("country", ["US", "JP", "DE"][rng.gen_range(0..3)].into()),
-            ("country_code", ["US", "JP", "DE"][rng.gen_range(0..3)].into()),
-            ("full_name", sentence(rng, 2).into()),
-            ("place_type", "city".into()),
-            ("bounding_box", obj(vec![
-                ("type", "Polygon".into()),
-                ("coordinates", JsonValue::Array(vec![JsonValue::Array(vec![
-                    JsonValue::Array(vec![rng.gen_range(-180i64..180).into(), rng.gen_range(-90i64..90).into()]),
-                    JsonValue::Array(vec![rng.gen_range(-180i64..180).into(), rng.gen_range(-90i64..90).into()]),
-                ])])),
-            ])),
-        ])),
+        (
+            "user",
+            obj(vec![
+                ("id", rng.gen_range(1_000..9_999_999).into()),
+                ("id_str", rng.gen_range(1_000..9_999_999).to_string().into()),
+                ("screen_name", word(rng, 10).into()),
+                ("name", sentence(rng, 2).into()),
+                ("description", sentence(rng, 8).into()),
+                ("followers_count", rng.gen_range(0..100_000).into()),
+                ("friends_count", rng.gen_range(0..5_000).into()),
+                ("favourites_count", rng.gen_range(0..9_000).into()),
+                ("statuses_count", rng.gen_range(0..50_000).into()),
+                ("listed_count", rng.gen_range(0..300).into()),
+                ("verified", (rng.gen_range(0..50) == 0).into()),
+                ("protected", false.into()),
+                ("geo_enabled", (rng.gen_range(0..3) == 0).into()),
+                ("contributors_enabled", false.into()),
+                ("is_translation_enabled", false.into()),
+                ("default_profile", true.into()),
+                ("default_profile_image", false.into()),
+                ("location", word(rng, 9).into()),
+                ("time_zone", "UTC".into()),
+                ("utc_offset", (-28800i64).into()),
+                ("profile_background_color", "FFFFFF".into()),
+                ("profile_background_tile", false.into()),
+                (
+                    "profile_image_url_https",
+                    format!("https://pbs.example/{}", word(rng, 10)).into(),
+                ),
+                ("profile_banner_url", format!("https://pbs.example/{}", word(rng, 10)).into()),
+                ("profile_link_color", "1DA1F2".into()),
+                ("profile_sidebar_border_color", "C0DEED".into()),
+                ("profile_sidebar_fill_color", "DDEEF6".into()),
+                ("profile_text_color", "333333".into()),
+                ("profile_use_background_image", true.into()),
+            ]),
+        ),
+        (
+            "entities",
+            obj(vec![
+                ("hashtags", JsonValue::Array(hashtags)),
+                ("urls", JsonValue::Array(urls)),
+                ("symbols", JsonValue::Array(vec![])),
+                (
+                    "user_mentions",
+                    JsonValue::Array(
+                        (0..rng.gen_range(0..3))
+                            .map(|_| {
+                                obj(vec![
+                                    ("screen_name", word(rng, 9).into()),
+                                    ("id", rng.gen_range(1000..999_999).into()),
+                                    ("id_str", rng.gen_range(1000..999_999).to_string().into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "place",
+            obj(vec![
+                ("country", ["US", "JP", "DE"][rng.gen_range(0..3)].into()),
+                ("country_code", ["US", "JP", "DE"][rng.gen_range(0..3)].into()),
+                ("full_name", sentence(rng, 2).into()),
+                ("place_type", "city".into()),
+                (
+                    "bounding_box",
+                    obj(vec![
+                        ("type", "Polygon".into()),
+                        (
+                            "coordinates",
+                            JsonValue::Array(vec![JsonValue::Array(vec![
+                                JsonValue::Array(vec![
+                                    rng.gen_range(-180i64..180).into(),
+                                    rng.gen_range(-90i64..90).into(),
+                                ]),
+                                JsonValue::Array(vec![
+                                    rng.gen_range(-180i64..180).into(),
+                                    rng.gen_range(-90i64..90).into(),
+                                ]),
+                            ])]),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
     ])
 }
 
@@ -507,10 +597,10 @@ pub fn twitter_msg(rng: &mut StdRng, i: usize) -> JsonValue {
     // optional substructures)
     let mut t = tweet(rng, i as i64);
     if let Some(o) = t.as_object_mut() {
-        if i % 3 == 0 {
+        if i.is_multiple_of(3) {
             o.push("retweeted_status", tweet(rng, i as i64 + 1_000_000));
         }
-        if i % 5 == 0 {
+        if i.is_multiple_of(5) {
             o.push(
                 format!("experiment_{}", i % 40),
                 obj(vec![("bucket", word(rng, 4).into()), ("active", true.into())]),
@@ -536,28 +626,37 @@ pub fn acquisition_doc(rng: &mut StdRng, i: usize) -> JsonValue {
             ])
         })
         .collect();
-    obj(vec![
-        ("acquisition", obj(vec![
+    obj(vec![(
+        "acquisition",
+        obj(vec![
             ("dealId", (i as i64).into()),
             ("target", sentence(rng, 2).into()),
             ("announced", date(rng).into()),
             ("currency", "USD".into()),
-            ("advisor", obj(vec![
-                ("firm", word(rng, 10).into()),
-                ("lead", sentence(rng, 2).into()),
-                ("fee", money(rng, 1_000_000.0)),
-            ])),
+            (
+                "advisor",
+                obj(vec![
+                    ("firm", word(rng, 10).into()),
+                    ("lead", sentence(rng, 2).into()),
+                    ("fee", money(rng, 1_000_000.0)),
+                ]),
+            ),
             ("assets", JsonValue::Array(lines)),
-            ("approvals", JsonValue::Array(
-                (0..3)
-                    .map(|_| obj(vec![
-                        ("body", word(rng, 8).into()),
-                        ("granted", (rng.gen_range(0..2) == 1).into()),
-                    ]))
-                    .collect(),
-            )),
-        ])),
-    ])
+            (
+                "approvals",
+                JsonValue::Array(
+                    (0..3)
+                        .map(|_| {
+                            obj(vec![
+                                ("body", word(rng, 8).into()),
+                                ("granted", (rng.gen_range(0..2) == 1).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    )])
 }
 
 /// YCSB — key + ten 100-byte fields: value-segment-dominated.
@@ -576,15 +675,15 @@ pub fn ycsb(rng: &mut StdRng, i: usize) -> JsonValue {
 /// half the text size (Table 10).
 pub fn twitter_archive(rng: &mut StdRng, i: usize) -> JsonValue {
     let n = 1600;
-    let statuses: Vec<JsonValue> =
-        (0..n).map(|t| tweet(rng, (i * n + t) as i64)).collect();
-    obj(vec![
-        ("archive", obj(vec![
+    let statuses: Vec<JsonValue> = (0..n).map(|t| tweet(rng, (i * n + t) as i64)).collect();
+    obj(vec![(
+        "archive",
+        obj(vec![
             ("exportedAt", date(rng).into()),
             ("account", word(rng, 10).into()),
             ("statuses", JsonValue::Array(statuses)),
-        ])),
-    ])
+        ]),
+    )])
 }
 
 /// SensorData — one recording holding ~32 000 multi-channel readings
@@ -621,19 +720,17 @@ pub fn sensor_data(rng: &mut StdRng, i: usize) -> JsonValue {
             JsonValue::Object(o)
         })
         .collect();
-    obj(vec![
-        ("recording", obj(vec![
+    obj(vec![(
+        "recording",
+        obj(vec![
             ("deviceId", (i as i64).into()),
             ("startedAt", date(rng).into()),
             ("sampleRateHz", 1000.into()),
             ("firmware", "v2.1.7".into()),
-            ("calibration", obj(vec![
-                ("offset", 0.125.into()),
-                ("gain", 1.002.into()),
-            ])),
+            ("calibration", obj(vec![("offset", 0.125.into()), ("gain", 1.002.into())])),
             ("readings", JsonValue::Array(readings)),
-        ])),
-    ])
+        ]),
+    )])
 }
 
 #[cfg(test)]
@@ -673,9 +770,8 @@ mod tests {
         for (c, target) in expect {
             let mut rng = rng_for(c.name(), 1);
             let n = 50;
-            let total: usize = (0..n)
-                .map(|i| fsdm_json::to_string(&generate(c, &mut rng, i)).len())
-                .sum();
+            let total: usize =
+                (0..n).map(|i| fsdm_json::to_string(&generate(c, &mut rng, i)).len()).sum();
             let avg = total / n;
             let lo = target * 45 / 100;
             let hi = target * 155 / 100;

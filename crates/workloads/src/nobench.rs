@@ -29,8 +29,8 @@ pub fn doc(rng: &mut StdRng, i: usize) -> JsonValue {
     o.push("str1", crate::collections::word(rng, 12));
     o.push("str2", crate::collections::word(rng, 12));
     o.push("num", JsonValue::from(i as i64));
-    o.push("bool", JsonValue::Bool(i % 2 == 0));
-    if i % 2 == 0 {
+    o.push("bool", JsonValue::Bool(i.is_multiple_of(2)));
+    if i.is_multiple_of(2) {
         o.push("dyn1", JsonValue::from(i as i64));
         o.push("dyn2", crate::collections::word(rng, 8));
     } else {
@@ -41,9 +41,8 @@ pub fn doc(rng: &mut StdRng, i: usize) -> JsonValue {
     nested.push("str", crate::collections::word(rng, 10));
     nested.push("num", JsonValue::from(rng.gen_range(0..1_000_000)));
     o.push("nested_obj", JsonValue::Object(nested));
-    let arr: Vec<JsonValue> = (0..rng.gen_range(2..6))
-        .map(|_| crate::collections::word(rng, 8).into())
-        .collect();
+    let arr: Vec<JsonValue> =
+        (0..rng.gen_range(2..6)).map(|_| crate::collections::word(rng, 8).into()).collect();
     o.push("nested_arr", JsonValue::Array(arr));
     o.push("thousandth", JsonValue::from((i % 1000) as i64));
     // one cluster of ten consecutive sparse fields
@@ -83,11 +82,14 @@ pub fn query_sql(q: usize, n: usize) -> String {
             "select json_value(jdoc, '$.dyn1') from nobench \
              where json_value(jdoc, '$.dyn1' returning number) between {lo} and {hi}"
         ),
-        8 => "select did from nobench where json_exists(jdoc, '$.nested_arr?(@ == \"notpresent\")') \
+        8 => {
+            "select did from nobench where json_exists(jdoc, '$.nested_arr?(@ == \"notpresent\")') \
               or json_exists(jdoc, '$.nested_arr?(@ starts with \"a\")')"
-            .to_string(),
-        9 => "select did from nobench where json_value(jdoc, '$.sparse_550') is not null"
-            .to_string(),
+                .to_string()
+        }
+        9 => {
+            "select did from nobench where json_value(jdoc, '$.sparse_550') is not null".to_string()
+        }
         10 => format!(
             "select json_value(jdoc, '$.thousandth' returning number), count(*) from nobench \
              where json_value(jdoc, '$.num' returning number) between {lo} and {hi} \
@@ -118,7 +120,14 @@ mod tests {
         let mut rng = rng_for("nobench", 9);
         let d = doc(&mut rng, 123);
         for f in [
-            "str1", "str2", "num", "bool", "dyn1", "dyn2", "nested_obj", "nested_arr",
+            "str1",
+            "str2",
+            "num",
+            "bool",
+            "dyn1",
+            "dyn2",
+            "nested_obj",
+            "nested_arr",
             "thousandth",
         ] {
             assert!(d.get(f).is_some(), "missing {f}");

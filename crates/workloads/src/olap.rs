@@ -28,15 +28,21 @@ pub struct OlapQuery {
 /// The nine OLAP queries (Table 13). Binds reference values that exist in
 /// the generated corpus so selectivities are realistic.
 pub fn queries(rng: &mut StdRng, corpus: &[JsonValue]) -> Vec<OlapQuery> {
-    let pick = |rng: &mut StdRng| -> &JsonValue {
-        &corpus[rng.gen_range(0..corpus.len())]
-    };
+    let pick = |rng: &mut StdRng| -> &JsonValue { &corpus[rng.gen_range(0..corpus.len())] };
     let po = |d: &JsonValue| d.get("purchaseOrder").unwrap().clone();
     let some_ref = po(pick(rng)).get("reference").unwrap().as_str().unwrap().to_string();
-    let some_requestor =
-        po(pick(rng)).get("requestor").unwrap().as_str().unwrap().to_string();
+    let some_requestor = po(pick(rng)).get("requestor").unwrap().as_str().unwrap().to_string();
     let partno_of = |d: &JsonValue| {
-        po(d).get("items").unwrap().at(0).unwrap().get("partno").unwrap().as_str().unwrap().to_string()
+        po(d)
+            .get("items")
+            .unwrap()
+            .at(0)
+            .unwrap()
+            .get("partno")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
     };
     let p1 = partno_of(pick(rng));
     let p2 = partno_of(pick(rng));
@@ -50,8 +56,7 @@ pub fn queries(rng: &mut StdRng, corpus: &[JsonValue]) -> Vec<OlapQuery> {
         },
         OlapQuery {
             id: 2,
-            sql: "select costcenter, count(*) from po_mv group by costcenter order by 1"
-                .into(),
+            sql: "select costcenter, count(*) from po_mv group by costcenter order by 1".into(),
             binds: vec![],
         },
         OlapQuery {

@@ -27,7 +27,9 @@ fn main() {
 
     let (t6_text, n6) = time(&mut session, &q6);
     let (t10_text, n10) = time(&mut session, &q10);
-    println!("\nTEXT-MODE       Q6 {t6_text:8.1} ms ({n6} rows)   Q10 {t10_text:8.1} ms ({n10} groups)");
+    println!(
+        "\nTEXT-MODE       Q6 {t6_text:8.1} ms ({n6} rows)   Q10 {t10_text:8.1} ms ({n10} groups)"
+    );
 
     session.db.table_mut("nobench").unwrap().populate_oson_imc().unwrap();
     let (t6_oson, _) = time(&mut session, &q6);

@@ -33,10 +33,7 @@ fn main() {
 
     println!("== the merged soft schema ==");
     for row in db.dataguide("events").unwrap().rows() {
-        println!(
-            "{:<28} {:<18} freq={}/4",
-            row.path, row.type_str, row.doc_count
-        );
+        println!("{:<28} {:<18} freq={}/4", row.path, row.type_str, row.doc_count);
     }
     println!("\nnote: $.target.id merged number+string → generalized to string\n");
 
@@ -61,10 +58,8 @@ fn main() {
             exclude: false,
         },
     );
-    overrides.insert(
-        "$.message".to_string(),
-        ColumnOverride { exclude: true, ..Default::default() },
-    );
+    overrides
+        .insert("$.message".to_string(), ColumnOverride { exclude: true, ..Default::default() });
     let guide = db.dataguide("events").unwrap().clone();
     let view = create_view_on_path(&guide, "$", "jdoc", "EVENTS_RV", 0, &overrides).unwrap();
     println!("\n== customized view ==\n{}", view.sql);

@@ -7,21 +7,23 @@
 
 pub use fsdm_core::*;
 
-/// The JSON substrate: value model, parser, serializer, OraNum.
-pub use fsdm_json as json;
 /// BSON baseline codec.
 pub use fsdm_bson as bson;
-/// The OSON binary format.
-pub use fsdm_oson as oson;
-/// SQL/JSON path language and operators.
-pub use fsdm_sqljson as sqljson;
 /// The JSON DataGuide.
 pub use fsdm_dataguide as dataguide;
 /// The JSON search index.
 pub use fsdm_index as index;
-/// The relational engine.
-pub use fsdm_store as store;
+/// The JSON substrate: value model, parser, serializer, OraNum.
+pub use fsdm_json as json;
+/// Zero-dependency metrics + query profiling.
+pub use fsdm_obs as obs;
+/// The OSON binary format.
+pub use fsdm_oson as oson;
 /// The SQL front end.
 pub use fsdm_sql as sql;
+/// SQL/JSON path language and operators.
+pub use fsdm_sqljson as sqljson;
+/// The relational engine.
+pub use fsdm_store as store;
 /// Workload generators.
 pub use fsdm_workloads as workloads;

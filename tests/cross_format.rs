@@ -2,7 +2,7 @@
 //! every collection document round-trips through all three formats, and
 //! path evaluation agrees across text streaming, DOM, BSON and OSON.
 
-use fsdm::json::{JsonDom, ValueDom};
+use fsdm::json::ValueDom;
 use fsdm::sqljson::{parse_path, PathEvaluator};
 use fsdm_workloads::{generate, rng_for, Collection};
 
@@ -21,17 +21,9 @@ fn all_small_collections_roundtrip_all_formats() {
             let text = fsdm::json::to_string(&d);
             assert_eq!(fsdm::json::parse(&text).unwrap(), d, "{} text", c.name());
             let bson = fsdm::bson::encode(&d).unwrap();
-            assert!(
-                fsdm::bson::decode(&bson).unwrap().eq_unordered(&d),
-                "{} bson",
-                c.name()
-            );
+            assert!(fsdm::bson::decode(&bson).unwrap().eq_unordered(&d), "{} bson", c.name());
             let oson = fsdm::oson::encode(&d).unwrap();
-            assert!(
-                fsdm::oson::decode(&oson).unwrap().eq_unordered(&d),
-                "{} oson",
-                c.name()
-            );
+            assert!(fsdm::oson::decode(&oson).unwrap().eq_unordered(&d), "{} oson", c.name());
         }
     }
 }
@@ -125,10 +117,7 @@ fn search_index_agrees_with_path_engine() {
         .unwrap()
         .to_string();
     let via_index = ix.docs_with_value("$.purchaseOrder.items.partno", &target);
-    let jp = parse_path(&format!(
-        "$.purchaseOrder.items[*]?(@.partno == \"{target}\")"
-    ))
-    .unwrap();
+    let jp = parse_path(&format!("$.purchaseOrder.items[*]?(@.partno == \"{target}\")")).unwrap();
     let mut ev = PathEvaluator::new(jp);
     let via_engine: Vec<u64> = docs
         .iter()

@@ -19,9 +19,8 @@ fn pushdown_preserves_every_olap_result() {
             let raw = session.db.execute_unoptimized(&plan).unwrap();
             let mut a = optimized.rows.clone();
             let mut b = raw.rows.clone();
-            let key = |r: &Vec<Datum>| {
-                r.iter().map(|d| d.to_text()).collect::<Vec<_>>().join("\u{1}")
-            };
+            let key =
+                |r: &Vec<Datum>| r.iter().map(|d| d.to_text()).collect::<Vec<_>>().join("\u{1}");
             a.sort_by_key(key);
             b.sort_by_key(key);
             assert_eq!(a, b, "Q{} under {:?}", q.id, method);
@@ -58,9 +57,7 @@ fn pushdown_is_a_real_speedup_on_selective_predicates() {
     // would be flaky; instead verify plan shape)
     let n = 50;
     let session = olap_db(StorageMethod::Oson, n);
-    let plan = session
-        .plan("select count(*) from po_item_dmdv where partno = 'XYZ'", &[])
-        .unwrap();
+    let plan = session.plan("select count(*) from po_item_dmdv where partno = 'XYZ'", &[]).unwrap();
     let optimized = fsdm::store::optimizer::optimize(&session.db, plan);
     let txt = format!("{optimized:?}");
     assert!(txt.contains("JSON_EXISTS"), "prefilter missing: {txt}");

@@ -36,12 +36,7 @@ const DOC4: &str = r#"{"purchaseOrder": {"id" : 3, "podate" : "2015-07-01",
       {"dis_partName" : "bulb", "dis_partQuantity" : 3}]}]}}"#;
 
 fn paths(db: &FsdmDatabase) -> Vec<(String, String)> {
-    db.dataguide("po")
-        .unwrap()
-        .rows()
-        .into_iter()
-        .map(|r| (r.path, r.type_str))
-        .collect()
+    db.dataguide("po").unwrap().rows().into_iter().map(|r| (r.path, r.type_str)).collect()
 }
 
 #[test]
@@ -108,9 +103,7 @@ fn table7_virtual_columns_and_table8_dmdv() {
     }
 
     // master fields repeat for every detail row (left outer join)
-    let q = db
-        .sql("select count(*) from po_dmdv where \"jdoc$podate\" = '2015-06-03'")
-        .unwrap();
+    let q = db.sql("select count(*) from po_dmdv where \"jdoc$podate\" = '2015-06-03'").unwrap();
     assert_eq!(q.rows[0][0], Datum::from(4i64));
 }
 
@@ -120,24 +113,16 @@ fn queries_equivalent_across_all_storages() {
     let mut results = Vec::new();
     for storage in [JsonStorage::Text, JsonStorage::Bson, JsonStorage::Oson] {
         let mut db = FsdmDatabase::new();
-        db.create_collection(
-            "po",
-            CollectionOptions { storage, ..Default::default() },
-        )
-        .unwrap();
+        db.create_collection("po", CollectionOptions { storage, ..Default::default() }).unwrap();
         for d in [DOC1, DOC2, DOC3, DOC4] {
             db.put("po", d).unwrap();
         }
         db.infer_relational_schema("po").unwrap();
-        let r1 = db
-            .sql("select count(*) from po_dmdv where \"jdoc$price\" > 100")
-            .unwrap();
+        let r1 = db.sql("select count(*) from po_dmdv where \"jdoc$price\" > 100").unwrap();
         let r2 = db
             .sql("select count(*) from po where json_exists(jdoc, '$.purchaseOrder.items[*]?(@.quantity >= 10)')")
             .unwrap();
-        let r3 = db
-            .sql("select \"jdoc$id\" from po_mv order by \"jdoc$id\" desc")
-            .unwrap();
+        let r3 = db.sql("select \"jdoc$id\" from po_mv order by \"jdoc$id\" desc").unwrap();
         results.push((r1, r2, r3.rows.len()));
     }
     assert_eq!(results[0], results[1], "text vs bson");
@@ -161,14 +146,12 @@ fn partial_update_roundtrip_through_collection() {
         use fsdm::json::{field_hash, JsonDom};
         let po = doc.get_field(doc.root(), "purchaseOrder", field_hash("purchaseOrder")).unwrap();
         let id = doc.get_field(po, "id", field_hash("id")).unwrap();
-        drop(doc);
         let out =
             fsdm::oson::update_scalar(&mut buf, id, &fsdm::json::parse("42").unwrap()).unwrap();
         assert_eq!(out, fsdm::oson::UpdateOutcome::Updated);
         table.rows[0][1] = Cell::J(JsonCell::Oson(std::sync::Arc::new(buf)));
     }
-    let r = db
-        .sql("select json_value(jdoc, '$.purchaseOrder.id' returning number) from po")
-        .unwrap();
+    let r =
+        db.sql("select json_value(jdoc, '$.purchaseOrder.id' returning number) from po").unwrap();
     assert_eq!(r.rows[0][0], Datum::from(42i64));
 }
