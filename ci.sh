@@ -18,6 +18,9 @@ cargo test -q
 echo "== tests (full workspace) =="
 cargo test --workspace -q
 
+echo "== fsdm-tidy (repo-native static analysis) =="
+cargo run --release -p fsdm-tidy
+
 echo "== rustfmt =="
 cargo fmt --all --check
 

@@ -11,6 +11,12 @@ pub fn encode(v: &JsonValue) -> Result<Vec<u8>> {
     let obj = v.as_object().ok_or_else(|| BsonError::new("BSON root must be an object"))?;
     let mut out = Vec::with_capacity(256);
     write_document(&mut out, obj.iter())?;
+    // the deep structural verifier must accept everything we emit; in
+    // debug builds every encode proves it
+    debug_assert!(
+        crate::decode::BsonDoc::new(&out).and_then(|d| d.validate()).is_ok(),
+        "encoder produced a BSON document the verifier rejects"
+    );
     Ok(out)
 }
 

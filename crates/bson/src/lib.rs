@@ -24,22 +24,70 @@ pub use encode::encode;
 
 use std::fmt;
 
+/// What went wrong while decoding or validating a BSON buffer — the
+/// typed half of [`BsonError`], so callers can distinguish a short read
+/// from structural damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The buffer ends before the structure it promises.
+    Truncated,
+    /// A framing invariant is violated (bad lengths, missing NULs, …).
+    Corrupt,
+    /// An element carries a type tag outside the supported JSON subset.
+    UnsupportedTag,
+    /// A documented format limit was exceeded (e.g. nesting depth).
+    Limit,
+    /// The API was used against its contract.
+    Usage,
+}
+
+impl ErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Truncated => "truncated",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::UnsupportedTag => "unsupported tag",
+            ErrorKind::Limit => "limit",
+            ErrorKind::Usage => "usage",
+        }
+    }
+}
+
 /// Errors produced by the BSON codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BsonError {
+    /// Machine-readable classification.
+    pub kind: ErrorKind,
     /// Description of the failure.
     pub message: String,
 }
 
 impl BsonError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        BsonError { message: message.into() }
+        BsonError { kind: ErrorKind::Usage, message: message.into() }
+    }
+
+    pub(crate) fn with_kind(kind: ErrorKind, message: impl Into<String>) -> Self {
+        BsonError { kind, message: message.into() }
+    }
+
+    pub(crate) fn corrupt(message: impl Into<String>) -> Self {
+        BsonError::with_kind(ErrorKind::Corrupt, message)
+    }
+
+    pub(crate) fn truncated(message: impl Into<String>) -> Self {
+        BsonError::with_kind(ErrorKind::Truncated, message)
+    }
+
+    pub(crate) fn limit(message: impl Into<String>) -> Self {
+        BsonError::with_kind(ErrorKind::Limit, message)
     }
 }
 
 impl fmt::Display for BsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BSON error: {}", self.message)
+        write!(f, "BSON error ({}): {}", self.kind.label(), self.message)
     }
 }
 
@@ -85,6 +133,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(BsonError::new("x").to_string(), "BSON error: x");
+        assert_eq!(BsonError::new("x").to_string(), "BSON error (usage): x");
+        assert_eq!(BsonError::truncated("y").to_string(), "BSON error (truncated): y");
     }
 }

@@ -1,0 +1,97 @@
+//! Property-based tests for the BSON codec: round-tripping over the
+//! losslessly-representable value subset, verifier acceptance of every
+//! encoder output, and decoder totality under random damage.
+
+use fsdm_bson::{decode, encode, BsonDoc};
+use fsdm_json::{JsonNumber, JsonValue, Object};
+use proptest::prelude::*;
+
+/// Values BSON represents losslessly: ints, doubles (finite; integral
+/// doubles normalize to ints on both sides of the codec), strings,
+/// booleans, null. Decimals are excluded — BSON stores them as doubles,
+/// which is the lossy behaviour the unit tests document separately.
+fn arb_value() -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        any::<i64>().prop_map(|v| JsonValue::Number(JsonNumber::Int(v))),
+        (-1_000_000i64..1_000_000, 0u32..1000).prop_map(|(i, f)| {
+            let d = i as f64 + (i.signum() as f64) * (f as f64 / 1000.0);
+            JsonValue::Number(JsonNumber::from(d))
+        }),
+        "[a-zA-Z0-9 _\u{e9}]{0,24}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
+            prop::collection::vec(("[a-z][a-z0-9_]{0,10}", inner), 0..6).prop_map(make_object),
+        ]
+    })
+}
+
+/// BSON requires an object at the root.
+fn arb_doc() -> impl Strategy<Value = JsonValue> {
+    prop::collection::vec(("[a-z][a-z0-9_]{0,10}", arb_value()), 0..6).prop_map(make_object)
+}
+
+fn make_object(pairs: Vec<(String, JsonValue)>) -> JsonValue {
+    let mut o = Object::new();
+    let mut seen = std::collections::HashSet::new();
+    for (k, v) in pairs {
+        if seen.insert(k.clone()) {
+            o.push(k, v);
+        }
+    }
+    JsonValue::Object(o)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode preserves the JSON data model over the lossless
+    /// subset.
+    #[test]
+    fn bson_roundtrip(v in arb_doc()) {
+        let bytes = encode(&v).unwrap();
+        prop_assert!(decode(&bytes).unwrap().eq_unordered(&v));
+    }
+
+    /// Every encoder-produced buffer passes the deep structural verifier.
+    #[test]
+    fn encoded_documents_validate(v in arb_doc()) {
+        let bytes = encode(&v).unwrap();
+        let doc = BsonDoc::new(&bytes).unwrap();
+        prop_assert!(doc.validate().is_ok());
+    }
+
+    /// Flipping a single byte of a valid buffer yields `Err` or a value —
+    /// never a panic. No `catch_unwind`: the decode path is total.
+    #[test]
+    fn decoder_total_on_single_byte_flip(
+        v in arb_doc(),
+        pos in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode(&v).unwrap();
+        let n = bytes.len();
+        bytes[pos % n] ^= 1 << bit;
+        let _ = decode(&bytes);
+    }
+
+    /// The decoder stays total under heavier damage: multiple flips and a
+    /// truncation.
+    #[test]
+    fn decoder_total_on_bitflips(
+        v in arb_doc(),
+        flips in prop::collection::vec((0usize..4096, 0u8..8), 1..8),
+        cut in 0usize..4096,
+    ) {
+        let mut bytes = encode(&v).unwrap();
+        for (pos, bit) in flips {
+            let n = bytes.len();
+            bytes[pos % n] ^= 1 << bit;
+        }
+        bytes.truncate(cut % (bytes.len() + 1));
+        let _ = decode(&bytes);
+    }
+}

@@ -325,10 +325,10 @@ impl DataGuide {
         self.doc_count += 1;
         let new_paths = self.root.observe(doc, self.doc_count, false);
         if new_paths > 0 {
-            fsdm_obs::counter!("dataguide.insert.changed").inc();
-            fsdm_obs::gauge!("dataguide.paths").add(new_paths as i64);
+            fsdm_obs::counter!(fsdm_obs::catalog::DATAGUIDE_INSERT_CHANGED).inc();
+            fsdm_obs::gauge!(fsdm_obs::catalog::DATAGUIDE_PATHS).add(new_paths as i64);
         } else {
-            fsdm_obs::counter!("dataguide.insert.unchanged").inc();
+            fsdm_obs::counter!(fsdm_obs::catalog::DATAGUIDE_INSERT_UNCHANGED).inc();
         }
         new_paths
     }

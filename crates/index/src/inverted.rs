@@ -54,8 +54,8 @@ impl SearchIndex {
     pub fn insert(&mut self, id: DocId, doc: &JsonValue) -> bool {
         let mut keys = Vec::new();
         index_value(doc, "$", id, &mut self.postings, &mut keys);
-        fsdm_obs::counter!("index.postings.added").add(keys.len() as u64);
-        fsdm_obs::counter!("index.insert.docs").inc();
+        fsdm_obs::counter!(fsdm_obs::catalog::INDEX_POSTINGS_ADDED).add(keys.len() as u64);
+        fsdm_obs::counter!(fsdm_obs::catalog::INDEX_INSERT_DOCS).inc();
         self.doc_keys.insert(id, keys);
         // §3.2.1: DataGuide maintenance rides on document processing, with
         // a short-circuit when no schema change is possible
@@ -110,7 +110,7 @@ impl SearchIndex {
 
     /// Documents containing the given path (`$.a.b`, arrays transparent).
     pub fn docs_with_path(&self, path: &str) -> Vec<DocId> {
-        fsdm_obs::counter!("index.lookup.path").inc();
+        fsdm_obs::counter!(fsdm_obs::catalog::INDEX_LOOKUP_PATH).inc();
         self.postings.get(path).map(|p| p.presence.clone()).unwrap_or_default()
     }
 
@@ -119,7 +119,7 @@ impl SearchIndex {
     /// `"7"` from the number `7` — so numeric-looking input probes both
     /// the numeric and the string postings (union, document order).
     pub fn docs_with_value(&self, path: &str, value: &str) -> Vec<DocId> {
-        fsdm_obs::counter!("index.lookup.value").inc();
+        fsdm_obs::counter!(fsdm_obs::catalog::INDEX_LOOKUP_VALUE).inc();
         let Some(pp) = self.postings.get(path) else {
             return Vec::new();
         };
@@ -151,7 +151,7 @@ impl SearchIndex {
     /// `JSON_TEXTCONTAINS`: documents whose string leaf at `path` contains
     /// the keyword (case-insensitive full word).
     pub fn docs_text_contains(&self, path: &str, keyword: &str) -> Vec<DocId> {
-        fsdm_obs::counter!("index.lookup.text").inc();
+        fsdm_obs::counter!(fsdm_obs::catalog::INDEX_LOOKUP_TEXT).inc();
         self.postings
             .get(path)
             .and_then(|p| p.keywords.get(&keyword.to_lowercase()))

@@ -1,0 +1,147 @@
+//! Central catalog of every metric name recorded through `fsdm-obs`.
+//!
+//! Each name lives here exactly once as a `pub const`; instrumented
+//! crates record through these constants instead of string literals
+//! (`fsdm_obs::counter!(fsdm_obs::catalog::OSON_DICT_PROBES)`).
+//! `fsdm-tidy` enforces the discipline: a string-literal metric name at
+//! a `counter!`/`gauge!`/`histogram!` call site anywhere outside this
+//! file is a tidy error (rule `metric-literal`), so the catalog is the
+//! complete, documented inventory of what the stack can emit.
+//!
+//! Naming convention: `<crate>.<subsystem>.<name>`.
+
+// --- oson ---------------------------------------------------------------
+
+/// Documents fully decoded from OSON bytes (counter).
+pub const OSON_DECODE_DOCS: &str = "oson.decode.docs";
+/// Documents encoded to OSON bytes (counter).
+pub const OSON_ENCODE_DOCS: &str = "oson.encode.docs";
+/// Encoded document size in bytes (histogram).
+pub const OSON_ENCODE_BYTES: &str = "oson.encode.bytes";
+/// Field-name → field-id dictionary resolutions (counter).
+pub const OSON_DICT_LOOKUPS: &str = "oson.dict.lookups";
+/// Binary-search probes spent resolving field ids (counter).
+pub const OSON_DICT_PROBES: &str = "oson.dict.probes";
+/// Object-child lookups by field id (counter).
+pub const OSON_NODE_LOOKUPS: &str = "oson.node.lookups";
+/// Binary-search probes spent in object-child lookups (counter).
+pub const OSON_NODE_PROBES: &str = "oson.node.probes";
+/// Bytes written to the field-id-name dictionary segment (counter).
+pub const OSON_SEGMENT_DICTIONARY_BYTES: &str = "oson.segment.dictionary_bytes";
+/// Bytes written to the tree-node navigation segment (counter).
+pub const OSON_SEGMENT_TREE_BYTES: &str = "oson.segment.tree_bytes";
+/// Bytes written to the leaf-scalar-value segment (counter).
+pub const OSON_SEGMENT_VALUES_BYTES: &str = "oson.segment.values_bytes";
+/// Partial updates applied in place (counter).
+pub const OSON_UPDATE_IN_PLACE: &str = "oson.update.in_place";
+/// Partial updates that required a document re-encode (counter).
+pub const OSON_UPDATE_REENCODE: &str = "oson.update.reencode";
+/// Buffers rejected by the deep structural verifier (counter).
+pub const OSON_VALIDATE_FAILURES: &str = "oson.validate.failures";
+
+// --- sqljson ------------------------------------------------------------
+
+/// Path evaluations started (counter).
+pub const SQLJSON_EVAL_PATHS: &str = "sqljson.eval.paths";
+/// Context nodes visited across all path steps (counter).
+pub const SQLJSON_EVAL_NODES_VISITED: &str = "sqljson.eval.nodes_visited";
+/// Field resolutions served from the look-back cache (counter).
+pub const SQLJSON_LOOKBACK_HIT: &str = "sqljson.lookback.hit";
+/// Field resolutions that consulted the instance dictionary (counter).
+pub const SQLJSON_LOOKBACK_MISS: &str = "sqljson.lookback.miss";
+/// Field resolutions where the name was absent from the dictionary
+/// (counter).
+pub const SQLJSON_LOOKBACK_ABSENT: &str = "sqljson.lookback.absent";
+
+// --- dataguide ----------------------------------------------------------
+
+/// Inserts that changed the DataGuide (counter).
+pub const DATAGUIDE_INSERT_CHANGED: &str = "dataguide.insert.changed";
+/// Inserts fully covered by the existing DataGuide (counter).
+pub const DATAGUIDE_INSERT_UNCHANGED: &str = "dataguide.insert.unchanged";
+/// Distinct paths currently known to the DataGuide (gauge).
+pub const DATAGUIDE_PATHS: &str = "dataguide.paths";
+
+// --- index --------------------------------------------------------------
+
+/// Documents added to the inverted index (counter).
+pub const INDEX_INSERT_DOCS: &str = "index.insert.docs";
+/// Postings appended across all insertions (counter).
+pub const INDEX_POSTINGS_ADDED: &str = "index.postings.added";
+/// Path-existence index probes (counter).
+pub const INDEX_LOOKUP_PATH: &str = "index.lookup.path";
+/// (path, value) index probes (counter).
+pub const INDEX_LOOKUP_VALUE: &str = "index.lookup.value";
+/// Full-text keyword probes (counter).
+pub const INDEX_LOOKUP_TEXT: &str = "index.lookup.text";
+
+// --- store --------------------------------------------------------------
+
+/// SQL queries executed (counter).
+pub const STORE_EXEC_QUERIES: &str = "store.exec.queries";
+/// End-to-end query execution time in nanoseconds (histogram).
+pub const STORE_EXEC_NS: &str = "store.exec.ns";
+/// Inserts that took the unchanged-DataGuide fast path (counter).
+pub const STORE_INSERT_GUIDE_FAST_PATH: &str = "store.insert.guide_fast_path";
+
+/// Every metric name in the catalog, for exhaustiveness checks and
+/// documentation tooling.
+pub const ALL: &[&str] = &[
+    OSON_DECODE_DOCS,
+    OSON_ENCODE_DOCS,
+    OSON_ENCODE_BYTES,
+    OSON_DICT_LOOKUPS,
+    OSON_DICT_PROBES,
+    OSON_NODE_LOOKUPS,
+    OSON_NODE_PROBES,
+    OSON_SEGMENT_DICTIONARY_BYTES,
+    OSON_SEGMENT_TREE_BYTES,
+    OSON_SEGMENT_VALUES_BYTES,
+    OSON_UPDATE_IN_PLACE,
+    OSON_UPDATE_REENCODE,
+    OSON_VALIDATE_FAILURES,
+    SQLJSON_EVAL_PATHS,
+    SQLJSON_EVAL_NODES_VISITED,
+    SQLJSON_LOOKBACK_HIT,
+    SQLJSON_LOOKBACK_MISS,
+    SQLJSON_LOOKBACK_ABSENT,
+    DATAGUIDE_INSERT_CHANGED,
+    DATAGUIDE_INSERT_UNCHANGED,
+    DATAGUIDE_PATHS,
+    INDEX_INSERT_DOCS,
+    INDEX_POSTINGS_ADDED,
+    INDEX_LOOKUP_PATH,
+    INDEX_LOOKUP_VALUE,
+    INDEX_LOOKUP_TEXT,
+    STORE_EXEC_QUERIES,
+    STORE_EXEC_NS,
+    STORE_INSERT_GUIDE_FAST_PATH,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate catalog entry {name}");
+        }
+    }
+
+    #[test]
+    fn names_follow_the_dotted_convention() {
+        for name in ALL {
+            let parts: Vec<&str> = name.split('.').collect();
+            assert!(parts.len() >= 2, "{name} must be at least <crate>.<name>");
+            for p in &parts {
+                assert!(!p.is_empty(), "{name} has an empty path component");
+                assert!(
+                    p.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                    "{name}: component {p} must be lower_snake_case"
+                );
+            }
+        }
+    }
+}

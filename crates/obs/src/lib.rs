@@ -26,6 +26,8 @@
 //! instrumentation overhead. Snapshots still work; they simply stop
 //! advancing. The flag is process-global and defaults to enabled.
 
+pub mod catalog;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering::Relaxed};

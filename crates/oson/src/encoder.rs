@@ -56,15 +56,22 @@ pub fn encode_with(v: &JsonValue, opts: EncoderOptions) -> Result<Vec<u8>> {
         (wide, tree_w, values_w, root_w)
     };
     let out = assemble(&dict, layout, &tree, &values, root);
+    // the deep structural verifier must accept everything we emit; in
+    // debug builds every encode proves it
+    debug_assert!(
+        crate::doc::OsonDoc::new(&out).and_then(|d| d.validate()).is_ok(),
+        "encoder produced an OSON document the verifier rejects"
+    );
     // per-segment byte accounting (§4 / Table 11); the enabled() guard
     // also skips the SegmentStats header re-parse in no-op mode
     if fsdm_obs::enabled() {
         if let Ok(s) = crate::stats::SegmentStats::of(&out) {
-            fsdm_obs::counter!("oson.encode.docs").inc();
-            fsdm_obs::histogram!("oson.encode.bytes").record(out.len() as u64);
-            fsdm_obs::counter!("oson.segment.dictionary_bytes").add(s.dictionary as u64);
-            fsdm_obs::counter!("oson.segment.tree_bytes").add(s.tree as u64);
-            fsdm_obs::counter!("oson.segment.values_bytes").add(s.values as u64);
+            fsdm_obs::counter!(fsdm_obs::catalog::OSON_ENCODE_DOCS).inc();
+            fsdm_obs::histogram!(fsdm_obs::catalog::OSON_ENCODE_BYTES).record(out.len() as u64);
+            fsdm_obs::counter!(fsdm_obs::catalog::OSON_SEGMENT_DICTIONARY_BYTES)
+                .add(s.dictionary as u64);
+            fsdm_obs::counter!(fsdm_obs::catalog::OSON_SEGMENT_TREE_BYTES).add(s.tree as u64);
+            fsdm_obs::counter!(fsdm_obs::catalog::OSON_SEGMENT_VALUES_BYTES).add(s.values as u64);
         }
     }
     Ok(out)
@@ -126,7 +133,7 @@ impl Dictionary {
         let mut names: Vec<(u32, String)> = set.into_iter().map(|(n, h)| (h, n)).collect();
         names.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         if names.len() > u16::MAX as usize {
-            return Err(OsonError::new("too many distinct field names (max 65535)"));
+            return Err(OsonError::limit("too many distinct field names (max 65535)"));
         }
         let mut ids = HashMap::with_capacity(names.len());
         let mut names_blob = Vec::new();
@@ -146,7 +153,7 @@ fn collect_names(v: &JsonValue, set: &mut HashMap<String, u32>) -> Result<()> {
         JsonValue::Object(o) => {
             for (k, c) in o.iter() {
                 if k.len() > u16::MAX as usize {
-                    return Err(OsonError::new("field name longer than 65535 bytes"));
+                    return Err(OsonError::limit("field name longer than 65535 bytes"));
                 }
                 set.entry(k.to_string()).or_insert_with(|| field_hash(k));
                 collect_names(c, set)?;

@@ -41,22 +41,75 @@ pub use update::{update_scalar, UpdateOutcome};
 
 use std::fmt;
 
+/// What went wrong while decoding or validating an OSON buffer —
+/// the typed half of [`OsonError`], so callers can distinguish "not
+/// OSON at all" from "OSON that has been damaged".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The buffer ends before the structure it promises.
+    Truncated,
+    /// The magic bytes do not spell `OSON`.
+    BadMagic,
+    /// The version byte names a format this crate does not speak.
+    UnsupportedVersion,
+    /// A structural invariant of the three-segment layout is violated.
+    Corrupt,
+    /// A documented format limit was exceeded (dictionary size, nesting
+    /// depth, name length).
+    Limit,
+    /// The API was used against its contract (e.g. a partial update
+    /// aimed at a container node).
+    Usage,
+}
+
+impl ErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Truncated => "truncated",
+            ErrorKind::BadMagic => "bad magic",
+            ErrorKind::UnsupportedVersion => "unsupported version",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Limit => "limit",
+            ErrorKind::Usage => "usage",
+        }
+    }
+}
+
 /// Errors produced by the OSON codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OsonError {
+    /// Machine-readable classification.
+    pub kind: ErrorKind,
     /// Description of the failure.
     pub message: String,
 }
 
 impl OsonError {
-    pub(crate) fn new(message: impl Into<String>) -> Self {
-        OsonError { message: message.into() }
+    pub(crate) fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        OsonError { kind, message: message.into() }
+    }
+
+    pub(crate) fn corrupt(message: impl Into<String>) -> Self {
+        OsonError::new(ErrorKind::Corrupt, message)
+    }
+
+    pub(crate) fn truncated(message: impl Into<String>) -> Self {
+        OsonError::new(ErrorKind::Truncated, message)
+    }
+
+    pub(crate) fn limit(message: impl Into<String>) -> Self {
+        OsonError::new(ErrorKind::Limit, message)
+    }
+
+    pub(crate) fn usage(message: impl Into<String>) -> Self {
+        OsonError::new(ErrorKind::Usage, message)
     }
 }
 
 impl fmt::Display for OsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "OSON error: {}", self.message)
+        write!(f, "OSON error ({}): {}", self.kind.label(), self.message)
     }
 }
 
@@ -66,9 +119,17 @@ impl std::error::Error for OsonError {}
 pub type Result<T> = std::result::Result<T, OsonError>;
 
 /// Decode an OSON buffer back into the JSON value model.
+///
+/// This is the **untrusted-input** entry point: the buffer is run through
+/// the deep structural verifier ([`OsonDoc::validate`]) before any tree
+/// walk, so corrupted or truncated input returns `Err` — it can never
+/// panic or hand garbage to the materializer. Trusted in-process buffers
+/// (e.g. rows the store itself encoded) can skip the verifier by
+/// constructing an [`OsonDoc`] directly.
 pub fn decode(bytes: &[u8]) -> Result<fsdm_json::JsonValue> {
     use fsdm_json::JsonDom;
     let doc = OsonDoc::new(bytes)?;
-    fsdm_obs::counter!("oson.decode.docs").inc();
+    doc.validate()?;
+    fsdm_obs::counter!(fsdm_obs::catalog::OSON_DECODE_DOCS).inc();
     Ok(doc.materialize(doc.root()))
 }

@@ -110,7 +110,7 @@ impl OsonSetBuilder {
         let mut entries: Vec<(u32, String)> = self.names.into_iter().map(|(n, h)| (h, n)).collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         if entries.len() > u32::MAX as usize / 2 {
-            return Err(OsonError::new("set dictionary too large"));
+            return Err(OsonError::limit("set dictionary too large"));
         }
         let mut ids = HashMap::with_capacity(entries.len());
         for (i, (_, n)) in entries.iter().enumerate() {
@@ -253,7 +253,7 @@ fn write_node(
                 let id = *dict
                     .ids
                     .get(k)
-                    .ok_or_else(|| OsonError::new(format!("name {k:?} not in set dictionary")))?;
+                    .ok_or_else(|| OsonError::usage(format!("name {k:?} not in set dictionary")))?;
                 let coff = write_node(c, dict, tree, values)?;
                 kids.push((id, coff));
             }
@@ -290,7 +290,7 @@ impl SetDoc<'_> {
 
     fn header(&self, node: NodeRef) -> (NodeTag, usize) {
         let p = node as usize;
-        (NodeTag::from_byte(self.inst.tree[p]).expect("tag"), p + 1)
+        (NodeTag::from_byte(self.inst.tree[p]), p + 1)
     }
 
     fn container(&self, node: NodeRef) -> (NodeTag, usize, usize) {

@@ -1,8 +1,8 @@
 //! Per-segment size statistics (reproduces Table 11's measurement).
 
 use crate::doc::OsonDoc;
-use crate::wire::{FLAG_WIDE_OFFSETS, MAGIC};
-use crate::{OsonError, Result};
+use crate::wire::{self, FLAG_WIDE_OFFSETS};
+use crate::Result;
 
 /// Byte sizes of the three OSON segments (plus fixed header) for one
 /// encoded instance.
@@ -21,20 +21,18 @@ pub struct SegmentStats {
 impl SegmentStats {
     /// Measure an encoded OSON buffer.
     pub fn of(bytes: &[u8]) -> Result<SegmentStats> {
-        if bytes.len() < 8 || bytes[0..4] != MAGIC {
-            return Err(OsonError::new("bad magic"));
-        }
         // validate framing via the doc reader, then derive region sizes
+        // (reads below are checked-but-infallible once `new` succeeds)
         let _doc = OsonDoc::new(bytes)?;
-        let wide = bytes[5] & FLAG_WIDE_OFFSETS != 0;
+        let wide = wire::read_u8(bytes, 5).unwrap_or(0) & FLAG_WIDE_OFFSETS != 0;
         let w = if wide { 4usize } else { 2 };
         let nlen_w = if wide { 2usize } else { 1 };
-        let nfields = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
+        let nfields = usize::from(wire::read_u16_le(bytes, 6).unwrap_or(0));
         let rd = |pos: usize| -> usize {
             if wide {
-                u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize
+                wire::idx(wire::read_u32_le(bytes, pos).unwrap_or(0))
             } else {
-                u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap()) as usize
+                usize::from(wire::read_u16_le(bytes, pos).unwrap_or(0))
             }
         };
         let header = 8 + 4 * w;

@@ -7,11 +7,15 @@
 //! document. Booleans and nulls are encoded in the node header itself and
 //! cannot be patched without altering tree-segment layout, so they also
 //! report [`UpdateOutcome::NeedsReencode`].
+//!
+//! Like the reader, the updater is panic-free: every buffer position it
+//! writes through is re-derived with checked arithmetic and `get_mut`,
+//! so a caller handing it a corrupted buffer gets an `Err`, not a crash.
 
 use fsdm_json::{JsonDom, JsonValue, NodeRef};
 
 use crate::doc::OsonDoc;
-use crate::wire::NodeTag;
+use crate::wire::{self, NodeTag};
 use crate::{OsonError, Result};
 
 /// Result of attempting a partial update.
@@ -35,10 +39,16 @@ pub fn update_scalar(
     let out = update_scalar_inner(buf, node, new_value)?;
     // §4.3 piggyback-vs-rewrite accounting
     match out {
-        UpdateOutcome::Updated => fsdm_obs::counter!("oson.update.in_place").inc(),
-        UpdateOutcome::NeedsReencode => fsdm_obs::counter!("oson.update.reencode").inc(),
+        UpdateOutcome::Updated => fsdm_obs::counter!(fsdm_obs::catalog::OSON_UPDATE_IN_PLACE).inc(),
+        UpdateOutcome::NeedsReencode => {
+            fsdm_obs::counter!(fsdm_obs::catalog::OSON_UPDATE_REENCODE).inc()
+        }
     }
     Ok(out)
+}
+
+fn corrupt_slot() -> OsonError {
+    OsonError::corrupt("scalar slot out of buffer bounds")
 }
 
 fn update_scalar_inner(
@@ -48,12 +58,13 @@ fn update_scalar_inner(
 ) -> Result<UpdateOutcome> {
     let doc = OsonDoc::new(buf)?;
     if doc.kind(node) != fsdm_json::NodeKind::Scalar {
-        return Err(OsonError::new("update target is not a scalar leaf"));
+        return Err(OsonError::usage("update target is not a scalar leaf"));
     }
-    let tag = NodeTag::from_byte(buf[tree_abs(&doc, node)]).expect("valid node");
+    let header = wire::read_u8(buf, doc.tree_abs(node)).ok_or_else(corrupt_slot)?;
+    let tag = NodeTag::from_byte(header);
     let plan = match (tag, new_value) {
         (NodeTag::Str, JsonValue::String(s)) => {
-            let (body, old_len) = doc.scalar_value_span(node).expect("string span");
+            let (body, old_len) = doc.scalar_value_span(node).ok_or_else(corrupt_slot)?;
             if s.len() > old_len {
                 return Ok(UpdateOutcome::NeedsReencode);
             }
@@ -69,14 +80,14 @@ fn update_scalar_inner(
                 Some(d) => d,
                 None => return Ok(UpdateOutcome::NeedsReencode),
             };
-            let (body, old_len) = doc.scalar_value_span(node).expect("number span");
+            let (body, old_len) = doc.scalar_value_span(node).ok_or_else(corrupt_slot)?;
             if d.as_bytes().len() > old_len {
                 return Ok(UpdateOutcome::NeedsReencode);
             }
             Plan::Num { body, new: d.as_bytes().to_vec(), old_len }
         }
         (NodeTag::NumDouble, JsonValue::Number(n)) => {
-            let (body, _) = doc.scalar_value_span(node).expect("double span");
+            let (body, _) = doc.scalar_value_span(node).ok_or_else(corrupt_slot)?;
             Plan::Dbl { body, new: n.to_f64() }
         }
         _ => return Ok(UpdateOutcome::NeedsReencode),
@@ -85,24 +96,32 @@ fn update_scalar_inner(
         Plan::Str { body, new, old_len } => {
             // rewrite the one-byte-compatible varint length, body, and pad
             // the remainder with spaces (kept inside the old slot)
-            let len_pos = body - varint_width(old_len);
+            let len_pos = body.checked_sub(varint_width(old_len)).ok_or_else(corrupt_slot)?;
             debug_assert_eq!(varint_width(new.len()), varint_width(old_len));
-            write_varint_exact(&mut buf[len_pos..body], new.len());
-            buf[body..body + new.len()].copy_from_slice(&new);
-            for b in &mut buf[body + new.len()..body + old_len] {
+            write_varint_exact(buf.get_mut(len_pos..body).ok_or_else(corrupt_slot)?, new.len());
+            let end = body.checked_add(new.len()).ok_or_else(corrupt_slot)?;
+            buf.get_mut(body..end).ok_or_else(corrupt_slot)?.copy_from_slice(&new);
+            let slot_end = body.checked_add(old_len).ok_or_else(corrupt_slot)?;
+            for b in buf.get_mut(end..slot_end).ok_or_else(corrupt_slot)? {
                 *b = b' ';
             }
         }
         Plan::Num { body, new, old_len } => {
-            buf[body - 1] = new.len() as u8;
-            buf[body..body + new.len()].copy_from_slice(&new);
+            let len_pos = body.checked_sub(1).ok_or_else(corrupt_slot)?;
+            let len_byte = u8::try_from(new.len())
+                .map_err(|_| OsonError::usage("number encoding longer than 255 bytes"))?;
+            *buf.get_mut(len_pos).ok_or_else(corrupt_slot)? = len_byte;
+            let end = body.checked_add(new.len()).ok_or_else(corrupt_slot)?;
+            buf.get_mut(body..end).ok_or_else(corrupt_slot)?.copy_from_slice(&new);
             // slack bytes after a shorter number are dead; zero them
-            for b in &mut buf[body + new.len()..body + old_len] {
+            let slot_end = body.checked_add(old_len).ok_or_else(corrupt_slot)?;
+            for b in buf.get_mut(end..slot_end).ok_or_else(corrupt_slot)? {
                 *b = 0;
             }
         }
         Plan::Dbl { body, new } => {
-            buf[body..body + 8].copy_from_slice(&new.to_le_bytes());
+            let end = body.checked_add(8).ok_or_else(corrupt_slot)?;
+            buf.get_mut(body..end).ok_or_else(corrupt_slot)?.copy_from_slice(&new.to_le_bytes());
         }
     }
     Ok(UpdateOutcome::Updated)
@@ -114,13 +133,8 @@ enum Plan {
     Dbl { body: usize, new: f64 },
 }
 
-/// Absolute buffer position of the node's header byte.
-fn tree_abs(doc: &OsonDoc<'_>, node: NodeRef) -> usize {
-    doc.tree_abs(node)
-}
-
 fn varint_width(len: usize) -> usize {
-    let mut v = len as u64;
+    let mut v = wire::as_u64(len);
     let mut n = 1;
     while v >= 0x80 {
         v >>= 7;
@@ -129,12 +143,14 @@ fn varint_width(len: usize) -> usize {
     n
 }
 
+/// Write `v` as a varint that fills `slot` exactly (the caller has already
+/// checked the widths match).
 fn write_varint_exact(slot: &mut [u8], mut v: usize) {
-    for i in 0..slot.len() {
-        let last = i == slot.len() - 1;
-        let b = (v & 0x7F) as u8;
+    let n = slot.len();
+    for (i, out) in slot.iter_mut().enumerate() {
+        let b = u8::try_from(v & 0x7F).unwrap_or(0x7F);
         v >>= 7;
-        slot[i] = if last { b } else { b | 0x80 };
+        *out = if i + 1 == n { b } else { b | 0x80 };
     }
     debug_assert_eq!(v, 0);
 }
@@ -145,87 +161,96 @@ mod tests {
     use crate::encoder::encode;
     use fsdm_json::{field_hash, parse, JsonDom};
 
-    fn field_node(bytes: &[u8], name: &str) -> NodeRef {
-        let d = OsonDoc::new(bytes).unwrap();
-        d.get_field(d.root(), name, field_hash(name)).unwrap()
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    fn field_node(
+        bytes: &[u8],
+        name: &str,
+    ) -> std::result::Result<NodeRef, Box<dyn std::error::Error>> {
+        let d = OsonDoc::new(bytes)?;
+        d.get_field(d.root(), name, field_hash(name))
+            .ok_or_else(|| format!("field {name} missing").into())
     }
 
     #[test]
-    fn update_number_in_place() {
-        let v = parse(r#"{"price":350.86,"name":"ipad"}"#).unwrap();
-        let mut bytes = encode(&v).unwrap();
-        let node = field_node(&bytes, "price");
-        let out = update_scalar(&mut bytes, node, &parse("99.5").unwrap()).unwrap();
+    fn update_number_in_place() -> TestResult {
+        let v = parse(r#"{"price":350.86,"name":"ipad"}"#)?;
+        let mut bytes = encode(&v)?;
+        let node = field_node(&bytes, "price")?;
+        let out = update_scalar(&mut bytes, node, &parse("99.5")?)?;
         assert_eq!(out, UpdateOutcome::Updated);
-        let back = crate::decode(&bytes).unwrap();
-        assert_eq!(back.get("price").unwrap().as_f64(), Some(99.5));
-        assert_eq!(back.get("name").unwrap().as_str(), Some("ipad"));
+        let back = crate::decode(&bytes)?;
+        assert_eq!(back.get("price").and_then(|p| p.as_f64()), Some(99.5));
+        assert_eq!(back.get("name").and_then(|n| n.as_str()), Some("ipad"));
+        Ok(())
     }
 
     #[test]
-    fn update_string_same_or_shorter() {
-        let v = parse(r#"{"s":"hello"}"#).unwrap();
-        let mut bytes = encode(&v).unwrap();
-        let node = field_node(&bytes, "s");
-        assert_eq!(
-            update_scalar(&mut bytes, node, &parse("\"world\"").unwrap()).unwrap(),
-            UpdateOutcome::Updated
-        );
-        assert_eq!(crate::decode(&bytes).unwrap().get("s").unwrap().as_str(), Some("world"));
-        let node = field_node(&bytes, "s");
-        assert_eq!(
-            update_scalar(&mut bytes, node, &parse("\"hi\"").unwrap()).unwrap(),
-            UpdateOutcome::Updated
-        );
-        assert_eq!(crate::decode(&bytes).unwrap().get("s").unwrap().as_str(), Some("hi"));
+    fn update_string_same_or_shorter() -> TestResult {
+        let v = parse(r#"{"s":"hello"}"#)?;
+        let mut bytes = encode(&v)?;
+        let node = field_node(&bytes, "s")?;
+        assert_eq!(update_scalar(&mut bytes, node, &parse("\"world\"")?)?, UpdateOutcome::Updated);
+        assert_eq!(crate::decode(&bytes)?.get("s").and_then(|s| s.as_str()), Some("world"));
+        let node = field_node(&bytes, "s")?;
+        assert_eq!(update_scalar(&mut bytes, node, &parse("\"hi\"")?)?, UpdateOutcome::Updated);
+        assert_eq!(crate::decode(&bytes)?.get("s").and_then(|s| s.as_str()), Some("hi"));
+        Ok(())
     }
 
     #[test]
-    fn longer_string_needs_reencode() {
-        let v = parse(r#"{"s":"ab"}"#).unwrap();
-        let mut bytes = encode(&v).unwrap();
+    fn updated_buffer_still_validates() -> TestResult {
+        let v = parse(r#"{"s":"hello","n":123.25}"#)?;
+        let mut bytes = encode(&v)?;
+        let s = field_node(&bytes, "s")?;
+        update_scalar(&mut bytes, s, &parse("\"abc\"")?)?;
+        let n = field_node(&bytes, "n")?;
+        update_scalar(&mut bytes, n, &parse("7")?)?;
+        OsonDoc::new(&bytes)?.validate()?;
+        Ok(())
+    }
+
+    #[test]
+    fn longer_string_needs_reencode() -> TestResult {
+        let v = parse(r#"{"s":"ab"}"#)?;
+        let mut bytes = encode(&v)?;
         let before = bytes.clone();
-        let node = field_node(&bytes, "s");
+        let node = field_node(&bytes, "s")?;
         assert_eq!(
-            update_scalar(&mut bytes, node, &parse("\"abcdef\"").unwrap()).unwrap(),
+            update_scalar(&mut bytes, node, &parse("\"abcdef\"")?)?,
             UpdateOutcome::NeedsReencode
         );
         assert_eq!(bytes, before, "buffer untouched on refusal");
+        Ok(())
     }
 
     #[test]
-    fn type_change_needs_reencode() {
-        let v = parse(r#"{"s":"ab","n":5}"#).unwrap();
-        let mut bytes = encode(&v).unwrap();
-        let s = field_node(&bytes, "s");
-        assert_eq!(
-            update_scalar(&mut bytes, s, &parse("42").unwrap()).unwrap(),
-            UpdateOutcome::NeedsReencode
-        );
-        let n = field_node(&bytes, "n");
-        assert_eq!(
-            update_scalar(&mut bytes, n, &parse("true").unwrap()).unwrap(),
-            UpdateOutcome::NeedsReencode
-        );
+    fn type_change_needs_reencode() -> TestResult {
+        let v = parse(r#"{"s":"ab","n":5}"#)?;
+        let mut bytes = encode(&v)?;
+        let s = field_node(&bytes, "s")?;
+        assert_eq!(update_scalar(&mut bytes, s, &parse("42")?)?, UpdateOutcome::NeedsReencode);
+        let n = field_node(&bytes, "n")?;
+        assert_eq!(update_scalar(&mut bytes, n, &parse("true")?)?, UpdateOutcome::NeedsReencode);
+        Ok(())
     }
 
     #[test]
-    fn container_target_is_an_error() {
-        let v = parse(r#"{"a":[1]}"#).unwrap();
-        let mut bytes = encode(&v).unwrap();
-        let a = field_node(&bytes, "a");
-        assert!(update_scalar(&mut bytes, a, &parse("1").unwrap()).is_err());
+    fn container_target_is_an_error() -> TestResult {
+        let v = parse(r#"{"a":[1]}"#)?;
+        let mut bytes = encode(&v)?;
+        let a = field_node(&bytes, "a")?;
+        assert!(update_scalar(&mut bytes, a, &parse("1")?).is_err());
+        Ok(())
     }
 
     #[test]
-    fn shorter_number_zero_pads() {
-        let v = parse(r#"{"n":123456789.25}"#).unwrap();
-        let mut bytes = encode(&v).unwrap();
-        let n = field_node(&bytes, "n");
-        assert_eq!(
-            update_scalar(&mut bytes, n, &parse("7").unwrap()).unwrap(),
-            UpdateOutcome::Updated
-        );
-        assert_eq!(crate::decode(&bytes).unwrap().get("n").unwrap().as_i64(), Some(7));
+    fn shorter_number_zero_pads() -> TestResult {
+        let v = parse(r#"{"n":123456789.25}"#)?;
+        let mut bytes = encode(&v)?;
+        let n = field_node(&bytes, "n")?;
+        assert_eq!(update_scalar(&mut bytes, n, &parse("7")?)?, UpdateOutcome::Updated);
+        assert_eq!(crate::decode(&bytes)?.get("n").and_then(|n| n.as_i64()), Some(7));
+        Ok(())
     }
 }

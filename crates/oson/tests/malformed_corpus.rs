@@ -1,0 +1,323 @@
+//! Corpus of malformed OSON buffers: every entry must make [`decode`]
+//! return `Err` — and, above all, never panic. The cases are either
+//! hand-built from the wire layout or start from a real encoding and
+//! corrupt one structural invariant at a time, so each of the deep
+//! verifier's checks is exercised by at least one buffer.
+//!
+//! Layout under test (narrow widths, the form every small document
+//! takes): `"OSON" ver flags nfields:u16 | root:u16 names_len:u16
+//! tree_len:u16 values_len:u16 | dict entries (hash:u32 off:u16 len:u8)
+//! | names | tree | values`.
+
+use fsdm_json::parse;
+use fsdm_oson::{decode, encode, ErrorKind};
+
+fn enc(text: &str) -> Vec<u8> {
+    encode(&parse(text).expect("corpus JSON parses")).expect("corpus JSON encodes")
+}
+
+/// Segment boundaries of a narrow-width encoding.
+struct Layout {
+    nfields: usize,
+    root: usize,
+    names: usize,
+    tree: usize,
+    values: usize,
+}
+
+fn layout(b: &[u8]) -> Layout {
+    assert_eq!(&b[0..4], b"OSON");
+    assert_eq!(b[5], 0, "corpus documents must use the narrow layout");
+    let rd = |p: usize| usize::from(u16::from_le_bytes([b[p], b[p + 1]]));
+    let nfields = rd(6);
+    let names = 16 + 7 * nfields;
+    let tree = names + rd(10);
+    let values = tree + rd(12);
+    assert_eq!(values + rd(14), b.len(), "segments tile the buffer");
+    Layout { nfields, root: rd(8), names, tree, values }
+}
+
+fn assert_rejected(name: &str, bytes: &[u8]) {
+    match decode(bytes) {
+        Err(_) => {}
+        Ok(v) => panic!("{name}: corrupted buffer decoded to {v}"),
+    }
+}
+
+fn assert_kind(name: &str, bytes: &[u8], kind: ErrorKind) {
+    match decode(bytes) {
+        Err(e) => assert_eq!(e.kind, kind, "{name}: wrong kind: {e}"),
+        Ok(v) => panic!("{name}: corrupted buffer decoded to {v}"),
+    }
+}
+
+// --- header / geometry ---------------------------------------------------
+
+#[test]
+fn empty_buffer() {
+    assert_kind("empty", &[], ErrorKind::BadMagic);
+}
+
+#[test]
+fn bad_magic() {
+    let mut b = enc(r#"{"a":1}"#);
+    b[0] = b'N';
+    assert_kind("bad magic", &b, ErrorKind::BadMagic);
+}
+
+#[test]
+fn unsupported_version() {
+    let mut b = enc(r#"{"a":1}"#);
+    b[4] = 0x7E;
+    assert_kind("version", &b, ErrorKind::UnsupportedVersion);
+}
+
+#[test]
+fn truncated_header() {
+    let b = enc(r#"{"a":1}"#);
+    for cut in 4..16 {
+        assert_rejected("truncated header", &b[..cut]);
+    }
+}
+
+#[test]
+fn truncated_everywhere() {
+    // every proper prefix must be rejected, whatever segment the cut
+    // lands in
+    let b = enc(r#"{"a":[1,"two",3.5],"b":{"c":null,"d":true}}"#);
+    for cut in 0..b.len() {
+        assert_rejected("prefix", &b[..cut]);
+    }
+}
+
+#[test]
+fn trailing_garbage() {
+    let mut b = enc(r#"{"a":1}"#);
+    b.push(0);
+    assert_kind("trailing byte", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn nfields_lies() {
+    let mut b = enc(r#"{"a":1,"b":2}"#);
+    b[6] = b[6].wrapping_add(1); // one more dictionary entry than exists
+    assert_rejected("nfields+1", &b);
+}
+
+#[test]
+fn root_out_of_tree() {
+    let mut b = enc(r#"{"a":1}"#);
+    let l = layout(&b);
+    let tree_len = (l.values - l.tree) as u16;
+    b[8..10].copy_from_slice(&tree_len.to_le_bytes());
+    assert_kind("root oob", &b, ErrorKind::Corrupt);
+}
+
+// --- dictionary ----------------------------------------------------------
+
+#[test]
+fn dictionary_not_sorted() {
+    let mut b = enc(r#"{"alpha":1,"beta":2}"#);
+    let l = layout(&b);
+    assert_eq!(l.nfields, 2);
+    // swap the two 7-byte entries wholesale: names stay resolvable but
+    // the (hash, name) order inverts
+    let (e0, e1) = (16, 23);
+    for i in 0..7 {
+        b.swap(e0 + i, e1 + i);
+    }
+    // the field-id array in the tree still refers to the old order, but
+    // the dictionary check runs first
+    assert_kind("unsorted dictionary", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn dictionary_hash_mismatch() {
+    let mut b = enc(r#"{"a":1}"#);
+    b[16] = b[16].wrapping_add(1); // low byte of the stored hash
+    assert_kind("wrong hash", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn dictionary_name_span_escapes() {
+    let mut b = enc(r#"{"a":1}"#);
+    b[22] = 0xFF; // name_len byte of entry 0
+    assert_rejected("name span", &b);
+}
+
+#[test]
+fn dictionary_name_not_utf8() {
+    let mut b = enc(r#"{"k":1}"#);
+    let l = layout(&b);
+    b[l.names] = 0xFF; // "k" becomes an invalid UTF-8 byte
+    assert_kind("non-UTF-8 name", &b, ErrorKind::Corrupt);
+}
+
+// --- tree nodes ----------------------------------------------------------
+
+#[test]
+fn non_canonical_header_byte() {
+    let mut b = enc(r#"{"a":1}"#);
+    let l = layout(&b);
+    b[l.tree + l.root] |= 0xF8; // same tag, stray high bits
+    assert_kind("header high bits", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn container_count_varint_runs_off() {
+    let mut b = enc(r#"[1,2,3]"#);
+    let l = layout(&b);
+    // the root array's child count becomes a huge / unterminated varint
+    b[l.tree + l.root + 1] = 0xFF;
+    assert_rejected("bad count varint", &b);
+}
+
+#[test]
+fn child_offset_cycle() {
+    let mut b = enc(r#"[1,2,3]"#);
+    let l = layout(&b);
+    // point the first child at the root itself: a one-hop cycle, caught
+    // by the strictly-backwards rule
+    let root = u16::try_from(l.root).unwrap();
+    let offs = l.tree + l.root + 2; // tag + 1-byte count
+    b[offs..offs + 2].copy_from_slice(&root.to_le_bytes());
+    assert_kind("cycle", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn object_field_id_out_of_range() {
+    let mut b = enc(r#"{"a":1}"#);
+    let l = layout(&b);
+    b[l.tree + l.root + 2] = 5; // only dictionary entry 0 exists
+    assert_kind("field id oob", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn object_field_ids_not_sorted() {
+    let mut b = enc(r#"{"a":1,"b":2}"#);
+    let l = layout(&b);
+    let ids = l.tree + l.root + 2; // tag + 1-byte count, then two u8 ids
+    assert_eq!((b[ids], b[ids + 1]), (0, 1), "expected ids [0, 1]");
+    b.swap(ids, ids + 1);
+    assert_kind("unsorted ids", &b, ErrorKind::Corrupt);
+}
+
+// --- leaves --------------------------------------------------------------
+
+#[test]
+fn string_value_offset_out_of_segment() {
+    let mut b = enc(r#"{"s":"hello"}"#);
+    let l = layout(&b);
+    // the Str leaf is encoded before its parent: tree-relative offset 0
+    assert_eq!(b[l.tree] & 0x07, 2, "expected a Str leaf at tree offset 0");
+    let vlen = u16::try_from(b.len() - l.values).unwrap();
+    b[l.tree + 1..l.tree + 3].copy_from_slice(&vlen.to_le_bytes());
+    assert_kind("voff oob", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn string_length_escapes_buffer() {
+    let mut b = enc(r#"{"s":"hello"}"#);
+    let l = layout(&b);
+    b[l.values] = 0x7F; // claims 127 body bytes; only 5 exist
+    assert_kind("string body", &b, ErrorKind::Truncated);
+}
+
+#[test]
+fn string_body_not_utf8() {
+    let mut b = enc(r#"{"s":"hello"}"#);
+    let l = layout(&b);
+    b[l.values + 1] = 0xFF;
+    assert_kind("non-UTF-8 body", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn overlapping_string_extents() {
+    // first value: 40 '!' bytes (0x21 — small enough to read as a
+    // plausible inner length); second leaf is re-pointed inside it
+    let mut b = enc(&format!(r#"{{"a":"{}","b":"yy"}}"#, "!".repeat(40)));
+    let l = layout(&b);
+    assert_eq!(b[l.tree] & 0x07, 2);
+    assert_eq!(b[l.tree + 3] & 0x07, 2, "second Str leaf at tree offset 3");
+    // b's extent becomes (values+1 …), strictly inside a's (values+0 …)
+    b[l.tree + 4..l.tree + 6].copy_from_slice(&1u16.to_le_bytes());
+    assert_kind("overlap", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn invalid_oracle_number() {
+    let mut b = enc(r#"{"n":1}"#);
+    let l = layout(&b);
+    assert_eq!(b[l.tree] & 0x07, 3, "expected a NumOra leaf at tree offset 0");
+    let len = usize::from(b[l.tree + 1]);
+    for i in 0..len {
+        b[l.tree + 2 + i] = 0xFF;
+    }
+    assert_rejected("bad NUMBER", &b);
+}
+
+#[test]
+fn number_length_escapes_tree() {
+    let mut b = enc(r#"{"n":1}"#);
+    let l = layout(&b);
+    b[l.tree + 1] = 0xFF;
+    assert_kind("number length", &b, ErrorKind::Truncated);
+}
+
+// --- hand-built buffers --------------------------------------------------
+
+/// Assemble a narrow-width document with no dictionary and no values.
+fn hand_built(root: u16, tree: &[u8]) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(b"OSON");
+    b.push(1); // version
+    b.push(0); // flags: narrow
+    b.extend_from_slice(&0u16.to_le_bytes()); // nfields
+    b.extend_from_slice(&root.to_le_bytes());
+    b.extend_from_slice(&0u16.to_le_bytes()); // names_len
+    b.extend_from_slice(&u16::try_from(tree.len()).unwrap().to_le_bytes());
+    b.extend_from_slice(&0u16.to_le_bytes()); // values_len
+    b.extend_from_slice(tree);
+    b
+}
+
+#[test]
+fn hand_built_control_decodes() {
+    // positive control: {} written from the spec, proving the corpus'
+    // hand-assembly matches the real layout
+    let b = hand_built(0, &[0x00, 0x00]); // Object tag, zero children
+    assert_eq!(decode(&b).expect("control decodes"), parse("{}").unwrap());
+}
+
+#[test]
+fn nesting_beyond_max_depth() {
+    // 600 nested single-element arrays — deeper than MAX_DEPTH (512).
+    // Impossible to produce via `encode` (the parser and encoder share
+    // the bound), so it is exactly the kind of buffer only a hostile
+    // peer would present.
+    let mut tree = vec![0x01, 0x00]; // innermost: empty array
+    let mut prev: u16 = 0;
+    for _ in 0..600 {
+        let node = u16::try_from(tree.len()).unwrap();
+        tree.push(0x01); // Array tag
+        tree.push(0x01); // one child
+        tree.extend_from_slice(&prev.to_le_bytes());
+        prev = node;
+    }
+    let b = hand_built(prev, &tree);
+    assert_kind("depth", &b, ErrorKind::Limit);
+}
+
+#[test]
+fn double_leaf_truncated() {
+    // a NumDouble leaf whose 8-byte body is cut off by the tree boundary
+    let b = hand_built(0, &[0x04, 0x00, 0x00, 0x00, 0x00]);
+    assert_kind("short double", &b, ErrorKind::Truncated);
+}
+
+#[test]
+fn object_with_field_id_but_no_dictionary() {
+    // an object claiming one member while nfields == 0
+    let b = hand_built(0, &[0x00, 0x01, 0x00, 0x00, 0x00]);
+    assert_rejected("id without dictionary", &b);
+}

@@ -62,20 +62,43 @@ proptest! {
         check_agree(&dom, dom.root(), &oson, oson.root())?;
     }
 
-    /// The decoder never panics on random mutations of a valid buffer.
+    /// Every encoder-produced buffer passes the deep structural verifier.
+    #[test]
+    fn encoded_documents_validate(v in arb_json()) {
+        let bytes = encode(&v).unwrap();
+        let doc = OsonDoc::new(&bytes).unwrap();
+        prop_assert!(doc.validate().is_ok());
+    }
+
+    /// Flipping a single byte of a valid buffer yields `Err` or a value —
+    /// never a panic. No `catch_unwind`: the decode path is total.
+    #[test]
+    fn decoder_total_on_single_byte_flip(
+        v in arb_json(),
+        pos in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode(&v).unwrap();
+        let n = bytes.len();
+        bytes[pos % n] ^= 1 << bit;
+        let _ = decode(&bytes);
+    }
+
+    /// The decoder stays total under heavier damage: multiple flips and a
+    /// truncation.
     #[test]
     fn decoder_total_on_bitflips(
         v in arb_json(),
-        flips in prop::collection::vec((0usize..4096, 0u8..8), 1..8)
+        flips in prop::collection::vec((0usize..4096, 0u8..8), 1..8),
+        cut in 0usize..4096,
     ) {
         let mut bytes = encode(&v).unwrap();
         for (pos, bit) in flips {
             let n = bytes.len();
             bytes[pos % n] ^= 1 << bit;
         }
-        // decoding may fail, but must not panic; catch unwind to also
-        // tolerate internal assertions on malformed containers
-        let _ = std::panic::catch_unwind(|| decode(&bytes));
+        bytes.truncate(cut % (bytes.len() + 1));
+        let _ = decode(&bytes);
     }
 
     /// Partial number updates preserve every other leaf.

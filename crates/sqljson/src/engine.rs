@@ -79,9 +79,10 @@ impl PathEvaluator {
         let mut field_idx = 0usize;
         let steps = std::mem::take(&mut self.path.steps);
         let mut computed: Option<Vec<PathOutput>> = None;
-        fsdm_obs::counter!("sqljson.eval.paths").inc();
+        fsdm_obs::counter!(fsdm_obs::catalog::SQLJSON_EVAL_PATHS).inc();
         for step in &steps {
-            fsdm_obs::counter!("sqljson.eval.nodes_visited").add(current.len() as u64);
+            fsdm_obs::counter!(fsdm_obs::catalog::SQLJSON_EVAL_NODES_VISITED)
+                .add(current.len() as u64);
             match step {
                 Step::Field { name, hash } => {
                     let slot = field_idx;
@@ -150,24 +151,28 @@ impl PathEvaluator {
         // Resolve the instance field id once per field step per document,
         // reusing the previous document's id when this instance's
         // dictionary validates it (the §4.2.1 single-row look-back).
+        let cached = self.lookback.get(slot).copied().unwrap_or(LookBack::Empty);
         let resolved: Option<Option<FieldId>> = if dom.has_field_ids() {
-            match self.lookback[slot] {
+            match cached {
                 LookBack::Id(id) if dom.verify_field_id(id, name, hash) => {
                     self.lookback_hits += 1;
-                    fsdm_obs::counter!("sqljson.lookback.hit").inc();
+                    fsdm_obs::counter!(fsdm_obs::catalog::SQLJSON_LOOKBACK_HIT).inc();
                     Some(Some(id))
                 }
                 _ => {
                     let id = dom.field_id(name, hash);
                     self.lookback_misses += 1;
-                    fsdm_obs::counter!("sqljson.lookback.miss").inc();
-                    self.lookback[slot] = match id {
-                        Some(i) => LookBack::Id(i),
-                        None => {
-                            fsdm_obs::counter!("sqljson.lookback.absent").inc();
-                            LookBack::Absent
-                        }
-                    };
+                    fsdm_obs::counter!(fsdm_obs::catalog::SQLJSON_LOOKBACK_MISS).inc();
+                    if let Some(entry) = self.lookback.get_mut(slot) {
+                        *entry = match id {
+                            Some(i) => LookBack::Id(i),
+                            None => {
+                                fsdm_obs::counter!(fsdm_obs::catalog::SQLJSON_LOOKBACK_ABSENT)
+                                    .inc();
+                                LookBack::Absent
+                            }
+                        };
+                    }
                     Some(id)
                 }
             }

@@ -67,10 +67,10 @@ pub fn json_value<D: JsonDom>(
             OnError::Error => Err(err(m)),
         }
     };
-    match outs.len() {
-        0 => Ok(Datum::Null), // ON EMPTY default
-        1 => {
-            let scalar: Option<Datum> = match &outs[0] {
+    match outs.as_slice() {
+        [] => Ok(Datum::Null), // ON EMPTY default
+        [single] => {
+            let scalar: Option<Datum> = match single {
                 PathOutput::Node(n) => match dom.kind(*n) {
                     NodeKind::Scalar => Datum::from_json_scalar(&dom.scalar(*n).to_value()),
                     _ => None,
@@ -116,10 +116,10 @@ pub fn json_query<D: JsonDom>(
             }
             Ok(Some(JsonValue::Array(outs.iter().map(materialize).collect())))
         }
-        WrapperMode::Conditional => match outs.len() {
-            0 => Ok(None),
-            1 => {
-                let v = materialize(&outs[0]);
+        WrapperMode::Conditional => match outs.as_slice() {
+            [] => Ok(None),
+            [single] => {
+                let v = materialize(single);
                 if v.is_scalar() {
                     Ok(Some(JsonValue::Array(vec![v])))
                 } else {
@@ -128,10 +128,10 @@ pub fn json_query<D: JsonDom>(
             }
             _ => Ok(Some(JsonValue::Array(outs.iter().map(materialize).collect()))),
         },
-        WrapperMode::Without => match outs.len() {
-            0 => Ok(None),
-            1 => {
-                let v = materialize(&outs[0]);
+        WrapperMode::Without => match outs.as_slice() {
+            [] => Ok(None),
+            [single] => {
+                let v = materialize(single);
                 if v.is_scalar() {
                     fail("JSON_QUERY selected a scalar without a wrapper")
                 } else {

@@ -112,7 +112,11 @@ impl<'p> Matcher<'p> {
             }
             match event {
                 Event::Key(k) => {
-                    let frame = self.frames.last_mut().expect("key inside object");
+                    // the event parser only emits keys inside an open object
+                    let Some(frame) = self.frames.last_mut() else {
+                        debug_assert!(false, "key event outside any container");
+                        continue;
+                    };
                     let mut next = Vec::new();
                     for &(p, _) in &frame.positions {
                         if let Some(Step::Field { name, .. }) = self.steps.get(p) {
@@ -224,8 +228,7 @@ impl<'p> Matcher<'p> {
         if !value_is_array {
             // lax wrap: array steps treat a non-array as [value]
             let mut i = 0;
-            while i < positions.len() {
-                let (p, _) = positions[i];
+            while let Some(&(p, _)) = positions.get(i) {
                 let wrap = match self.steps.get(p) {
                     Some(Step::ArrayWildcard) => true,
                     Some(Step::Array(sels)) => sels.iter().any(|s| sel_matches(s, 0)),
@@ -267,7 +270,11 @@ fn scalar_value(e: &Event) -> JsonValue {
         Event::Number(n) => JsonValue::Number(*n),
         Event::Bool(b) => JsonValue::Bool(*b),
         Event::Null => JsonValue::Null,
-        _ => unreachable!("scalar event"),
+        _ => {
+            // `run` only routes scalar events here
+            debug_assert!(false, "container event in scalar position");
+            JsonValue::Null
+        }
     }
 }
 
@@ -306,8 +313,13 @@ impl Builder {
 
     /// Returns true when the capture root has closed.
     fn end_container(&mut self) -> bool {
-        let v = self.stack.pop().expect("container open");
-        let key = self.keys.pop().expect("key slot");
+        let Some(v) = self.stack.pop() else {
+            // a builder is removed as soon as its root closes, so every
+            // end event delivered here has a matching open container
+            debug_assert!(false, "end event on a finished builder");
+            return true;
+        };
+        let key = self.keys.pop().flatten();
         if self.stack.is_empty() {
             self.done = Some(v);
             true
@@ -318,15 +330,23 @@ impl Builder {
     }
 
     fn attach(&mut self, key: Option<String>, v: JsonValue) {
-        match self.stack.last_mut().expect("open container") {
-            JsonValue::Array(a) => a.push(v),
-            JsonValue::Object(o) => o.push(key.expect("object member key"), v),
-            _ => unreachable!(),
+        match self.stack.last_mut() {
+            Some(JsonValue::Array(a)) => a.push(v),
+            Some(JsonValue::Object(o)) => {
+                if let Some(k) = key {
+                    o.push(k, v);
+                } else {
+                    // the parser emits a key before every object member
+                    debug_assert!(false, "object member without a key");
+                }
+            }
+            _ => debug_assert!(false, "attach without an open container"),
         }
     }
 
     fn into_value(self) -> JsonValue {
-        self.done.expect("capture complete")
+        debug_assert!(self.done.is_some(), "capture root has not closed");
+        self.done.unwrap_or(JsonValue::Null)
     }
 }
 

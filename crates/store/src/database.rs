@@ -110,8 +110,9 @@ impl Database {
     pub fn execute_unoptimized(&self, plan: &Query) -> Result<QueryResult, StoreError> {
         let start = Instant::now();
         let (columns, rows) = self.exec(plan, &mut None)?;
-        fsdm_obs::counter!("store.exec.queries").inc();
-        fsdm_obs::histogram!("store.exec.ns").record(start.elapsed().as_nanos() as u64);
+        fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
+        fsdm_obs::histogram!(fsdm_obs::catalog::STORE_EXEC_NS)
+            .record(start.elapsed().as_nanos() as u64);
         Ok(materialize(columns, rows))
     }
 
@@ -128,8 +129,8 @@ impl Database {
         let (columns, rows) = self.exec(&optimized, &mut sink)?;
         let root =
             sink.and_then(|mut ops| ops.pop()).expect("profiled execution yields a root operator");
-        fsdm_obs::counter!("store.exec.queries").inc();
-        fsdm_obs::histogram!("store.exec.ns").record(root.elapsed_ns);
+        fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
+        fsdm_obs::histogram!(fsdm_obs::catalog::STORE_EXEC_NS).record(root.elapsed_ns);
         Ok((materialize(columns, rows), QueryProfile { root }))
     }
 

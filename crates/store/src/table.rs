@@ -239,7 +239,7 @@ impl Table {
             } else {
                 self.dataguide.doc_count += 1;
                 self.guide_fast_path_hits += 1;
-                fsdm_obs::counter!("store.insert.guide_fast_path").inc();
+                fsdm_obs::counter!(fsdm_obs::catalog::STORE_INSERT_GUIDE_FAST_PATH).inc();
             }
             if let Some(ix) = &mut self.search_index {
                 ix.insert(row_id as u64, doc);

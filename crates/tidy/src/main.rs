@@ -1,0 +1,321 @@
+//! `fsdm-tidy`: the repo-native static-analysis gate.
+//!
+//! Walks every `crates/*/src/**/*.rs` file, classifies it with the
+//! [`lexer`], and applies the [`rules`]. Zero external dependencies, so
+//! it runs in the offline CI sandbox before clippy does.
+//!
+//! ```text
+//! cargo run --release -p fsdm-tidy            # human-readable report
+//! cargo run --release -p fsdm-tidy -- --json  # machine-readable report
+//! cargo run --release -p fsdm-tidy -- --fix   # repair tabs/trailing ws
+//! ```
+//!
+//! Exit status is non-zero when any finding remains or the allow budget
+//! is exceeded.
+
+mod lexer;
+mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::{Finding, ALLOW_BUDGET};
+
+struct Options {
+    json: bool,
+    fix: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut json = false;
+    let mut fix = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix" => fix = true,
+            "--help" | "-h" => {
+                return Err("usage: fsdm-tidy [--json] [--fix] [repo-root]".to_string())
+            }
+            other if !other.starts_with('-') && root.is_none() => root = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let root = root.unwrap_or_else(find_repo_root);
+    Ok(Options { json, fix, root })
+}
+
+/// The repo root is wherever `crates/` lives: the current directory when
+/// invoked from the workspace root (the CI case), else relative to this
+/// crate's manifest.
+fn find_repo_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Every `.rs` file under `crates/*/src`, as (absolute, repo-relative)
+/// pairs, sorted for deterministic reports.
+fn source_files(root: &Path) -> Vec<(PathBuf, String)> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = fs::read_dir(&crates) else { return Vec::new() };
+    let mut crate_dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut paths);
+    }
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            (p.clone(), rel)
+        })
+        .collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The catalog-integrity rule: every metric name in
+/// `crates/obs/src/catalog.rs` must be declared exactly once and listed
+/// in the `ALL` inventory.
+fn check_catalog(root: &Path) -> Vec<Finding> {
+    let rel = "crates/obs/src/catalog.rs";
+    let mut out = Vec::new();
+    let Ok(text) = fs::read_to_string(root.join(rel)) else {
+        out.push(Finding {
+            file: rel.to_string(),
+            line: 1,
+            rule: "catalog",
+            message: "metric catalog file is missing".to_string(),
+            fixable: false,
+        });
+        return out;
+    };
+    let mut consts: Vec<(usize, String, String)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let Some(rest) = line.trim_start().strip_prefix("pub const ") else { continue };
+        let Some((name, tail)) = rest.split_once(':') else { continue };
+        let Some((_, value)) = tail.split_once('"') else { continue };
+        let Some((value, _)) = value.split_once('"') else { continue };
+        consts.push((i + 1, name.trim().to_string(), value.to_string()));
+    }
+    for (i, (line, name, value)) in consts.iter().enumerate() {
+        if consts.iter().take(i).any(|(_, _, earlier)| earlier == value) {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: *line,
+                rule: "catalog",
+                message: format!("metric name \"{value}\" is declared more than once"),
+                fixable: false,
+            });
+        }
+        let in_all = text
+            .split_once("pub const ALL")
+            .and_then(|(_, after)| after.split_once("= &["))
+            .and_then(|(_, after)| after.split_once("];"))
+            .is_some_and(|(body, _)| body.split(',').any(|entry| entry.trim() == name));
+        if !in_all {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: *line,
+                rule: "catalog",
+                message: format!("{name} is missing from the ALL inventory"),
+                fixable: false,
+            });
+        }
+    }
+    out
+}
+
+/// Rewrite `path` with tabs expanded and trailing whitespace stripped,
+/// leaving string-literal content untouched. Returns true if changed.
+fn fix_file(path: &Path, scan: &lexer::Scan) -> bool {
+    let mut changed = false;
+    let mut lines: Vec<String> = Vec::with_capacity(scan.lines.len());
+    for (chars, classes) in scan.lines.iter().zip(&scan.classes) {
+        let mut line = String::new();
+        for (&ch, &cls) in chars.iter().zip(classes) {
+            if ch == '\t' && cls != lexer::Class::StrContent {
+                line.push_str("    ");
+                changed = true;
+            } else {
+                line.push(ch);
+            }
+        }
+        let kept = line.trim_end_matches([' ', '\t']).len();
+        // only strip when the whitespace is not string content (a raw
+        // string can legitimately end a line with spaces)
+        let content_chars = chars.len();
+        let trailing_ws =
+            chars.iter().zip(classes).rev().take_while(|(&c, _)| c == ' ' || c == '\t').count();
+        let safe = chars
+            .iter()
+            .zip(classes)
+            .skip(content_chars.saturating_sub(trailing_ws))
+            .all(|(_, &cls)| cls != lexer::Class::StrContent);
+        if safe && kept < line.len() {
+            line.truncate(kept);
+            changed = true;
+        }
+        lines.push(line);
+    }
+    if !changed {
+        return false;
+    }
+    let mut text = lines.join("\n");
+    if scan.ends_with_newline {
+        text.push('\n');
+    }
+    fs::write(path, text).is_ok()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(findings: &[Finding], allows_used: usize, files_scanned: usize) {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i + 1 == findings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{sep}\n",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {files_scanned},\n  \"allows_used\": {allows_used},\n  \
+         \"allow_budget\": {ALLOW_BUDGET},\n  \"errors\": {}\n}}",
+        findings.len()
+    ));
+    println!("{out}");
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let files = source_files(&opts.root);
+    if files.is_empty() {
+        eprintln!("fsdm-tidy: no sources found under {}/crates", opts.root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows_used = 0usize;
+    let mut fixed = 0usize;
+    for (path, rel) in &files {
+        let Ok(text) = fs::read_to_string(path) else {
+            findings.push(Finding {
+                file: rel.clone(),
+                line: 1,
+                rule: "io",
+                message: "file is not readable as UTF-8".to_string(),
+                fixable: false,
+            });
+            continue;
+        };
+        let scan = lexer::scan(&text);
+        let (mut file_findings, used) = rules::check_file(rel, &scan);
+        allows_used += used;
+        if opts.fix && file_findings.iter().any(|f| f.fixable) && fix_file(path, &scan) {
+            fixed += 1;
+            file_findings.retain(|f| !f.fixable);
+        }
+        findings.extend(file_findings);
+    }
+    findings.extend(check_catalog(&opts.root));
+
+    let over_budget = allows_used > ALLOW_BUDGET;
+    if opts.json {
+        print_json(&findings, allows_used, files.len());
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        if fixed > 0 {
+            println!("fsdm-tidy: fixed {fixed} file(s)");
+        }
+        println!(
+            "fsdm-tidy: {} file(s), {} finding(s), {}/{} allow annotation(s) used",
+            files.len(),
+            findings.len(),
+            allows_used,
+            ALLOW_BUDGET
+        );
+        if over_budget {
+            println!("fsdm-tidy: allow budget exceeded ({allows_used} > {ALLOW_BUDGET})");
+        }
+    }
+    if findings.is_empty() && !over_budget {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn finds_workspace_sources() {
+        let files = source_files(&find_repo_root());
+        assert!(
+            files.iter().any(|(_, rel)| rel == "crates/oson/src/wire.rs"),
+            "expected the oson wire module among {} files",
+            files.len()
+        );
+    }
+
+    #[test]
+    fn catalog_is_consistent() {
+        assert!(check_catalog(&find_repo_root()).is_empty());
+    }
+}

@@ -1,0 +1,529 @@
+//! The tidy rules and the per-file checker.
+//!
+//! Rules are scoped by repo-relative path. The hot-path decode/navigation
+//! files must stay panic-free (`no-panic`, `no-index`), the OSON/BSON wire
+//! arithmetic must use checked conversions (`no-as-int`), metric names
+//! must come from `fsdm_obs::catalog` (`metric-literal`), and every file
+//! observes basic hygiene (`tab`, `trailing-whitespace`, `todo`).
+//!
+//! A finding can be suppressed with an annotation on the same line or the
+//! line above:
+//!
+//! ```text
+//! // fsdm-tidy: allow(no-index) -- bounds established by the loop guard
+//! ```
+//!
+//! Allows are budgeted (see [`ALLOW_BUDGET`]), forbidden outright in the
+//! most safety-critical files, and an allow that suppresses nothing is
+//! itself an error.
+
+use crate::lexer::{Class, Scan};
+
+/// Maximum number of allow annotations tolerated across the repo.
+pub const ALLOW_BUDGET: usize = 10;
+
+/// Files whose non-test code must be free of panicking constructs.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/oson/src/wire.rs",
+    "crates/oson/src/doc.rs",
+    "crates/oson/src/update.rs",
+    "crates/bson/src/decode.rs",
+    "crates/sqljson/src/engine.rs",
+    "crates/sqljson/src/streaming.rs",
+    "crates/sqljson/src/ops.rs",
+];
+
+/// Files where bare `as` integer casts are banned (offset/length
+/// arithmetic must use `try_into` or the checked wire helpers).
+const NO_AS_FILES: &[&str] = &[
+    "crates/oson/src/wire.rs",
+    "crates/oson/src/doc.rs",
+    "crates/oson/src/update.rs",
+    "crates/bson/src/decode.rs",
+];
+
+/// Files where allow annotations are forbidden entirely.
+pub const NO_ALLOW_FILES: &[&str] = &["crates/oson/src/wire.rs", "crates/bson/src/decode.rs"];
+
+/// One reported problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (stable, used in allow annotations).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// True when `--fix` can repair it mechanically.
+    pub fixable: bool,
+}
+
+/// Keywords that may legitimately precede `[` without it being an index
+/// expression (slice patterns, array types after `->`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "as", "move", "static", "const",
+    "dyn", "impl", "for", "while", "loop", "break", "continue", "where", "pub", "fn", "type",
+    "use", "mod", "enum", "struct", "trait", "union", "unsafe", "extern", "box", "await", "yield",
+];
+
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// An allow annotation parsed from a line comment.
+struct Allow {
+    line: usize,
+    rule: String,
+    used: bool,
+}
+
+/// Run every applicable rule over one scanned file. `rel` is the path
+/// relative to the repo root, with forward slashes.
+pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
+    let hot = HOT_PATH_FILES.contains(&rel);
+    let no_as = NO_AS_FILES.contains(&rel);
+    let metrics = !rel.starts_with("crates/obs/");
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    collect_allows(rel, scan, &mut allows, &mut raw);
+
+    for line in 0..scan.lines.len() {
+        hygiene(rel, scan, line, &mut raw);
+        let skip_semantic = scan.in_test(line);
+        if skip_semantic {
+            continue;
+        }
+        let masked = scan.masked(line);
+        if hot {
+            no_panic(rel, line, &masked, &mut raw);
+            no_index(rel, line, &masked, &mut raw);
+        }
+        if no_as {
+            no_as_int(rel, line, &masked, &mut raw);
+        }
+        if metrics {
+            metric_literal(rel, scan, line, &masked, &mut raw);
+        }
+    }
+    todo_comments(rel, scan, &mut raw);
+
+    // apply allow annotations: an allow on the finding's line or the line
+    // directly above suppresses it (and is thereby "used")
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let suppressed = allows.iter_mut().any(|a| {
+            let adjacent = a.line + 1 == f.line || a.line + 2 == f.line;
+            if adjacent && a.rule == f.rule && f.rule != "bad-allow" {
+                a.used = true;
+                true
+            } else {
+                false
+            }
+        });
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+    let used = allows.iter().filter(|a| a.used).count();
+    for a in &allows {
+        if !a.used {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: a.line + 1,
+                rule: "unused-allow",
+                message: format!("allow({}) suppresses nothing; remove it", a.rule),
+                fixable: false,
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    (findings, used)
+}
+
+fn collect_allows(rel: &str, scan: &Scan, allows: &mut Vec<Allow>, out: &mut Vec<Finding>) {
+    let forbidden = NO_ALLOW_FILES.contains(&rel);
+    for (line, text) in &scan.comments {
+        // doc comments (`///`, `//!`) may *mention* annotations as prose;
+        // only plain `//` comments carry live ones
+        if text.starts_with('/') || text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = text.find("fsdm-tidy:") else { continue };
+        let rest = text.get(pos + "fsdm-tidy:".len()..).unwrap_or("").trim_start();
+        let parsed = rest.strip_prefix("allow(").and_then(|r| {
+            let (rule, tail) = r.split_once(')')?;
+            let reason = tail.trim_start().strip_prefix("--")?.trim();
+            if rule.is_empty() || reason.is_empty() {
+                None
+            } else {
+                Some(rule.to_string())
+            }
+        });
+        match parsed {
+            Some(rule) if forbidden => out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "allow-forbidden",
+                message: format!("allow({rule}) is forbidden in {rel}; fix the code instead"),
+                fixable: false,
+            }),
+            Some(rule) => allows.push(Allow { line: *line, rule, used: false }),
+            None => out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "bad-allow",
+                message: "malformed annotation; expected \
+                          `fsdm-tidy: allow(<rule>) -- <reason>`"
+                    .to_string(),
+                fixable: false,
+            }),
+        }
+    }
+}
+
+/// Identifiers in a masked line as `(start, end, word)` spans.
+fn idents(masked: &str) -> Vec<(usize, usize, String)> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let Some(&c) = chars.get(i) else { break };
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while chars.get(i).is_some_and(|&c| c.is_alphanumeric() || c == '_') {
+                i += 1;
+            }
+            out.push((start, i, chars.get(start..i).unwrap_or(&[]).iter().collect()));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn next_non_ws(masked: &str, from: usize) -> Option<char> {
+    masked.chars().skip(from).find(|c| !c.is_whitespace())
+}
+
+fn prev_non_ws(masked: &str, upto: usize) -> Option<char> {
+    masked.chars().take(upto).filter(|c| !c.is_whitespace()).last()
+}
+
+fn no_panic(rel: &str, line: usize, masked: &str, out: &mut Vec<Finding>) {
+    for (start, end, word) in idents(masked) {
+        let finding = match word.as_str() {
+            "unwrap" | "expect" => {
+                prev_non_ws(masked, start) == Some('.') && next_non_ws(masked, end) == Some('(')
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                next_non_ws(masked, end) == Some('!')
+            }
+            _ => false,
+        };
+        if finding {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "no-panic",
+                message: format!(
+                    "`{word}` can panic; hot-path decode code must return errors \
+                     or use a total fallback"
+                ),
+                fixable: false,
+            });
+        }
+    }
+}
+
+fn no_index(rel: &str, line: usize, masked: &str, out: &mut Vec<Finding>) {
+    let chars: Vec<char> = masked.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let Some(prev) = prev_non_ws(masked, i) else { continue };
+        let is_index = if prev.is_alphanumeric() || prev == '_' {
+            // walk back over the identifier and reject keywords
+            let mut j = i;
+            while j > 0 && chars.get(j - 1).is_some_and(char::is_ascii_whitespace) {
+                j -= 1;
+            }
+            let end = j;
+            while j > 0 && chars.get(j - 1).is_some_and(|&c| c.is_alphanumeric() || c == '_') {
+                j -= 1;
+            }
+            let word: String = chars.get(j..end).unwrap_or(&[]).iter().collect();
+            // `&'a [u8]`: a lifetime before `[` is a type, not an index
+            let lifetime = j > 0 && chars.get(j - 1) == Some(&'\'');
+            !lifetime && !NON_INDEX_KEYWORDS.contains(&word.as_str())
+        } else {
+            matches!(prev, ')' | ']' | '?')
+        };
+        if is_index {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "no-index",
+                message: "slice/array indexing can panic; use `.get()` / `.get_mut()` \
+                          or a slice pattern"
+                    .to_string(),
+                fixable: false,
+            });
+        }
+    }
+}
+
+fn no_as_int(rel: &str, line: usize, masked: &str, out: &mut Vec<Finding>) {
+    let words = idents(masked);
+    for (i, (_, _, word)) in words.iter().enumerate() {
+        if word != "as" {
+            continue;
+        }
+        if let Some((_, _, ty)) = words.get(i + 1) {
+            if INT_TYPES.contains(&ty.as_str()) {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: line + 1,
+                    rule: "no-as-int",
+                    message: format!(
+                        "bare `as {ty}` cast in offset/length arithmetic; use \
+                         `try_into()`, `{ty}::from()`, or the checked wire helpers"
+                    ),
+                    fixable: false,
+                });
+            }
+        }
+    }
+}
+
+fn metric_literal(rel: &str, scan: &Scan, line: usize, masked: &str, out: &mut Vec<Finding>) {
+    for (_, end, word) in idents(masked) {
+        if !matches!(word.as_str(), "counter" | "gauge" | "histogram") {
+            continue;
+        }
+        // require `!` then `(` then a string literal as the first argument
+        let mchars: Vec<char> = masked.chars().collect();
+        let mut j = end;
+        while mchars.get(j).is_some_and(|c| c.is_whitespace()) {
+            j += 1;
+        }
+        if mchars.get(j) != Some(&'!') {
+            continue;
+        }
+        j += 1;
+        while mchars.get(j).is_some_and(|c| c.is_whitespace()) {
+            j += 1;
+        }
+        if mchars.get(j) != Some(&'(') {
+            continue;
+        }
+        j += 1;
+        // the first significant column after the paren: skip code
+        // whitespace, then see whether a string literal starts there
+        let mut literal = false;
+        while let (Some(&c), Some(&cls)) = (
+            scan.lines.get(line).and_then(|l| l.get(j)),
+            scan.classes.get(line).and_then(|l| l.get(j)),
+        ) {
+            if cls == Class::Code && c.is_whitespace() {
+                j += 1;
+                continue;
+            }
+            literal = matches!(cls, Class::StrDelim | Class::StrContent);
+            break;
+        }
+        if literal {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "metric-literal",
+                message: format!(
+                    "string-literal metric name at a `{word}!` call site; record through \
+                     a `fsdm_obs::catalog` constant"
+                ),
+                fixable: false,
+            });
+        }
+    }
+}
+
+fn hygiene(rel: &str, scan: &Scan, line: usize, out: &mut Vec<Finding>) {
+    let (Some(chars), Some(classes)) = (scan.lines.get(line), scan.classes.get(line)) else {
+        return;
+    };
+    if chars.iter().zip(classes).any(|(&c, &cls)| c == '\t' && cls != Class::StrContent) {
+        out.push(Finding {
+            file: rel.to_string(),
+            line: line + 1,
+            rule: "tab",
+            message: "tab character outside a string literal; use spaces".to_string(),
+            fixable: true,
+        });
+    }
+    let trailing = chars
+        .iter()
+        .zip(classes)
+        .rev()
+        .take_while(|(&c, _)| c == ' ' || c == '\t')
+        .collect::<Vec<_>>();
+    if !trailing.is_empty() && trailing.iter().all(|(_, &cls)| cls != Class::StrContent) {
+        out.push(Finding {
+            file: rel.to_string(),
+            line: line + 1,
+            rule: "trailing-whitespace",
+            message: "trailing whitespace".to_string(),
+            fixable: true,
+        });
+    }
+}
+
+fn todo_comments(rel: &str, scan: &Scan, out: &mut Vec<Finding>) {
+    for (line, text) in &scan.comments {
+        for marker in ["TODO", "FIXME"] {
+            let Some(pos) = text.find(marker) else { continue };
+            let after = text.get(pos + marker.len()..).unwrap_or("");
+            let has_issue = after
+                .strip_prefix("(#")
+                .is_some_and(|r| r.chars().next().is_some_and(|c| c.is_ascii_digit()));
+            if !has_issue {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: line + 1,
+                    rule: "todo",
+                    message: format!("{marker} without an issue reference; write {marker}(#N)"),
+                    fixable: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        check_file(rel, &scan(src)).0
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    const HOT: &str = "crates/oson/src/doc.rs";
+    const COLD: &str = "crates/workloads/src/lib.rs";
+
+    #[test]
+    fn flags_unwrap_expect_panic_in_hot_paths() {
+        let src = "fn f(v: Option<u8>) -> u8 {\n    let a = v.unwrap();\n    \
+                   let b = v.expect(\"x\");\n    panic!(\"no\");\n    unreachable!()\n}\n";
+        assert_eq!(rules(&run(HOT, src)), vec!["no-panic"; 4]);
+        assert!(run(COLD, src).is_empty(), "cold files are out of scope");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f(v: Option<u8>) -> u8 {\n    v.unwrap_or(0)\n}\n";
+        assert!(run(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn prose_mentions_do_not_fire() {
+        let src = "// calling unwrap() here would panic!\nfn f() -> &'static str {\n    \
+                   \"never panic!(now)\"\n}\n";
+        assert!(run(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_semantic_rules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t(v: Option<u8>) {\n        \
+                   v.unwrap();\n    }\n}\n";
+        assert!(run(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn flags_indexing_but_not_patterns() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 {\n    let [a, ..] = v else { return 0 };\n    \
+                   let _ = *a;\n    v[i]\n}\n";
+        let f = run(HOT, src);
+        assert_eq!(rules(&f), vec!["no-index"]);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn macro_and_attribute_brackets_are_fine() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() -> Vec<u8> {\n    vec![1, 2]\n}\n";
+        assert!(run(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn flags_as_int_casts_in_wire_files() {
+        let src = "fn f(x: u64) -> usize {\n    x as usize\n}\n";
+        assert_eq!(rules(&run("crates/oson/src/wire.rs", src)), vec!["no-as-int"]);
+        assert!(run("crates/sqljson/src/engine.rs", src).is_empty(), "engine allows casts");
+    }
+
+    #[test]
+    fn as_non_int_is_fine() {
+        let src = "fn f(x: u32) -> f64 {\n    f64::from(x) as f64\n}\n";
+        assert!(run("crates/oson/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_metric_literals_outside_obs() {
+        let src = "fn f() {\n    fsdm_obs::counter!(\"a.b.c\").inc();\n}\n";
+        assert_eq!(rules(&run(COLD, src)), vec!["metric-literal"]);
+        assert!(run("crates/obs/src/lib.rs", src).is_empty(), "obs itself is exempt");
+        let ok = "fn f() {\n    fsdm_obs::counter!(fsdm_obs::catalog::X).inc();\n}\n";
+        assert!(run(COLD, ok).is_empty());
+    }
+
+    #[test]
+    fn hygiene_rules() {
+        let src = "fn f() {\n\tlet y = 0;\n    let x = 1;  \n    let s = \"a b  \";\n}\n";
+        let f = run(COLD, src);
+        assert_eq!(rules(&f), vec!["tab", "trailing-whitespace"]);
+        assert!(f.iter().all(|x| x.fixable));
+    }
+
+    #[test]
+    fn todo_requires_issue_ref() {
+        let src = "// TODO: someday\n// TODO(#42): tracked\nfn f() {}\n";
+        let f = run(COLD, src);
+        assert_eq!(rules(&f), vec!["todo"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_counted() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    \
+                   // fsdm-tidy: allow(no-index) -- length checked by caller\n    v[0]\n}\n";
+        let (f, used) = check_file(HOT, &scan(src));
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn unused_allow_is_an_error() {
+        let src = "// fsdm-tidy: allow(no-panic) -- stale\nfn f() {}\n";
+        assert_eq!(rules(&run(HOT, src)), vec!["unused-allow"]);
+    }
+
+    #[test]
+    fn malformed_allow_is_an_error() {
+        let src = "// fsdm-tidy: allow(no-panic)\nfn f() {}\n";
+        assert_eq!(rules(&run(HOT, src)), vec!["bad-allow"]);
+    }
+
+    #[test]
+    fn allows_are_forbidden_in_wire_and_bson_decode() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    \
+                   // fsdm-tidy: allow(no-index) -- nope\n    v[0]\n}\n";
+        let f = run("crates/oson/src/wire.rs", src);
+        assert!(f.iter().any(|x| x.rule == "allow-forbidden"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "no-index"), "the finding still fires: {f:?}");
+    }
+}
