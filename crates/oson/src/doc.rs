@@ -333,14 +333,24 @@ impl<'a> OsonDoc<'a> {
     ///   (no stray high bits), lies inside the tree segment, and nesting
     ///   stays within [`MAX_DEPTH`];
     /// * object children carry sorted (non-decreasing) in-range field
-    ///   ids; all child offsets point strictly **backwards** (post-order
-    ///   encoding), which rules out cycles and guarantees termination;
+    ///   ids — equal consecutive ids are permitted, because RFC 8259
+    ///   documents may repeat a name and the encoder preserves such
+    ///   members in document order ([`JsonDom::get_field`] resolves to
+    ///   the first occurrence, matching `Object::get`);
+    /// * all child offsets point strictly **backwards** (post-order
+    ///   encoding), which rules out cycles, and no tree node is
+    ///   referenced by more than one parent — the instance is a strict
+    ///   tree, not a DAG, so the walk makes at most one visit per tree
+    ///   byte and a post-validate [`JsonDom::materialize`] is linear;
     /// * string leaves reference varint-framed UTF-8 extents fully inside
     ///   the value segment, and no two distinct extents overlap;
     /// * inlined numbers decode under the Oracle NUMBER grammar and
     ///   doubles have their full 8 bytes.
     ///
-    /// Runs in O(size of the document). The encoder asserts it on every
+    /// Runs in O(size of the document): distinct node offsets are tracked
+    /// in a bitset and a re-visited offset is rejected outright, so the
+    /// traversal is bounded by the tree segment length even on hostile
+    /// buffers. The encoder asserts it on every
     /// document in debug builds; [`crate::decode`] runs it on every
     /// buffer, which is what makes the corpus of corrupted inputs return
     /// `Err` instead of panicking.
@@ -356,12 +366,35 @@ impl<'a> OsonDoc<'a> {
 
     fn validate_inner(&self) -> Result<()> {
         self.validate_dictionary()?;
+        let tree_len = self.values - self.tree;
         let mut extents: Vec<(usize, usize)> = Vec::new();
         // iterative DFS with an explicit work stack: a hostile buffer can
         // nest up to MAX_DEPTH levels, and the verifier must not answer
         // adversarial input with call-stack exhaustion
         let mut work: Vec<(u32, usize)> = vec![(self.root, 0)];
+        // one bit per tree byte: the strictly-backwards child rule rules
+        // out cycles but not DAG sharing, and a few hundred nodes whose
+        // child offsets converge on earlier nodes would otherwise drive
+        // exponentially many visits. Every node header occupies a distinct
+        // tree byte, so "each offset at most once" caps the whole walk at
+        // tree_len visits.
+        let mut visited = vec![0u64; tree_len / 64 + 1];
         while let Some((node, depth)) = work.pop() {
+            let npos = wire::idx(node);
+            // an out-of-bounds offset is left for validate_node to report;
+            // in-bounds offsets always land inside the bitset
+            if let Some(word) = visited.get_mut(npos / 64) {
+                let bit = 1u64 << (npos % 64);
+                if npos < tree_len {
+                    if *word & bit != 0 {
+                        return Err(OsonError::corrupt(format!(
+                            "node at {node} referenced by more than one parent \
+                             (shared subtree; the instance is not a tree)"
+                        )));
+                    }
+                    *word |= bit;
+                }
+            }
             self.validate_node(node, depth, &mut extents, &mut work)?;
         }
         extents.sort_unstable();
@@ -476,6 +509,11 @@ impl<'a> OsonDoc<'a> {
                             )));
                         }
                         if let Some(prev) = prev_id {
+                            // non-decreasing, not strictly increasing:
+                            // RFC 8259 documents may repeat a name, the
+                            // encoder keeps such members (stable sort,
+                            // document order), and lookups resolve to the
+                            // first occurrence
                             if prev > id {
                                 return Err(OsonError::corrupt(format!(
                                     "object at {node}: field ids not sorted"
@@ -661,6 +699,10 @@ impl JsonDom for OsonDoc<'_> {
             && self.field_name(id) == name
     }
 
+    /// Lower-bound binary search: if the object repeats a field id
+    /// (duplicate keys in the source document), this lands on the *first*
+    /// occurrence in document order — the same member `Object::get`
+    /// returns on the owned-value side.
     fn get_field_by_id(&self, node: NodeRef, id: FieldId) -> Option<NodeRef> {
         let (tag, count, base) = self.container_header(node);
         if tag != NodeTag::Object {
@@ -883,5 +925,20 @@ mod tests {
         let o = back.as_object().ok_or("not an object")?;
         assert_eq!(o.len(), 2);
         Ok(())
+    }
+
+    #[test]
+    fn duplicate_keys_lookup_first_wins() -> TestResult {
+        // get_field on a repeated name must resolve to the first member in
+        // document order, mirroring Object::get
+        let v = parse(r#"{"k":1,"k":2,"z":3}"#)?;
+        let bytes = encode(&v)?;
+        let d = OsonDoc::new(&bytes)?;
+        d.validate()?;
+        let k = d.get_field(d.root(), "k", field_hash("k")).ok_or("field k missing")?;
+        match d.scalar(k) {
+            ScalarRef::Num(JsonNumber::Int(1)) => Ok(()),
+            other => Err(format!("expected first occurrence (1), got {other:?}").into()),
+        }
     }
 }

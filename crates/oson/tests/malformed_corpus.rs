@@ -309,6 +309,37 @@ fn nesting_beyond_max_depth() {
 }
 
 #[test]
+fn shared_subtree_rejected() {
+    // an array whose two child offsets both point at the same Null leaf:
+    // backwards-only, so no cycle — but the instance is a DAG, not a
+    // tree, and the verifier must refuse it
+    let tree = [0x07, 0x01, 0x02, 0x00, 0x00, 0x00, 0x00];
+    // ^Null ^Array ^count=2, children: 0, 0
+    let b = hand_built(1, &tree[..]);
+    assert_kind("shared child", &b, ErrorKind::Corrupt);
+}
+
+#[test]
+fn dag_bomb_terminates() {
+    // ~500 chained array nodes, each referencing the previous node twice:
+    // every child offset is strictly backwards and nesting stays under
+    // MAX_DEPTH, yet naive DFS would make ~2^500 visits. The visited-set
+    // bound must reject this in O(tree bytes), not hang.
+    let mut tree = vec![0x07]; // innermost: Null leaf at offset 0
+    let mut prev: u16 = 0;
+    for _ in 0..500 {
+        let node = u16::try_from(tree.len()).unwrap();
+        tree.push(0x01); // Array tag
+        tree.push(0x02); // two children...
+        tree.extend_from_slice(&prev.to_le_bytes()); // ...both the
+        tree.extend_from_slice(&prev.to_le_bytes()); // previous node
+        prev = node;
+    }
+    let b = hand_built(prev, &tree);
+    assert_kind("dag bomb", &b, ErrorKind::Corrupt);
+}
+
+#[test]
 fn double_leaf_truncated() {
     // a NumDouble leaf whose 8-byte body is cut off by the tree boundary
     let b = hand_built(0, &[0x04, 0x00, 0x00, 0x00, 0x00]);
