@@ -21,6 +21,12 @@ cargo test --workspace -q
 echo "== fsdm-tidy (repo-native static analysis) =="
 cargo run --release -p fsdm-tidy
 
+echo "== fsdm-analyze (workload semantic lint, zero-error budget) =="
+cargo run --release -p fsdm-bench --bin fsdm-analyze -- --workload both --scale 1000 --json \
+  > analyze-report.json \
+  || { echo "fsdm-analyze found error-severity findings:"; cat analyze-report.json; exit 1; }
+grep -q '"errors": 0' analyze-report.json
+
 echo "== rustfmt =="
 cargo fmt --all --check
 

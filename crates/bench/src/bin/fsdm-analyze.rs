@@ -1,0 +1,117 @@
+//! `fsdm-analyze`: lint SQL/JSON queries against generator-built
+//! DataGuides (paper §3's query-validation use case, as a CLI).
+//!
+//! ```text
+//! fsdm-analyze                              # lint both workloads
+//! fsdm-analyze --workload nobench           # just the NOBENCH queries
+//! fsdm-analyze --workload olap --scale 500  # OLAP at corpus scale 500
+//! fsdm-analyze --sql queries.sql            # lint a file of statements
+//! fsdm-analyze --json                       # machine-readable report
+//! ```
+//!
+//! `--sql` lints the file's `;`-separated statements against the
+//! selected workload's database (default NOBENCH), so table and column
+//! names must match that schema. Exit status is non-zero when any
+//! error-severity finding (FA001) remains — the CI budget.
+
+use std::process::ExitCode;
+
+use fsdm_bench::lint::{lint_nobench, lint_olap, lint_sql_text, LintReport};
+use fsdm_bench::setup::{nobench_guided_db, olap_guided_db};
+
+struct Options {
+    workload: String,
+    scale: usize,
+    sql: Option<String>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let usage = "usage: fsdm-analyze [--workload nobench|olap|both] [--scale N] \
+                 [--sql FILE] [--json]";
+    let mut opts = Options { workload: "both".to_string(), scale: 1000, sql: None, json: false };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--workload" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some(w @ ("nobench" | "olap" | "both")) => opts.workload = w.to_string(),
+                    _ => return Err(format!("--workload needs nobench|olap|both\n{usage}")),
+                }
+            }
+            "--scale" => {
+                i += 1;
+                opts.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--scale needs a number\n{usage}"))?;
+            }
+            "--sql" => {
+                i += 1;
+                let Some(f) = args.get(i) else {
+                    return Err(format!("--sql needs a file\n{usage}"));
+                };
+                opts.sql = Some(f.clone());
+            }
+            "--help" | "-h" => return Err(usage.to_string()),
+            other => return Err(format!("unknown argument {other}\n{usage}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn build_report(opts: &Options) -> Result<LintReport, String> {
+    if let Some(file) = &opts.sql {
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        // lint the file against the selected workload's schema
+        let session = if opts.workload == "olap" {
+            olap_guided_db(opts.scale)
+        } else {
+            nobench_guided_db(opts.scale)
+        };
+        return lint_sql_text(&session, opts.scale, &source).map_err(|e| e.to_string());
+    }
+    let mut report = match opts.workload.as_str() {
+        "nobench" => lint_nobench(opts.scale).map_err(|e| e.to_string())?,
+        "olap" => lint_olap(opts.scale).map_err(|e| e.to_string())?,
+        _ => {
+            let mut r = lint_nobench(opts.scale).map_err(|e| e.to_string())?;
+            r.merge(lint_olap(opts.scale).map_err(|e| e.to_string())?);
+            r
+        }
+    };
+    report.scale = opts.scale;
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match build_report(&opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("fsdm-analyze: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -21,15 +21,22 @@
 //! (`oson.*`, `sqljson.*`, `dataguide.*`, `index.*`, `store.*` — see
 //! README's Observability section) and writing it as JSON to
 //! `repro-metrics.json` for offline diffing. Pass `--no-metrics` to skip
-//! both.
+//! both. Pass `--lint-report` to also run the `fsdm-analyze` semantic
+//! lint over both workload query sets and write `repro-lint.json`.
 
 use fsdm_bench::experiments::*;
+use fsdm_bench::lint::{lint_nobench, lint_olap};
 use fsdm_bench::ms;
 use fsdm_bench::setup::StorageMethod;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let cmd = match args.first().map(|s| s.as_str()) {
+        // a leading flag means "everything, with options"
+        Some(s) if s.starts_with("--") => "all",
+        Some(s) => s,
+        None => "all",
+    };
     let scale = args
         .iter()
         .position(|a| a == "--scale")
@@ -63,8 +70,32 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if args.iter().any(|a| a == "--lint-report") {
+        dump_lint_report(scale.unwrap_or(1000));
+    }
     if !args.iter().any(|a| a == "--no-metrics") {
         dump_metrics();
+    }
+}
+
+/// Run the semantic lint over both workload query sets and persist the
+/// findings next to the results.
+fn dump_lint_report(scale: usize) {
+    println!("\n== fsdm-analyze: workload semantic lint (scale {scale}) ==");
+    let report = lint_nobench(scale).and_then(|mut r| {
+        r.merge(lint_olap(scale)?);
+        Ok(r)
+    });
+    match report {
+        Ok(r) => {
+            print!("{}", r.render_text());
+            let path = "repro-lint.json";
+            match std::fs::write(path, r.render_json()) {
+                Ok(()) => println!("lint report written to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        Err(e) => eprintln!("lint failed: {e}"),
     }
 }
 

@@ -3,6 +3,7 @@
 //! the experiment runners that regenerate the paper's tables and figures.
 
 pub mod experiments;
+pub mod lint;
 pub mod setup;
 
 use std::time::{Duration, Instant};

@@ -1,0 +1,271 @@
+//! The workload lint harness behind the `fsdm-analyze` binary and the
+//! CI gate.
+//!
+//! Each workload's database is rebuilt with DataGuide maintenance on
+//! (the benchmark tables skip it), every query the paper issues against
+//! it is run through the semantic analyzer, and the findings are
+//! aggregated with severity totals. The OLAP queries go through views,
+//! so the JSON paths buried in the view definitions are linted against
+//! the `po` guide as well. CI fails the build on any error-severity
+//! finding.
+
+use fsdm_analyze::{analyze_path, AnalyzerConfig, Severity};
+use fsdm_sql::{Diagnostic, Session, SqlError};
+use fsdm_sqljson::{parse_path, JsonPath};
+use fsdm_workloads::nobench;
+
+use crate::setup::{nobench_guided_db, olap_guided_db, olap_queries, po_dmdv_def};
+
+/// One linted statement (or view-definition path) and its findings.
+#[derive(Debug, Clone)]
+pub struct LintItem {
+    /// Stable label, e.g. `nobench:Q3` or `view:po_mv.reference`.
+    pub label: String,
+    /// The SQL or path text that was analyzed.
+    pub text: String,
+    /// Analyzer findings, most severe first in rendered output.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// A full lint run over one or more workloads.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Corpus scale the DataGuides were built at.
+    pub scale: usize,
+    /// Every linted statement, in workload order.
+    pub items: Vec<LintItem>,
+}
+
+impl LintReport {
+    fn count(&self, sev: Severity) -> usize {
+        self.items.iter().flat_map(|i| &i.diagnostics).filter(|d| d.severity == sev).count()
+    }
+
+    /// Findings that fail the CI budget.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Advisory warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Advisory info-severity findings.
+    pub fn infos(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    /// Append another report's items (the `--workload both` case).
+    pub fn merge(&mut self, other: LintReport) {
+        self.items.extend(other.items);
+    }
+
+    /// Human-readable report: one block per statement with findings,
+    /// then a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            if item.diagnostics.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("{}: {}\n", item.label, item.text));
+            for line in fsdm_analyze::render_text(&item.diagnostics).lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "fsdm-analyze: {} statement(s) at scale {}: {} error(s), {} warning(s), {} info(s)\n",
+            self.items.len(),
+            self.scale,
+            self.errors(),
+            self.warnings(),
+            self.infos()
+        ));
+        out
+    }
+
+    /// Machine-readable report (the `--json` / CI shape).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str("  \"statements\": [\n");
+        for (i, item) in self.items.iter().enumerate() {
+            let sep = if i + 1 == self.items.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"text\": \"{}\", \"diagnostics\": {}}}{sep}\n",
+                json_escape(&item.label),
+                json_escape(&item.text),
+                fsdm_analyze::render_json(&item.diagnostics)
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"errors\": {}, \"warnings\": {}, \"infos\": {}\n}}",
+            self.errors(),
+            self.warnings(),
+            self.infos()
+        ));
+        out
+    }
+}
+
+/// Lint the NOBENCH Q1–Q10 SQL against a guide built from the same
+/// deterministic corpus the benchmarks load.
+pub fn lint_nobench(n: usize) -> Result<LintReport, SqlError> {
+    let session = nobench_guided_db(n);
+    let mut items = Vec::new();
+    for q in 1..=10 {
+        let sql = nobench::query_sql(q, n);
+        let diagnostics = session.analyze(&sql)?;
+        items.push(LintItem { label: format!("nobench:Q{q}"), text: sql, diagnostics });
+    }
+    Ok(LintReport { scale: n, items })
+}
+
+/// Lint the Table 13 OLAP SQL, then the JSON paths inside the `po_mv` /
+/// `po_item_dmdv` view definitions (the queries themselves only touch
+/// views, so the paths are where the guide has something to say).
+pub fn lint_olap(n: usize) -> Result<LintReport, SqlError> {
+    let session = olap_guided_db(n);
+    let mut items = Vec::new();
+    for q in olap_queries(n) {
+        let diagnostics = session.analyze(&q.sql)?;
+        items.push(LintItem { label: format!("olap:Q{}", q.id), text: q.sql, diagnostics });
+    }
+    let Some(t) = session.db.table("po") else {
+        return Ok(LintReport { scale: n, items });
+    };
+    let cfg = AnalyzerConfig::default();
+    for (label, text) in view_paths()? {
+        let path = parse_jp(&text)?;
+        let diagnostics = analyze_path(&t.dataguide, &path, &cfg);
+        items.push(LintItem { label, text, diagnostics });
+    }
+    Ok(LintReport { scale: n, items })
+}
+
+/// Lint `;`-separated SQL statements against an existing session (the
+/// `--sql FILE` mode). Line comments (`--`) are stripped.
+pub fn lint_sql_text(
+    session: &Session,
+    scale: usize,
+    source: &str,
+) -> Result<LintReport, SqlError> {
+    let stripped: String = source
+        .lines()
+        .map(|l| l.split_once("--").map(|(code, _)| code).unwrap_or(l))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut items = Vec::new();
+    for (i, stmt) in stripped.split(';').map(str::trim).filter(|s| !s.is_empty()).enumerate() {
+        let diagnostics = session.analyze(stmt)?;
+        items.push(LintItem {
+            label: format!("sql:{}", i + 1),
+            text: stmt.to_string(),
+            diagnostics,
+        });
+    }
+    Ok(LintReport { scale, items })
+}
+
+/// Every JSON path a generated view evaluates, with the nested-column
+/// paths composed onto their row paths.
+fn view_paths() -> Result<Vec<(String, String)>, SqlError> {
+    let mut out = Vec::new();
+    for f in ["reference", "requestor", "costcenter", "podate"] {
+        out.push((format!("view:po_mv.{f}"), format!("$.purchaseOrder.{f}")));
+    }
+    let def = po_dmdv_def();
+    let row = def.row_path.text();
+    for c in &def.columns {
+        out.push((format!("view:po_item_dmdv.{}", c.name), compose(row, c.path.text())));
+    }
+    for nd in &def.nested {
+        let nrow = compose(row, nd.path.text());
+        for c in &nd.columns {
+            out.push((format!("view:po_item_dmdv.{}", c.name), compose(&nrow, c.path.text())));
+        }
+    }
+    Ok(out)
+}
+
+/// `$.purchaseOrder` + `$.items[*]` → `$.purchaseOrder.items[*]`.
+fn compose(row: &str, sub: &str) -> String {
+    format!("{}{}", row, sub.strip_prefix('$').unwrap_or(sub))
+}
+
+fn parse_jp(text: &str) -> Result<JsonPath, SqlError> {
+    parse_path(text).map_err(|e| SqlError::new(format!("bad view path '{text}': {e}")))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nobench_lint_is_error_free_and_sees_sparse_paths() {
+        let report = lint_nobench(300).unwrap();
+        assert_eq!(report.items.len(), 10);
+        assert_eq!(report.errors(), 0, "{}", report.render_text());
+        // the sparse_XXX paths sit at ~1% frequency: FA005 warnings
+        assert!(report.warnings() > 0, "{}", report.render_text());
+        // TEXT storage makes filtered paths unstreamable: FA006 infos
+        assert!(report.render_text().contains("FA00"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn olap_lint_is_error_free_and_covers_view_paths() {
+        let report = lint_olap(200).unwrap();
+        assert_eq!(report.errors(), 0, "{}", report.render_text());
+        let labels: Vec<&str> = report.items.iter().map(|i| i.label.as_str()).collect();
+        assert!(labels.contains(&"olap:Q1"), "{labels:?}");
+        assert!(labels.contains(&"view:po_mv.reference"), "{labels:?}");
+        assert!(labels.contains(&"view:po_item_dmdv.partno"), "{labels:?}");
+        let partno = report.items.iter().find(|i| i.label == "view:po_item_dmdv.partno").unwrap();
+        assert_eq!(partno.text, "$.purchaseOrder.items[*].partno");
+    }
+
+    #[test]
+    fn sql_file_mode_flags_unknown_paths() {
+        let session = nobench_guided_db(100);
+        let src = "-- a stale query\nselect did from nobench \
+                   where json_exists(jdoc, '$.persno');\n\
+                   select json_value(jdoc, '$.str1') from nobench;";
+        let report = lint_sql_text(&session, 100, src).unwrap();
+        assert_eq!(report.items.len(), 2);
+        assert_eq!(report.errors(), 1, "{}", report.render_text());
+        assert!(report.items[0].diagnostics.iter().any(|d| d.code.id() == "FA001"));
+        let json = report.render_json();
+        assert!(json.contains("\"errors\": 1"), "{json}");
+        assert!(json.contains("\"label\": \"sql:1\""), "{json}");
+    }
+
+    #[test]
+    fn merged_reports_sum_severities() {
+        let mut a = lint_nobench(120).unwrap();
+        let b = lint_olap(120).unwrap();
+        let (we, ww) = (a.errors() + b.errors(), a.warnings() + b.warnings());
+        a.merge(b);
+        assert_eq!(a.errors(), we);
+        assert_eq!(a.warnings(), ww);
+        assert!(a.render_text().contains("statement(s)"));
+    }
+}

@@ -284,6 +284,49 @@ pub fn nobench_db(n: usize) -> Session {
     session
 }
 
+/// The NOBENCH database with DataGuide maintenance on. The Figure 5
+/// benchmark table deliberately skips the guide; the lint gate needs it
+/// to resolve every query path against the observed corpus.
+pub fn nobench_guided_db(n: usize) -> Session {
+    let mut session = Session::new();
+    let mut t = Table::new(TableSchema::new(
+        "nobench",
+        vec![
+            ColumnSpec::new("did", ColType::Number),
+            ColumnSpec::json("jdoc", JsonStorage::Text, ConstraintMode::IsJsonWithDataGuide),
+        ],
+    ));
+    let mut rng = rng_for("nobench-corpus", 5);
+    for i in 0..n {
+        let d = nobench::doc(&mut rng, i);
+        t.insert(vec![(i as i64).into(), InsertValue::Json(fsdm_json::to_string(&d))]).unwrap();
+    }
+    session.db.add_table(t);
+    session
+}
+
+/// The §6.3 OSON database with DataGuide maintenance on, plus the same
+/// `po_mv` / `po_item_dmdv` views `olap_db` registers. Used by the lint
+/// gate, which checks the view-definition paths against the guide.
+pub fn olap_guided_db(n: usize) -> Session {
+    let mut rng = rng_for("olap-corpus", 7);
+    let docs = olap::corpus(&mut rng, n);
+    let mut session = Session::new();
+    let mut t = Table::new(TableSchema::new(
+        "po",
+        vec![
+            ColumnSpec::new("did", ColType::Number),
+            ColumnSpec::json("jdoc", JsonStorage::Oson, ConstraintMode::IsJsonWithDataGuide),
+        ],
+    ));
+    for (i, d) in docs.iter().enumerate() {
+        t.insert(vec![(i as i64).into(), InsertValue::Json(fsdm_json::to_string(d))]).unwrap();
+    }
+    session.db.add_table(t);
+    register_json_views(&mut session);
+    session
+}
+
 /// Register the three Figure 6 virtual columns (`$.str1`, `$.num`,
 /// `$.dyn1`) on the NOBENCH table.
 pub fn add_nobench_vcs(session: &mut Session) {

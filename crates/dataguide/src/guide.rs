@@ -167,6 +167,16 @@ impl ScalarStats {
     pub fn doc_count(&self) -> u64 {
         self.any.doc_count
     }
+
+    /// True when `kind` was ever observed at this path.
+    pub fn has_kind(&self, kind: ScalarKind) -> bool {
+        self.kinds.get(&kind).is_some_and(KindStats::seen)
+    }
+
+    /// The scalar kinds observed at this path, in `ScalarKind` order.
+    pub fn observed_kinds(&self) -> Vec<ScalarKind> {
+        self.kinds.iter().filter(|(_, s)| s.seen()).map(|(k, _)| *k).collect()
+    }
 }
 
 fn scalar_lt(v: &JsonValue, cur: Option<&JsonValue>) -> bool {
@@ -280,6 +290,31 @@ impl GuideNode {
             && !self.scalars.kinds.is_empty()
             && !self.scalars.any_under_array()
     }
+
+    /// Child node for `name`, for step-by-step walks of compiled paths.
+    pub fn child(&self, name: &str) -> Option<&GuideNode> {
+        self.children.get(name)
+    }
+
+    /// True when anything — object, array, or scalar — was ever observed
+    /// at this path.
+    pub fn seen(&self) -> bool {
+        self.object.seen() || self.array.seen() || !self.scalars.kinds.is_empty()
+    }
+
+    /// Documents known to contain this path, as a lower bound: per-kind
+    /// document sets are tracked separately, so a document holding the
+    /// path as several kinds counts once per kind and we return the
+    /// largest single-kind count.
+    pub fn doc_count_at_least(&self) -> u64 {
+        self.object.doc_count.max(self.array.doc_count).max(self.scalars.doc_count())
+    }
+
+    /// Observed frequency of this path as an integer percentage of
+    /// `total_docs` (a lower bound, per [`GuideNode::doc_count_at_least`]).
+    pub fn frequency_pct(&self, total_docs: u64) -> i64 {
+        crate::hierarchical::frequency_pct(self.doc_count_at_least(), total_docs)
+    }
 }
 
 /// One row of the flat (`$DG`) form.
@@ -310,6 +345,9 @@ pub struct DataGuide {
     pub root: GuideNode,
     /// Documents merged into this guide.
     pub doc_count: u64,
+    /// Documents actually walked ([`DataGuide::add_document`] calls);
+    /// see [`DataGuide::sampled_docs`].
+    walked_docs: u64,
 }
 
 impl DataGuide {
@@ -323,6 +361,7 @@ impl DataGuide {
     /// paths the document contributed — 0 means the guide was unchanged.
     pub fn add_document(&mut self, doc: &JsonValue) -> u64 {
         self.doc_count += 1;
+        self.walked_docs += 1;
         let new_paths = self.root.observe(doc, self.doc_count, false);
         if new_paths > 0 {
             fsdm_obs::counter!(fsdm_obs::catalog::DATAGUIDE_INSERT_CHANGED).inc();
@@ -336,7 +375,16 @@ impl DataGuide {
     /// Merge another guide (used by the SQL aggregate's combine phase).
     pub fn merge(&mut self, other: &DataGuide) {
         self.doc_count += other.doc_count;
+        self.walked_docs += other.walked_docs;
         self.root.merge(&other.root);
+    }
+
+    /// Number of documents actually walked into the tree. The store's
+    /// structure-signature insert fast path counts repeated structures
+    /// in [`DataGuide::doc_count`] without re-walking them, so per-node
+    /// statistics are relative to this sample, not to `doc_count`.
+    pub fn sampled_docs(&self) -> u64 {
+        self.walked_docs
     }
 
     /// The flat `$DG` rows, in path order. Each distinct (path, node-kind)
@@ -619,6 +667,42 @@ mod tests {
         // price, quantity = 7; leaves = 5
         assert_eq!(g.distinct_paths(), 7);
         assert_eq!(g.leaf_paths(), 5);
+    }
+
+    #[test]
+    fn kind_and_frequency_helpers() {
+        let g = guide_of(&[
+            r#"{"a":1,"b":[true],"c":{"d":"x"}}"#,
+            r#"{"a":"two"}"#,
+            r#"{"a":3}"#,
+            r#"{"a":4}"#,
+        ]);
+        let a = g.node_at("$.a").unwrap();
+        assert!(a.scalars.has_kind(ScalarKind::Number));
+        assert!(a.scalars.has_kind(ScalarKind::String));
+        assert!(!a.scalars.has_kind(ScalarKind::Boolean));
+        assert_eq!(a.scalars.observed_kinds(), vec![ScalarKind::String, ScalarKind::Number]);
+        assert!(a.seen());
+        assert_eq!(a.doc_count_at_least(), 4);
+        assert_eq!(a.frequency_pct(g.doc_count), 100);
+        let b = g.node_at("$.b").unwrap();
+        assert_eq!(b.frequency_pct(g.doc_count), 25);
+        let c = g.node_at("$.c").unwrap();
+        assert_eq!(c.child("d").map(|n| n.scalars.doc_count()), Some(1));
+        assert!(c.child("zz").is_none());
+        assert!(!GuideNode::default().seen());
+    }
+
+    #[test]
+    fn sampled_docs_tracks_walked_documents_only() {
+        let mut g = guide_of(&[r#"{"a":1}"#, r#"[1,2]"#, r#""scalar""#]);
+        assert_eq!(g.sampled_docs(), 3);
+        assert_eq!(g.sampled_docs(), g.doc_count);
+        // the store's structure-signature fast path bumps doc_count
+        // without walking: the sample stays at what was observed
+        g.doc_count += 5;
+        assert_eq!(g.sampled_docs(), 3);
+        assert_eq!(DataGuide::new().sampled_docs(), 0);
     }
 
     #[test]

@@ -6,22 +6,64 @@
 //! `fsdm-tidy` enforces the discipline: a string-literal metric name at
 //! a `counter!`/`gauge!`/`histogram!` call site anywhere outside this
 //! file is a tidy error (rule `metric-literal`), so the catalog is the
-//! complete, documented inventory of what the stack can emit.
+//! complete, documented inventory of what the stack can emit. Constants
+//! must be declared in ascending order of metric name and the `ALL`
+//! inventory must mirror the declaration order exactly (tidy rule
+//! `catalog`).
 //!
 //! Naming convention: `<crate>.<subsystem>.<name>`.
+
+// --- analyze ------------------------------------------------------------
+
+/// Error-severity diagnostics emitted by the semantic analyzer (counter).
+pub const ANALYZE_DIAG_ERRORS: &str = "analyze.diag.errors";
+/// Info-severity diagnostics emitted by the semantic analyzer (counter).
+pub const ANALYZE_DIAG_INFOS: &str = "analyze.diag.infos";
+/// Warning-severity diagnostics emitted by the semantic analyzer
+/// (counter).
+pub const ANALYZE_DIAG_WARNINGS: &str = "analyze.diag.warnings";
+/// SQL/JSON paths checked against a DataGuide (counter).
+pub const ANALYZE_PATHS_CHECKED: &str = "analyze.paths.checked";
+/// Scans rewritten to empty because a JSON predicate is provably dead
+/// (counter).
+pub const ANALYZE_PRUNE_DEAD_PREDICATES: &str = "analyze.prune.dead_predicates";
+/// SQL statements run through the prepare-time analysis hook (counter).
+pub const ANALYZE_STMTS_ANALYZED: &str = "analyze.stmts.analyzed";
+
+// --- dataguide ----------------------------------------------------------
+
+/// Inserts that changed the DataGuide (counter).
+pub const DATAGUIDE_INSERT_CHANGED: &str = "dataguide.insert.changed";
+/// Inserts fully covered by the existing DataGuide (counter).
+pub const DATAGUIDE_INSERT_UNCHANGED: &str = "dataguide.insert.unchanged";
+/// Distinct paths currently known to the DataGuide (gauge).
+pub const DATAGUIDE_PATHS: &str = "dataguide.paths";
+
+// --- index --------------------------------------------------------------
+
+/// Documents added to the inverted index (counter).
+pub const INDEX_INSERT_DOCS: &str = "index.insert.docs";
+/// Path-existence index probes (counter).
+pub const INDEX_LOOKUP_PATH: &str = "index.lookup.path";
+/// Full-text keyword probes (counter).
+pub const INDEX_LOOKUP_TEXT: &str = "index.lookup.text";
+/// (path, value) index probes (counter).
+pub const INDEX_LOOKUP_VALUE: &str = "index.lookup.value";
+/// Postings appended across all insertions (counter).
+pub const INDEX_POSTINGS_ADDED: &str = "index.postings.added";
 
 // --- oson ---------------------------------------------------------------
 
 /// Documents fully decoded from OSON bytes (counter).
 pub const OSON_DECODE_DOCS: &str = "oson.decode.docs";
-/// Documents encoded to OSON bytes (counter).
-pub const OSON_ENCODE_DOCS: &str = "oson.encode.docs";
-/// Encoded document size in bytes (histogram).
-pub const OSON_ENCODE_BYTES: &str = "oson.encode.bytes";
 /// Field-name → field-id dictionary resolutions (counter).
 pub const OSON_DICT_LOOKUPS: &str = "oson.dict.lookups";
 /// Binary-search probes spent resolving field ids (counter).
 pub const OSON_DICT_PROBES: &str = "oson.dict.probes";
+/// Encoded document size in bytes (histogram).
+pub const OSON_ENCODE_BYTES: &str = "oson.encode.bytes";
+/// Documents encoded to OSON bytes (counter).
+pub const OSON_ENCODE_DOCS: &str = "oson.encode.docs";
 /// Object-child lookups by field id (counter).
 pub const OSON_NODE_LOOKUPS: &str = "oson.node.lookups";
 /// Binary-search probes spent in object-child lookups (counter).
@@ -41,57 +83,49 @@ pub const OSON_VALIDATE_FAILURES: &str = "oson.validate.failures";
 
 // --- sqljson ------------------------------------------------------------
 
-/// Path evaluations started (counter).
-pub const SQLJSON_EVAL_PATHS: &str = "sqljson.eval.paths";
 /// Context nodes visited across all path steps (counter).
 pub const SQLJSON_EVAL_NODES_VISITED: &str = "sqljson.eval.nodes_visited";
+/// Path evaluations started (counter).
+pub const SQLJSON_EVAL_PATHS: &str = "sqljson.eval.paths";
+/// Field resolutions where the name was absent from the dictionary
+/// (counter).
+pub const SQLJSON_LOOKBACK_ABSENT: &str = "sqljson.lookback.absent";
 /// Field resolutions served from the look-back cache (counter).
 pub const SQLJSON_LOOKBACK_HIT: &str = "sqljson.lookback.hit";
 /// Field resolutions that consulted the instance dictionary (counter).
 pub const SQLJSON_LOOKBACK_MISS: &str = "sqljson.lookback.miss";
-/// Field resolutions where the name was absent from the dictionary
-/// (counter).
-pub const SQLJSON_LOOKBACK_ABSENT: &str = "sqljson.lookback.absent";
-
-// --- dataguide ----------------------------------------------------------
-
-/// Inserts that changed the DataGuide (counter).
-pub const DATAGUIDE_INSERT_CHANGED: &str = "dataguide.insert.changed";
-/// Inserts fully covered by the existing DataGuide (counter).
-pub const DATAGUIDE_INSERT_UNCHANGED: &str = "dataguide.insert.unchanged";
-/// Distinct paths currently known to the DataGuide (gauge).
-pub const DATAGUIDE_PATHS: &str = "dataguide.paths";
-
-// --- index --------------------------------------------------------------
-
-/// Documents added to the inverted index (counter).
-pub const INDEX_INSERT_DOCS: &str = "index.insert.docs";
-/// Postings appended across all insertions (counter).
-pub const INDEX_POSTINGS_ADDED: &str = "index.postings.added";
-/// Path-existence index probes (counter).
-pub const INDEX_LOOKUP_PATH: &str = "index.lookup.path";
-/// (path, value) index probes (counter).
-pub const INDEX_LOOKUP_VALUE: &str = "index.lookup.value";
-/// Full-text keyword probes (counter).
-pub const INDEX_LOOKUP_TEXT: &str = "index.lookup.text";
 
 // --- store --------------------------------------------------------------
 
-/// SQL queries executed (counter).
-pub const STORE_EXEC_QUERIES: &str = "store.exec.queries";
 /// End-to-end query execution time in nanoseconds (histogram).
 pub const STORE_EXEC_NS: &str = "store.exec.ns";
+/// SQL queries executed (counter).
+pub const STORE_EXEC_QUERIES: &str = "store.exec.queries";
 /// Inserts that took the unchanged-DataGuide fast path (counter).
 pub const STORE_INSERT_GUIDE_FAST_PATH: &str = "store.insert.guide_fast_path";
 
-/// Every metric name in the catalog, for exhaustiveness checks and
-/// documentation tooling.
+/// Every metric name in the catalog, in declaration (= sorted) order,
+/// for exhaustiveness checks and documentation tooling.
 pub const ALL: &[&str] = &[
+    ANALYZE_DIAG_ERRORS,
+    ANALYZE_DIAG_INFOS,
+    ANALYZE_DIAG_WARNINGS,
+    ANALYZE_PATHS_CHECKED,
+    ANALYZE_PRUNE_DEAD_PREDICATES,
+    ANALYZE_STMTS_ANALYZED,
+    DATAGUIDE_INSERT_CHANGED,
+    DATAGUIDE_INSERT_UNCHANGED,
+    DATAGUIDE_PATHS,
+    INDEX_INSERT_DOCS,
+    INDEX_LOOKUP_PATH,
+    INDEX_LOOKUP_TEXT,
+    INDEX_LOOKUP_VALUE,
+    INDEX_POSTINGS_ADDED,
     OSON_DECODE_DOCS,
-    OSON_ENCODE_DOCS,
-    OSON_ENCODE_BYTES,
     OSON_DICT_LOOKUPS,
     OSON_DICT_PROBES,
+    OSON_ENCODE_BYTES,
+    OSON_ENCODE_DOCS,
     OSON_NODE_LOOKUPS,
     OSON_NODE_PROBES,
     OSON_SEGMENT_DICTIONARY_BYTES,
@@ -100,21 +134,13 @@ pub const ALL: &[&str] = &[
     OSON_UPDATE_IN_PLACE,
     OSON_UPDATE_REENCODE,
     OSON_VALIDATE_FAILURES,
-    SQLJSON_EVAL_PATHS,
     SQLJSON_EVAL_NODES_VISITED,
+    SQLJSON_EVAL_PATHS,
+    SQLJSON_LOOKBACK_ABSENT,
     SQLJSON_LOOKBACK_HIT,
     SQLJSON_LOOKBACK_MISS,
-    SQLJSON_LOOKBACK_ABSENT,
-    DATAGUIDE_INSERT_CHANGED,
-    DATAGUIDE_INSERT_UNCHANGED,
-    DATAGUIDE_PATHS,
-    INDEX_INSERT_DOCS,
-    INDEX_POSTINGS_ADDED,
-    INDEX_LOOKUP_PATH,
-    INDEX_LOOKUP_VALUE,
-    INDEX_LOOKUP_TEXT,
-    STORE_EXEC_QUERIES,
     STORE_EXEC_NS,
+    STORE_EXEC_QUERIES,
     STORE_INSERT_GUIDE_FAST_PATH,
 ];
 
@@ -127,6 +153,13 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for name in ALL {
             assert!(seen.insert(*name), "duplicate catalog entry {name}");
+        }
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        for pair in ALL.windows(2) {
+            assert!(pair[0] < pair[1], "{} must sort before {}", pair[0], pair[1]);
         }
     }
 

@@ -18,6 +18,7 @@
 //! * two-table joins (`FROM a, b WHERE a.x = b.y`), views, `CREATE
 //!   TABLE`, `INSERT INTO … VALUES`, and `SELECT JSON_DATAGUIDEAGG(col)`.
 
+pub mod analyze;
 pub mod ast;
 pub mod lexer;
 pub mod parser;
@@ -28,6 +29,7 @@ pub use lexer::{tokenize, Token};
 pub use parser::parse_sql;
 pub use planner::Session;
 
+pub use fsdm_analyze::{Diagnostic, Severity};
 pub use fsdm_store::{OpProfile, QueryProfile};
 
 use std::fmt;

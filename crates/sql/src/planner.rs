@@ -86,7 +86,11 @@ impl Session {
         if let Statement::Select(sel) = parse_sql(sql)? {
             if dataguide_agg_target(&sel).is_none() {
                 let plan = self.plan_select(&sel, binds)?;
-                let (result, profile) = self.db.execute_profiled(&plan)?;
+                let (result, mut profile) = self.db.execute_profiled(&plan)?;
+                // attach the prepare-time findings; analysis is advisory,
+                // so its errors never fail an executable statement
+                profile.diagnostics =
+                    crate::analyze::analyze_select(&self.db, &sel).unwrap_or_default();
                 return Ok((result, Some(profile)));
             }
         }

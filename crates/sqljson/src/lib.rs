@@ -30,4 +30,4 @@ pub use datum::{Datum, SqlType};
 pub use engine::{PathEvaluator, PathOutput};
 pub use json_table::{ColumnDef, JsonTableCursor, JsonTableDef, JsonTableExec, NestedDef};
 pub use ops::{json_exists, json_query, json_value, OnError, WrapperMode};
-pub use path::{parse_path, JsonPath, PathError, Predicate, Step};
+pub use path::{parse_path, JsonPath, PathError, Predicate, Span, Step};

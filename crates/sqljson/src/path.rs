@@ -29,18 +29,108 @@ use std::fmt;
 
 use fsdm_json::{field_hash, JsonNumber, JsonValue};
 
+/// A half-open byte range into a source text. Shared position type of
+/// the path parser and the `fsdm-analyze` diagnostics layer, so both
+/// report locations the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: usize,
+    /// Byte offset one past the last byte covered (`start == end` for a
+    /// point span).
+    pub end: usize,
+}
+
+impl Span {
+    /// Span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end: end.max(start) }
+    }
+
+    /// Zero-width span at `offset`.
+    pub fn point(offset: usize) -> Span {
+        Span { start: offset, end: offset }
+    }
+
+    /// The covered slice of `source`, clamped to char boundaries so a
+    /// span that lands inside a multi-byte character never slices out
+    /// of bounds or panics.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        let start = floor_char_boundary(source, self.start);
+        let end = ceil_char_boundary(source, self.end.max(self.start));
+        source.get(start..end).unwrap_or_default()
+    }
+}
+
+fn floor_char_boundary(s: &str, offset: usize) -> usize {
+    let mut i = offset.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+fn ceil_char_boundary(s: &str, offset: usize) -> usize {
+    let mut i = offset.min(s.len());
+    while i < s.len() && !s.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+/// A short char-boundary-safe excerpt of `source` around byte `offset`,
+/// for rendered messages.
+pub fn snippet_at(source: &str, offset: usize) -> String {
+    const WINDOW: usize = 12;
+    let mid = floor_char_boundary(source, offset);
+    let start = floor_char_boundary(source, mid.saturating_sub(WINDOW));
+    let end = ceil_char_boundary(source, mid.saturating_add(WINDOW));
+    let mut out = String::new();
+    if start > 0 {
+        out.push('…');
+    }
+    out.push_str(source.get(start..end).unwrap_or_default());
+    if end < source.len() {
+        out.push('…');
+    }
+    out
+}
+
 /// Path parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathError {
     /// Description of the failure.
     pub message: String,
-    /// Byte offset in the path text.
-    pub offset: usize,
+    /// Location of the failure in the path text.
+    pub span: Span,
+    /// Excerpt of the path text around the failure.
+    pub snippet: String,
+}
+
+impl PathError {
+    /// Build an error pointing at byte `offset` of `source`, capturing
+    /// the offending snippet.
+    pub fn at(message: &str, source: &str, offset: usize) -> PathError {
+        PathError {
+            message: message.to_string(),
+            span: Span::point(offset.min(source.len())),
+            snippet: snippet_at(source, offset),
+        }
+    }
+
+    /// Byte offset of the failure (start of [`PathError::span`]).
+    pub fn offset(&self) -> usize {
+        self.span.start
+    }
 }
 
 impl fmt::Display for PathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "path error at {}: {}", self.offset, self.message)
+        write!(f, "path error at {}: {}", self.span.start, self.message)?;
+        if !self.snippet.is_empty() {
+            write!(f, " (near `{}`)", self.snippet)?;
+        }
+        Ok(())
     }
 }
 
@@ -205,6 +295,7 @@ pub struct JsonPath {
     pub mode: Mode,
     /// Compiled steps.
     pub steps: Vec<Step>,
+    step_spans: Vec<Span>,
     text: String,
 }
 
@@ -212,6 +303,13 @@ impl JsonPath {
     /// The original path text.
     pub fn text(&self) -> &str {
         &self.text
+    }
+
+    /// Source location of top-level step `i` within [`JsonPath::text`].
+    /// Parsing records one span per step; out-of-range indexes yield an
+    /// empty span.
+    pub fn step_span(&self, i: usize) -> Span {
+        self.step_spans.get(i).copied().unwrap_or_default()
     }
 
     /// True when every step is a plain field/array step — the class the
@@ -266,7 +364,7 @@ pub fn parse_path(text: &str) -> Result<JsonPath, PathError> {
     if !p.eat(b'$') {
         return Err(p.err("path must start with '$'"));
     }
-    let steps = p.steps()?;
+    let (steps, step_spans) = p.steps_spanned()?;
     p.ws();
     if p.i != p.b.len() {
         return Err(p.err("trailing characters in path"));
@@ -274,13 +372,14 @@ pub fn parse_path(text: &str) -> Result<JsonPath, PathError> {
     // methods may only appear last
     for (i, s) in steps.iter().enumerate() {
         if matches!(s, Step::Method(_)) && i + 1 != steps.len() {
-            return Err(PathError {
-                message: "item method must be the final step".into(),
-                offset: text.len(),
-            });
+            return Err(PathError::at(
+                "item method must be the final step",
+                text,
+                step_spans.get(i).map(|sp| sp.start).unwrap_or(text.len()),
+            ));
         }
     }
-    Ok(JsonPath { mode, steps, text: text.to_string() })
+    Ok(JsonPath { mode, steps, step_spans, text: text.to_string() })
 }
 
 struct P<'a> {
@@ -290,7 +389,7 @@ struct P<'a> {
 
 impl P<'_> {
     fn err(&self, m: &str) -> PathError {
-        PathError { message: m.to_string(), offset: self.i }
+        PathError::at(m, std::str::from_utf8(self.b).unwrap_or_default(), self.i)
     }
 
     fn ws(&mut self) {
@@ -329,95 +428,110 @@ impl P<'_> {
     }
 
     fn steps(&mut self) -> Result<Vec<Step>, PathError> {
+        Ok(self.steps_spanned()?.0)
+    }
+
+    /// Parse a step sequence, recording the source span of each step.
+    fn steps_spanned(&mut self) -> Result<(Vec<Step>, Vec<Span>), PathError> {
         let mut steps = Vec::new();
+        let mut spans = Vec::new();
         loop {
             self.ws();
-            match self.peek() {
-                Some(b'.') => {
-                    self.i += 1;
-                    if self.eat(b'*') {
-                        steps.push(Step::FieldWildcard);
-                        continue;
-                    }
-                    let name = self.name()?;
-                    // method call?
-                    if self.peek() == Some(b'(') {
-                        self.i += 1;
-                        self.ws();
-                        if !self.eat(b')') {
-                            return Err(self.err("expected ')' after method"));
-                        }
-                        let m = match name.as_str() {
-                            "type" => Method::Type,
-                            "size" => Method::Size,
-                            "length" => Method::Length,
-                            "number" => Method::Number,
-                            "string" => Method::StringM,
-                            "upper" => Method::Upper,
-                            "lower" => Method::Lower,
-                            "abs" => Method::Abs,
-                            "ceiling" => Method::Ceiling,
-                            "floor" => Method::Floor,
-                            "double" => Method::Double,
-                            _ => return Err(self.err("unknown item method")),
-                        };
-                        steps.push(Step::Method(m));
-                        continue;
-                    }
-                    let hash = field_hash(&name);
-                    steps.push(Step::Field { name, hash });
+            let start = self.i;
+            match self.one_step()? {
+                Some(step) => {
+                    steps.push(step);
+                    spans.push(Span::new(start, self.i));
                 }
-                Some(b'[') => {
-                    self.i += 1;
-                    self.ws();
-                    if self.eat(b'*') {
-                        self.ws();
-                        if !self.eat(b']') {
-                            return Err(self.err("expected ']'"));
-                        }
-                        steps.push(Step::ArrayWildcard);
-                        continue;
-                    }
-                    let mut sels = Vec::new();
-                    loop {
-                        self.ws();
-                        let a = self.index_expr()?;
-                        self.ws();
-                        if self.eat_kw("to") {
-                            self.ws();
-                            let b = self.index_expr()?;
-                            sels.push(ArraySel::Range(a, b));
-                        } else {
-                            sels.push(ArraySel::Index(a));
-                        }
-                        self.ws();
-                        if self.eat(b',') {
-                            continue;
-                        }
-                        if self.eat(b']') {
-                            break;
-                        }
-                        return Err(self.err("expected ',' or ']'"));
-                    }
-                    steps.push(Step::Array(sels));
-                }
-                Some(b'?') => {
-                    self.i += 1;
-                    self.ws();
-                    if !self.eat(b'(') {
-                        return Err(self.err("expected '(' after '?'"));
-                    }
-                    let pred = self.pred_or()?;
-                    self.ws();
-                    if !self.eat(b')') {
-                        return Err(self.err("expected ')' closing filter"));
-                    }
-                    steps.push(Step::Filter(pred));
-                }
-                _ => break,
+                None => break,
             }
         }
-        Ok(steps)
+        Ok((steps, spans))
+    }
+
+    /// Parse one step, or `None` when the next byte starts no step.
+    fn one_step(&mut self) -> Result<Option<Step>, PathError> {
+        match self.peek() {
+            Some(b'.') => {
+                self.i += 1;
+                if self.eat(b'*') {
+                    return Ok(Some(Step::FieldWildcard));
+                }
+                let name = self.name()?;
+                // method call?
+                if self.peek() == Some(b'(') {
+                    self.i += 1;
+                    self.ws();
+                    if !self.eat(b')') {
+                        return Err(self.err("expected ')' after method"));
+                    }
+                    let m = match name.as_str() {
+                        "type" => Method::Type,
+                        "size" => Method::Size,
+                        "length" => Method::Length,
+                        "number" => Method::Number,
+                        "string" => Method::StringM,
+                        "upper" => Method::Upper,
+                        "lower" => Method::Lower,
+                        "abs" => Method::Abs,
+                        "ceiling" => Method::Ceiling,
+                        "floor" => Method::Floor,
+                        "double" => Method::Double,
+                        _ => return Err(self.err("unknown item method")),
+                    };
+                    return Ok(Some(Step::Method(m)));
+                }
+                let hash = field_hash(&name);
+                Ok(Some(Step::Field { name, hash }))
+            }
+            Some(b'[') => {
+                self.i += 1;
+                self.ws();
+                if self.eat(b'*') {
+                    self.ws();
+                    if !self.eat(b']') {
+                        return Err(self.err("expected ']'"));
+                    }
+                    return Ok(Some(Step::ArrayWildcard));
+                }
+                let mut sels = Vec::new();
+                loop {
+                    self.ws();
+                    let a = self.index_expr()?;
+                    self.ws();
+                    if self.eat_kw("to") {
+                        self.ws();
+                        let b = self.index_expr()?;
+                        sels.push(ArraySel::Range(a, b));
+                    } else {
+                        sels.push(ArraySel::Index(a));
+                    }
+                    self.ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    if self.eat(b']') {
+                        break;
+                    }
+                    return Err(self.err("expected ',' or ']'"));
+                }
+                Ok(Some(Step::Array(sels)))
+            }
+            Some(b'?') => {
+                self.i += 1;
+                self.ws();
+                if !self.eat(b'(') {
+                    return Err(self.err("expected '(' after '?'"));
+                }
+                let pred = self.pred_or()?;
+                self.ws();
+                if !self.eat(b')') {
+                    return Err(self.err("expected ')' closing filter"));
+                }
+                Ok(Some(Step::Filter(pred)))
+            }
+            _ => Ok(None),
+        }
     }
 
     fn name(&mut self) -> Result<String, PathError> {
@@ -766,6 +880,61 @@ mod tests {
     fn display_roundtrip_text() {
         let text = "$.purchaseOrder.items[*].price";
         assert_eq!(parse_path(text).unwrap().to_string(), text);
+    }
+
+    #[test]
+    fn step_spans_cover_source_text() {
+        let text = "$.purchaseOrder.items[*]?(@.price > 1)";
+        let p = parse_path(text).unwrap();
+        assert_eq!(p.step_span(0).slice(text), ".purchaseOrder");
+        assert_eq!(p.step_span(1).slice(text), ".items");
+        assert_eq!(p.step_span(2).slice(text), "[*]");
+        assert_eq!(p.step_span(3).slice(text), "?(@.price > 1)");
+        assert_eq!(p.step_span(99), Span::default(), "out of range is empty");
+    }
+
+    #[test]
+    fn errors_carry_span_and_snippet() {
+        let e = parse_path("$.items[1 to]").unwrap_err();
+        assert_eq!(e.offset(), e.span.start);
+        assert!(e.snippet.contains("to]"), "snippet {:?}", e.snippet);
+        let rendered = e.to_string();
+        assert!(rendered.contains("near"), "{rendered}");
+        // a method misplacement points at the offending step
+        let e = parse_path("$.a.type().b").unwrap_err();
+        assert_eq!(e.span.start, 3);
+        assert!(e.snippet.contains("type()"), "snippet {:?}", e.snippet);
+    }
+
+    #[test]
+    fn multi_byte_offsets_stay_on_char_boundaries() {
+        for bad in ["$.héllo[", "$.日本.", "$.a?(@.日本 ==)", "$.\"日 本", "$.x?(@ == '日本"]
+        {
+            let e = parse_path(bad).unwrap_err();
+            assert!(
+                bad.is_char_boundary(e.span.start),
+                "offset {} of {bad:?} is inside a char",
+                e.span.start
+            );
+            // snippet extraction must not panic or split a char
+            assert!(e.snippet.chars().count() <= 26, "snippet {:?}", e.snippet);
+        }
+        let text = "$.日本[0]";
+        let p = parse_path(text).unwrap();
+        assert_eq!(p.step_span(0).slice(text), ".日本");
+        assert_eq!(p.step_span(1).slice(text), "[0]");
+    }
+
+    #[test]
+    fn span_slice_is_boundary_safe() {
+        let s = "aé日b";
+        // deliberately mid-char offsets
+        assert_eq!(Span::new(2, 4).slice(s), "é日");
+        assert_eq!(Span::new(1, 2).slice(s), "é");
+        assert_eq!(Span::new(0, 100).slice(s), s);
+        assert_eq!(Span::point(4).slice(s), "日", "mid-char point widens to the char");
+        assert_eq!(Span::point(6).slice(s), "");
+        assert_eq!(snippet_at("é", 1), "é");
     }
 
     #[test]

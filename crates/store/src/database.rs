@@ -16,12 +16,27 @@ use crate::table::{Cell, Row, StoreError, Table};
 pub struct Database {
     tables: HashMap<String, Table>,
     views: HashMap<String, Query>,
+    prune_dead_json_predicates: bool,
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opt into the analyzer/optimizer handshake: scans whose filter
+    /// contains a JSON predicate over a path the table's DataGuide proves
+    /// empty (`fsdm_analyze::path_provably_empty`) are rewritten to
+    /// constant-false scans. Off by default; results are identical either
+    /// way, only the plan changes.
+    pub fn set_dead_path_pruning(&mut self, on: bool) {
+        self.prune_dead_json_predicates = on;
+    }
+
+    /// Whether dead-JSON-path pruning is enabled.
+    pub fn dead_path_pruning(&self) -> bool {
+        self.prune_dead_json_predicates
     }
 
     /// Register a table. If a table with the same name already exists it
@@ -131,7 +146,7 @@ impl Database {
             sink.and_then(|mut ops| ops.pop()).expect("profiled execution yields a root operator");
         fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
         fsdm_obs::histogram!(fsdm_obs::catalog::STORE_EXEC_NS).record(root.elapsed_ns);
-        Ok((materialize(columns, rows), QueryProfile { root }))
+        Ok((materialize(columns, rows), QueryProfile::new(root)))
     }
 
     /// Recursive entry point of the volcano executor. When `prof` carries
@@ -173,6 +188,13 @@ impl Database {
                     .get(table)
                     .ok_or_else(|| StoreError::new(format!("no table {table}")))?;
                 let names = t.scan_column_names();
+                // constant-false scan (the dead-path pruning rewrite):
+                // nothing can qualify, so skip the row loop entirely
+                if let Some(Expr::Lit(d)) = filter {
+                    if !matches!(d, Datum::Bool(true)) {
+                        return Ok((names, Vec::new()));
+                    }
+                }
                 let build_row = |i: usize, row: &Row| -> Result<Row, StoreError> {
                     // §5.2.2 transparent rewrite: substitute cached OSON
                     // bytes for text cells when the IMC is populated

@@ -8,21 +8,29 @@
 //! master-detail expansion. The original row-level filter is kept, so the
 //! rewrite never changes results — any document admitted by the exists
 //! probe still has its rows checked exactly.
+//!
+//! The second rewrite is the `fsdm-analyze` handshake (opt-in via
+//! [`Database::set_dead_path_pruning`]): a scan-filter conjunct probing a
+//! JSON path the table's DataGuide proves empty can never accept a row —
+//! `JSON_EXISTS` is false everywhere, and a comparison over `JSON_VALUE`
+//! only ever sees SQL NULL — so the scan collapses to a constant-false
+//! scan the executor answers without touching a single row.
 
 use fsdm_sqljson::json_table::{ColKind, ColumnDef, JsonTableDef, NestedDef};
 use fsdm_sqljson::parse_path;
-use fsdm_sqljson::path::{ArraySel, IndexExpr, Step};
+use fsdm_sqljson::path::{ArraySel, IndexExpr, JsonPath, Step};
 use fsdm_sqljson::Datum;
 
 use crate::database::Database;
 use crate::expr::{CmpOp, Expr};
 use crate::query::Query;
+use crate::schema::{ColType, ConstraintMode};
 
 /// Apply all rewrites bottom-up. `db` supplies schema information (scan
 /// widths) and view expansion.
 pub fn optimize(db: &Database, plan: Query) -> Query {
     let plan = map_children(db, plan);
-    match plan {
+    let plan = match plan {
         Query::Filter { input, pred } => match *input {
             // merge into the scan so the executor's vectorized path can
             // evaluate the predicate over IMC column vectors (§5.2.1)
@@ -36,7 +44,65 @@ pub fn optimize(db: &Database, plan: Query) -> Query {
             other => try_pushdown(db, other, pred),
         },
         other => other,
+    };
+    if db.dead_path_pruning() {
+        prune_dead_scan(db, plan)
+    } else {
+        plan
     }
+}
+
+/// The analyzer handshake: rewrite `Scan{filter}` to a constant-false
+/// scan when one of the filter's conjuncts is provably false against the
+/// table's DataGuide. Sound only when the guide covers every stored row,
+/// which is checked here (the insert pipeline maintains exactly that for
+/// `IsJsonWithDataGuide` columns).
+fn prune_dead_scan(db: &Database, plan: Query) -> Query {
+    let Query::Scan { table, filter: Some(pred) } = plan else { return plan };
+    let mut conjuncts = Vec::new();
+    split_and(&pred, &mut conjuncts);
+    if conjuncts.iter().any(|c| conjunct_provably_false(db, &table, c)) {
+        fsdm_obs::counter!(fsdm_obs::catalog::ANALYZE_PRUNE_DEAD_PREDICATES).inc();
+        Query::Scan { table, filter: Some(Expr::Lit(Datum::Bool(false))) }
+    } else {
+        Query::Scan { table, filter: Some(pred) }
+    }
+}
+
+/// A conjunct that cannot accept any row: `JSON_EXISTS` over a provably
+/// empty path, or a comparison where one operand is `JSON_VALUE` of a
+/// provably empty path (always SQL NULL, so the comparison is never
+/// true under three-valued logic).
+fn conjunct_provably_false(db: &Database, table: &str, c: &Expr) -> bool {
+    match c {
+        Expr::JsonExists { col, path, .. } => json_path_dead(db, table, *col, path),
+        Expr::Cmp(a, _, b) => operand_dead(db, table, a) || operand_dead(db, table, b),
+        _ => false,
+    }
+}
+
+fn operand_dead(db: &Database, table: &str, e: &Expr) -> bool {
+    match e {
+        Expr::JsonValue { col, path, .. } => json_path_dead(db, table, *col, path),
+        _ => false,
+    }
+}
+
+fn json_path_dead(db: &Database, table: &str, col: usize, path: &JsonPath) -> bool {
+    let Some(t) = db.table(table) else { return false };
+    let Some(spec) = t.schema.columns.get(col) else { return false };
+    if spec.constraint != ConstraintMode::IsJsonWithDataGuide
+        || !matches!(spec.ty, ColType::Json(_))
+    {
+        return false;
+    }
+    // full coverage check: every stored row contributed to the guide
+    // (a second guided JSON column would overcount and disable pruning,
+    // which errs on the safe side)
+    if t.dataguide.doc_count != t.rows.len() as u64 {
+        return false;
+    }
+    fsdm_analyze::path_provably_empty(&t.dataguide, path)
 }
 
 fn map_children(db: &Database, plan: Query) -> Query {
@@ -390,6 +456,90 @@ mod tests {
                 other => panic!("expected JsonTable, got {other:?}"),
             },
             other => panic!("expected Filter kept on top, got {other:?}"),
+        }
+    }
+
+    fn guided_db() -> Database {
+        use crate::jsonaccess::JsonStorage;
+        use crate::schema::{ColType, ColumnSpec, TableSchema};
+        use crate::table::{InsertValue, Table};
+        let mut t = Table::new(TableSchema::new(
+            "po",
+            vec![
+                ColumnSpec::new("did", ColType::Number),
+                ColumnSpec::json("jdoc", JsonStorage::Oson, ConstraintMode::IsJsonWithDataGuide),
+            ],
+        ));
+        for i in 0..3i64 {
+            t.insert(vec![i.into(), InsertValue::Json(format!(r#"{{"price":{i}}}"#))]).unwrap();
+        }
+        let mut db = Database::new();
+        db.add_table(t);
+        db
+    }
+
+    #[test]
+    fn dead_json_exists_prunes_only_when_opted_in() {
+        let dead =
+            || Query::scan("po").filter(Expr::json_exists(1, parse_path("$.persno").unwrap()));
+        let mut db = guided_db();
+        // off by default: the filter merges into the scan but stays live
+        let plan = optimize(&db, dead());
+        match &plan {
+            Query::Scan { filter: Some(f), .. } => {
+                assert!(format!("{f:?}").contains("JSON_EXISTS"), "{f:?}");
+            }
+            other => panic!("expected merged scan, got {other:?}"),
+        }
+        db.set_dead_path_pruning(true);
+        let plan = optimize(&db, dead());
+        assert!(
+            matches!(&plan, Query::Scan { filter: Some(Expr::Lit(Datum::Bool(false))), .. }),
+            "{plan:?}"
+        );
+        // the rewrite is visible in EXPLAIN renderings, and execution
+        // still returns the (empty) result the live filter would
+        assert!(plan.render().contains("filter=false"), "{}", plan.render());
+        assert!(db.execute(&dead()).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn dead_json_value_comparison_prunes() {
+        let mut db = guided_db();
+        db.set_dead_path_pruning(true);
+        let dead = Query::scan("po").filter(Expr::cmp(
+            Expr::json_value(1, parse_path("$.persno").unwrap(), SqlType::Number),
+            CmpOp::Eq,
+            Expr::Lit(Datum::from(7i64)),
+        ));
+        let plan = optimize(&db, dead);
+        assert!(
+            matches!(&plan, Query::Scan { filter: Some(Expr::Lit(Datum::Bool(false))), .. }),
+            "{plan:?}"
+        );
+    }
+
+    #[test]
+    fn live_paths_and_unguided_tables_never_prune() {
+        let mut db = guided_db();
+        db.set_dead_path_pruning(true);
+        // live path: the guide has seen `price`
+        let live = Query::scan("po").filter(Expr::json_exists(1, parse_path("$.price").unwrap()));
+        match optimize(&db, live) {
+            Query::Scan { filter: Some(f), .. } => {
+                assert!(format!("{f:?}").contains("JSON_EXISTS"), "{f:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // unguided table (plain IS JSON): no proof available, no rewrite
+        let mut db = po_db();
+        db.set_dead_path_pruning(true);
+        let dead = Query::scan("po").filter(Expr::json_exists(1, parse_path("$.zz").unwrap()));
+        match optimize(&db, dead) {
+            Query::Scan { filter: Some(f), .. } => {
+                assert!(format!("{f:?}").contains("JSON_EXISTS"), "{f:?}");
+            }
+            other => panic!("{other:?}"),
         }
     }
 

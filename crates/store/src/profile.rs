@@ -8,6 +8,8 @@
 
 use std::fmt::Write as _;
 
+use fsdm_analyze::Diagnostic;
+
 /// One operator's measurements. `elapsed_ns` is *inclusive* of children,
 /// matching the "actual time" convention of `EXPLAIN ANALYZE`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,9 +30,17 @@ pub struct OpProfile {
 pub struct QueryProfile {
     /// The root operator (its `elapsed_ns` is the whole query's time).
     pub root: OpProfile,
+    /// Prepare-time semantic findings (`fsdm-analyze` FA codes) for the
+    /// statement this profile measures. Empty when the executing surface
+    /// has no analyzer hook (plan-level execution) or found nothing.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl QueryProfile {
+    /// Wrap a measured operator tree with no diagnostics attached.
+    pub fn new(root: OpProfile) -> QueryProfile {
+        QueryProfile { root, diagnostics: Vec::new() }
+    }
     /// Total inclusive wall time of the query in nanoseconds.
     pub fn elapsed_ns(&self) -> u64 {
         self.root.elapsed_ns
@@ -85,6 +95,14 @@ impl QueryProfile {
         }
         let mut out = String::new();
         walk(&self.root, 0, &mut out);
+        if !self.diagnostics.is_empty() {
+            out.push_str("diagnostics:\n");
+            for d in &self.diagnostics {
+                for line in d.to_string().lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
         out
     }
 }
@@ -94,19 +112,17 @@ mod tests {
     use super::*;
 
     fn sample() -> QueryProfile {
-        QueryProfile {
-            root: OpProfile {
-                op: "Project".into(),
-                rows_out: 2,
-                elapsed_ns: 2_000_000,
-                children: vec![OpProfile {
-                    op: "Scan(po)".into(),
-                    rows_out: 3,
-                    elapsed_ns: 1_500_000,
-                    children: vec![],
-                }],
-            },
-        }
+        QueryProfile::new(OpProfile {
+            op: "Project".into(),
+            rows_out: 2,
+            elapsed_ns: 2_000_000,
+            children: vec![OpProfile {
+                op: "Scan(po)".into(),
+                rows_out: 3,
+                elapsed_ns: 1_500_000,
+                children: vec![],
+            }],
+        })
     }
 
     #[test]
@@ -124,5 +140,22 @@ mod tests {
         let text = sample().render();
         assert!(text.contains("Project  rows=2"));
         assert!(text.contains("\n  Scan(po)  rows=3"), "{text}");
+        assert!(!text.contains("diagnostics:"), "no findings, no section: {text}");
+    }
+
+    #[test]
+    fn render_appends_diagnostics() {
+        use fsdm_analyze::Code;
+        use fsdm_sqljson::Span;
+        let mut p = sample();
+        p.diagnostics.push(Diagnostic::new(
+            Code::UnknownPath,
+            Span::new(1, 8),
+            "$.persno",
+            "no ingested document has field `persno`".to_string(),
+        ));
+        let text = p.render();
+        assert!(text.contains("diagnostics:"), "{text}");
+        assert!(text.contains("FA001 error [unknown-path]"), "{text}");
     }
 }

@@ -204,6 +204,64 @@ impl Query {
     pub fn limit(self, n: usize) -> Query {
         Query::Limit { input: Box::new(self), n }
     }
+
+    /// Indented plan-tree rendering (the `EXPLAIN` surface — also used to
+    /// show the optimizer's before/after shapes): one operator per line,
+    /// predicates and expressions in their `Debug` form.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        fn walk(q: &Query, depth: usize, out: &mut String) {
+            let _ = write!(out, "{:indent$}", "", indent = depth * 2);
+            let _ = match q {
+                Query::Scan { table, filter } => match filter {
+                    Some(f) => writeln!(out, "Scan({table}) filter={f:?}"),
+                    None => writeln!(out, "Scan({table})"),
+                },
+                Query::ViewScan { view } => writeln!(out, "ViewScan({view})"),
+                Query::Filter { pred, .. } => writeln!(out, "Filter pred={pred:?}"),
+                Query::Project { exprs, .. } => {
+                    let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
+                    writeln!(out, "Project [{}]", names.join(", "))
+                }
+                Query::JsonTable { json_col, def, .. } => {
+                    writeln!(out, "JsonTable(col#{json_col}, '{}')", def.row_path.text())
+                }
+                Query::HashJoin { left_key, right_key, .. } => {
+                    writeln!(out, "HashJoin(left#{left_key} = right#{right_key})")
+                }
+                Query::GroupBy { keys, aggs, .. } => {
+                    let names: Vec<&str> = keys
+                        .iter()
+                        .map(|(n, _)| n.as_str())
+                        .chain(aggs.iter().map(|a| a.name.as_str()))
+                        .collect();
+                    writeln!(out, "GroupBy [{}]", names.join(", "))
+                }
+                Query::Sort { keys, .. } => writeln!(out, "Sort ({} keys)", keys.len()),
+                Query::Window { name, .. } => writeln!(out, "Window({name})"),
+                Query::Limit { n, .. } => writeln!(out, "Limit({n})"),
+                Query::Sample { pct, .. } => writeln!(out, "Sample({pct})"),
+            };
+            match q {
+                Query::Filter { input, .. }
+                | Query::Project { input, .. }
+                | Query::JsonTable { input, .. }
+                | Query::GroupBy { input, .. }
+                | Query::Sort { input, .. }
+                | Query::Window { input, .. }
+                | Query::Limit { input, .. }
+                | Query::Sample { input, .. } => walk(input, depth + 1, out),
+                Query::HashJoin { left, right, .. } => {
+                    walk(left, depth + 1, out);
+                    walk(right, depth + 1, out);
+                }
+                Query::Scan { .. } | Query::ViewScan { .. } => {}
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
 }
 
 impl AggSpec {

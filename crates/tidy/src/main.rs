@@ -98,21 +98,25 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// The catalog-integrity rule: every metric name in
-/// `crates/obs/src/catalog.rs` must be declared exactly once and listed
-/// in the `ALL` inventory.
+/// `crates/obs/src/catalog.rs` must be declared exactly once, the
+/// declarations must be sorted by metric name, and the `ALL` inventory
+/// must list exactly the declared constants in declaration order.
 fn check_catalog(root: &Path) -> Vec<Finding> {
     let rel = "crates/obs/src/catalog.rs";
-    let mut out = Vec::new();
     let Ok(text) = fs::read_to_string(root.join(rel)) else {
-        out.push(Finding {
+        return vec![Finding {
             file: rel.to_string(),
             line: 1,
             rule: "catalog",
             message: "metric catalog file is missing".to_string(),
             fixable: false,
-        });
-        return out;
+        }];
     };
+    check_catalog_text(rel, &text)
+}
+
+fn check_catalog_text(rel: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
     let mut consts: Vec<(usize, String, String)> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let Some(rest) = line.trim_start().strip_prefix("pub const ") else { continue };
@@ -121,6 +125,14 @@ fn check_catalog(root: &Path) -> Vec<Finding> {
         let Some((value, _)) = value.split_once('"') else { continue };
         consts.push((i + 1, name.trim().to_string(), value.to_string()));
     }
+    let all_entries: Vec<String> = text
+        .split_once("pub const ALL")
+        .and_then(|(_, after)| after.split_once("= &["))
+        .and_then(|(_, after)| after.split_once("];"))
+        .map(|(body, _)| {
+            body.split(',').map(str::trim).filter(|e| !e.is_empty()).map(String::from).collect()
+        })
+        .unwrap_or_default();
     for (i, (line, name, value)) in consts.iter().enumerate() {
         if consts.iter().take(i).any(|(_, _, earlier)| earlier == value) {
             out.push(Finding {
@@ -131,12 +143,7 @@ fn check_catalog(root: &Path) -> Vec<Finding> {
                 fixable: false,
             });
         }
-        let in_all = text
-            .split_once("pub const ALL")
-            .and_then(|(_, after)| after.split_once("= &["))
-            .and_then(|(_, after)| after.split_once("];"))
-            .is_some_and(|(body, _)| body.split(',').any(|entry| entry.trim() == name));
-        if !in_all {
+        if !all_entries.iter().any(|entry| entry == name) {
             out.push(Finding {
                 file: rel.to_string(),
                 line: *line,
@@ -145,6 +152,49 @@ fn check_catalog(root: &Path) -> Vec<Finding> {
                 fixable: false,
             });
         }
+    }
+    for pair in consts.windows(2) {
+        let (Some((_, _, before)), Some((line, _, after))) = (pair.first(), pair.get(1)) else {
+            continue;
+        };
+        if before >= after {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: *line,
+                rule: "catalog",
+                message: format!(
+                    "declarations must stay sorted by metric name; \
+                     \"{after}\" is listed after \"{before}\""
+                ),
+                fixable: false,
+            });
+        }
+    }
+    // ALL must mirror the declarations: no strays, same order
+    let declared: Vec<&String> = consts.iter().map(|(_, name, _)| name).collect();
+    for entry in &all_entries {
+        if !declared.contains(&entry) {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: 1,
+                rule: "catalog",
+                message: format!("{entry} is listed in ALL but never declared"),
+                fixable: false,
+            });
+        }
+    }
+    let in_both: Vec<&String> =
+        all_entries.iter().filter(|entry| declared.contains(entry)).collect();
+    let declared_in_all: Vec<&String> =
+        declared.iter().copied().filter(|name| all_entries.contains(name)).collect();
+    if in_both != declared_in_all {
+        out.push(Finding {
+            file: rel.to_string(),
+            line: 1,
+            rule: "catalog",
+            message: "the ALL inventory must list constants in declaration order".to_string(),
+            fixable: false,
+        });
     }
     out
 }
@@ -317,5 +367,53 @@ mod tests {
     #[test]
     fn catalog_is_consistent() {
         assert!(check_catalog(&find_repo_root()).is_empty());
+    }
+
+    fn catalog(consts: &[(&str, &str)], all: &[&str]) -> String {
+        let mut text = String::new();
+        for (name, value) in consts {
+            text.push_str(&format!("pub const {name}: &str = \"{value}\";\n"));
+        }
+        text.push_str("pub const ALL: &[&str] = &[\n");
+        for name in all {
+            text.push_str(&format!("    {name},\n"));
+        }
+        text.push_str("];\n");
+        text
+    }
+
+    fn catalog_messages(text: &str) -> Vec<String> {
+        check_catalog_text("catalog.rs", text).into_iter().map(|f| f.message).collect()
+    }
+
+    #[test]
+    fn catalog_accepts_sorted_and_mirrored() {
+        let text = catalog(&[("A", "a.x"), ("B", "b.y")], &["A", "B"]);
+        assert!(catalog_messages(&text).is_empty());
+    }
+
+    #[test]
+    fn catalog_flags_duplicates_and_missing() {
+        let text = catalog(&[("A", "a.x"), ("B", "a.x")], &["A"]);
+        let msgs = catalog_messages(&text);
+        assert!(msgs.iter().any(|m| m.contains("more than once")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("B is missing")), "{msgs:?}");
+    }
+
+    #[test]
+    fn catalog_flags_unsorted_declarations() {
+        let text = catalog(&[("B", "b.y"), ("A", "a.x")], &["B", "A"]);
+        let msgs = catalog_messages(&text);
+        assert!(msgs.iter().any(|m| m.contains("sorted by metric name")), "{msgs:?}");
+    }
+
+    #[test]
+    fn catalog_flags_stray_and_misordered_all_entries() {
+        let stray = catalog(&[("A", "a.x"), ("B", "b.y")], &["A", "B", "C"]);
+        let msgs = catalog_messages(&stray);
+        assert!(msgs.iter().any(|m| m.contains("never declared")), "{msgs:?}");
+        let misordered = catalog(&[("A", "a.x"), ("B", "b.y")], &["B", "A"]);
+        let msgs = catalog_messages(&misordered);
+        assert!(msgs.iter().any(|m| m.contains("declaration order")), "{msgs:?}");
     }
 }

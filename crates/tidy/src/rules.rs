@@ -3,8 +3,10 @@
 //! Rules are scoped by repo-relative path. The hot-path decode/navigation
 //! files must stay panic-free (`no-panic`, `no-index`), the OSON/BSON wire
 //! arithmetic must use checked conversions (`no-as-int`), metric names
-//! must come from `fsdm_obs::catalog` (`metric-literal`), and every file
-//! observes basic hygiene (`tab`, `trailing-whitespace`, `todo`).
+//! must come from `fsdm_obs::catalog` (`metric-literal`), debugging
+//! scaffold must not ship anywhere (`no-debug`: `dbg!` and `todo!`
+//! workspace-wide), and every file observes basic hygiene (`tab`,
+//! `trailing-whitespace`, `todo`).
 //!
 //! A finding can be suppressed with an annotation on the same line or the
 //! line above:
@@ -96,6 +98,7 @@ pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
             continue;
         }
         let masked = scan.masked(line);
+        no_debug(rel, hot, line, &masked, &mut raw);
         if hot {
             no_panic(rel, line, &masked, &mut raw);
             no_index(rel, line, &masked, &mut raw);
@@ -231,6 +234,26 @@ fn no_panic(rel: &str, line: usize, masked: &str, out: &mut Vec<Finding>) {
                     "`{word}` can panic; hot-path decode code must return errors \
                      or use a total fallback"
                 ),
+                fixable: false,
+            });
+        }
+    }
+}
+
+fn no_debug(rel: &str, hot: bool, line: usize, masked: &str, out: &mut Vec<Finding>) {
+    for (_, end, word) in idents(masked) {
+        let flagged = match word.as_str() {
+            "dbg" => next_non_ws(masked, end) == Some('!'),
+            // hot files already get the stricter `no-panic` report for `todo!`
+            "todo" if !hot => next_non_ws(masked, end) == Some('!'),
+            _ => false,
+        };
+        if flagged {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "no-debug",
+                message: format!("`{word}!` must not ship; remove the debugging scaffold"),
                 fixable: false,
             });
         }
@@ -479,6 +502,29 @@ mod tests {
         assert!(run("crates/obs/src/lib.rs", src).is_empty(), "obs itself is exempt");
         let ok = "fn f() {\n    fsdm_obs::counter!(fsdm_obs::catalog::X).inc();\n}\n";
         assert!(run(COLD, ok).is_empty());
+    }
+
+    #[test]
+    fn flags_dbg_and_todo_everywhere() {
+        let src = "fn f(x: u8) -> u8 {\n    dbg!(x);\n    todo!()\n}\n";
+        assert_eq!(rules(&run(COLD, src)), vec!["no-debug", "no-debug"]);
+        // in hot files `todo!` is already a no-panic finding; only `dbg!`
+        // surfaces as no-debug, so nothing is double-reported
+        let hot = run(HOT, src);
+        assert_eq!(rules(&hot), vec!["no-debug", "no-panic"]);
+        assert_eq!(hot[0].line, 2, "the dbg! call: {hot:?}");
+    }
+
+    #[test]
+    fn debug_prose_and_tests_do_not_fire() {
+        let prose = "// a dbg! here would be noisy, todo! would not compile\nfn f() {}\n";
+        assert!(run(COLD, prose).is_empty());
+        let test = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                    dbg!(1);\n    }\n}\n";
+        assert!(run(COLD, test).is_empty(), "test code is exempt");
+        let names = "fn dbg_mode() -> bool {\n    todo_list()\n}\nfn todo_list() -> bool \
+                     {\n    false\n}\n";
+        assert!(run(COLD, names).is_empty(), "identifiers without `!` are fine");
     }
 
     #[test]

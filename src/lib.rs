@@ -7,6 +7,8 @@
 
 pub use fsdm_core::*;
 
+/// Semantic static analysis of SQL/JSON queries (FA001–FA007).
+pub use fsdm_analyze as analyze;
 /// BSON baseline codec.
 pub use fsdm_bson as bson;
 /// The JSON DataGuide.
