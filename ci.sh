@@ -12,11 +12,20 @@ export CARGO_NET_OFFLINE=true
 echo "== build (release) =="
 cargo build --release
 
-echo "== tests (tier-1: root package) =="
-cargo test -q
+echo "== tests (tier-1: root package, serial executor) =="
+FSDM_THREADS=1 cargo test -q
 
-echo "== tests (full workspace) =="
-cargo test --workspace -q
+echo "== tests (tier-1: root package, 4-way parallel executor) =="
+FSDM_THREADS=4 cargo test -q
+
+echo "== tests (full workspace, serial executor) =="
+FSDM_THREADS=1 cargo test --workspace -q
+
+echo "== tests (full workspace, 4-way parallel executor) =="
+FSDM_THREADS=4 cargo test --workspace -q
+
+echo "== bench concurrency smoke (4-thread wall <= 1.1x 1-thread) =="
+cargo run --release -p fsdm-bench --bin bench -- concurrency --scale small --smoke
 
 echo "== fsdm-tidy (repo-native static analysis) =="
 cargo run --release -p fsdm-tidy

@@ -1,0 +1,82 @@
+//! `bench`: micro-benchmark entry points that do not belong in the
+//! paper-reproduction `repro` binary.
+//!
+//! ```text
+//! bench concurrency [--scale small|N] [--threads a,b,c] [--reps N] [--smoke]
+//! ```
+//!
+//! `concurrency` measures NOBENCH throughput vs thread count over one
+//! shared corpus (see `fsdm_bench::concurrency`). `--smoke` is the CI
+//! mode: it exits non-zero if the 4-thread full-set wall time is more
+//! than 10% slower than 1-thread — parallelism must never cost a
+//! workload meaningful time, even at small scales where it cannot win.
+
+use fsdm_bench::concurrency;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("concurrency") => run_concurrency(&args),
+        other => {
+            eprintln!("unknown command {other:?}; supported: concurrency");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+fn run_concurrency(args: &[String]) {
+    let scale = match flag_value(args, "--scale") {
+        Some("small") => 2_000,
+        Some(s) => s.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--scale expects `small` or a document count, got {s}");
+            std::process::exit(2);
+        }),
+        None => 20_000,
+    };
+    let threads: Vec<usize> = match flag_value(args, "--threads") {
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim().parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("--threads expects a comma-separated list, got {list}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => vec![1, 2, 4],
+    };
+    let reps = flag_value(args, "--reps").and_then(|s| s.parse::<usize>().ok()).unwrap_or(3);
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let rows = concurrency::run(scale, &threads, 1, reps);
+    print!("{}", concurrency::render(scale, &rows));
+
+    if smoke {
+        let (Some(one), Some(four)) =
+            (rows.iter().find(|r| r.threads == 1), rows.iter().find(|r| r.threads == 4))
+        else {
+            eprintln!("--smoke needs both 1 and 4 in --threads");
+            std::process::exit(2);
+        };
+        let t1 = one.total().as_secs_f64();
+        let t4 = four.total().as_secs_f64();
+        if t4 > t1 * 1.1 {
+            eprintln!(
+                "SMOKE FAIL: 4-thread NOBENCH wall {:.1}ms exceeds 1.1x the \
+                 1-thread wall {:.1}ms",
+                t4 * 1e3,
+                t1 * 1e3
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke ok: 4-thread wall {:.1}ms <= 1.1x 1-thread wall {:.1}ms",
+            t4 * 1e3,
+            t1 * 1e3
+        );
+    }
+}

@@ -17,6 +17,10 @@
 //! Absolute numbers depend on the host; what must match the paper is the
 //! *shape* — who wins, by roughly what factor (see EXPERIMENTS.md).
 //!
+//! `--threads N` pins the parallel executor's degree for every
+//! experiment (equivalent to running with `FSDM_THREADS=N`); without it
+//! the degree defaults to the machine's available parallelism.
+//!
 //! Every run finishes by printing the engine-wide metrics snapshot
 //! (`oson.*`, `sqljson.*`, `dataguide.*`, `index.*`, `store.*` — see
 //! README's Observability section) and writing it as JSON to
@@ -31,6 +35,17 @@ use fsdm_bench::setup::StorageMethod;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // --threads N pins the executor degree for every experiment in this
+    // run. It must happen before any query executes: the process-wide
+    // default is resolved once, from FSDM_THREADS, on first use.
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        std::env::set_var("FSDM_THREADS", n.to_string());
+    }
     let cmd = match args.first().map(|s| s.as_str()) {
         // a leading flag means "everything, with options"
         Some(s) if s.starts_with("--") => "all",

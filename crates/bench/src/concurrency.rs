@@ -1,0 +1,144 @@
+//! `bench concurrency`: NOBENCH throughput vs thread count.
+//!
+//! The paper's performance story assumes a parallel engine driving tight
+//! loops over many cores; this runner measures how the morsel-driven
+//! executor actually scales. It builds the NOBENCH corpus once, plans
+//! Q1–Q10 through the SQL front end (Q5 with its bind) plus the Q11
+//! plan-level join, then re-runs the *same plans* at each requested
+//! degree via [`Database::set_parallelism`]. Results are byte-identical
+//! at every degree (the identity test in `tests/parallel_identity.rs`
+//! asserts it); only wall-clock time may change.
+//!
+//! [`Database::set_parallelism`]: fsdm_store::Database::set_parallelism
+
+use std::time::Duration;
+
+use fsdm_sql::Session;
+use fsdm_store::Query;
+
+use crate::setup::{nobench_db, nobench_q11_plan, nobench_q5_bind};
+
+/// Best-of-`reps` wall time for one query at one degree.
+pub struct QueryTiming {
+    /// Query label (`Q1` … `Q11`).
+    pub label: String,
+    /// Best observed wall time.
+    pub best: Duration,
+}
+
+/// All query timings at one thread count.
+pub struct ConcurrencyRow {
+    /// The degree the database was pinned to.
+    pub threads: usize,
+    /// Per-query best times, in workload order Q1–Q11.
+    pub per_query: Vec<QueryTiming>,
+}
+
+impl ConcurrencyRow {
+    /// Summed best wall time across all queries.
+    pub fn total(&self) -> Duration {
+        self.per_query.iter().map(|q| q.best).sum()
+    }
+
+    /// Summed best wall time of the scan-heavy subset Q1–Q3 (the
+    /// acceptance target: ≥ 2× throughput at 4 threads vs 1).
+    pub fn scan_heavy(&self) -> Duration {
+        self.per_query
+            .iter()
+            .filter(|q| matches!(q.label.as_str(), "Q1" | "Q2" | "Q3"))
+            .map(|q| q.best)
+            .sum()
+    }
+}
+
+/// Plan the full NOBENCH query set against an existing session.
+pub fn nobench_plans(session: &Session, n: usize) -> Vec<(String, Query)> {
+    let mut plans = Vec::new();
+    for q in 1..=10 {
+        let sql = fsdm_workloads::nobench::query_sql(q, n);
+        let binds = if q == 5 { vec![nobench_q5_bind(n)] } else { vec![] };
+        let plan = session.plan(&sql, &binds).expect("NOBENCH query plans");
+        plans.push((format!("Q{q}"), plan));
+    }
+    plans.push(("Q11".to_string(), nobench_q11_plan(n, false)));
+    plans
+}
+
+/// Run the NOBENCH set at each thread count over one shared corpus of
+/// `scale` documents. `warmup`/`reps` feed [`crate::time_best`].
+pub fn run(scale: usize, threads: &[usize], warmup: usize, reps: usize) -> Vec<ConcurrencyRow> {
+    let mut session = nobench_db(scale);
+    let plans = nobench_plans(&session, scale);
+    let mut rows = Vec::new();
+    for &t in threads {
+        session.db.set_parallelism(t);
+        let mut per_query = Vec::with_capacity(plans.len());
+        for (label, plan) in &plans {
+            let best = crate::time_best(
+                || {
+                    session.db.execute(plan).expect("NOBENCH query executes");
+                },
+                warmup,
+                reps,
+            );
+            per_query.push(QueryTiming { label: label.clone(), best });
+        }
+        rows.push(ConcurrencyRow { threads: t, per_query });
+    }
+    rows
+}
+
+/// Table rendering: one row per thread count with per-query ms, the
+/// Q1–Q3 scan-heavy subtotal, the full-set wall time, and queries/sec.
+pub fn render(scale: usize, rows: &[ConcurrencyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== bench concurrency: NOBENCH (n = {scale}) ==");
+    let mut header = format!("{:<8}", "threads");
+    if let Some(first) = rows.first() {
+        for q in &first.per_query {
+            let _ = write!(header, " {:>8}", q.label);
+        }
+    }
+    let _ = writeln!(out, "{header} {:>9} {:>9} {:>8}", "Q1-3", "total", "q/s");
+    for row in rows {
+        let mut line = format!("{:<8}", row.threads);
+        for q in &row.per_query {
+            let _ = write!(line, " {:>8}", crate::ms(q.best));
+        }
+        let total = row.total();
+        let qps = row.per_query.len() as f64 / total.as_secs_f64().max(1e-9);
+        let _ = writeln!(
+            out,
+            "{line} {:>9} {:>9} {:>8.1}",
+            crate::ms(row.scan_heavy()),
+            crate::ms(total),
+            qps
+        );
+    }
+    if let (Some(one), Some(four)) =
+        (rows.iter().find(|r| r.threads == 1), rows.iter().find(|r| r.threads == 4))
+    {
+        let speedup = one.scan_heavy().as_secs_f64() / four.scan_heavy().as_secs_f64().max(1e-9);
+        let _ = writeln!(out, "Q1-3 speedup 4t vs 1t: {speedup:.2}x");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_report_subtotals_and_render() {
+        let rows = run(120, &[1, 2], 0, 1);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.per_query.len(), 11, "Q1..Q11");
+            assert!(r.scan_heavy() <= r.total());
+        }
+        let text = render(120, &rows);
+        assert!(text.contains("threads"), "{text}");
+        assert!(text.contains("Q11"), "{text}");
+    }
+}

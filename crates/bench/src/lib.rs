@@ -2,6 +2,7 @@
 //! setup for each experiment, view registration per storage method, and
 //! the experiment runners that regenerate the paper's tables and figures.
 
+pub mod concurrency;
 pub mod experiments;
 pub mod lint;
 pub mod setup;

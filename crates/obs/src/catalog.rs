@@ -39,6 +39,20 @@ pub const DATAGUIDE_INSERT_UNCHANGED: &str = "dataguide.insert.unchanged";
 /// Distinct paths currently known to the DataGuide (gauge).
 pub const DATAGUIDE_PATHS: &str = "dataguide.paths";
 
+// --- exec ---------------------------------------------------------------
+
+/// Parallel degree the executor resolved for the last query (gauge).
+pub const EXEC_DEGREE: &str = "exec.degree.configured";
+/// Morsels dispatched across all parallel pipelines (counter).
+pub const EXEC_MORSEL_COUNT: &str = "exec.morsel.count";
+/// Per-morsel execution time in nanoseconds (histogram).
+pub const EXEC_MORSEL_NS: &str = "exec.morsel.ns";
+/// Rows covered by each dispatched morsel (histogram).
+pub const EXEC_MORSEL_ROWS: &str = "exec.morsel.rows";
+/// Per-worker busy time in nanoseconds across a parallel pipeline
+/// (histogram).
+pub const EXEC_WORKER_BUSY_NS: &str = "exec.worker.busy_ns";
+
 // --- index --------------------------------------------------------------
 
 /// Documents added to the inverted index (counter).
@@ -116,6 +130,11 @@ pub const ALL: &[&str] = &[
     DATAGUIDE_INSERT_CHANGED,
     DATAGUIDE_INSERT_UNCHANGED,
     DATAGUIDE_PATHS,
+    EXEC_DEGREE,
+    EXEC_MORSEL_COUNT,
+    EXEC_MORSEL_NS,
+    EXEC_MORSEL_ROWS,
+    EXEC_WORKER_BUSY_NS,
     INDEX_INSERT_DOCS,
     INDEX_LOOKUP_PATH,
     INDEX_LOOKUP_TEXT,

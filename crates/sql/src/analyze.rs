@@ -165,7 +165,7 @@ fn config_for(table: &Table, col: usize) -> AnalyzerConfig {
     for vc in &table.virtual_columns {
         if let Expr::JsonValue { col: c, path, .. } = &vc.expr {
             if *c == col {
-                if let Some(n) = normalized_field_path(path) {
+                if let Some(n) = normalized_field_path(path.as_ref()) {
                     materialized_vc_paths.insert(n);
                 }
             }

@@ -38,6 +38,14 @@ impl Session {
         Session { db }
     }
 
+    /// Pin the executor's parallel degree for every statement this
+    /// session runs (see [`Database::set_parallelism`]); `1` forces
+    /// strictly serial execution. Results are byte-identical at any
+    /// degree — only wall-clock time changes.
+    pub fn set_parallelism(&mut self, degree: usize) {
+        self.db.set_parallelism(degree);
+    }
+
     /// Parse and execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         self.execute_with(sql, &[])

@@ -1,12 +1,20 @@
-//! The database: named tables, registered views, and the volcano-style
-//! executor for [`Query`] plans.
+//! The database: named tables, registered views, and the morsel-driven
+//! parallel batch executor for [`Query`] plans.
+//!
+//! Every data-parallel operator (scan, filter, project, JSON_TABLE, the
+//! hash-join build/probe, group-by evaluation, sort/window key
+//! evaluation) runs per-morsel on scoped workers (see
+//! [`crate::parallel`]); order-sensitive reassembly always happens in
+//! morsel-index order, so results are byte-identical at every degree —
+//! and `degree = 1` executes strictly serially on the calling thread.
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use fsdm_sqljson::Datum;
 
-use crate::expr::{AggFun, Expr};
+use crate::expr::{AggFun, EvalScratch, Expr};
+use crate::parallel::{default_degree, run_morsels, ExecContext, ParStats, DEFAULT_MORSEL_ROWS};
 use crate::profile::{OpProfile, QueryProfile};
 use crate::query::{AggSpec, Query, QueryResult, SortKey, WindowFun};
 use crate::table::{Cell, Row, StoreError, Table};
@@ -17,12 +25,51 @@ pub struct Database {
     tables: HashMap<String, Table>,
     views: HashMap<String, Query>,
     prune_dead_json_predicates: bool,
+    /// Configured parallel degree; 0 means "resolve the process default"
+    /// (`FSDM_THREADS`, else `available_parallelism`).
+    parallelism: usize,
+    /// Configured morsel size in rows; 0 means [`DEFAULT_MORSEL_ROWS`].
+    morsel_rows: usize,
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pin the executor's parallel degree for this database. `1` forces
+    /// strictly serial execution; values are clamped to at least 1. The
+    /// default (until this is called) comes from the `FSDM_THREADS`
+    /// environment variable, falling back to
+    /// [`std::thread::available_parallelism`].
+    pub fn set_parallelism(&mut self, degree: usize) {
+        self.parallelism = degree.max(1);
+    }
+
+    /// The effective parallel degree queries will run with.
+    pub fn parallelism(&self) -> usize {
+        if self.parallelism == 0 {
+            default_degree()
+        } else {
+            self.parallelism
+        }
+    }
+
+    /// Override the morsel size in rows (mainly for tests and benchmarks;
+    /// results are identical for any morsel size — only scheduling
+    /// granularity changes). Clamped to at least 1.
+    pub fn set_morsel_rows(&mut self, rows: usize) {
+        self.morsel_rows = rows.max(1);
+    }
+
+    /// The execution context every operator of one query shares.
+    fn exec_context(&self, profile: bool) -> ExecContext {
+        ExecContext {
+            degree: self.parallelism(),
+            morsel_rows: if self.morsel_rows == 0 { DEFAULT_MORSEL_ROWS } else { self.morsel_rows },
+            profile,
+        }
     }
 
     /// Opt into the analyzer/optimizer handshake: scans whose filter
@@ -124,7 +171,9 @@ impl Database {
     /// by the ablation benchmark that measures the pushdown's effect.
     pub fn execute_unoptimized(&self, plan: &Query) -> Result<QueryResult, StoreError> {
         let start = Instant::now();
-        let (columns, rows) = self.exec(plan, &mut None)?;
+        let ctx = self.exec_context(false);
+        fsdm_obs::gauge!(fsdm_obs::catalog::EXEC_DEGREE).set(ctx.degree as i64);
+        let (columns, rows) = self.exec(plan, &mut None, &ctx)?;
         fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
         fsdm_obs::histogram!(fsdm_obs::catalog::STORE_EXEC_NS)
             .record(start.elapsed().as_nanos() as u64);
@@ -140,8 +189,10 @@ impl Database {
         plan: &Query,
     ) -> Result<(QueryResult, QueryProfile), StoreError> {
         let optimized = crate::optimizer::optimize(self, plan.clone());
+        let ctx = self.exec_context(true);
+        fsdm_obs::gauge!(fsdm_obs::catalog::EXEC_DEGREE).set(ctx.degree as i64);
         let mut sink = Some(Vec::new());
-        let (columns, rows) = self.exec(&optimized, &mut sink)?;
+        let (columns, rows) = self.exec(&optimized, &mut sink, &ctx)?;
         let root =
             sink.and_then(|mut ops| ops.pop()).expect("profiled execution yields a root operator");
         fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
@@ -158,17 +209,24 @@ impl Database {
         &self,
         plan: &Query,
         prof: &mut Option<Vec<OpProfile>>,
+        ctx: &ExecContext,
     ) -> Result<(Vec<String>, Vec<Row>), StoreError> {
         match prof {
-            None => self.exec_inner(plan, &mut None),
+            None => {
+                let mut stats = ParStats::default();
+                self.exec_inner(plan, &mut None, ctx, &mut stats)
+            }
             Some(sink) => {
                 let mut child_sink = Some(Vec::new());
+                let mut stats = ParStats::default();
                 let start = Instant::now();
-                let (names, rows) = self.exec_inner(plan, &mut child_sink)?;
+                let (names, rows) = self.exec_inner(plan, &mut child_sink, ctx, &mut stats)?;
                 sink.push(OpProfile {
                     op: op_label(plan),
                     rows_out: rows.len(),
                     elapsed_ns: start.elapsed().as_nanos() as u64,
+                    workers: stats.workers.max(1),
+                    morsels: stats.morsels,
                     children: child_sink.unwrap_or_default(),
                 });
                 Ok((names, rows))
@@ -180,6 +238,8 @@ impl Database {
         &self,
         plan: &Query,
         prof: &mut Option<Vec<OpProfile>>,
+        ctx: &ExecContext,
+        stats: &mut ParStats,
     ) -> Result<(Vec<String>, Vec<Row>), StoreError> {
         match plan {
             Query::Scan { table, filter } => {
@@ -195,153 +255,181 @@ impl Database {
                         return Ok((names, Vec::new()));
                     }
                 }
-                let build_row = |i: usize, row: &Row| -> Result<Row, StoreError> {
-                    // §5.2.2 transparent rewrite: substitute cached OSON
-                    // bytes for text cells when the IMC is populated
-                    let mut r = t.imc_row(row, Some(i));
-                    // virtual columns: from IMC vectors when materialized,
-                    // computed on the fly otherwise
-                    for (vi, vc) in t.virtual_columns.iter().enumerate() {
-                        let idx = t.schema.width() + vi;
-                        let cell = match t.imc.vectors.get(&idx) {
-                            Some(vector) => Cell::D(vector.get(i)),
-                            None => Cell::D(vc.expr.eval(&r)?),
-                        };
-                        r.push(cell);
-                    }
-                    Ok(r)
-                };
                 // columnar fast path (§5.2.1): a fully IMC-covered filter
-                // selects row ids over the typed vectors; only qualifying
-                // rows are materialized
+                // selects row ids over the typed vectors (serial — it is a
+                // tight loop over primitive columns); only qualifying rows
+                // are materialized, per-morsel over the selection vector
                 if let Some(pred) = filter {
                     if let Some(sel) = crate::imc::vectorized_selection(t, pred) {
-                        let mut out = Vec::with_capacity(sel.len());
-                        for i in sel {
-                            out.push(build_row(i, &t.rows[i])?);
-                        }
-                        return Ok((names, out));
+                        let chunks = run_morsels(ctx, sel.len(), stats, |range, scratch| {
+                            let mut out = Vec::with_capacity(range.len());
+                            for &i in &sel[range.start..range.end] {
+                                out.push(scan_row(t, i, &t.rows[i], scratch)?);
+                            }
+                            Ok(out)
+                        })?;
+                        return Ok((names, chunks.into_iter().flatten().collect()));
                     }
                 }
-                let mut out = Vec::with_capacity(t.rows.len());
-                for (i, row) in t.rows.iter().enumerate() {
-                    let r = build_row(i, row)?;
-                    if let Some(pred) = filter {
-                        if !pred.matches(&r)? {
-                            continue;
+                // heap path: materialize + filter per-morsel; morsel-order
+                // concatenation keeps row order identical to a serial scan
+                let chunks = run_morsels(ctx, t.rows.len(), stats, |range, scratch| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for i in range.start..range.end {
+                        let r = scan_row(t, i, &t.rows[i], scratch)?;
+                        if let Some(pred) = filter {
+                            if !pred.matches_with(&r, scratch)? {
+                                continue;
+                            }
                         }
+                        out.push(r);
                     }
-                    out.push(r);
-                }
-                Ok((names, out))
+                    Ok(out)
+                })?;
+                Ok((names, chunks.into_iter().flatten().collect()))
             }
             Query::ViewScan { view } => {
                 let plan = self
                     .views
                     .get(view)
                     .ok_or_else(|| StoreError::new(format!("no view {view}")))?;
-                self.exec(plan, prof)
+                self.exec(plan, prof, ctx)
             }
             Query::Filter { input, pred } => {
-                let (names, rows) = self.exec(input, prof)?;
-                let mut out = Vec::with_capacity(rows.len());
-                for r in rows {
-                    if pred.matches(&r)? {
-                        out.push(r);
-                    }
-                }
+                let (names, rows) = self.exec(input, prof, ctx)?;
+                // parallel predicate evaluation into per-morsel boolean
+                // masks; the move-filter over owned rows stays serial
+                let masks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+                    rows[range.start..range.end]
+                        .iter()
+                        .map(|r| pred.matches_with(r, scratch))
+                        .collect::<Result<Vec<bool>, _>>()
+                })?;
+                let keep: Vec<bool> = masks.into_iter().flatten().collect();
+                let out = rows.into_iter().zip(keep).filter_map(|(r, k)| k.then_some(r)).collect();
                 Ok((names, out))
             }
             Query::Project { input, exprs } => {
-                let (_, rows) = self.exec(input, prof)?;
+                let (_, rows) = self.exec(input, prof, ctx)?;
                 let names = exprs.iter().map(|(n, _)| n.clone()).collect();
-                let mut out = Vec::with_capacity(rows.len());
-                for r in rows {
-                    let mut o = Vec::with_capacity(exprs.len());
-                    for (_, e) in exprs {
-                        o.push(Cell::D(e.eval(&r)?));
+                let chunks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for r in &rows[range.start..range.end] {
+                        let mut o = Vec::with_capacity(exprs.len());
+                        for (_, e) in exprs {
+                            o.push(Cell::D(e.eval_with(r, scratch)?));
+                        }
+                        out.push(o);
                     }
-                    out.push(o);
-                }
-                Ok((names, out))
+                    Ok(out)
+                })?;
+                Ok((names, chunks.into_iter().flatten().collect()))
             }
             Query::JsonTable { input, json_col, def } => {
-                let (mut names, rows) = self.exec(input, prof)?;
+                let (mut names, rows) = self.exec(input, prof, ctx)?;
                 names.extend(def.column_names());
                 let width = def.width();
-                // one cursor for the whole scan: compiled paths and their
-                // §4.2.1 look-back caches persist across documents
-                let mut cursor = fsdm_sqljson::json_table::JsonTableCursor::new(def);
-                let mut out = Vec::new();
-                for r in rows {
-                    let jt_rows = match r.get(*json_col) {
-                        Some(Cell::J(j)) => j.json_table_rows_with(&mut cursor),
-                        _ => Vec::new(),
-                    };
-                    if jt_rows.is_empty() {
-                        let mut padded = r.clone();
-                        padded.extend(std::iter::repeat_n(Cell::D(Datum::Null), width));
-                        out.push(padded);
-                    } else {
-                        for jt in jt_rows {
-                            let mut combined = r.clone();
-                            combined.extend(jt.into_iter().map(Cell::D));
-                            out.push(combined);
-                        }
-                    }
-                }
-                Ok((names, out))
-            }
-            Query::HashJoin { left, right, left_key, right_key } => {
-                let (lnames, lrows) = self.exec(left, prof)?;
-                let (rnames, rrows) = self.exec(right, prof)?;
-                let mut names = lnames;
-                names.extend(rnames);
-                let mut build: HashMap<Datum, Vec<usize>> = HashMap::new();
-                for (i, r) in lrows.iter().enumerate() {
-                    if let Some(Cell::D(d)) = r.get(*left_key) {
-                        if !d.is_null() {
-                            build.entry(d.clone()).or_default().push(i);
-                        }
-                    }
-                }
-                let mut out = Vec::new();
-                for r in &rrows {
-                    if let Some(Cell::D(d)) = r.get(*right_key) {
-                        if let Some(matches) = build.get(d) {
-                            for &li in matches {
-                                let mut combined = lrows[li].clone();
-                                combined.extend(r.iter().cloned());
+                // one cursor per worker, held across all the documents that
+                // worker expands: compiled paths and their §4.2.1 look-back
+                // caches persist exactly as the old whole-scan cursor did
+                let chunks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+                    let mut out = Vec::new();
+                    for r in &rows[range.start..range.end] {
+                        let jt_rows = match r.get(*json_col) {
+                            Some(Cell::J(j)) => j.json_table_rows_with(scratch.cursor(def)),
+                            _ => Vec::new(),
+                        };
+                        if jt_rows.is_empty() {
+                            let mut padded = r.clone();
+                            padded.extend(std::iter::repeat_n(Cell::D(Datum::Null), width));
+                            out.push(padded);
+                        } else {
+                            for jt in jt_rows {
+                                let mut combined = r.clone();
+                                combined.extend(jt.into_iter().map(Cell::D));
                                 out.push(combined);
                             }
                         }
                     }
+                    Ok(out)
+                })?;
+                Ok((names, chunks.into_iter().flatten().collect()))
+            }
+            Query::HashJoin { left, right, left_key, right_key } => {
+                let (lnames, lrows) = self.exec(left, prof, ctx)?;
+                let (rnames, rrows) = self.exec(right, prof, ctx)?;
+                let mut names = lnames;
+                names.extend(rnames);
+                // build: per-morsel partial tables merged at a barrier in
+                // morsel order. Each partial holds ascending, disjoint row
+                // ids, so per-key concatenation reproduces the serial
+                // insertion order exactly.
+                let partials = run_morsels(ctx, lrows.len(), stats, |range, _| {
+                    let mut m: HashMap<Datum, Vec<usize>> = HashMap::new();
+                    for (off, r) in lrows[range.start..range.end].iter().enumerate() {
+                        if let Some(Cell::D(d)) = r.get(*left_key) {
+                            if !d.is_null() {
+                                m.entry(d.clone()).or_default().push(range.start + off);
+                            }
+                        }
+                    }
+                    Ok(m)
+                })?;
+                let mut build: HashMap<Datum, Vec<usize>> = HashMap::new();
+                for m in partials {
+                    for (k, v) in m {
+                        build.entry(k).or_default().extend(v);
+                    }
                 }
-                Ok((names, out))
+                // probe: per-morsel over the right input, morsel-ordered
+                let chunks = run_morsels(ctx, rrows.len(), stats, |range, _| {
+                    let mut out = Vec::new();
+                    for r in &rrows[range.start..range.end] {
+                        if let Some(Cell::D(d)) = r.get(*right_key) {
+                            if let Some(matches) = build.get(d) {
+                                for &li in matches {
+                                    let mut combined = lrows[li].clone();
+                                    combined.extend(r.iter().cloned());
+                                    out.push(combined);
+                                }
+                            }
+                        }
+                    }
+                    Ok(out)
+                })?;
+                Ok((names, chunks.into_iter().flatten().collect()))
             }
             Query::GroupBy { input, keys, aggs } => {
-                let (_, rows) = self.exec(input, prof)?;
-                self.group_by(rows, keys, aggs)
+                let (_, rows) = self.exec(input, prof, ctx)?;
+                group_by(rows, keys, aggs, ctx, stats)
             }
             Query::Sort { input, keys } => {
-                let (names, mut rows) = self.exec(input, prof)?;
-                sort_rows(&mut rows, keys)?;
+                let (names, rows) = self.exec(input, prof, ctx)?;
+                let rows = sort_rows(rows, keys, ctx, stats)?;
                 Ok((names, rows))
             }
             Query::Window { input, name, fun, order } => {
-                let (mut names, mut rows) = self.exec(input, prof)?;
-                sort_rows(&mut rows, order)?;
+                let (mut names, rows) = self.exec(input, prof, ctx)?;
+                let mut rows = sort_rows(rows, order, ctx, stats)?;
                 names.push(name.clone());
                 match fun {
                     WindowFun::Lag { expr, offset, default } => {
-                        let vals: Vec<Datum> =
-                            rows.iter().map(|r| expr.eval(r)).collect::<Result<_, _>>()?;
+                        // parallel: evaluate the lagged expression per-morsel
+                        let chunks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+                            rows[range.start..range.end]
+                                .iter()
+                                .map(|r| expr.eval_with(r, scratch))
+                                .collect::<Result<Vec<Datum>, _>>()
+                        })?;
+                        let vals: Vec<Datum> = chunks.into_iter().flatten().collect();
+                        // serial tail: stitch lagged values back in order
+                        let mut scratch = EvalScratch::new();
                         for i in 0..rows.len() {
                             let cell = if i >= *offset {
                                 vals[i - *offset].clone()
                             } else {
                                 match default {
-                                    Some(d) => d.eval(&rows[i])?,
+                                    Some(d) => d.eval_with(&rows[i], &mut scratch)?,
                                     None => Datum::Null,
                                 }
                             };
@@ -352,12 +440,12 @@ impl Database {
                 Ok((names, rows))
             }
             Query::Limit { input, n } => {
-                let (names, mut rows) = self.exec(input, prof)?;
+                let (names, mut rows) = self.exec(input, prof, ctx)?;
                 rows.truncate(*n);
                 Ok((names, rows))
             }
             Query::Sample { input, pct } => {
-                let (names, rows) = self.exec(input, prof)?;
+                let (names, rows) = self.exec(input, prof, ctx)?;
                 let keep = |i: usize| -> bool {
                     let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
                     ((h % 10_000) as f64) < pct * 100.0
@@ -372,54 +460,109 @@ impl Database {
             }
         }
     }
+}
 
-    fn group_by(
-        &self,
-        rows: Vec<Row>,
-        keys: &[(String, Expr)],
-        aggs: &[AggSpec],
-    ) -> Result<(Vec<String>, Vec<Row>), StoreError> {
-        let names: Vec<String> = keys
-            .iter()
-            .map(|(n, _)| n.clone())
-            .chain(aggs.iter().map(|a| a.name.clone()))
-            .collect();
-        let mut groups: HashMap<Vec<Datum>, Vec<Acc>> = HashMap::new();
-        let mut order: Vec<Vec<Datum>> = Vec::new();
-        for r in &rows {
-            let key: Vec<Datum> = keys.iter().map(|(_, e)| e.eval(r)).collect::<Result<_, _>>()?;
+/// Materialize one scan row: §5.2.2 transparent rewrite (substitute cached
+/// OSON bytes for text cells when the IMC is populated), then virtual
+/// columns from IMC vectors when materialized, computed on the fly
+/// otherwise.
+fn scan_row(t: &Table, i: usize, row: &Row, scratch: &mut EvalScratch) -> Result<Row, StoreError> {
+    let mut r = t.imc_row(row, Some(i));
+    for (vi, vc) in t.virtual_columns.iter().enumerate() {
+        let idx = t.schema.width() + vi;
+        let cell = match t.imc.vectors.get(&idx) {
+            Some(vector) => Cell::D(vector.get(i)),
+            None => Cell::D(vc.expr.eval_with(&r, scratch)?),
+        };
+        r.push(cell);
+    }
+    Ok(r)
+}
+
+/// Per-morsel partial group table: keys in first-seen order, and for each
+/// key the evaluated aggregate-argument rows in input order. Keeping raw
+/// argument lists (instead of partial [`Acc`]s) lets the merge replay the
+/// exact serial accumulation sequence, so non-associative float SUM/AVG
+/// come out bit-identical at every degree.
+struct GroupPartial {
+    order: Vec<Vec<Datum>>,
+    args: HashMap<Vec<Datum>, Vec<Vec<Option<Datum>>>>,
+}
+
+fn group_by(
+    rows: Vec<Row>,
+    keys: &[(String, Expr)],
+    aggs: &[AggSpec],
+    ctx: &ExecContext,
+    stats: &mut ParStats,
+) -> Result<(Vec<String>, Vec<Row>), StoreError> {
+    let names: Vec<String> =
+        keys.iter().map(|(n, _)| n.clone()).chain(aggs.iter().map(|a| a.name.clone())).collect();
+    // no input rows + no keys: SQL still returns one row of aggregates
+    if rows.is_empty() && keys.is_empty() {
+        let accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.fun)).collect();
+        let row: Row = accs.into_iter().map(|a| Cell::D(a.finish())).collect();
+        return Ok((names, vec![row]));
+    }
+    // phase 1 (parallel): per-morsel key + argument evaluation into
+    // partial tables that remember first-seen group order
+    let partials = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+        let mut p = GroupPartial { order: Vec::new(), args: HashMap::new() };
+        for r in &rows[range.start..range.end] {
+            let key: Vec<Datum> =
+                keys.iter().map(|(_, e)| e.eval_with(r, scratch)).collect::<Result<_, _>>()?;
+            let mut arg_row = Vec::with_capacity(aggs.len());
+            for spec in aggs {
+                arg_row.push(match &spec.arg {
+                    Some(e) => Some(e.eval_with(r, scratch)?),
+                    None => None,
+                });
+            }
+            match p.args.get_mut(&key) {
+                Some(group_rows) => group_rows.push(arg_row),
+                None => {
+                    p.order.push(key.clone());
+                    p.args.insert(key, vec![arg_row]);
+                }
+            }
+        }
+        Ok(p)
+    })?;
+    // phase 2 (serial merge barrier): concatenating each group's argument
+    // rows in morsel order is exactly global input order restricted to
+    // that group, so the accumulators see the same update sequence a
+    // serial run would; likewise first-seen order across morsels in
+    // morsel order equals serial first-seen order
+    let mut groups: HashMap<Vec<Datum>, Vec<Acc>> = HashMap::new();
+    let mut order: Vec<Vec<Datum>> = Vec::new();
+    for p in partials {
+        let mut args = p.args;
+        for key in p.order {
+            let arg_rows = args.remove(&key).unwrap_or_default();
             let accs = match groups.get_mut(&key) {
                 Some(a) => a,
                 None => {
                     order.push(key.clone());
                     groups
-                        .entry(key.clone())
+                        .entry(key)
                         .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.fun)).collect())
                 }
             };
-            for (acc, spec) in accs.iter_mut().zip(aggs) {
-                let arg = match &spec.arg {
-                    Some(e) => Some(e.eval(r)?),
-                    None => None,
-                };
-                acc.update(arg);
+            for arg_row in arg_rows {
+                for (acc, arg) in accs.iter_mut().zip(arg_row) {
+                    acc.update(arg);
+                }
             }
         }
-        // no input rows + no keys: SQL still returns one row of aggregates
-        if rows.is_empty() && keys.is_empty() {
-            let accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.fun)).collect();
-            let row: Row = accs.into_iter().map(|a| Cell::D(a.finish())).collect();
-            return Ok((names, vec![row]));
-        }
-        let mut out = Vec::with_capacity(order.len());
-        for key in order {
-            let accs = groups.remove(&key).expect("group present");
-            let mut row: Row = key.into_iter().map(Cell::D).collect();
-            row.extend(accs.into_iter().map(|a| Cell::D(a.finish())));
-            out.push(row);
-        }
-        Ok((names, out))
     }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group present");
+        let mut row: Row = key.into_iter().map(Cell::D).collect();
+        row.extend(accs.into_iter().map(|a| Cell::D(a.finish())));
+        out.push(row);
+    }
+    Ok((names, out))
 }
 
 /// Convert executor rows (which may still hold binary JSON cells) into the
@@ -462,16 +605,31 @@ fn op_label(plan: &Query) -> String {
     }
 }
 
-fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> Result<(), StoreError> {
-    // precompute key tuples (expressions may be JSON ops — evaluate once)
-    let mut keyed: Vec<(usize, Vec<Datum>)> = Vec::with_capacity(rows.len());
-    for (i, r) in rows.iter().enumerate() {
-        let k: Vec<Datum> = keys.iter().map(|s| s.expr.eval(r)).collect::<Result<_, _>>()?;
-        keyed.push((i, k));
+fn sort_rows(
+    rows: Vec<Row>,
+    keys: &[SortKey],
+    ctx: &ExecContext,
+    stats: &mut ParStats,
+) -> Result<Vec<Row>, StoreError> {
+    if rows.len() <= 1 {
+        return Ok(rows);
     }
-    keyed.sort_by(|(_, a), (_, b)| {
+    // precompute key tuples per-morsel (expressions may be JSON ops —
+    // evaluate once, in parallel); the sort itself is the serial tail
+    let chunks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+        rows[range.start..range.end]
+            .iter()
+            .map(|r| {
+                keys.iter().map(|s| s.expr.eval_with(r, scratch)).collect::<Result<Vec<Datum>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    let keyed: Vec<Vec<Datum>> = chunks.into_iter().flatten().collect();
+    // stable permutation sort over indices: ties keep input order
+    let mut perm: Vec<usize> = (0..rows.len()).collect();
+    perm.sort_by(|&x, &y| {
         for (i, sk) in keys.iter().enumerate() {
-            let ord = a[i].order_key_cmp(&b[i]);
+            let ord = keyed[x][i].order_key_cmp(&keyed[y][i]);
             let ord = if sk.desc { ord.reverse() } else { ord };
             if !ord.is_eq() {
                 return ord;
@@ -479,12 +637,14 @@ fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> Result<(), StoreError> {
         }
         std::cmp::Ordering::Equal
     });
-    let perm: Vec<usize> = keyed.into_iter().map(|(i, _)| i).collect();
-    let mut tmp: Vec<Row> = rows.to_vec();
-    for (dst, src) in perm.into_iter().enumerate() {
-        std::mem::swap(&mut rows[dst], &mut tmp[src]);
+    // apply the permutation by moving each owned row once — no per-row
+    // clone (the previous implementation duplicated the whole row set)
+    let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
+    let mut out = Vec::with_capacity(slots.len());
+    for src in perm {
+        out.push(slots[src].take().expect("each source row moves exactly once"));
     }
-    Ok(())
+    Ok(out)
 }
 
 /// Aggregate accumulator.

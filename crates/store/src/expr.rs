@@ -1,12 +1,58 @@
 //! Row expressions: column references, literals, comparisons, arithmetic,
 //! scalar functions, and the SQL/JSON operators.
+//!
+//! Expression trees are **immutable and `Send + Sync`**: the SQL/JSON
+//! operators carry only their compiled [`JsonPath`] (behind an `Arc`, so
+//! clones share it). All mutable evaluation state — the per-path
+//! [`PathEvaluator`] cursors with their §4.2.1 look-back caches, and the
+//! JSON_TABLE cursors — lives in an [`EvalScratch`] that each executor
+//! worker owns and passes by `&mut`. That split is what lets one plan tree
+//! be shared across morsel workers (see [`crate::parallel`]).
 
-use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
 
+use fsdm_sqljson::json_table::{JsonTableCursor, JsonTableDef};
 use fsdm_sqljson::path::JsonPath;
 use fsdm_sqljson::{Datum, PathEvaluator, SqlType};
 
 use crate::table::{Cell, Row, StoreError};
+
+/// Per-worker evaluation state: reusable path evaluators keyed by the
+/// shared compiled path, and JSON_TABLE cursors keyed by definition.
+/// Both caches exist so the look-back field-id caches persist across the
+/// rows a worker processes — exactly the state the expression tree itself
+/// used to hold in `RefCell`s before the executor went parallel.
+#[derive(Default)]
+pub struct EvalScratch {
+    /// One evaluator per distinct compiled path (keyed by `Arc` address:
+    /// expression clones share the path, hence the evaluator).
+    evaluators: HashMap<usize, PathEvaluator>,
+    /// One cursor per JSON_TABLE definition (keyed by address; the
+    /// definition outlives the execution it is scanned by).
+    cursors: HashMap<usize, JsonTableCursor>,
+}
+
+impl EvalScratch {
+    /// Fresh, empty scratch. Cheap: caches fill lazily on first use.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// The reusable evaluator for `path`, created on first use.
+    pub(crate) fn evaluator(&mut self, path: &Arc<JsonPath>) -> &mut PathEvaluator {
+        self.evaluators
+            .entry(Arc::as_ptr(path) as usize)
+            .or_insert_with(|| PathEvaluator::new((**path).clone()))
+    }
+
+    /// The reusable JSON_TABLE cursor for `def`, created on first use.
+    pub(crate) fn cursor(&mut self, def: &JsonTableDef) -> &mut JsonTableCursor {
+        self.cursors
+            .entry(def as *const JsonTableDef as usize)
+            .or_insert_with(|| JsonTableCursor::new(def))
+    }
+}
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +123,7 @@ pub enum AggFun {
 }
 
 /// A row expression tree.
+#[derive(Clone)]
 pub enum Expr {
     /// Column reference by position in the input row.
     Col(usize),
@@ -101,27 +148,24 @@ pub enum Expr {
     Arith(Box<Expr>, ArithOp, Box<Expr>),
     /// Scalar function call.
     Fun(ScalarFun, Vec<Expr>),
-    /// `JSON_VALUE(col, path RETURNING ty)` — carries its own evaluation
-    /// cursor so the look-back field-id cache persists across rows.
+    /// `JSON_VALUE(col, path RETURNING ty)`. The evaluation cursor (whose
+    /// look-back field-id cache persists across rows) lives in the
+    /// caller's [`EvalScratch`], keyed by the shared compiled path.
     JsonValue {
         /// JSON column position.
         col: usize,
-        /// Compiled path.
-        path: JsonPath,
+        /// Compiled path (shared by clones, so they share one cursor per
+        /// scratch).
+        path: Arc<JsonPath>,
         /// RETURNING type.
         ty: SqlType,
-        /// Reusable cursor (interior-mutable: expression trees are shared
-        /// immutably by the executor).
-        ev: RefCell<PathEvaluator>,
     },
     /// `JSON_EXISTS(col, path)`.
     JsonExists {
         /// JSON column position.
         col: usize,
         /// Compiled path.
-        path: JsonPath,
-        /// Reusable cursor.
-        ev: RefCell<PathEvaluator>,
+        path: Arc<JsonPath>,
     },
 }
 
@@ -149,37 +193,15 @@ impl std::fmt::Debug for Expr {
     }
 }
 
-impl Clone for Expr {
-    fn clone(&self) -> Self {
-        match self {
-            Expr::Col(i) => Expr::Col(*i),
-            Expr::Lit(d) => Expr::Lit(d.clone()),
-            Expr::Cmp(a, op, b) => Expr::Cmp(a.clone(), *op, b.clone()),
-            Expr::And(a, b) => Expr::And(a.clone(), b.clone()),
-            Expr::Or(a, b) => Expr::Or(a.clone(), b.clone()),
-            Expr::Not(a) => Expr::Not(a.clone()),
-            Expr::IsNull(a) => Expr::IsNull(a.clone()),
-            Expr::InList(a, l) => Expr::InList(a.clone(), l.clone()),
-            Expr::Like(a, p) => Expr::Like(a.clone(), p.clone()),
-            Expr::Arith(a, op, b) => Expr::Arith(a.clone(), *op, b.clone()),
-            Expr::Fun(fun, args) => Expr::Fun(*fun, args.clone()),
-            Expr::JsonValue { col, path, ty, .. } => Expr::json_value(*col, path.clone(), *ty),
-            Expr::JsonExists { col, path, .. } => Expr::json_exists(*col, path.clone()),
-        }
-    }
-}
-
 impl Expr {
     /// Convenience constructor: `JSON_VALUE`.
     pub fn json_value(col: usize, path: JsonPath, ty: SqlType) -> Expr {
-        let ev = RefCell::new(PathEvaluator::new(path.clone()));
-        Expr::JsonValue { col, path, ty, ev }
+        Expr::JsonValue { col, path: Arc::new(path), ty }
     }
 
     /// Convenience constructor: `JSON_EXISTS`.
     pub fn json_exists(col: usize, path: JsonPath) -> Expr {
-        let ev = RefCell::new(PathEvaluator::new(path.clone()));
-        Expr::JsonExists { col, path, ev }
+        Expr::JsonExists { col, path: Arc::new(path) }
     }
 
     /// Convenience constructor: comparison with a literal.
@@ -187,8 +209,16 @@ impl Expr {
         Expr::Cmp(Box::new(lhs), op, Box::new(rhs))
     }
 
-    /// Evaluate against a row.
+    /// Evaluate against a row with a throwaway scratch. Convenience for
+    /// cold paths (planning, tests); hot loops should hold one
+    /// [`EvalScratch`] per worker and call [`Expr::eval_with`] so path
+    /// cursors and their look-back caches persist across rows.
     pub fn eval(&self, row: &Row) -> Result<Datum, StoreError> {
+        self.eval_with(row, &mut EvalScratch::new())
+    }
+
+    /// Evaluate against a row, drawing cursor state from `scratch`.
+    pub fn eval_with(&self, row: &Row, scratch: &mut EvalScratch) -> Result<Datum, StoreError> {
         Ok(match self {
             Expr::Col(i) => match row.get(*i) {
                 Some(Cell::D(d)) => d.clone(),
@@ -197,7 +227,7 @@ impl Expr {
             },
             Expr::Lit(d) => d.clone(),
             Expr::Cmp(a, op, b) => {
-                let (x, y) = (a.eval(row)?, b.eval(row)?);
+                let (x, y) = (a.eval_with(row, scratch)?, b.eval_with(row, scratch)?);
                 match x.sql_cmp(&y) {
                     None => Datum::Null, // unknown
                     Some(ord) => Datum::Bool(match op {
@@ -210,16 +240,20 @@ impl Expr {
                     }),
                 }
             }
-            Expr::And(a, b) => three_valued_and(a.eval(row)?, b.eval(row)?),
-            Expr::Or(a, b) => three_valued_or(a.eval(row)?, b.eval(row)?),
-            Expr::Not(a) => match a.eval(row)? {
+            Expr::And(a, b) => {
+                three_valued_and(a.eval_with(row, scratch)?, b.eval_with(row, scratch)?)
+            }
+            Expr::Or(a, b) => {
+                three_valued_or(a.eval_with(row, scratch)?, b.eval_with(row, scratch)?)
+            }
+            Expr::Not(a) => match a.eval_with(row, scratch)? {
                 Datum::Bool(v) => Datum::Bool(!v),
                 Datum::Null => Datum::Null,
                 _ => return Err(StoreError::new("NOT applied to non-boolean")),
             },
-            Expr::IsNull(a) => Datum::Bool(a.eval(row)?.is_null()),
+            Expr::IsNull(a) => Datum::Bool(a.eval_with(row, scratch)?.is_null()),
             Expr::InList(a, list) => {
-                let v = a.eval(row)?;
+                let v = a.eval_with(row, scratch)?;
                 if v.is_null() {
                     Datum::Null
                 } else {
@@ -229,14 +263,14 @@ impl Expr {
                 }
             }
             Expr::Like(a, pat) => {
-                let v = a.eval(row)?;
+                let v = a.eval_with(row, scratch)?;
                 match v {
                     Datum::Null => Datum::Null,
                     other => Datum::Bool(like_match(&other.to_text(), pat)),
                 }
             }
             Expr::Arith(a, op, b) => {
-                let (x, y) = (a.eval(row)?, b.eval(row)?);
+                let (x, y) = (a.eval_with(row, scratch)?, b.eval_with(row, scratch)?);
                 if x.is_null() || y.is_null() {
                     return Ok(Datum::Null);
                 }
@@ -257,15 +291,15 @@ impl Expr {
                 };
                 Datum::from(r)
             }
-            Expr::Fun(fun, args) => eval_fun(*fun, args, row)?,
-            Expr::JsonValue { col, ty, ev, .. } => match row.get(*col) {
-                Some(Cell::J(j)) => j.json_value(&mut ev.borrow_mut(), *ty),
+            Expr::Fun(fun, args) => eval_fun(*fun, args, row, scratch)?,
+            Expr::JsonValue { col, path, ty } => match row.get(*col) {
+                Some(Cell::J(j)) => j.json_value(scratch.evaluator(path), *ty),
                 Some(Cell::D(_)) | None => {
                     return Err(StoreError::new("JSON_VALUE on non-JSON column"))
                 }
             },
-            Expr::JsonExists { col, ev, .. } => match row.get(*col) {
-                Some(Cell::J(j)) => Datum::Bool(j.json_exists(&mut ev.borrow_mut())),
+            Expr::JsonExists { col, path } => match row.get(*col) {
+                Some(Cell::J(j)) => Datum::Bool(j.json_exists(scratch.evaluator(path))),
                 Some(Cell::D(_)) | None => {
                     return Err(StoreError::new("JSON_EXISTS on non-JSON column"))
                 }
@@ -274,8 +308,14 @@ impl Expr {
     }
 
     /// Predicate evaluation: SQL WHERE semantics (NULL/unknown = reject).
+    /// Throwaway-scratch convenience, like [`Expr::eval`].
     pub fn matches(&self, row: &Row) -> Result<bool, StoreError> {
-        Ok(matches!(self.eval(row)?, Datum::Bool(true)))
+        self.matches_with(row, &mut EvalScratch::new())
+    }
+
+    /// [`Expr::matches`] drawing cursor state from `scratch`.
+    pub fn matches_with(&self, row: &Row, scratch: &mut EvalScratch) -> Result<bool, StoreError> {
+        Ok(matches!(self.eval_with(row, scratch)?, Datum::Bool(true)))
     }
 }
 
@@ -295,8 +335,14 @@ fn three_valued_or(a: Datum, b: Datum) -> Datum {
     }
 }
 
-fn eval_fun(fun: ScalarFun, args: &[Expr], row: &Row) -> Result<Datum, StoreError> {
-    let vals: Vec<Datum> = args.iter().map(|a| a.eval(row)).collect::<Result<_, _>>()?;
+fn eval_fun(
+    fun: ScalarFun,
+    args: &[Expr],
+    row: &Row,
+    scratch: &mut EvalScratch,
+) -> Result<Datum, StoreError> {
+    let vals: Vec<Datum> =
+        args.iter().map(|a| a.eval_with(row, scratch)).collect::<Result<_, _>>()?;
     let s = |i: usize| -> Option<String> {
         vals.get(i).and_then(|d| if d.is_null() { None } else { Some(d.to_text()) })
     };
@@ -512,5 +558,26 @@ mod tests {
         let jv = Expr::json_value(2, parse_path("$.id").unwrap(), SqlType::Number);
         let jv2 = jv.clone();
         assert_eq!(jv.eval(&r).unwrap(), jv2.eval(&r).unwrap());
+    }
+
+    #[test]
+    fn exprs_are_send_sync_and_clones_share_scratch_slots() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Expr>();
+        assert_send_sync::<EvalScratch>();
+        let r = row();
+        let jv = Expr::json_value(2, parse_path("$.price").unwrap(), SqlType::Number);
+        let mut scratch = EvalScratch::new();
+        for _ in 0..3 {
+            assert_eq!(jv.eval_with(&r, &mut scratch).unwrap(), Datum::from(99.5));
+        }
+        // the clone shares the compiled path, hence the evaluator slot
+        let jv2 = jv.clone();
+        assert_eq!(jv2.eval_with(&r, &mut scratch).unwrap(), Datum::from(99.5));
+        assert_eq!(scratch.evaluators.len(), 1, "one evaluator per distinct path");
+        // a distinct path gets its own slot
+        let other = Expr::json_value(2, parse_path("$.id").unwrap(), SqlType::Number);
+        other.eval_with(&r, &mut scratch).unwrap();
+        assert_eq!(scratch.evaluators.len(), 2);
     }
 }

@@ -134,6 +134,18 @@ impl ImcStore {
     pub fn oson_bytes(&self) -> usize {
         self.oson.as_ref().map(|v| v.iter().flatten().map(|b| b.len()).sum()).unwrap_or(0)
     }
+
+    /// Morsel partition over the OSON cache (or the largest materialized
+    /// column vector when only VC-IMC is populated): the same chunking the
+    /// executor uses for heap rows, so OSON-IMC byte scans and VC-IMC
+    /// vector scans parallelize identically.
+    pub fn morsels(&self, target_rows: usize) -> impl Iterator<Item = crate::parallel::RowRange> {
+        let total = match &self.oson {
+            Some(cache) => cache.len(),
+            None => self.vectors.values().map(|v| v.len()).max().unwrap_or(0),
+        };
+        crate::parallel::morsels(total, target_rows)
+    }
 }
 
 impl Table {
@@ -174,6 +186,9 @@ impl Table {
                 .ok_or_else(|| StoreError::new(format!("no column {name}")))?;
             let width = self.schema.width();
             let mut vals = Vec::with_capacity(self.rows.len());
+            // one scratch across the whole population pass: compiled-path
+            // look-back caches stay warm from row to row
+            let mut scratch = crate::expr::EvalScratch::new();
             for (i, row) in self.rows.iter().enumerate() {
                 let d = if idx < width {
                     match &row[idx] {
@@ -185,7 +200,7 @@ impl Table {
                     // evaluate against the IMC-substituted row so VC
                     // population itself benefits from the OSON cache
                     let row_imc = self.imc_row(row, Some(i));
-                    vc.expr.eval(&row_imc)?
+                    vc.expr.eval_with(&row_imc, &mut scratch)?
                 };
                 vals.push(d);
             }

@@ -26,15 +26,17 @@ pub mod expr;
 pub mod imc;
 pub mod jsonaccess;
 pub mod optimizer;
+pub mod parallel;
 pub mod profile;
 pub mod query;
 pub mod schema;
 pub mod table;
 
 pub use database::Database;
-pub use expr::{AggFun, CmpOp, Expr, ScalarFun};
+pub use expr::{AggFun, CmpOp, EvalScratch, Expr, ScalarFun};
 pub use imc::{ColumnVector, ImcStore};
 pub use jsonaccess::{JsonCell, JsonStorage};
+pub use parallel::{default_degree, morsels, ExecContext, ParStats, RowRange, DEFAULT_MORSEL_ROWS};
 pub use profile::{OpProfile, QueryProfile};
 pub use query::{Query, QueryResult, SortKey, WindowFun};
 pub use schema::{ColType, ColumnSpec, ConstraintMode, TableSchema};

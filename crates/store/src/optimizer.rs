@@ -75,7 +75,7 @@ fn prune_dead_scan(db: &Database, plan: Query) -> Query {
 /// true under three-valued logic).
 fn conjunct_provably_false(db: &Database, table: &str, c: &Expr) -> bool {
     match c {
-        Expr::JsonExists { col, path, .. } => json_path_dead(db, table, *col, path),
+        Expr::JsonExists { col, path, .. } => json_path_dead(db, table, *col, path.as_ref()),
         Expr::Cmp(a, _, b) => operand_dead(db, table, a) || operand_dead(db, table, b),
         _ => false,
     }
@@ -83,7 +83,7 @@ fn conjunct_provably_false(db: &Database, table: &str, c: &Expr) -> bool {
 
 fn operand_dead(db: &Database, table: &str, e: &Expr) -> bool {
     match e {
-        Expr::JsonValue { col, path, .. } => json_path_dead(db, table, *col, path),
+        Expr::JsonValue { col, path, .. } => json_path_dead(db, table, *col, path.as_ref()),
         _ => false,
     }
 }

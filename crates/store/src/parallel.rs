@@ -1,0 +1,263 @@
+//! Morsel-driven parallel execution (the scaffolding under
+//! [`crate::Database`]'s batch executor).
+//!
+//! The executor splits every data-parallel operator into fixed-size
+//! **morsels** — contiguous [`RowRange`]s of the operator's input — and
+//! runs them on `std::thread::scope` workers that claim morsel indices
+//! from a shared atomic counter. Results come back **in morsel-index
+//! order**, so the concatenated output is identical at every degree
+//! (including `degree = 1`, which runs inline on the calling thread with
+//! no spawn at all). Each worker owns an [`EvalScratch`], the per-worker
+//! evaluator state that replaced the old `RefCell<PathEvaluator>` interior
+//! mutability: compiled paths live immutably in the plan, cursors and
+//! look-back caches live here.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::expr::EvalScratch;
+use crate::table::StoreError;
+
+/// Default morsel size in rows. Large enough to amortize claim/dispatch
+/// overhead, small enough that a NOBENCH-scale scan yields many units of
+/// work per core.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// A half-open range of row positions `[start, end)` — one morsel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRange {
+    /// First row position in the morsel.
+    pub start: usize,
+    /// One past the last row position.
+    pub end: usize,
+}
+
+impl RowRange {
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the range covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Chunk `total` rows into morsels of (at most) `target_rows` each.
+/// The chunking depends only on `total` and `target_rows` — never on the
+/// degree — so the morsel structure (and with it every morsel-ordered
+/// reassembly) is identical no matter how many workers run.
+pub fn morsels(total: usize, target_rows: usize) -> impl Iterator<Item = RowRange> {
+    let step = target_rows.max(1);
+    (0..total).step_by(step).map(move |start| RowRange { start, end: (start + step).min(total) })
+}
+
+/// Per-execution settings the executor threads through every operator.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecContext {
+    /// Maximum number of worker threads a data-parallel pipeline may use.
+    pub degree: usize,
+    /// Target rows per morsel.
+    pub morsel_rows: usize,
+    /// Whether this execution records a [`crate::QueryProfile`].
+    pub profile: bool,
+}
+
+impl ExecContext {
+    /// A strictly serial context (degree 1) — today's single-threaded
+    /// behavior, used by callers that must not spawn.
+    pub fn serial() -> ExecContext {
+        ExecContext { degree: 1, morsel_rows: DEFAULT_MORSEL_ROWS, profile: false }
+    }
+}
+
+/// What a pipeline actually used, reported into `QueryProfile` rows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParStats {
+    /// Peak worker count across the operator's parallel pipelines.
+    pub workers: usize,
+    /// Total morsels dispatched by the operator.
+    pub morsels: usize,
+}
+
+/// The process-wide default degree: `FSDM_THREADS` when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_degree() -> usize {
+    static DEGREE: OnceLock<usize> = OnceLock::new();
+    *DEGREE.get_or_init(|| {
+        std::env::var("FSDM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Run `f` over every morsel of `total` rows and return the per-morsel
+/// results **in morsel-index order**.
+///
+/// With an effective worker count of 1 (degree 1, or fewer morsels than
+/// workers would need) everything runs inline on the calling thread —
+/// no spawn, no atomics on the data path — reproducing strictly serial
+/// execution. Otherwise `min(degree, morsel_count)` scoped workers claim
+/// morsel indices via `fetch_add` until the supply is exhausted; each
+/// worker carries one [`EvalScratch`] across all the morsels it claims so
+/// compiled-path look-back caches warm up per worker.
+///
+/// Errors are deterministic: the error returned is the one from the
+/// lowest-indexed failing morsel (the same morsel — and row — a serial
+/// run would have stopped at).
+pub fn run_morsels<T, F>(
+    ctx: &ExecContext,
+    total: usize,
+    stats: &mut ParStats,
+    f: F,
+) -> Result<Vec<T>, StoreError>
+where
+    T: Send,
+    F: Fn(RowRange, &mut EvalScratch) -> Result<T, StoreError> + Sync,
+{
+    let ranges: Vec<RowRange> = morsels(total, ctx.morsel_rows).collect();
+    let workers = ctx.degree.min(ranges.len()).max(1);
+    stats.workers = stats.workers.max(workers);
+    stats.morsels += ranges.len();
+    fsdm_obs::counter!(fsdm_obs::catalog::EXEC_MORSEL_COUNT).add(ranges.len() as u64);
+    if workers == 1 {
+        let mut scratch = EvalScratch::new();
+        let mut out = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let t = Instant::now();
+            let v = f(range, &mut scratch)?;
+            record_morsel(range, t);
+            out.push(v);
+        }
+        return Ok(out);
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, Result<T, StoreError>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let busy = Instant::now();
+                    let mut scratch = EvalScratch::new();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(range) = ranges.get(i).copied() else { break };
+                        let t = Instant::now();
+                        let v = f(range, &mut scratch);
+                        record_morsel(range, t);
+                        let failed = v.is_err();
+                        local.push((i, v));
+                        if failed {
+                            break;
+                        }
+                    }
+                    fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_WORKER_BUSY_NS)
+                        .record(busy.elapsed().as_nanos() as u64);
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    // reassemble in morsel-index order — the determinism barrier
+    let mut slots: Vec<Option<Result<T, StoreError>>> = Vec::with_capacity(ranges.len());
+    slots.resize_with(ranges.len(), || None);
+    for (i, v) in per_worker.into_iter().flatten() {
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(v);
+        }
+    }
+    let mut out = Vec::with_capacity(ranges.len());
+    for slot in slots {
+        match slot {
+            Some(v) => out.push(v?),
+            // unreachable in practice: a morsel is only left unclaimed when
+            // every worker stopped on an error at a lower index, and that
+            // error is returned first by this ordered drain
+            None => {
+                return Err(StoreError::new("parallel pipeline lost a morsel result"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn record_morsel(range: RowRange, started: Instant) {
+    fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_MORSEL_NS)
+        .record(started.elapsed().as_nanos() as u64);
+    fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_MORSEL_ROWS).record(range.len() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(degree: usize, morsel_rows: usize) -> ExecContext {
+        ExecContext { degree, morsel_rows, profile: false }
+    }
+
+    #[test]
+    fn morsels_cover_exactly_once() {
+        let ranges: Vec<RowRange> = morsels(10, 3).collect();
+        assert_eq!(
+            ranges,
+            vec![
+                RowRange { start: 0, end: 3 },
+                RowRange { start: 3, end: 6 },
+                RowRange { start: 6, end: 9 },
+                RowRange { start: 9, end: 10 },
+            ]
+        );
+        assert_eq!(morsels(0, 3).count(), 0);
+        assert_eq!(morsels(3, 1024).count(), 1);
+        // a zero target is clamped rather than looping forever
+        assert_eq!(morsels(2, 0).count(), 2);
+    }
+
+    #[test]
+    fn run_morsels_is_order_deterministic_at_every_degree() {
+        let total = 1000;
+        let expected: Vec<usize> = morsels(total, 7).map(|r| r.start).collect();
+        for degree in [1, 2, 8] {
+            let mut stats = ParStats::default();
+            let out = run_morsels(&ctx(degree, 7), total, &mut stats, |r, _| Ok(r.start)).unwrap();
+            assert_eq!(out, expected, "degree {degree}");
+            assert!(stats.workers <= degree.max(1));
+            assert_eq!(stats.morsels, expected.len());
+        }
+    }
+
+    #[test]
+    fn run_morsels_reports_lowest_failing_morsel() {
+        for degree in [1, 4] {
+            let mut stats = ParStats::default();
+            let err = run_morsels(&ctx(degree, 10), 100, &mut stats, |r, _| {
+                if r.start >= 30 {
+                    Err(StoreError::new(format!("boom at {}", r.start)))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert!(err.to_string().ends_with("boom at 30"), "degree {degree}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_morsels() {
+        let mut stats = ParStats::default();
+        let out = run_morsels(&ctx(8, 16), 0, &mut stats, |r, _| Ok(r.len())).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats.morsels, 0);
+    }
+}

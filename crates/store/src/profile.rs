@@ -20,6 +20,12 @@ pub struct OpProfile {
     pub rows_out: usize,
     /// Inclusive wall time in nanoseconds.
     pub elapsed_ns: u64,
+    /// Peak worker-thread count across this operator's own parallel
+    /// pipelines (1 for serial operators; children report their own).
+    pub workers: usize,
+    /// Morsels this operator dispatched (0 for purely serial operators
+    /// such as `Limit`).
+    pub morsels: usize,
     /// Child operators in plan order.
     pub children: Vec<OpProfile>,
 }
@@ -80,9 +86,17 @@ impl QueryProfile {
     /// ```
     pub fn render(&self) -> String {
         fn walk(op: &OpProfile, depth: usize, out: &mut String) {
+            // the parallel annotation appears only when the operator
+            // actually ran on more than one worker, so serial plans render
+            // exactly as before
+            let par = if op.workers > 1 {
+                format!("  workers={}  morsels={}", op.workers, op.morsels)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "{:indent$}{}  rows={}  time={:.2}ms",
+                "{:indent$}{}  rows={}  time={:.2}ms{par}",
                 "",
                 op.op,
                 op.rows_out,
@@ -116,13 +130,30 @@ mod tests {
             op: "Project".into(),
             rows_out: 2,
             elapsed_ns: 2_000_000,
+            workers: 1,
+            morsels: 1,
             children: vec![OpProfile {
                 op: "Scan(po)".into(),
                 rows_out: 3,
                 elapsed_ns: 1_500_000,
+                workers: 1,
+                morsels: 1,
                 children: vec![],
             }],
         })
+    }
+
+    #[test]
+    fn render_annotates_parallel_operators() {
+        let mut p = sample();
+        p.root.workers = 4;
+        p.root.morsels = 16;
+        let text = p.render();
+        assert!(text.contains("Project  rows=2  time=2.00ms  workers=4  morsels=16"), "{text}");
+        assert!(
+            text.contains("\n  Scan(po)  rows=3  time=1.50ms\n"),
+            "serial child unchanged: {text}"
+        );
     }
 
     #[test]

@@ -300,6 +300,15 @@ impl Table {
             .collect()
     }
 
+    /// Morsel partition over this table's heap rows: the unit of work the
+    /// parallel executor dispatches to scan workers. Heap rows, OSON-IMC
+    /// bytes, and VC-IMC vectors all chunk through the same
+    /// [`crate::parallel::morsels`] splitter, so a scan's morsel structure
+    /// is identical no matter which physical representation serves it.
+    pub fn morsels(&self, target_rows: usize) -> impl Iterator<Item = crate::parallel::RowRange> {
+        crate::parallel::morsels(self.rows.len(), target_rows)
+    }
+
     /// Position of a scan output column (base or virtual).
     pub fn scan_col_index(&self, name: &str) -> Option<usize> {
         self.schema.col_index(name).or_else(|| {

@@ -3,9 +3,12 @@
 //! Rules are scoped by repo-relative path. The hot-path decode/navigation
 //! files must stay panic-free (`no-panic`, `no-index`), the OSON/BSON wire
 //! arithmetic must use checked conversions (`no-as-int`), metric names
-//! must come from `fsdm_obs::catalog` (`metric-literal`), debugging
-//! scaffold must not ship anywhere (`no-debug`: `dbg!` and `todo!`
-//! workspace-wide), and every file observes basic hygiene (`tab`,
+//! must come from `fsdm_obs::catalog` (`metric-literal`), the executor
+//! crates must stay free of single-thread interior mutability so
+//! `Expr`/`Table`/`Database` remain `Send + Sync` (`no-interior-mut`:
+//! `RefCell`/`Cell`/`Rc` in `crates/store/src` and `crates/sqljson/src`),
+//! debugging scaffold must not ship anywhere (`no-debug`: `dbg!` and
+//! `todo!` workspace-wide), and every file observes basic hygiene (`tab`,
 //! `trailing-whitespace`, `todo`).
 //!
 //! A finding can be suppressed with an annotation on the same line or the
@@ -47,6 +50,12 @@ const NO_AS_FILES: &[&str] = &[
 /// Files where allow annotations are forbidden entirely.
 pub const NO_ALLOW_FILES: &[&str] = &["crates/oson/src/wire.rs", "crates/bson/src/decode.rs"];
 
+/// Path prefixes where single-thread interior-mutability types are banned:
+/// the morsel-driven executor shares `Expr`/`Table`/`Database` across
+/// worker threads, so these crates must stay `Send + Sync`. Per-worker
+/// mutable state belongs in `EvalScratch`, passed by `&mut`.
+const NO_INTERIOR_MUT_PREFIXES: &[&str] = &["crates/store/src/", "crates/sqljson/src/"];
+
 /// One reported problem.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -86,6 +95,7 @@ pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
     let hot = HOT_PATH_FILES.contains(&rel);
     let no_as = NO_AS_FILES.contains(&rel);
     let metrics = !rel.starts_with("crates/obs/");
+    let no_int_mut = NO_INTERIOR_MUT_PREFIXES.iter().any(|p| rel.starts_with(p));
 
     let mut raw: Vec<Finding> = Vec::new();
     let mut allows: Vec<Allow> = Vec::new();
@@ -105,6 +115,9 @@ pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
         }
         if no_as {
             no_as_int(rel, line, &masked, &mut raw);
+        }
+        if no_int_mut {
+            no_interior_mut(rel, line, &masked, &mut raw);
         }
         if metrics {
             metric_literal(rel, scan, line, &masked, &mut raw);
@@ -321,6 +334,34 @@ fn no_as_int(rel: &str, line: usize, masked: &str, out: &mut Vec<Finding>) {
     }
 }
 
+fn no_interior_mut(rel: &str, line: usize, masked: &str, out: &mut Vec<Finding>) {
+    for (start, end, word) in idents(masked) {
+        let flagged = match word.as_str() {
+            "RefCell" | "UnsafeCell" | "Rc" => true,
+            // the `std::cell` module path: catches `std::cell::Cell<_>`
+            // etc. without flagging identifiers that merely *name* a cell
+            // (the row-cell enum `table::Cell` is not interior mutability)
+            "cell" => {
+                prev_non_ws(masked, start) == Some(':') && next_non_ws(masked, end) == Some(':')
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "no-interior-mut",
+                message: format!(
+                    "`{word}` is single-thread interior mutability and breaks the \
+                     `Send + Sync` executor invariant; keep per-worker state in \
+                     `EvalScratch` (passed by `&mut`) or use `Arc`/atomics"
+                ),
+                fixable: false,
+            });
+        }
+    }
+}
+
 fn metric_literal(rel: &str, scan: &Scan, line: usize, masked: &str, out: &mut Vec<Finding>) {
     for (_, end, word) in idents(masked) {
         if !matches!(word.as_str(), "counter" | "gauge" | "histogram") {
@@ -493,6 +534,31 @@ mod tests {
     fn as_non_int_is_fine() {
         let src = "fn f(x: u32) -> f64 {\n    f64::from(x) as f64\n}\n";
         assert!(run("crates/oson/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_interior_mutability_in_executor_crates() {
+        let src = "use std::cell::RefCell;\nfn f() {\n    let _ = std::rc::Rc::new(1);\n}\n";
+        let f = run("crates/store/src/expr.rs", src);
+        assert_eq!(rules(&f), vec!["no-interior-mut"; 3], "{f:?}");
+        assert!(run("crates/sqljson/src/path.rs", src).iter().any(|x| x.rule == "no-interior-mut"));
+        assert!(run(COLD, src).is_empty(), "other crates are out of scope");
+    }
+
+    #[test]
+    fn row_cell_enum_is_not_interior_mutability() {
+        let src = "enum Cell {\n    D(u8),\n}\nfn f(cell: &Cell) -> &Cell {\n    cell\n}\n";
+        assert!(run("crates/store/src/table.rs", src).is_empty());
+    }
+
+    #[test]
+    fn interior_mut_allow_escape_still_works() {
+        let src = "fn f() {\n    \
+                   // fsdm-tidy: allow(no-interior-mut) -- single-threaded builder\n    \
+                   let c = std::cell::Cell::new(0u8);\n    c.set(1);\n}\n";
+        let (f, used) = check_file("crates/store/src/table.rs", &scan(src));
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(used, 1);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Integration test: the morsel-driven parallel executor is invisible in
+//! results. Every workload query — NOBENCH Q1–Q11 and the OLAP Table-13
+//! set — must return byte-identical `QueryResult`s at degree 1, 2 and 8,
+//! including the row order produced by Sort ties and Window/LAG over a
+//! tie-heavy key. A tiny morsel size forces many morsels per operator so
+//! the cross-morsel reassembly actually gets exercised at small scales.
+
+use fsdm::sqljson::Datum;
+use fsdm::store::{Database, Expr, Query, Table};
+use fsdm_bench::setup::{
+    bind_datum, nobench_db, nobench_q11_plan, nobench_q5_bind, olap_db, olap_queries, StorageMethod,
+};
+
+/// `Database` (and everything a plan closes over) must be shareable
+/// across the executor's scoped worker threads. This is the compile-time
+/// acceptance gate for the `RefCell` removal: it fails to build if any
+/// layer regresses to single-thread interior mutability.
+#[test]
+fn database_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<Expr>();
+    assert_send_sync::<Query>();
+}
+
+const DEGREES: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn nobench_results_identical_at_every_degree() {
+    let n = 500;
+    let mut session = nobench_db(n);
+    session.db.set_morsel_rows(64); // ~8 morsels per scan even at n=500
+    let mut queries: Vec<(String, Vec<Datum>)> = (1..=10)
+        .map(|q| {
+            let sql = fsdm::workloads::nobench::query_sql(q, n);
+            let binds = if q == 5 { vec![nobench_q5_bind(n)] } else { vec![] };
+            (sql, binds)
+        })
+        .collect();
+    queries.push((String::new(), vec![])); // placeholder slot for Q11 below
+    let q11 = nobench_q11_plan(n, false);
+
+    let mut baseline = None;
+    for degree in DEGREES {
+        session.set_parallelism(degree);
+        let mut results = Vec::new();
+        for (sql, binds) in &queries {
+            if sql.is_empty() {
+                results.push(session.db.execute(&q11).unwrap());
+            } else {
+                results.push(session.execute_with(sql, binds).unwrap());
+            }
+        }
+        match &baseline {
+            None => baseline = Some(results),
+            Some(b) => assert_eq!(&results, b, "degree {degree} diverged from degree 1"),
+        }
+    }
+}
+
+#[test]
+fn olap_results_identical_at_every_degree() {
+    let n = 300;
+    let queries = olap_queries(n);
+    for method in [StorageMethod::Oson, StorageMethod::Rel] {
+        let mut session = olap_db(method, n);
+        session.db.set_morsel_rows(32);
+        let mut baseline = None;
+        for degree in DEGREES {
+            session.set_parallelism(degree);
+            let results: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let binds: Vec<Datum> = q.binds.iter().map(|b| bind_datum(b)).collect();
+                    session.execute_with(&q.sql, &binds).unwrap()
+                })
+                .collect();
+            match &baseline {
+                None => baseline = Some(results),
+                Some(b) => {
+                    assert_eq!(&results, b, "{}: degree {degree} diverged", method.label())
+                }
+            }
+        }
+    }
+}
+
+/// Sort on a two-valued key (`$.bool`) makes almost every row a tie, and
+/// LAG over the same ordering reads its neighbor across morsel borders:
+/// the stable tie order (input order) must survive any degree.
+#[test]
+fn tie_heavy_sort_and_lag_keep_deterministic_order() {
+    let n = 400;
+    let mut session = nobench_db(n);
+    session.db.set_morsel_rows(16); // 25 morsels: plenty of seams
+    let sort_sql = "SELECT did, JSON_VALUE(jdoc, '$.bool') b FROM nobench \
+                    ORDER BY JSON_VALUE(jdoc, '$.bool')";
+    let lag_sql = "SELECT did, LAG(did, 1, did) OVER (ORDER BY JSON_VALUE(jdoc, '$.bool')) p \
+                   FROM nobench";
+    let mut baseline = None;
+    for degree in DEGREES {
+        session.set_parallelism(degree);
+        let sorted = session.execute(sort_sql).unwrap();
+        let lagged = session.execute(lag_sql).unwrap();
+        assert_eq!(sorted.rows.len(), n);
+        match &baseline {
+            None => baseline = Some((sorted, lagged)),
+            Some((s, l)) => {
+                assert_eq!(&sorted, s, "sort ties broke at degree {degree}");
+                assert_eq!(&lagged, l, "LAG broke at degree {degree}");
+            }
+        }
+    }
+}
