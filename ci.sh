@@ -25,7 +25,17 @@ echo "== tests (full workspace, 4-way parallel executor) =="
 FSDM_THREADS=4 cargo test --workspace -q
 
 echo "== bench concurrency smoke (4-thread wall <= 1.1x 1-thread) =="
-cargo run --release -p fsdm-bench --bin bench -- concurrency --scale small --smoke
+# --json persists the run in the stable fsdm-bench-concurrency-v1 schema
+# so CI revisions accumulate into a machine-readable perf trajectory
+cargo run --release -p fsdm-bench --bin bench -- concurrency --scale small --smoke \
+  --json BENCH_concurrency.json
+
+echo "== bench trace-overhead smoke (disabled tracing <= 2% of Q1-3 wall) =="
+cargo run --release -p fsdm-bench --bin bench -- trace-overhead --scale 2000 --smoke
+
+echo "== repro trace smoke (span trees validate, exports re-parse) =="
+FSDM_THREADS=4 cargo run --release -p fsdm-bench --bin repro -- \
+  --trace /tmp/fsdm-trace.json --slow-log /tmp/fsdm-slow.json --scale 300
 
 echo "== fsdm-tidy (repo-native static analysis) =="
 cargo run --release -p fsdm-tidy

@@ -3,6 +3,9 @@
 //!
 //! ```text
 //! bench concurrency [--scale small|N] [--threads a,b,c] [--reps N] [--smoke]
+//!                   [--json FILE]
+//! bench experiments [--scale small|N] [--threads a,b,c] [--reps N] [--json FILE]
+//! bench trace-overhead [--scale N] [--smoke]
 //! ```
 //!
 //! `concurrency` measures NOBENCH throughput vs thread count over one
@@ -10,15 +13,32 @@
 //! mode: it exits non-zero if the 4-thread full-set wall time is more
 //! than 10% slower than 1-thread — parallelism must never cost a
 //! workload meaningful time, even at small scales where it cannot win.
+//! `--json FILE` additionally writes the run in the stable
+//! `fsdm-bench-concurrency-v1` schema (`{git_rev, scale, threads,
+//! per_query: {ms, qps}, speedup}`) so results accumulate into a perf
+//! trajectory across revisions; `experiments` is the trajectory-first
+//! alias (same run, JSON written by default to `BENCH_concurrency.json`).
+//!
+//! `trace-overhead` verifies the tracing layer's disabled-mode contract:
+//! the estimated cost of every span entry point executed by a NoBench
+//! Q1–Q3 pass must stay within 2% of the measured wall time (see
+//! `fsdm_bench::traceov`). `--smoke` exits non-zero on budget overrun.
 
-use fsdm_bench::concurrency;
+use fsdm_bench::{concurrency, traceov};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
-        Some("concurrency") => run_concurrency(&args),
+        Some("concurrency") => run_concurrency(&args, None),
+        Some("experiments") => {
+            let json = flag_value(&args, "--json").unwrap_or("BENCH_concurrency.json");
+            run_concurrency(&args, Some(json));
+        }
+        Some("trace-overhead") => run_trace_overhead(&args),
         other => {
-            eprintln!("unknown command {other:?}; supported: concurrency");
+            eprintln!(
+                "unknown command {other:?}; supported: concurrency, experiments, trace-overhead"
+            );
             std::process::exit(2);
         }
     }
@@ -28,7 +48,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
 }
 
-fn run_concurrency(args: &[String]) {
+fn run_concurrency(args: &[String], default_json: Option<&str>) {
     let scale = match flag_value(args, "--scale") {
         Some("small") => 2_000,
         Some(s) => s.parse::<usize>().unwrap_or_else(|_| {
@@ -55,6 +75,17 @@ fn run_concurrency(args: &[String]) {
     let rows = concurrency::run(scale, &threads, 1, reps);
     print!("{}", concurrency::render(scale, &rows));
 
+    if let Some(path) = flag_value(args, "--json").or(default_json) {
+        let json = concurrency::to_json(scale, &rows);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("trajectory written to {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if smoke {
         let (Some(one), Some(four)) =
             (rows.iter().find(|r| r.threads == 1), rows.iter().find(|r| r.threads == 4))
@@ -78,5 +109,24 @@ fn run_concurrency(args: &[String]) {
             t4 * 1e3,
             t1 * 1e3
         );
+    }
+}
+
+fn run_trace_overhead(args: &[String]) {
+    let scale = flag_value(args, "--scale").and_then(|s| s.parse::<usize>().ok()).unwrap_or(2_000);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    println!("== bench trace-overhead: NOBENCH Q1-Q3 (n = {scale}) ==");
+    let o = traceov::run(scale);
+    print!("{}", o.render());
+    if o.overhead_fraction() > 0.02 {
+        eprintln!(
+            "TRACE-OVERHEAD FAIL: estimated {:.3}% of Q1-Q3 wall exceeds the 2% budget",
+            o.overhead_fraction() * 100.0
+        );
+        if smoke {
+            std::process::exit(1);
+        }
+    } else {
+        println!("trace-overhead ok: within the 2% budget");
     }
 }

@@ -27,6 +27,16 @@
 //! `repro-metrics.json` for offline diffing. Pass `--no-metrics` to skip
 //! both. Pass `--lint-report` to also run the `fsdm-analyze` semantic
 //! lint over both workload query sets and write `repro-lint.json`.
+//!
+//! `--trace FILE` (optionally with `--slow-log FILE`) switches to the
+//! tracing demo instead of the experiments: it runs the full NOBENCH set
+//! (Q1–Q11, default `--scale 500`) under an armed trace session per
+//! query, validates every span tree, and writes one merged Chrome
+//! trace-event JSON to FILE — load it in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing`. `--slow-log FILE` additionally arms the
+//! slow-query ring log for the same run and dumps it as JSON. Both
+//! files are re-parsed before the run is declared good; any malformed
+//! trace exits non-zero.
 
 use fsdm_bench::experiments::*;
 use fsdm_bench::lint::{lint_nobench, lint_olap};
@@ -57,6 +67,16 @@ fn main() {
         .position(|a| a == "--scale")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<usize>().ok());
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+    };
+    let (trace_path, slow_path) = (flag("--trace"), flag("--slow-log"));
+    if trace_path.is_some() || slow_path.is_some() {
+        // the tracing demo replaces the experiment run: tracing the full
+        // default-scale evaluation would produce gigabytes of spans
+        run_trace_demo(scale.unwrap_or(500), trace_path, slow_path);
+        return;
+    }
     let reps = 3;
     match cmd {
         "table10" => table10(scale.unwrap_or(300)),
@@ -90,6 +110,115 @@ fn main() {
     }
     if !args.iter().any(|a| a == "--no-metrics") {
         dump_metrics();
+    }
+}
+
+/// `repro --trace FILE [--slow-log FILE]`: trace the NOBENCH set query
+/// by query, validate every span tree, and persist the merged Chrome
+/// trace (plus the slow-query ring dump when asked).
+fn run_trace_demo(scale: usize, trace_path: Option<&str>, slow_path: Option<&str>) {
+    use fsdm_bench::setup::{nobench_db, nobench_q11_plan, nobench_q5_bind};
+    use fsdm_obs::catalog::{SPAN_EXEC_MORSEL, SPAN_EXEC_OP};
+    use fsdm_obs::trace::Trace;
+
+    let fail = |msg: &str| -> ! {
+        eprintln!("TRACE DEMO FAIL: {msg}");
+        std::process::exit(1);
+    };
+
+    println!("== repro --trace: NOBENCH Q1-Q11 under the span recorder (n = {scale}) ==");
+    let mut session = nobench_db(scale);
+    if slow_path.is_some() {
+        // threshold 0: every traced query qualifies, so the ring shows
+        // the demo's slowest survivors
+        session.db.set_slow_log(0, 16);
+    }
+
+    // trace each query in its own session, then splice the sessions
+    // one after another onto a single timeline (span ids are globally
+    // unique, so the merged tree stays well-formed)
+    let mut merged = Trace { spans: Vec::new(), dropped: 0 };
+    let mut cursor_ns = 0u64;
+    println!("{:<6} {:>8} {:>8} {:>10} {:>9}", "query", "rows", "spans", "morsels", "ops");
+    for q in 1..=11 {
+        let (rows, profile, trace) = if q == 11 {
+            let plan = nobench_q11_plan(scale, false);
+            let (result, profile, trace) = session
+                .db
+                .execute_traced(&plan)
+                .unwrap_or_else(|e| fail(&format!("Q11 failed: {e}")));
+            (result.rows.len(), Some(profile), trace)
+        } else {
+            let sql = fsdm_workloads::nobench::query_sql(q, scale);
+            let binds = if q == 5 { vec![nobench_q5_bind(scale)] } else { vec![] };
+            let (result, profile, trace) = session
+                .trace_with(&sql, &binds)
+                .unwrap_or_else(|e| fail(&format!("Q{q} failed: {e}")));
+            (result.rows.len(), profile, trace)
+        };
+        if let Err(e) = trace.validate() {
+            fail(&format!("Q{q} produced a malformed trace: {e}"));
+        }
+        let profile = profile.unwrap_or_else(|| fail(&format!("Q{q} returned no profile")));
+        let ops = profile.ops().len();
+        if trace.count(SPAN_EXEC_OP) < ops {
+            fail(&format!(
+                "Q{q}: {} exec.op spans for {ops} profiled operators",
+                trace.count(SPAN_EXEC_OP)
+            ));
+        }
+        if trace.count(SPAN_EXEC_MORSEL) != profile.total_morsels() {
+            fail(&format!(
+                "Q{q}: {} morsel spans vs {} profiled morsels",
+                trace.count(SPAN_EXEC_MORSEL),
+                profile.total_morsels()
+            ));
+        }
+        println!(
+            "Q{:<5} {:>8} {:>8} {:>10} {:>9}",
+            q,
+            rows,
+            trace.spans.len(),
+            profile.total_morsels(),
+            ops
+        );
+        let span_end = trace.spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        merged.dropped += trace.dropped;
+        merged.spans.extend(trace.spans.into_iter().map(|mut s| {
+            s.start_ns += cursor_ns;
+            s.end_ns += cursor_ns;
+            s
+        }));
+        cursor_ns += span_end + 1_000; // 1 µs gap between queries on the timeline
+    }
+
+    if let Err(e) = merged.validate() {
+        fail(&format!("merged trace is malformed: {e}"));
+    }
+    if let Some(path) = trace_path {
+        let json = merged.to_chrome_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            fail(&format!("could not write {path}: {e}"));
+        }
+        if let Err(e) = fsdm_json::parse(&json) {
+            fail(&format!("{path} is not valid JSON: {e}"));
+        }
+        println!(
+            "trace ok: {} spans ({} dropped) written to {path} — open in Perfetto",
+            merged.spans.len(),
+            merged.dropped
+        );
+    }
+    if let Some(path) = slow_path {
+        let json = session.db.slow_log_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            fail(&format!("could not write {path}: {e}"));
+        }
+        if let Err(e) = fsdm_json::parse(&json) {
+            fail(&format!("{path} is not valid JSON: {e}"));
+        }
+        let captured = session.db.slow_log().entries().len();
+        println!("slow-log ok: {captured} ring entries written to {path}");
     }
 }
 

@@ -125,9 +125,95 @@ pub fn render(scale: usize, rows: &[ConcurrencyRow]) -> String {
     out
 }
 
+/// Machine-readable rendering of a concurrency run, schema
+/// `fsdm-bench-concurrency-v1`:
+///
+/// ```json
+/// {"schema":"fsdm-bench-concurrency-v1","git_rev":"abc1234","scale":4000,
+///  "threads":[1,2,4],
+///  "rows":[{"threads":1,"per_query":{"Q1":{"ms":1.23,"qps":813.0},…},
+///           "scan_heavy_ms":…,"total_ms":…,"qps":…},…],
+///  "speedup":{"scan_heavy_4t_vs_1t":1.97}}
+/// ```
+///
+/// The schema is stable: additions may append fields, never rename or
+/// re-type existing ones, so `BENCH_concurrency.json` files accumulate
+/// into a comparable perf trajectory across revisions.
+pub fn to_json(scale: usize, rows: &[ConcurrencyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"schema\":\"fsdm-bench-concurrency-v1\"");
+    let _ = write!(out, ",\"git_rev\":\"{}\",\"scale\":{scale},\"threads\":[", git_rev());
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", r.threads);
+    }
+    out.push_str("],\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"threads\":{},\"per_query\":{{", r.threads);
+        for (j, q) in r.per_query.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let ms = q.best.as_secs_f64() * 1e3;
+            let qps = 1.0 / q.best.as_secs_f64().max(1e-9);
+            let _ = write!(out, "\"{}\":{{\"ms\":{ms:.3},\"qps\":{qps:.1}}}", q.label);
+        }
+        let total = r.total();
+        let _ = write!(
+            out,
+            "}},\"scan_heavy_ms\":{:.3},\"total_ms\":{:.3},\"qps\":{:.1}}}",
+            r.scan_heavy().as_secs_f64() * 1e3,
+            total.as_secs_f64() * 1e3,
+            r.per_query.len() as f64 / total.as_secs_f64().max(1e-9)
+        );
+    }
+    out.push_str("],\"speedup\":{");
+    if let (Some(one), Some(four)) =
+        (rows.iter().find(|r| r.threads == 1), rows.iter().find(|r| r.threads == 4))
+    {
+        let speedup = one.scan_heavy().as_secs_f64() / four.scan_heavy().as_secs_f64().max(1e-9);
+        let _ = write!(out, "\"scan_heavy_4t_vs_1t\":{speedup:.3}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Short git revision of the working tree, `"unknown"` outside a
+/// checkout (the bench trajectory keys results by revision).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_follows_the_stable_schema() {
+        let rows = run(80, &[1, 4], 0, 1);
+        let json = to_json(80, &rows);
+        assert!(json.contains("\"schema\":\"fsdm-bench-concurrency-v1\""), "{json}");
+        assert!(json.contains("\"git_rev\":\""), "{json}");
+        assert!(json.contains("\"scale\":80"), "{json}");
+        assert!(json.contains("\"threads\":[1,4]"), "{json}");
+        assert!(json.contains("\"Q1\":{\"ms\":"), "{json}");
+        assert!(json.contains("\"speedup\":{\"scan_heavy_4t_vs_1t\":"), "{json}");
+        // must parse with the in-repo JSON parser
+        fsdm_json::parse(&json).expect("bench JSON parses");
+    }
 
     #[test]
     fn rows_report_subtotals_and_render() {

@@ -6,6 +6,7 @@ pub mod concurrency;
 pub mod experiments;
 pub mod lint;
 pub mod setup;
+pub mod traceov;
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,123 @@
+//! `bench trace-overhead`: quantify what disabled tracing costs.
+//!
+//! The tracing contract is that a span entry point with tracing off is a
+//! single relaxed atomic load — cheap enough to stay in the hottest
+//! decode loops. This runner verifies the contract end-to-end on the
+//! scan-heavy NoBench subset (Q1–Q3, the bench-smoke workload):
+//!
+//! 1. measure the per-call cost of a disabled span entry point directly
+//!    (a tight loop of `span()` calls with no session armed);
+//! 2. run Q1–Q3 once under an armed [`TraceSession`] to count how many
+//!    span call sites those queries actually execute (recorded plus
+//!    cap-dropped spans — every one of them paid the disabled check);
+//! 3. multiply: the estimated disabled-mode overhead of the whole
+//!    workload, compared against its measured wall time.
+//!
+//! The budget is ≤ 2% of the Q1–Q3 wall (the bench-smoke noise floor).
+//! Measuring the overhead differentially (wall with spans vs a build
+//! without them) would need two binaries; the call-count × per-call
+//! estimate is deliberately *pessimistic* — it charges every span site
+//! the full measured entry cost, ignoring that the real loop overlaps
+//! loads — so a pass here is conservative.
+
+use std::time::Instant;
+
+use fsdm_obs::trace::{span, tracing_enabled, TraceSession};
+
+use crate::concurrency::nobench_plans;
+use crate::setup::nobench_db;
+
+/// Result of one overhead measurement.
+pub struct TraceOverhead {
+    /// Measured cost of one disabled span entry point, in nanoseconds.
+    pub per_call_ns: f64,
+    /// Span call sites executed by one Q1–Q3 pass (recorded + dropped).
+    pub span_calls: u64,
+    /// Measured Q1–Q3 wall time with tracing disabled, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl TraceOverhead {
+    /// Estimated disabled-mode overhead as a fraction of the Q1–Q3 wall.
+    pub fn overhead_fraction(&self) -> f64 {
+        (self.per_call_ns * self.span_calls as f64) / (self.wall_ns as f64).max(1.0)
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "disabled span entry: {:.2} ns/call\n\
+             span call sites in one NoBench Q1-Q3 pass: {}\n\
+             Q1-Q3 wall (tracing off): {:.2} ms\n\
+             estimated disabled-mode overhead: {:.3}% of wall (budget 2%)\n",
+            self.per_call_ns,
+            self.span_calls,
+            self.wall_ns as f64 / 1e6,
+            self.overhead_fraction() * 100.0
+        )
+    }
+}
+
+/// Measure the disabled-span contract over `scale` NoBench documents.
+pub fn run(scale: usize) -> TraceOverhead {
+    let mut session = nobench_db(scale);
+    let plans: Vec<_> = nobench_plans(&session, scale)
+        .into_iter()
+        .filter(|(label, _)| matches!(label.as_str(), "Q1" | "Q2" | "Q3"))
+        .collect();
+    session.db.set_parallelism(1); // serial: the per-call estimate has no overlap to hide in
+
+    // 1. per-call cost of the disabled entry point
+    assert!(!tracing_enabled(), "trace-overhead must run with tracing off");
+    let per_call_ns = {
+        const CALLS: u32 = 2_000_000;
+        let t = Instant::now();
+        for _ in 0..CALLS {
+            let g = span(fsdm_obs::catalog::SPAN_STORE_QUERY);
+            std::hint::black_box(&g);
+        }
+        t.elapsed().as_nanos() as f64 / f64::from(CALLS)
+    };
+
+    // 2. span call sites one Q1–Q3 pass executes
+    let span_calls = {
+        let trace_session = TraceSession::begin();
+        for (_, plan) in &plans {
+            session.db.execute(plan).expect("NOBENCH query executes");
+        }
+        let trace = trace_session.finish();
+        trace.spans.len() as u64 + trace.dropped
+    };
+
+    // 3. wall time of the same pass with tracing disabled (best of 3,
+    //    one warm-up — the bench-smoke convention)
+    let wall = crate::time_best(
+        || {
+            for (_, plan) in &plans {
+                session.db.execute(plan).expect("NOBENCH query executes");
+            }
+        },
+        1,
+        3,
+    );
+
+    TraceOverhead { per_call_ns, span_calls, wall_ns: wall.as_nanos() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_stays_inside_the_smoke_budget() {
+        let o = run(300);
+        assert!(o.span_calls > 0, "an armed pass must see spans");
+        assert!(o.wall_ns > 0);
+        assert!(
+            o.overhead_fraction() <= 0.02,
+            "disabled tracing estimated at {:.3}% of Q1-Q3 wall (budget 2%):\n{}",
+            o.overhead_fraction() * 100.0,
+            o.render()
+        );
+    }
+}

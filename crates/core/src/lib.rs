@@ -250,6 +250,28 @@ impl FsdmDatabase {
         self.session.profile(sql)
     }
 
+    /// Run SQL under an armed trace session (see [`fsdm_obs::trace`]):
+    /// the rows come back with the full span tree of the execution —
+    /// operators, workers, morsels, path evaluations, index probes.
+    /// Export with [`fsdm_obs::trace::Trace::to_chrome_json`] (Perfetto)
+    /// or `to_collapsed` (flamegraph.pl).
+    pub fn trace_sql(&mut self, sql: &str) -> Result<(QueryResult, fsdm_obs::trace::Trace)> {
+        self.session.trace_sql(sql)
+    }
+
+    /// Arm the slow-query ring log (see [`fsdm_store::SlowLog`]): keep
+    /// the last `cap` queries at or over `threshold_ns`, each captured
+    /// with its SQL text, elapsed time, degree, and query profile.
+    /// `cap = 0` disarms.
+    pub fn set_slow_log(&mut self, threshold_ns: u64, cap: usize) {
+        self.session.db.set_slow_log(threshold_ns, cap);
+    }
+
+    /// The slow-query ring as JSON (empty `entries` until armed).
+    pub fn slow_log_json(&self) -> String {
+        self.session.db.slow_log_json()
+    }
+
     /// Snapshot of every metric recorded so far in the global
     /// [`fsdm_obs`] registry (`oson.*`, `sqljson.*`, `dataguide.*`,
     /// `index.*`, `store.*`). Use [`fsdm_obs::MetricsSnapshot::diff`]

@@ -110,6 +110,8 @@ impl SearchIndex {
 
     /// Documents containing the given path (`$.a.b`, arrays transparent).
     pub fn docs_with_path(&self, path: &str) -> Vec<DocId> {
+        let mut span = fsdm_obs::trace::span(fsdm_obs::catalog::SPAN_INDEX_LOOKUP);
+        span.record_args(|| format!("path {path}"));
         fsdm_obs::counter!(fsdm_obs::catalog::INDEX_LOOKUP_PATH).inc();
         self.postings.get(path).map(|p| p.presence.clone()).unwrap_or_default()
     }
@@ -119,6 +121,8 @@ impl SearchIndex {
     /// `"7"` from the number `7` — so numeric-looking input probes both
     /// the numeric and the string postings (union, document order).
     pub fn docs_with_value(&self, path: &str, value: &str) -> Vec<DocId> {
+        let mut span = fsdm_obs::trace::span(fsdm_obs::catalog::SPAN_INDEX_LOOKUP);
+        span.record_args(|| format!("value {path}"));
         fsdm_obs::counter!(fsdm_obs::catalog::INDEX_LOOKUP_VALUE).inc();
         let Some(pp) = self.postings.get(path) else {
             return Vec::new();
@@ -151,6 +155,8 @@ impl SearchIndex {
     /// `JSON_TEXTCONTAINS`: documents whose string leaf at `path` contains
     /// the keyword (case-insensitive full word).
     pub fn docs_text_contains(&self, path: &str, keyword: &str) -> Vec<DocId> {
+        let mut span = fsdm_obs::trace::span(fsdm_obs::catalog::SPAN_INDEX_LOOKUP);
+        span.record_args(|| format!("text {path}"));
         fsdm_obs::counter!(fsdm_obs::catalog::INDEX_LOOKUP_TEXT).inc();
         self.postings
             .get(path)

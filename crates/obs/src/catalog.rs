@@ -43,12 +43,23 @@ pub const DATAGUIDE_PATHS: &str = "dataguide.paths";
 
 /// Parallel degree the executor resolved for the last query (gauge).
 pub const EXEC_DEGREE: &str = "exec.degree.configured";
+/// One morsel executed by a pipeline worker (span).
+pub const SPAN_EXEC_MORSEL: &str = "exec.morsel";
 /// Morsels dispatched across all parallel pipelines (counter).
 pub const EXEC_MORSEL_COUNT: &str = "exec.morsel.count";
 /// Per-morsel execution time in nanoseconds (histogram).
 pub const EXEC_MORSEL_NS: &str = "exec.morsel.ns";
 /// Rows covered by each dispatched morsel (histogram).
 pub const EXEC_MORSEL_ROWS: &str = "exec.morsel.rows";
+/// One executor operator evaluation; args carry the operator label
+/// (span).
+pub const SPAN_EXEC_OP: &str = "exec.op";
+/// One morsel-parallel pipeline: the fork/join region of `run_morsels`
+/// (span).
+pub const SPAN_EXEC_PIPELINE: &str = "exec.pipeline";
+/// One worker thread's lifetime within a parallel pipeline; parented
+/// explicitly under the spawning pipeline span (span).
+pub const SPAN_EXEC_WORKER: &str = "exec.worker";
 /// Per-worker busy time in nanoseconds across a parallel pipeline
 /// (histogram).
 pub const EXEC_WORKER_BUSY_NS: &str = "exec.worker.busy_ns";
@@ -57,6 +68,8 @@ pub const EXEC_WORKER_BUSY_NS: &str = "exec.worker.busy_ns";
 
 /// Documents added to the inverted index (counter).
 pub const INDEX_INSERT_DOCS: &str = "index.insert.docs";
+/// One inverted-index probe; args carry the probe kind (span).
+pub const SPAN_INDEX_LOOKUP: &str = "index.lookup";
 /// Path-existence index probes (counter).
 pub const INDEX_LOOKUP_PATH: &str = "index.lookup.path";
 /// Full-text keyword probes (counter).
@@ -68,6 +81,8 @@ pub const INDEX_POSTINGS_ADDED: &str = "index.postings.added";
 
 // --- oson ---------------------------------------------------------------
 
+/// One full OSON document decode: validate + materialize (span).
+pub const SPAN_OSON_DECODE: &str = "oson.decode";
 /// Documents fully decoded from OSON bytes (counter).
 pub const OSON_DECODE_DOCS: &str = "oson.decode.docs";
 /// Field-name → field-id dictionary resolutions (counter).
@@ -78,6 +93,8 @@ pub const OSON_DICT_PROBES: &str = "oson.dict.probes";
 pub const OSON_ENCODE_BYTES: &str = "oson.encode.bytes";
 /// Documents encoded to OSON bytes (counter).
 pub const OSON_ENCODE_DOCS: &str = "oson.encode.docs";
+/// One navigational field lookup on an OSON tree node (span).
+pub const SPAN_OSON_GET_FIELD: &str = "oson.get_field";
 /// Object-child lookups by field id (counter).
 pub const OSON_NODE_LOOKUPS: &str = "oson.node.lookups";
 /// Binary-search probes spent in object-child lookups (counter).
@@ -95,8 +112,18 @@ pub const OSON_UPDATE_REENCODE: &str = "oson.update.reencode";
 /// Buffers rejected by the deep structural verifier (counter).
 pub const OSON_VALIDATE_FAILURES: &str = "oson.validate.failures";
 
+// --- slowlog ------------------------------------------------------------
+
+/// Queries currently held by the slow-query ring log (gauge).
+pub const SLOWLOG_ENTRIES: &str = "slowlog.entries";
+/// Slow-log entries evicted by the ring's fixed capacity (counter).
+pub const SLOWLOG_EVICTED: &str = "slowlog.evicted";
+
 // --- sqljson ------------------------------------------------------------
 
+/// One SQL/JSON path evaluation; args carry look-back hit/miss deltas
+/// (span).
+pub const SPAN_SQLJSON_EVAL: &str = "sqljson.eval";
 /// Context nodes visited across all path steps (counter).
 pub const SQLJSON_EVAL_NODES_VISITED: &str = "sqljson.eval.nodes_visited";
 /// Path evaluations started (counter).
@@ -117,6 +144,19 @@ pub const STORE_EXEC_NS: &str = "store.exec.ns";
 pub const STORE_EXEC_QUERIES: &str = "store.exec.queries";
 /// Inserts that took the unchanged-DataGuide fast path (counter).
 pub const STORE_INSERT_GUIDE_FAST_PATH: &str = "store.insert.guide_fast_path";
+/// One end-to-end query execution: the root span of a query's trace;
+/// args carry the SQL text or plan label (span).
+pub const SPAN_STORE_QUERY: &str = "store.query";
+
+// --- trace --------------------------------------------------------------
+
+/// Bytes retained by the spans of the last finished trace session
+/// (gauge).
+pub const TRACE_SESSION_BYTES: &str = "trace.session.bytes";
+/// Spans suppressed by a trace session's hard cap (counter).
+pub const TRACE_SPAN_DROPPED: &str = "trace.span.dropped";
+/// Spans recorded into trace sessions (counter).
+pub const TRACE_SPAN_RECORDED: &str = "trace.span.recorded";
 
 /// Every metric name in the catalog, in declaration (= sorted) order,
 /// for exhaustiveness checks and documentation tooling.
@@ -131,20 +171,27 @@ pub const ALL: &[&str] = &[
     DATAGUIDE_INSERT_UNCHANGED,
     DATAGUIDE_PATHS,
     EXEC_DEGREE,
+    SPAN_EXEC_MORSEL,
     EXEC_MORSEL_COUNT,
     EXEC_MORSEL_NS,
     EXEC_MORSEL_ROWS,
+    SPAN_EXEC_OP,
+    SPAN_EXEC_PIPELINE,
+    SPAN_EXEC_WORKER,
     EXEC_WORKER_BUSY_NS,
     INDEX_INSERT_DOCS,
+    SPAN_INDEX_LOOKUP,
     INDEX_LOOKUP_PATH,
     INDEX_LOOKUP_TEXT,
     INDEX_LOOKUP_VALUE,
     INDEX_POSTINGS_ADDED,
+    SPAN_OSON_DECODE,
     OSON_DECODE_DOCS,
     OSON_DICT_LOOKUPS,
     OSON_DICT_PROBES,
     OSON_ENCODE_BYTES,
     OSON_ENCODE_DOCS,
+    SPAN_OSON_GET_FIELD,
     OSON_NODE_LOOKUPS,
     OSON_NODE_PROBES,
     OSON_SEGMENT_DICTIONARY_BYTES,
@@ -153,6 +200,9 @@ pub const ALL: &[&str] = &[
     OSON_UPDATE_IN_PLACE,
     OSON_UPDATE_REENCODE,
     OSON_VALIDATE_FAILURES,
+    SLOWLOG_ENTRIES,
+    SLOWLOG_EVICTED,
+    SPAN_SQLJSON_EVAL,
     SQLJSON_EVAL_NODES_VISITED,
     SQLJSON_EVAL_PATHS,
     SQLJSON_LOOKBACK_ABSENT,
@@ -161,11 +211,32 @@ pub const ALL: &[&str] = &[
     STORE_EXEC_NS,
     STORE_EXEC_QUERIES,
     STORE_INSERT_GUIDE_FAST_PATH,
+    SPAN_STORE_QUERY,
+    TRACE_SESSION_BYTES,
+    TRACE_SPAN_DROPPED,
+    TRACE_SPAN_RECORDED,
+];
+
+/// The subset of [`ALL`] that names trace spans rather than metrics, in
+/// the same order. [`crate::trace`] asserts (in debug builds) that every
+/// span name comes from this inventory, and `fsdm-tidy` bans string
+/// literals at span call sites outside `crates/obs/` (rule
+/// `span-name-from-catalog`).
+pub const SPANS: &[&str] = &[
+    SPAN_EXEC_MORSEL,
+    SPAN_EXEC_OP,
+    SPAN_EXEC_PIPELINE,
+    SPAN_EXEC_WORKER,
+    SPAN_INDEX_LOOKUP,
+    SPAN_OSON_DECODE,
+    SPAN_OSON_GET_FIELD,
+    SPAN_SQLJSON_EVAL,
+    SPAN_STORE_QUERY,
 ];
 
 #[cfg(test)]
 mod tests {
-    use super::ALL;
+    use super::{ALL, SPANS};
 
     #[test]
     fn names_are_unique() {
@@ -179,6 +250,16 @@ mod tests {
     fn names_are_sorted() {
         for pair in ALL.windows(2) {
             assert!(pair[0] < pair[1], "{} must sort before {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn spans_are_a_sorted_subset_of_the_catalog() {
+        for pair in SPANS.windows(2) {
+            assert!(pair[0] < pair[1], "{} must sort before {}", pair[0], pair[1]);
+        }
+        for name in SPANS {
+            assert!(ALL.contains(name), "span {name} missing from ALL");
         }
     }
 

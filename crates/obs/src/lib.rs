@@ -27,6 +27,7 @@
 //! advancing. The flag is process-global and defaults to enabled.
 
 pub mod catalog;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -681,6 +681,7 @@ impl JsonDom for OsonDoc<'_> {
     /// `JsonDomGetFieldValue`: resolve the name to an instance field id,
     /// then binary-search the object's sorted id array (§4.2.1–4.2.2).
     fn get_field(&self, node: NodeRef, name: &str, hash: u32) -> Option<NodeRef> {
+        let _span = fsdm_obs::trace::span(fsdm_obs::catalog::SPAN_OSON_GET_FIELD);
         let id = self.lookup_field_id(name, hash)?;
         self.get_field_by_id(node, id)
     }

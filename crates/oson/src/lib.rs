@@ -128,6 +128,8 @@ pub type Result<T> = std::result::Result<T, OsonError>;
 /// constructing an [`OsonDoc`] directly.
 pub fn decode(bytes: &[u8]) -> Result<fsdm_json::JsonValue> {
     use fsdm_json::JsonDom;
+    let mut decode_span = fsdm_obs::trace::span(fsdm_obs::catalog::SPAN_OSON_DECODE);
+    decode_span.record_args(|| format!("bytes={}", bytes.len()));
     let doc = OsonDoc::new(bytes)?;
     doc.validate()?;
     fsdm_obs::counter!(fsdm_obs::catalog::OSON_DECODE_DOCS).inc();

@@ -3,6 +3,7 @@
 use fsdm_dataguide::agg::GuideFormat;
 use fsdm_dataguide::DataGuideAgg;
 use fsdm_json::JsonNumber;
+use fsdm_obs::trace::{Trace, TraceSession};
 use fsdm_sqljson::json_table::{ColumnDef, JsonTableDef, NestedDef};
 use fsdm_sqljson::{parse_path, Datum, SqlType};
 use fsdm_store::table::InsertValue;
@@ -54,7 +55,7 @@ impl Session {
     /// Parse and execute with positional `?` bind values.
     pub fn execute_with(&mut self, sql: &str, binds: &[Datum]) -> Result<QueryResult> {
         match parse_sql(sql)? {
-            Statement::Select(sel) => self.run_select(&sel, binds),
+            Statement::Select(sel) => self.run_select(sql, &sel, binds),
             Statement::CreateTable { name, columns } => {
                 self.create_table(&name, &columns)?;
                 Ok(empty_result("created"))
@@ -105,6 +106,43 @@ impl Session {
         Ok((self.execute_with(sql, binds)?, None))
     }
 
+    /// Parse and execute one statement under an armed trace session (see
+    /// [`fsdm_obs::trace`]), returning the rows together with the span
+    /// tree of the execution: operators, workers, morsels, path
+    /// evaluations, OSON decodes, index probes. Tracing is process-global
+    /// and serialized, so concurrent `trace_sql` calls queue up.
+    pub fn trace_sql(&mut self, sql: &str) -> Result<(QueryResult, Trace)> {
+        let (result, _, trace) = self.trace_with(sql, &[])?;
+        Ok((result, trace))
+    }
+
+    /// [`Session::trace_sql`] with positional `?` bind values, also
+    /// returning the [`QueryProfile`] when the statement ran through the
+    /// volcano executor (see [`Session::profile_with`] for when it does
+    /// not).
+    pub fn trace_with(
+        &mut self,
+        sql: &str,
+        binds: &[Datum],
+    ) -> Result<(QueryResult, Option<QueryProfile>, Trace)> {
+        if let Statement::Select(sel) = parse_sql(sql)? {
+            if dataguide_agg_target(&sel).is_none() {
+                let plan = self.plan_select(&sel, binds)?;
+                let (result, mut profile, trace) =
+                    self.db.execute_traced_sourced(&plan, Some(sql))?;
+                profile.diagnostics =
+                    crate::analyze::analyze_select(&self.db, &sel).unwrap_or_default();
+                return Ok((result, Some(profile), trace));
+            }
+        }
+        // statements outside the volcano executor (DDL/DML, the
+        // dataguide-agg path) still trace whatever spans they touch
+        let session = TraceSession::begin();
+        let out = self.execute_with(sql, binds);
+        let trace = session.finish();
+        Ok((out?, None, trace))
+    }
+
     /// Plan (without executing) a SELECT — used to register views and by
     /// the benchmark harness to pre-plan hot queries.
     pub fn plan(&self, sql: &str, binds: &[Datum]) -> Result<Query> {
@@ -114,14 +152,16 @@ impl Session {
         }
     }
 
-    fn run_select(&self, sel: &Select, binds: &[Datum]) -> Result<QueryResult> {
+    fn run_select(&self, sql: &str, sel: &Select, binds: &[Datum]) -> Result<QueryResult> {
         // JSON_DATAGUIDEAGG is the one aggregate the plan algebra does not
         // model; the session drives it directly (§3.4)
         if let Some(agg_col) = dataguide_agg_target(sel) {
             return self.run_dataguide_agg(sel, &agg_col, binds);
         }
         let plan = self.plan_select(sel, binds)?;
-        Ok(self.db.execute(&plan)?)
+        // the SQL text rides along so slow-query-log entries name the
+        // statement rather than the plan root
+        Ok(self.db.execute_sourced(&plan, Some(sql))?)
     }
 
     fn create_table(&mut self, name: &str, columns: &[CreateColumn]) -> Result<()> {

@@ -80,6 +80,8 @@ impl PathEvaluator {
         let steps = std::mem::take(&mut self.path.steps);
         let mut computed: Option<Vec<PathOutput>> = None;
         fsdm_obs::counter!(fsdm_obs::catalog::SQLJSON_EVAL_PATHS).inc();
+        let mut eval_span = fsdm_obs::trace::span(fsdm_obs::catalog::SPAN_SQLJSON_EVAL);
+        let (hits0, misses0) = (self.lookback_hits, self.lookback_misses);
         for step in &steps {
             fsdm_obs::counter!(fsdm_obs::catalog::SQLJSON_EVAL_NODES_VISITED)
                 .add(current.len() as u64);
@@ -116,6 +118,10 @@ impl PathEvaluator {
             }
         }
         self.path.steps = steps;
+        if eval_span.is_recording() {
+            let (hits, misses) = (self.lookback_hits - hits0, self.lookback_misses - misses0);
+            eval_span.record_args(|| format!("lookback hit={hits} miss={misses}"));
+        }
         match computed {
             Some(c) => c,
             None => current.into_iter().map(PathOutput::Node).collect(),

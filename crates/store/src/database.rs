@@ -13,10 +13,13 @@ use std::time::Instant;
 
 use fsdm_sqljson::Datum;
 
+use fsdm_obs::trace::{self, Trace, TraceSession};
+
 use crate::expr::{AggFun, EvalScratch, Expr};
 use crate::parallel::{default_degree, run_morsels, ExecContext, ParStats, DEFAULT_MORSEL_ROWS};
 use crate::profile::{OpProfile, QueryProfile};
 use crate::query::{AggSpec, Query, QueryResult, SortKey, WindowFun};
+use crate::slowlog::SlowLog;
 use crate::table::{Cell, Row, StoreError, Table};
 
 /// An embedded database instance.
@@ -30,6 +33,8 @@ pub struct Database {
     parallelism: usize,
     /// Configured morsel size in rows; 0 means [`DEFAULT_MORSEL_ROWS`].
     morsel_rows: usize,
+    /// Slow-query ring log; disarmed by default.
+    slow_log: SlowLog,
 }
 
 impl Database {
@@ -163,6 +168,23 @@ impl Database {
     /// through the optimizer (notably the §6.3 JSON_EXISTS predicate
     /// pushdown into JSON_TABLE pipelines).
     pub fn execute(&self, plan: &Query) -> Result<QueryResult, StoreError> {
+        self.execute_sourced(plan, None)
+    }
+
+    /// [`Database::execute`] with the originating SQL text attached, so
+    /// slow-query-log entries name the statement instead of the plan
+    /// root. While the slow log is armed, execution runs through the
+    /// profiled path so captured entries carry a full operator tree.
+    pub fn execute_sourced(
+        &self,
+        plan: &Query,
+        source: Option<&str>,
+    ) -> Result<QueryResult, StoreError> {
+        if self.slow_log.armed() {
+            let (result, profile) = self.execute_profiled_inner(plan)?;
+            self.log_slow(source, plan, &profile, None);
+            return Ok(result);
+        }
         let optimized = crate::optimizer::optimize(self, plan.clone());
         self.execute_unoptimized(&optimized)
     }
@@ -173,7 +195,10 @@ impl Database {
         let start = Instant::now();
         let ctx = self.exec_context(false);
         fsdm_obs::gauge!(fsdm_obs::catalog::EXEC_DEGREE).set(ctx.degree as i64);
+        let mut root_span = trace::span(fsdm_obs::catalog::SPAN_STORE_QUERY);
+        root_span.record_args(|| op_label(plan));
         let (columns, rows) = self.exec(plan, &mut None, &ctx)?;
+        drop(root_span);
         fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
         fsdm_obs::histogram!(fsdm_obs::catalog::STORE_EXEC_NS)
             .record(start.elapsed().as_nanos() as u64);
@@ -188,16 +213,103 @@ impl Database {
         &self,
         plan: &Query,
     ) -> Result<(QueryResult, QueryProfile), StoreError> {
+        let (result, profile) = self.execute_profiled_inner(plan)?;
+        self.log_slow(None, plan, &profile, None);
+        Ok((result, profile))
+    }
+
+    /// The profiled execution core, shared by the profiled, traced and
+    /// slow-log-armed surfaces; no slow-log side effects of its own.
+    fn execute_profiled_inner(
+        &self,
+        plan: &Query,
+    ) -> Result<(QueryResult, QueryProfile), StoreError> {
         let optimized = crate::optimizer::optimize(self, plan.clone());
         let ctx = self.exec_context(true);
         fsdm_obs::gauge!(fsdm_obs::catalog::EXEC_DEGREE).set(ctx.degree as i64);
+        let mut root_span = trace::span(fsdm_obs::catalog::SPAN_STORE_QUERY);
+        root_span.record_args(|| op_label(plan));
         let mut sink = Some(Vec::new());
         let (columns, rows) = self.exec(&optimized, &mut sink, &ctx)?;
+        drop(root_span);
         let root =
             sink.and_then(|mut ops| ops.pop()).expect("profiled execution yields a root operator");
         fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
         fsdm_obs::histogram!(fsdm_obs::catalog::STORE_EXEC_NS).record(root.elapsed_ns);
         Ok((materialize(columns, rows), QueryProfile::new(root)))
+    }
+
+    /// Execute a plan under an armed [`TraceSession`]: runs the profiled
+    /// path with span capture and returns the result, the operator
+    /// profile, and the finished span tree. Sessions are process-global,
+    /// so concurrent traced executions serialize.
+    pub fn execute_traced(
+        &self,
+        plan: &Query,
+    ) -> Result<(QueryResult, QueryProfile, Trace), StoreError> {
+        self.execute_traced_sourced(plan, None)
+    }
+
+    /// [`Database::execute_traced`] with the originating SQL text
+    /// attached for slow-query-log entries, which also capture the trace
+    /// summary.
+    pub fn execute_traced_sourced(
+        &self,
+        plan: &Query,
+        source: Option<&str>,
+    ) -> Result<(QueryResult, QueryProfile, Trace), StoreError> {
+        let session = TraceSession::begin();
+        let out = self.execute_profiled_inner(plan);
+        let trace = session.finish();
+        let (result, profile) = out?;
+        self.log_slow(source, plan, &profile, Some(trace.summary()));
+        Ok((result, profile, trace))
+    }
+
+    /// Arm the slow-query ring log: queries whose wall time reaches
+    /// `threshold_ns` (0 captures everything) are kept in a ring of the
+    /// last `cap` entries, each with its SQL text (when known via the
+    /// `*_sourced` surfaces), operator profile, and trace summary. A
+    /// `cap` of 0 disarms. Re-arming clears previous contents.
+    pub fn set_slow_log(&self, threshold_ns: u64, cap: usize) {
+        self.slow_log.arm(threshold_ns, cap);
+    }
+
+    /// The slow-query ring log.
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
+    /// JSON dump of the slow-query ring log (see [`SlowLog::to_json`]).
+    pub fn slow_log_json(&self) -> String {
+        self.slow_log.to_json()
+    }
+
+    fn log_slow(
+        &self,
+        source: Option<&str>,
+        plan: &Query,
+        profile: &QueryProfile,
+        trace_summary: Option<String>,
+    ) {
+        if !self.slow_log.armed() {
+            return;
+        }
+        let label;
+        let source = match source {
+            Some(s) => s,
+            None => {
+                label = op_label(plan);
+                &label
+            }
+        };
+        self.slow_log.record(
+            source,
+            profile.elapsed_ns(),
+            self.parallelism(),
+            Some(profile),
+            trace_summary,
+        );
     }
 
     /// Recursive entry point of the volcano executor. When `prof` carries
@@ -211,6 +323,8 @@ impl Database {
         prof: &mut Option<Vec<OpProfile>>,
         ctx: &ExecContext,
     ) -> Result<(Vec<String>, Vec<Row>), StoreError> {
+        let mut op_span = trace::span(fsdm_obs::catalog::SPAN_EXEC_OP);
+        op_span.record_args(|| op_label(plan));
         match prof {
             None => {
                 let mut stats = ParStats::default();

@@ -30,6 +30,7 @@ pub mod parallel;
 pub mod profile;
 pub mod query;
 pub mod schema;
+pub mod slowlog;
 pub mod table;
 
 pub use database::Database;
@@ -40,6 +41,7 @@ pub use parallel::{default_degree, morsels, ExecContext, ParStats, RowRange, DEF
 pub use profile::{OpProfile, QueryProfile};
 pub use query::{Query, QueryResult, SortKey, WindowFun};
 pub use schema::{ColType, ColumnSpec, ConstraintMode, TableSchema};
+pub use slowlog::{SlowEntry, SlowLog};
 pub use table::{Cell, InsertValue, Row, StoreError, Table};
 
 pub use fsdm_sqljson::{Datum, SqlType};

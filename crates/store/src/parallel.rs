@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+use fsdm_obs::trace;
+
 use crate::expr::EvalScratch;
 use crate::table::StoreError;
 
@@ -124,30 +126,43 @@ where
     stats.workers = stats.workers.max(workers);
     stats.morsels += ranges.len();
     fsdm_obs::counter!(fsdm_obs::catalog::EXEC_MORSEL_COUNT).add(ranges.len() as u64);
+    let mut pipeline = trace::span(fsdm_obs::catalog::SPAN_EXEC_PIPELINE);
+    pipeline.record_args(|| format!("workers={workers} morsels={}", ranges.len()));
     if workers == 1 {
         let mut scratch = EvalScratch::new();
         let mut out = Vec::with_capacity(ranges.len());
         for range in ranges {
             let t = Instant::now();
+            let mut morsel = trace::span(fsdm_obs::catalog::SPAN_EXEC_MORSEL);
+            morsel.record_args(|| format!("rows={}..{}", range.start, range.end));
             let v = f(range, &mut scratch)?;
+            drop(morsel);
             record_morsel(range, t);
             out.push(v);
         }
         return Ok(out);
     }
+    let pipeline_id = pipeline.id();
     let next = AtomicUsize::new(0);
     let per_worker: Vec<Vec<(usize, Result<T, StoreError>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let busy = Instant::now();
+                    // explicit cross-thread parent: this lane's spans hang
+                    // under the pipeline span on the coordinating thread
+                    let _worker =
+                        trace::span_with_parent(fsdm_obs::catalog::SPAN_EXEC_WORKER, pipeline_id);
                     let mut scratch = EvalScratch::new();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(range) = ranges.get(i).copied() else { break };
                         let t = Instant::now();
+                        let mut morsel = trace::span(fsdm_obs::catalog::SPAN_EXEC_MORSEL);
+                        morsel.record_args(|| format!("rows={}..{}", range.start, range.end));
                         let v = f(range, &mut scratch);
+                        drop(morsel);
                         record_morsel(range, t);
                         let failed = v.is_err();
                         local.push((i, v));

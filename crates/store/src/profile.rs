@@ -77,6 +77,62 @@ impl QueryProfile {
         out
     }
 
+    /// Sum of `morsels` across every operator — the number of
+    /// `exec.morsel` spans a trace of this execution contains.
+    pub fn total_morsels(&self) -> usize {
+        self.ops().iter().map(|o| o.morsels).sum()
+    }
+
+    /// Hand-rolled JSON rendering of the operator tree (plus diagnostics
+    /// as rendered strings), for slow-query-log dumps and tooling.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn walk(op: &OpProfile, out: &mut String) {
+            let _ = write!(
+                out,
+                "{{\"op\":\"{}\",\"rows_out\":{},\"elapsed_ns\":{},\"workers\":{},\
+                 \"morsels\":{},\"children\":[",
+                esc(&op.op),
+                op.rows_out,
+                op.elapsed_ns,
+                op.workers,
+                op.morsels
+            );
+            for (i, c) in op.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                walk(c, out);
+            }
+            out.push_str("]}");
+        }
+        let mut out = String::from("{\"root\":");
+        walk(&self.root, &mut out);
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(&d.to_string()));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Indented plan-tree rendering:
     ///
     /// ```text

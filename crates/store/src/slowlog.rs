@@ -1,0 +1,245 @@
+//! Slow-query ring log: a fixed-size ring of the most recent queries
+//! whose wall time crossed a configurable threshold.
+//!
+//! The log is owned by [`crate::Database`] and disarmed by default — an
+//! unarmed log costs one relaxed atomic load per query. When armed (see
+//! [`crate::Database::set_slow_log`]), every query executed through the
+//! `Database`/`Session` surfaces is timed, and entries over the threshold
+//! are pushed into the ring: SQL text (when the surface knows it),
+//! the [`QueryProfile`] operator tree, and the trace summary when the
+//! query ran under an armed trace session. The ring holds the last `cap`
+//! entries; older ones are evicted and counted
+//! (`slowlog.evicted`). Dump the ring as JSON with
+//! [`crate::Database::slow_log_json`] or `repro --slow-log`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+use crate::profile::QueryProfile;
+
+/// One slow query captured by the ring.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Monotonic capture sequence number (survives eviction, so dumps
+    /// show how many slow queries came before the ring's window).
+    pub seq: u64,
+    /// SQL text, or a plan label when the query bypassed the SQL layer.
+    pub source: String,
+    /// End-to-end wall time in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Parallel degree the query ran with.
+    pub threads: usize,
+    /// Operator tree, when the execution was profiled.
+    pub profile: Option<QueryProfile>,
+    /// Trace summary (`spans=… dropped=… names[…]`), when the query ran
+    /// under an armed trace session.
+    pub trace_summary: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    cap: usize,
+    next_seq: u64,
+    entries: Vec<SlowEntry>,
+}
+
+/// The ring log itself. Uses a `Mutex` for the ring (armed-path only);
+/// the armed/threshold check on the query hot path is a single relaxed
+/// atomic load.
+#[derive(Debug, Default)]
+pub struct SlowLog {
+    /// Threshold in nanoseconds; 0 means disarmed.
+    threshold_ns: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl SlowLog {
+    /// Disarmed log.
+    pub fn new() -> SlowLog {
+        SlowLog::default()
+    }
+
+    /// Arm with a threshold (`0` captures every query) and ring capacity,
+    /// clearing any previous contents. A capacity of 0 disarms.
+    pub fn arm(&self, threshold_ns: u64, cap: usize) {
+        let mut ring = lock(&self.ring);
+        ring.cap = cap;
+        ring.entries.clear();
+        ring.next_seq = 0;
+        // threshold 0 must still arm, so the flag value is threshold+1
+        let flag = if cap == 0 { 0 } else { threshold_ns.saturating_add(1) };
+        self.threshold_ns.store(flag, Relaxed);
+        fsdm_obs::gauge!(fsdm_obs::catalog::SLOWLOG_ENTRIES).set(0);
+    }
+
+    /// Disarm and clear.
+    pub fn disarm(&self) {
+        self.arm(0, 0);
+    }
+
+    /// Whether queries should be measured against the log at all — the
+    /// one check on the un-armed hot path.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.threshold_ns.load(Relaxed) != 0
+    }
+
+    /// The armed threshold in nanoseconds, if armed.
+    pub fn threshold_ns(&self) -> Option<u64> {
+        match self.threshold_ns.load(Relaxed) {
+            0 => None,
+            t => Some(t - 1),
+        }
+    }
+
+    /// Record a finished query; a no-op unless armed and `elapsed_ns`
+    /// reaches the threshold.
+    pub fn record(
+        &self,
+        source: &str,
+        elapsed_ns: u64,
+        threads: usize,
+        profile: Option<&QueryProfile>,
+        trace_summary: Option<String>,
+    ) {
+        let Some(threshold) = self.threshold_ns() else { return };
+        if elapsed_ns < threshold {
+            return;
+        }
+        let mut ring = lock(&self.ring);
+        if ring.cap == 0 {
+            return;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.entries.len() == ring.cap {
+            ring.entries.remove(0);
+            fsdm_obs::counter!(fsdm_obs::catalog::SLOWLOG_EVICTED).inc();
+        }
+        ring.entries.push(SlowEntry {
+            seq,
+            source: source.to_string(),
+            elapsed_ns,
+            threads,
+            profile: profile.cloned(),
+            trace_summary,
+        });
+        fsdm_obs::gauge!(fsdm_obs::catalog::SLOWLOG_ENTRIES).set(ring.entries.len() as i64);
+    }
+
+    /// Snapshot of the ring's current entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        lock(&self.ring).entries.clone()
+    }
+
+    /// Dump the ring as a JSON document:
+    /// `{"threshold_ns":…,"captured":…,"entries":[…]}` where `captured`
+    /// counts every recorded entry including evicted ones.
+    pub fn to_json(&self) -> String {
+        let threshold = self.threshold_ns();
+        let ring = lock(&self.ring);
+        let mut out = String::from("{\"threshold_ns\":");
+        match threshold {
+            Some(t) => {
+                let _ = write!(out, "{t}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\"captured\":{},\"entries\":[", ring.next_seq);
+        for (i, e) in ring.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"source\":\"{}\",\"elapsed_ns\":{},\"threads\":{}",
+                e.seq,
+                esc(&e.source),
+                e.elapsed_ns,
+                e.threads
+            );
+            match &e.profile {
+                Some(p) => {
+                    let _ = write!(out, ",\"profile\":{}", p.to_json());
+                }
+                None => out.push_str(",\"profile\":null"),
+            }
+            match &e.trace_summary {
+                Some(t) => {
+                    let _ = write!(out, ",\"trace\":\"{}\"", esc(t));
+                }
+                None => out.push_str(",\"trace\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_log_records_nothing() {
+        let log = SlowLog::new();
+        assert!(!log.armed());
+        log.record("SELECT 1", 1_000_000, 1, None, None);
+        assert!(log.entries().is_empty());
+    }
+
+    #[test]
+    fn threshold_filters_and_ring_evicts() {
+        let log = SlowLog::new();
+        log.arm(1000, 2);
+        assert_eq!(log.threshold_ns(), Some(1000));
+        log.record("fast", 999, 1, None, None);
+        log.record("slow1", 1000, 1, None, None);
+        log.record("slow2", 5000, 2, None, Some("spans=3 dropped=0 names[a=3]".into()));
+        log.record("slow3", 9000, 4, None, None);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2, "ring holds the last two");
+        assert_eq!(entries[0].source, "slow2");
+        assert_eq!(entries[1].source, "slow3");
+        assert_eq!(entries[1].seq, 2, "seq counts all captured entries");
+        let json = log.to_json();
+        assert!(json.contains("\"captured\":3"), "{json}");
+        assert!(json.contains("\"source\":\"slow3\""), "{json}");
+        assert!(json.contains("\"trace\":null"), "{json}");
+    }
+
+    #[test]
+    fn threshold_zero_captures_everything_when_armed() {
+        let log = SlowLog::new();
+        log.arm(0, 4);
+        assert!(log.armed());
+        assert_eq!(log.threshold_ns(), Some(0));
+        log.record("q", 1, 1, None, None);
+        assert_eq!(log.entries().len(), 1);
+        log.disarm();
+        assert!(!log.armed());
+        assert!(log.entries().is_empty());
+    }
+}

@@ -3,7 +3,9 @@
 //! Rules are scoped by repo-relative path. The hot-path decode/navigation
 //! files must stay panic-free (`no-panic`, `no-index`), the OSON/BSON wire
 //! arithmetic must use checked conversions (`no-as-int`), metric names
-//! must come from `fsdm_obs::catalog` (`metric-literal`), the executor
+//! must come from `fsdm_obs::catalog` (`metric-literal`), span names must
+//! come from the catalog's `SPAN_*` constants (`span-name-from-catalog`),
+//! the executor
 //! crates must stay free of single-thread interior mutability so
 //! `Expr`/`Table`/`Database` remain `Send + Sync` (`no-interior-mut`:
 //! `RefCell`/`Cell`/`Rc` in `crates/store/src` and `crates/sqljson/src`),
@@ -121,6 +123,7 @@ pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
         }
         if metrics {
             metric_literal(rel, scan, line, &masked, &mut raw);
+            span_literal(rel, scan, line, &masked, &mut raw);
         }
     }
     todo_comments(rel, scan, &mut raw);
@@ -413,6 +416,52 @@ fn metric_literal(rel: &str, scan: &Scan, line: usize, masked: &str, out: &mut V
     }
 }
 
+/// Mirror of [`metric_literal`] for the trace layer: span names at
+/// `span`/`span_args`/`span_with_parent` call sites must come from
+/// `fsdm_obs::catalog` (the `SPAN_*` constants), never be string
+/// literals. Spans are functions, not macros, so the shape is the
+/// identifier followed directly by `(` and a string literal.
+fn span_literal(rel: &str, scan: &Scan, line: usize, masked: &str, out: &mut Vec<Finding>) {
+    for (_, end, word) in idents(masked) {
+        if !matches!(word.as_str(), "span" | "span_args" | "span_with_parent") {
+            continue;
+        }
+        let mchars: Vec<char> = masked.chars().collect();
+        let mut j = end;
+        while mchars.get(j).is_some_and(|c| c.is_whitespace()) {
+            j += 1;
+        }
+        if mchars.get(j) != Some(&'(') {
+            continue;
+        }
+        j += 1;
+        let mut literal = false;
+        while let (Some(&c), Some(&cls)) = (
+            scan.lines.get(line).and_then(|l| l.get(j)),
+            scan.classes.get(line).and_then(|l| l.get(j)),
+        ) {
+            if cls == Class::Code && c.is_whitespace() {
+                j += 1;
+                continue;
+            }
+            literal = matches!(cls, Class::StrDelim | Class::StrContent);
+            break;
+        }
+        if literal {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "span-name-from-catalog",
+                message: format!(
+                    "string-literal span name at a `{word}` call site; trace through a \
+                     `fsdm_obs::catalog::SPAN_*` constant"
+                ),
+                fixable: false,
+            });
+        }
+    }
+}
+
 fn hygiene(rel: &str, scan: &Scan, line: usize, out: &mut Vec<Finding>) {
     let (Some(chars), Some(classes)) = (scan.lines.get(line), scan.classes.get(line)) else {
         return;
@@ -568,6 +617,24 @@ mod tests {
         assert!(run("crates/obs/src/lib.rs", src).is_empty(), "obs itself is exempt");
         let ok = "fn f() {\n    fsdm_obs::counter!(fsdm_obs::catalog::X).inc();\n}\n";
         assert!(run(COLD, ok).is_empty());
+    }
+
+    #[test]
+    fn flags_span_literals_outside_obs() {
+        let src = "fn f() {\n    let _g = fsdm_obs::trace::span(\"a.b\");\n}\n";
+        assert_eq!(rules(&run(COLD, src)), vec!["span-name-from-catalog"]);
+        assert!(run("crates/obs/src/trace.rs", src).is_empty(), "obs itself is exempt");
+        let with_parent =
+            "fn f(p: u64) {\n    let _g = fsdm_obs::trace::span_with_parent(\"a.b\", p);\n}\n";
+        assert_eq!(rules(&run(COLD, with_parent)), vec!["span-name-from-catalog"]);
+        let ok = "fn f() {\n    let _g = fsdm_obs::trace::span(fsdm_obs::catalog::SPAN_X);\n}\n";
+        assert!(run(COLD, ok).is_empty());
+        let unrelated = "fn f(s: &Layout) {\n    s.span(\"names are fine on other types\")\n}\n";
+        assert_eq!(
+            rules(&run(COLD, unrelated)),
+            vec!["span-name-from-catalog"],
+            "method calls match too — rename unrelated methods rather than weakening the rule"
+        );
     }
 
     #[test]
