@@ -24,6 +24,12 @@ FSDM_THREADS=1 cargo test --workspace -q
 echo "== tests (full workspace, 4-way parallel executor) =="
 FSDM_THREADS=4 cargo test --workspace -q
 
+echo "== fsdm-planck (workload plan typecheck, zero-error budget) =="
+cargo run --release -p fsdm-bench --bin fsdm-planck -- --workload both --scale 1000 --json \
+  > planck-report.json \
+  || { echo "fsdm-planck found error-severity findings:"; cat planck-report.json; exit 1; }
+grep -q '"errors": 0' planck-report.json
+
 echo "== bench concurrency smoke (4-thread wall <= 1.1x 1-thread) =="
 # --json persists the run in the stable fsdm-bench-concurrency-v1 schema
 # so CI revisions accumulate into a machine-readable perf trajectory
@@ -36,6 +42,11 @@ cargo run --release -p fsdm-bench --bin bench -- trace-overhead --scale 2000 --s
 echo "== repro trace smoke (span trees validate, exports re-parse) =="
 FSDM_THREADS=4 cargo run --release -p fsdm-bench --bin repro -- \
   --trace /tmp/fsdm-trace.json --slow-log /tmp/fsdm-slow.json --scale 300
+
+echo "== repro typecheck report (writes repro-planck.json, re-parses) =="
+cargo run --release -p fsdm-bench --bin repro -- table10 --scale 120 --no-metrics \
+  --typecheck-report repro-planck.json
+grep -q '"errors": 0' repro-planck.json
 
 echo "== fsdm-tidy (repo-native static analysis) =="
 cargo run --release -p fsdm-tidy

@@ -52,6 +52,27 @@ pub enum Code {
     /// FA007: a singleton-scalar path eligible for `add_vc` that is not
     /// materialized as a virtual column.
     VcCandidate,
+    /// PK001: a plan expression references a column position outside its
+    /// input schema, or a scan/view names a table/view that does not
+    /// exist.
+    UnknownColumn,
+    /// PK002: a predicate, aggregate argument, or join key whose operand
+    /// types can never compare/compute under the executor's coercion
+    /// rules.
+    PlanTypeMismatch,
+    /// PK003: a comparison against an operand that is always SQL NULL, so
+    /// the predicate can never be true under three-valued logic.
+    NullComparison,
+    /// PK004: wrong scalar-function/aggregate arity, or duplicate output
+    /// column names in a Project/GroupBy/Window schema.
+    ArityMismatch,
+    /// PK005: a Sort or window ORDER BY key that does not pin an order
+    /// (empty key list, constant key, or duplicated key expression).
+    UnstableOrderKey,
+    /// PK006: an optimizer rewrite changed the plan's inferred schema,
+    /// nullability, determinism, or parallel-safety class, or failed the
+    /// idempotence check.
+    RewriteDivergence,
 }
 
 impl Code {
@@ -65,6 +86,12 @@ impl Code {
             Code::LowFrequencyPath => "FA005",
             Code::UnstreamablePath => "FA006",
             Code::VcCandidate => "FA007",
+            Code::UnknownColumn => "PK001",
+            Code::PlanTypeMismatch => "PK002",
+            Code::NullComparison => "PK003",
+            Code::ArityMismatch => "PK004",
+            Code::UnstableOrderKey => "PK005",
+            Code::RewriteDivergence => "PK006",
         }
     }
 
@@ -78,6 +105,12 @@ impl Code {
             Code::LowFrequencyPath => "low-frequency-path",
             Code::UnstreamablePath => "unstreamable-path",
             Code::VcCandidate => "vc-candidate",
+            Code::UnknownColumn => "unknown-column",
+            Code::PlanTypeMismatch => "plan-type-mismatch",
+            Code::NullComparison => "null-comparison",
+            Code::ArityMismatch => "arity-or-duplicate",
+            Code::UnstableOrderKey => "unstable-order-key",
+            Code::RewriteDivergence => "rewrite-divergence",
         }
     }
 
@@ -88,6 +121,9 @@ impl Code {
             Code::TypeMismatch | Code::DeadPredicate | Code::MissingArrayStep => Severity::Warning,
             Code::LowFrequencyPath => Severity::Warning,
             Code::UnstreamablePath | Code::VcCandidate => Severity::Info,
+            Code::UnknownColumn | Code::PlanTypeMismatch => Severity::Error,
+            Code::ArityMismatch | Code::RewriteDivergence => Severity::Error,
+            Code::NullComparison | Code::UnstableOrderKey => Severity::Warning,
         }
     }
 }
@@ -251,14 +287,63 @@ mod tests {
             Code::LowFrequencyPath,
             Code::UnstreamablePath,
             Code::VcCandidate,
+            Code::UnknownColumn,
+            Code::PlanTypeMismatch,
+            Code::NullComparison,
+            Code::ArityMismatch,
+            Code::UnstableOrderKey,
+            Code::RewriteDivergence,
         ];
         let ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
-        assert_eq!(ids, vec!["FA001", "FA002", "FA003", "FA004", "FA005", "FA006", "FA007"]);
+        assert_eq!(
+            ids,
+            vec![
+                "FA001", "FA002", "FA003", "FA004", "FA005", "FA006", "FA007", "PK001", "PK002",
+                "PK003", "PK004", "PK005", "PK006",
+            ]
+        );
         for c in all {
             assert!(c.slug().chars().all(|ch| ch.is_ascii_lowercase() || ch == '-'));
         }
         assert_eq!(Code::UnknownPath.severity(), Severity::Error);
+        assert_eq!(Code::UnknownColumn.severity(), Severity::Error);
         assert!(Severity::Error > Severity::Warning && Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn code_registry_has_no_duplicates_or_gaps() {
+        // same discipline as the obs metric catalog: each series is
+        // contiguous from 001 and every id/slug is unique
+        let all = [
+            Code::UnknownPath,
+            Code::TypeMismatch,
+            Code::DeadPredicate,
+            Code::MissingArrayStep,
+            Code::LowFrequencyPath,
+            Code::UnstreamablePath,
+            Code::VcCandidate,
+            Code::UnknownColumn,
+            Code::PlanTypeMismatch,
+            Code::NullComparison,
+            Code::ArityMismatch,
+            Code::UnstableOrderKey,
+            Code::RewriteDivergence,
+        ];
+        for series in ["FA", "PK"] {
+            let mut nums: Vec<u32> = all
+                .iter()
+                .map(|c| c.id())
+                .filter(|id| id.starts_with(series))
+                .filter_map(|id| id[2..].parse().ok())
+                .collect();
+            nums.sort_unstable();
+            let expect: Vec<u32> = (1..=nums.len() as u32).collect();
+            assert_eq!(nums, expect, "{series} series must be contiguous from 001");
+        }
+        let mut slugs: Vec<&str> = all.iter().map(|c| c.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), all.len(), "slugs must be unique");
     }
 
     #[test]

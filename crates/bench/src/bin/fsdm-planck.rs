@@ -1,0 +1,94 @@
+//! `fsdm-planck`: type-check the paper's workload queries at the plan
+//! level — schema/type inference plus optimizer translation validation
+//! (PK001–PK006 diagnostics).
+//!
+//! ```text
+//! fsdm-planck                              # check both workloads
+//! fsdm-planck --workload nobench           # NoBench Q1-Q11 only
+//! fsdm-planck --workload olap --scale 500  # OLAP Table 13 at scale 500
+//! fsdm-planck --json                       # machine-readable report
+//! ```
+//!
+//! Exit status is non-zero when any error-severity finding remains —
+//! the CI budget.
+
+use std::process::ExitCode;
+
+use fsdm_bench::planck::{planck_nobench, planck_olap, PlanckReport};
+
+struct Options {
+    workload: String,
+    scale: usize,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let usage = "usage: fsdm-planck [--workload nobench|olap|both] [--scale N] [--json]";
+    let mut opts = Options { workload: "both".to_string(), scale: 1000, json: false };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--workload" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some(w @ ("nobench" | "olap" | "both")) => opts.workload = w.to_string(),
+                    _ => return Err(format!("--workload needs nobench|olap|both\n{usage}")),
+                }
+            }
+            "--scale" => {
+                i += 1;
+                opts.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--scale needs a number\n{usage}"))?;
+            }
+            "--help" | "-h" => return Err(usage.to_string()),
+            other => return Err(format!("unknown argument {other}\n{usage}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn build_report(opts: &Options) -> Result<PlanckReport, String> {
+    let mut report = match opts.workload.as_str() {
+        "nobench" => planck_nobench(opts.scale).map_err(|e| e.to_string())?,
+        "olap" => planck_olap(opts.scale).map_err(|e| e.to_string())?,
+        _ => {
+            let mut r = planck_nobench(opts.scale).map_err(|e| e.to_string())?;
+            r.merge(planck_olap(opts.scale).map_err(|e| e.to_string())?);
+            r
+        }
+    };
+    report.scale = opts.scale;
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match build_report(&opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("fsdm-planck: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

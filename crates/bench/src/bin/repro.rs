@@ -26,7 +26,10 @@
 //! README's Observability section) and writing it as JSON to
 //! `repro-metrics.json` for offline diffing. Pass `--no-metrics` to skip
 //! both. Pass `--lint-report` to also run the `fsdm-analyze` semantic
-//! lint over both workload query sets and write `repro-lint.json`.
+//! lint over both workload query sets and write `repro-lint.json`;
+//! `--typecheck-report FILE` runs the `fsdm-planck` plan type-check the
+//! same way and writes FILE (conventionally `repro-planck.json`),
+//! re-parsing it through `fsdm-json` before the run is declared good.
 //!
 //! `--trace FILE` (optionally with `--slow-log FILE`) switches to the
 //! tracing demo instead of the experiments: it runs the full NOBENCH set
@@ -107,6 +110,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--lint-report") {
         dump_lint_report(scale.unwrap_or(1000));
+    }
+    if let Some(path) = flag("--typecheck-report") {
+        dump_typecheck_report(scale.unwrap_or(1000), path);
     }
     if !args.iter().any(|a| a == "--no-metrics") {
         dump_metrics();
@@ -240,6 +246,47 @@ fn dump_lint_report(scale: usize) {
             }
         }
         Err(e) => eprintln!("lint failed: {e}"),
+    }
+}
+
+/// Run the planck plan type-check over both workload query sets,
+/// persist the findings to `path`, and prove the file round-trips
+/// through the JSON parser before the run is declared good.
+fn dump_typecheck_report(scale: usize, path: &str) {
+    use fsdm_bench::planck::{planck_nobench, planck_olap};
+    println!("\n== fsdm-planck: workload plan typecheck (scale {scale}) ==");
+    let report = planck_nobench(scale).and_then(|mut r| {
+        r.merge(planck_olap(scale)?);
+        Ok(r)
+    });
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("typecheck failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render_text());
+    let json = report.render_json();
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    // same re-parse gate as the trace exports: a report CI cannot read
+    // back is a failure, not an artifact
+    match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| fsdm_json::parse(&text).map_err(|e| format!("{e:?}")).map(drop))
+    {
+        Ok(()) => println!("typecheck report written to {path} (re-parsed OK)"),
+        Err(e) => {
+            eprintln!("typecheck report {path} does not re-parse: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.errors() > 0 {
+        eprintln!("typecheck found {} error(s)", report.errors());
+        std::process::exit(1);
     }
 }
 

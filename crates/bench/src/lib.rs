@@ -5,6 +5,7 @@
 pub mod concurrency;
 pub mod experiments;
 pub mod lint;
+pub mod planck;
 pub mod setup;
 pub mod traceov;
 

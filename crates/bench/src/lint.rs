@@ -252,7 +252,10 @@ mod tests {
         let report = lint_sql_text(&session, 100, src).unwrap();
         assert_eq!(report.items.len(), 2);
         assert_eq!(report.errors(), 1, "{}", report.render_text());
-        assert!(report.items[0].diagnostics.iter().any(|d| d.code.id() == "FA001"));
+        assert!(report.items[0]
+            .diagnostics
+            .iter()
+            .any(|d| d.code == fsdm_analyze::Code::UnknownPath));
         let json = report.render_json();
         assert!(json.contains("\"errors\": 1"), "{json}");
         assert!(json.contains("\"label\": \"sql:1\""), "{json}");

@@ -1,0 +1,241 @@
+//! The workload type-check harness behind the `fsdm-planck` binary and
+//! its CI gate.
+//!
+//! Each workload's database is rebuilt exactly as the benchmarks load
+//! it, every query the paper issues is planned and put through
+//! `Session::typecheck` — plan-level schema/type inference plus the
+//! optimizer translation validator — and the PK findings are aggregated
+//! with severity totals. NoBench Q11 and the OLAP view bodies have no
+//! SQL text of their own, so their plans are checked directly. CI fails
+//! the build on any error-severity finding.
+
+use fsdm_planck::{render_json, render_text, Query, Severity};
+use fsdm_sql::{Diagnostic, SqlError};
+use fsdm_workloads::nobench;
+
+use crate::setup::{
+    add_nobench_vcs, bind_datum, nobench_guided_db, nobench_q11_plan, nobench_q5_bind,
+    olap_guided_db, olap_queries,
+};
+
+/// One type-checked statement (or directly-checked plan).
+#[derive(Debug, Clone)]
+pub struct PlanckItem {
+    /// Stable label, e.g. `nobench:Q3` or `view:po_item_dmdv`.
+    pub label: String,
+    /// The SQL text, or a plan description for plan-level items.
+    pub text: String,
+    /// Inferred output schema, rendered (`name:type?` per column).
+    pub schema: String,
+    /// Planck findings, most severe first in rendered output.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// A full type-check run over one or more workloads.
+#[derive(Debug, Clone)]
+pub struct PlanckReport {
+    /// Corpus scale the databases were built at.
+    pub scale: usize,
+    /// Every checked statement, in workload order.
+    pub items: Vec<PlanckItem>,
+}
+
+impl PlanckReport {
+    fn count(&self, sev: Severity) -> usize {
+        self.items.iter().flat_map(|i| &i.diagnostics).filter(|d| d.severity == sev).count()
+    }
+
+    /// Findings that fail the CI budget.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Advisory warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Advisory info-severity findings.
+    pub fn infos(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    /// Append another report's items (the `--workload both` case).
+    pub fn merge(&mut self, other: PlanckReport) {
+        self.items.extend(other.items);
+    }
+
+    /// Human-readable report: every statement's inferred schema, the
+    /// findings where there are any, then a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            out.push_str(&format!("{}: [{}]\n", item.label, item.schema));
+            for line in render_text(&item.diagnostics).lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "fsdm-planck: {} plan(s) at scale {}: {} error(s), {} warning(s), {} info(s)\n",
+            self.items.len(),
+            self.scale,
+            self.errors(),
+            self.warnings(),
+            self.infos()
+        ));
+        out
+    }
+
+    /// Machine-readable report (the `--json` / CI shape).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str("  \"statements\": [\n");
+        for (i, item) in self.items.iter().enumerate() {
+            let sep = if i + 1 == self.items.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"text\": \"{}\", \"schema\": \"{}\", \
+                 \"diagnostics\": {}}}{sep}\n",
+                json_escape(&item.label),
+                json_escape(&item.text),
+                json_escape(&item.schema),
+                render_json(&item.diagnostics)
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"errors\": {}, \"warnings\": {}, \"infos\": {}\n}}",
+            self.errors(),
+            self.warnings(),
+            self.infos()
+        ));
+        out
+    }
+}
+
+/// Type-check NoBench Q1–Q10 (SQL) and Q11 (plan-level, both the
+/// json_value and virtual-column join variants) against the same
+/// deterministic corpus the benchmarks load.
+pub fn planck_nobench(n: usize) -> Result<PlanckReport, SqlError> {
+    let mut session = nobench_guided_db(n);
+    // the VC variant of Q11 needs the nb$ virtual columns on the scan
+    add_nobench_vcs(&mut session);
+    let mut items = Vec::new();
+    for q in 1..=10 {
+        let sql = nobench::query_sql(q, n);
+        let binds = if q == 5 { vec![nobench_q5_bind(n)] } else { Vec::new() };
+        let inf = session.typecheck_with(&sql, &binds)?;
+        items.push(PlanckItem {
+            label: format!("nobench:Q{q}"),
+            text: sql,
+            schema: inf.schema.render(),
+            diagnostics: inf.diagnostics,
+        });
+    }
+    for (suffix, vc) in [("", false), ("vc", true)] {
+        let plan = nobench_q11_plan(n, vc);
+        let inf = session.typecheck_plan(&plan);
+        items.push(PlanckItem {
+            label: format!("nobench:Q11{suffix}"),
+            text: plan_text(&plan),
+            schema: inf.schema.render(),
+            diagnostics: inf.diagnostics,
+        });
+    }
+    Ok(PlanckReport { scale: n, items })
+}
+
+/// Type-check the Table 13 OLAP SQL, then the `po_mv` / `po_item_dmdv`
+/// view bodies themselves (every query goes through them, so a type
+/// defect inside a view surfaces once, under its own label).
+pub fn planck_olap(n: usize) -> Result<PlanckReport, SqlError> {
+    let session = olap_guided_db(n);
+    let mut items = Vec::new();
+    for q in olap_queries(n) {
+        let binds: Vec<_> = q.binds.iter().map(|s| bind_datum(s)).collect();
+        let inf = session.typecheck_with(&q.sql, &binds)?;
+        items.push(PlanckItem {
+            label: format!("olap:Q{}", q.id),
+            text: q.sql,
+            schema: inf.schema.render(),
+            diagnostics: inf.diagnostics,
+        });
+    }
+    for view in ["po_mv", "po_item_dmdv"] {
+        let plan = Query::view(view);
+        let inf = session.typecheck_plan(&plan);
+        items.push(PlanckItem {
+            label: format!("view:{view}"),
+            text: format!("VIEW {view}"),
+            schema: inf.schema.render(),
+            diagnostics: inf.diagnostics,
+        });
+    }
+    Ok(PlanckReport { scale: n, items })
+}
+
+/// One-line plan description for the report (`GroupBy <- HashJoin <- …`
+/// would be noise; the root operator line is enough to identify it).
+fn plan_text(plan: &Query) -> String {
+    plan.render().lines().next().unwrap_or_default().trim().to_string()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nobench_typecheck_is_error_free() {
+        let report = planck_nobench(300).unwrap();
+        assert_eq!(report.items.len(), 12, "{}", report.render_text());
+        assert_eq!(report.errors(), 0, "{}", report.render_text());
+        // every item carries an inferred schema
+        assert!(report.items.iter().all(|i| !i.schema.is_empty()), "{}", report.render_text());
+        // Q11's count is proven non-nullable (no `?` marker)
+        let q11 = report.items.iter().find(|i| i.label == "nobench:Q11").unwrap();
+        assert_eq!(q11.schema, "n:int");
+    }
+
+    #[test]
+    fn olap_typecheck_is_error_free_and_covers_views() {
+        let report = planck_olap(200).unwrap();
+        assert_eq!(report.errors(), 0, "{}", report.render_text());
+        let labels: Vec<&str> = report.items.iter().map(|i| i.label.as_str()).collect();
+        assert!(labels.contains(&"olap:Q1"), "{labels:?}");
+        assert!(labels.contains(&"view:po_mv"), "{labels:?}");
+        assert!(labels.contains(&"view:po_item_dmdv"), "{labels:?}");
+        let mv = report.items.iter().find(|i| i.label == "view:po_mv").unwrap();
+        assert!(mv.schema.starts_with("did:float?"), "{}", mv.schema);
+    }
+
+    #[test]
+    fn merged_reports_render_the_ci_shape() {
+        let mut a = planck_nobench(120).unwrap();
+        let b = planck_olap(120).unwrap();
+        let total = a.items.len() + b.items.len();
+        a.merge(b);
+        assert_eq!(a.items.len(), total);
+        let json = a.render_json();
+        assert!(json.contains("\"errors\": 0"), "{json}");
+        assert!(json.contains("\"schema\": \""), "{json}");
+        // the report must stay parseable by the repro re-parse gate
+        assert!(fsdm_json::parse(&json).is_ok());
+    }
+}

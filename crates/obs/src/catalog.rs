@@ -112,6 +112,17 @@ pub const OSON_UPDATE_REENCODE: &str = "oson.update.reencode";
 /// Buffers rejected by the deep structural verifier (counter).
 pub const OSON_VALIDATE_FAILURES: &str = "oson.validate.failures";
 
+// --- planck -------------------------------------------------------------
+
+/// Plans put through the planck type/schema checker (counter).
+pub const PLANCK_CHECKS: &str = "planck.checks";
+/// Error-severity planck findings (counter).
+pub const PLANCK_ERRORS: &str = "planck.errors";
+/// Wall time of one plan inference + validation pass, ns (histogram).
+pub const PLANCK_INFER_NS: &str = "planck.infer.ns";
+/// Warning-severity planck findings (counter).
+pub const PLANCK_WARNINGS: &str = "planck.warnings";
+
 // --- slowlog ------------------------------------------------------------
 
 /// Queries currently held by the slow-query ring log (gauge).
@@ -200,6 +211,10 @@ pub const ALL: &[&str] = &[
     OSON_UPDATE_IN_PLACE,
     OSON_UPDATE_REENCODE,
     OSON_VALIDATE_FAILURES,
+    PLANCK_CHECKS,
+    PLANCK_ERRORS,
+    PLANCK_INFER_NS,
+    PLANCK_WARNINGS,
     SLOWLOG_ENTRIES,
     SLOWLOG_EVICTED,
     SPAN_SQLJSON_EVAL,

@@ -1,0 +1,82 @@
+//! `fsdm-planck`: plan-level static analysis for the FSDM stack.
+//!
+//! Where `fsdm-analyze` lints SQL/JSON **path expressions** against a
+//! table's DataGuide (FA001–FA007), planck checks the **query plan**
+//! itself: a type/schema inference pass over the [`Query`] operator tree
+//! and a translation validator for every [`optimize`] rewrite. The two
+//! passes share one diagnostic registry and one rendering pipeline, so a
+//! planck finding looks and machine-reads exactly like an analyze one.
+//!
+//! The diagnostic codes, stable across releases:
+//!
+//! | code  | meaning |
+//! |-------|---------|
+//! | PK001 | unknown table/view, or column position outside the input schema |
+//! | PK002 | type mismatch in a predicate, aggregate argument, or join key |
+//! | PK003 | comparison against an operand that is always SQL NULL |
+//! | PK004 | wrong function/aggregate arity, or duplicate output column |
+//! | PK005 | Sort/window ORDER BY key that does not pin an order |
+//! | PK006 | optimizer rewrite diverged (schema/determinism/safety/idempotence) |
+//!
+//! Entry points:
+//!
+//! * [`infer`] — output schema (names, [`ScalarType`]s, nullability) of a
+//!   plan, plus PK001–PK005 findings.
+//! * [`check_plan`] — [`infer`] plus the translation validator run
+//!   against the optimizer's actual output (PK006 findings).
+//! * [`rewrite_violations`] — the raw validator verdict for a
+//!   before/after plan pair.
+//! * `Session::typecheck(sql)` in `fsdm-sql` — the SQL-text front end,
+//!   and the `fsdm-planck` binary in `fsdm-bench` — the CI gate over the
+//!   paper's NoBench + OLAP workloads.
+
+pub use fsdm_analyze::{render_json, render_text, Code, Diagnostic, Severity};
+pub use fsdm_store::typecheck::{
+    check_plan, infer, op_safety, plan_deterministic, plan_safety, rewrite_violations, ColInfo,
+    Inference, ParallelSafety, PlanSchema, ScalarType,
+};
+pub use fsdm_store::{Database, Query};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsdm_store::schema::{ColumnSpec, ConstraintMode, TableSchema};
+    use fsdm_store::table::Table;
+    use fsdm_store::{ColType, Expr, JsonStorage};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(Table::new(TableSchema::new(
+            "po",
+            vec![
+                ColumnSpec::new("did", ColType::Number),
+                ColumnSpec::json("jdoc", JsonStorage::Text, ConstraintMode::IsJson),
+            ],
+        )));
+        db
+    }
+
+    #[test]
+    fn planck_findings_render_through_the_shared_pipeline() {
+        let inf = infer(&db(), &Query::scan("missing"));
+        assert_eq!(inf.errors(), 1);
+        assert_eq!(inf.diagnostics[0].code, Code::UnknownColumn);
+        let text = render_text(&inf.diagnostics);
+        assert!(text.contains(Code::UnknownColumn.id()), "{text}");
+        let json = render_json(&inf.diagnostics);
+        let code_field = format!("\"code\": \"{}\"", Code::UnknownColumn.id());
+        assert!(json.contains(&code_field), "{json}");
+        assert!(json.contains("unknown-column"), "{json}");
+    }
+
+    #[test]
+    fn clean_plan_has_schema_and_no_findings() {
+        let inf = check_plan(
+            &db(),
+            &Query::scan("po")
+                .filter(Expr::json_exists(1, fsdm_sqljson::parse_path("$.price").unwrap())),
+        );
+        assert!(inf.diagnostics.is_empty(), "{:?}", inf.diagnostics);
+        assert_eq!(inf.schema.render(), "did:float?, jdoc:json?");
+    }
+}

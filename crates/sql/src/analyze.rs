@@ -59,8 +59,24 @@ impl Session {
         match self.plan(sql, binds) {
             Ok(plan) => {
                 push_tree(&mut out, "plan:", &plan.render());
-                let optimized = fsdm_store::optimizer::optimize(&self.db, plan);
+                let optimized = fsdm_store::optimizer::optimize(&self.db, plan.clone());
                 push_tree(&mut out, "optimized:", &optimized.render());
+                // the planck verdict: inferred output schema plus any
+                // PK findings (type errors, unstable keys, rewrite drift)
+                let inf = self.typecheck_plan(&plan);
+                out.push_str("schema: ");
+                out.push_str(&inf.schema.render());
+                out.push('\n');
+                if inf.diagnostics.is_empty() {
+                    out.push_str("typecheck: ok\n");
+                } else {
+                    out.push_str("typecheck:\n");
+                    for line in fsdm_analyze::render_text(&inf.diagnostics).lines() {
+                        out.push_str("  ");
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
             }
             // DDL/DML and the session-driven JSON_DATAGUIDEAGG never
             // produce a volcano plan; the diagnostics alone are the output
@@ -287,7 +303,7 @@ mod tests {
     fn unknown_path_in_where_clause_is_flagged() {
         let s = session();
         let d = s.analyze("select did from po where json_exists(jdoc, '$.persno')").unwrap();
-        assert!(codes(&d).contains(&"FA001"), "{d:?}");
+        assert!(codes(&d).contains(&Code::UnknownPath.id()), "{d:?}");
         // the same query over a known path is clean of errors
         let d = s.analyze("select did from po where json_exists(jdoc, '$.reference')").unwrap();
         assert!(d.iter().all(|x| x.severity < Severity::Error), "{d:?}");
@@ -297,7 +313,7 @@ mod tests {
     fn json_value_sites_resolve_through_aliases() {
         let s = session();
         let d = s.analyze("select json_value(a.jdoc, '$.nosuch') from po a").unwrap();
-        assert_eq!(codes(&d), vec!["FA001"], "{d:?}");
+        assert_eq!(codes(&d), vec![Code::UnknownPath.id()], "{d:?}");
         // a wrong alias resolves nowhere: no guide, no findings
         let d = s.analyze("select json_value(b.jdoc, '$.nosuch') from po a").unwrap();
         assert!(d.is_empty(), "{d:?}");
@@ -310,7 +326,7 @@ mod tests {
                    (partno varchar2(8) path '$.partno', bogus number path '$.bogus')) jt";
         let d = s.analyze(sql).unwrap();
         // `$.items[*].bogus` is unknown; `$.items[*].partno` is fine
-        assert!(codes(&d).contains(&"FA001"), "{d:?}");
+        assert!(codes(&d).contains(&Code::UnknownPath.id()), "{d:?}");
         assert!(d.iter().any(|x| x.path.contains("$.items[*].bogus")), "{d:?}");
         assert!(
             !d.iter().any(|x| x.code == Code::UnknownPath && x.path.contains("partno")),
@@ -323,11 +339,11 @@ mod tests {
         let s = session();
         let sql = "select did from pt where json_exists(jdoc, '$.items[*]?(@.quantity > 1)')";
         let d = s.analyze(sql).unwrap();
-        assert!(codes(&d).contains(&"FA006"), "{d:?}");
+        assert!(codes(&d).contains(&Code::UnstreamablePath.id()), "{d:?}");
         // same query against the OSON table: no FA006
         let sql = "select did from po where json_exists(jdoc, '$.items[*]?(@.quantity > 1)')";
         let d = s.analyze(sql).unwrap();
-        assert!(!codes(&d).contains(&"FA006"), "{d:?}");
+        assert!(!codes(&d).contains(&Code::UnstreamablePath.id()), "{d:?}");
     }
 
     #[test]
@@ -347,7 +363,8 @@ mod tests {
         s.db.set_dead_path_pruning(true);
         let sql = "select did from po where json_exists(jdoc, '$.persno')";
         let text = s.explain(sql, &[]).unwrap();
-        assert!(text.contains("FA001 error [unknown-path]"), "{text}");
+        let banner = format!("{} error [{}]", Code::UnknownPath.id(), Code::UnknownPath.slug());
+        assert!(text.contains(&banner), "{text}");
         assert!(text.contains("plan:"), "{text}");
         assert!(text.contains("Filter pred=JSON_EXISTS"), "{text}");
         assert!(text.contains("optimized:"), "{text}");
@@ -365,8 +382,8 @@ mod tests {
         let (_, profile) =
             s.profile("select did from po where json_exists(jdoc, '$.persno')").unwrap();
         let p = profile.expect("SELECT profiles");
-        assert!(codes(&p.diagnostics).contains(&"FA001"), "{:?}", p.diagnostics);
-        assert!(p.render().contains("FA001"), "{}", p.render());
+        assert!(codes(&p.diagnostics).contains(&Code::UnknownPath.id()), "{:?}", p.diagnostics);
+        assert!(p.render().contains(Code::UnknownPath.id()), "{}", p.render());
         // a clean statement carries no findings
         let (_, profile) = s.profile("select did from po").unwrap();
         assert!(profile.unwrap().diagnostics.is_empty());
@@ -376,7 +393,7 @@ mod tests {
     fn vc_materialization_suppresses_fa007() {
         let mut s = session();
         let d = s.analyze("select json_value(jdoc, '$.reference') from po").unwrap();
-        assert!(codes(&d).contains(&"FA007"), "{d:?}");
+        assert!(codes(&d).contains(&Code::VcCandidate.id()), "{d:?}");
         // materialize the path as a virtual column, same query goes quiet
         let t = s.db.table_mut("po").unwrap();
         let path = parse_path("$.reference").unwrap();
@@ -385,6 +402,6 @@ mod tests {
             expr: Expr::json_value(1, path, fsdm_sqljson::SqlType::Varchar2(16)),
         });
         let d = s.analyze("select json_value(jdoc, '$.reference') from po").unwrap();
-        assert!(!codes(&d).contains(&"FA007"), "{d:?}");
+        assert!(!codes(&d).contains(&Code::VcCandidate.id()), "{d:?}");
     }
 }

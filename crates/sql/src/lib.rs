@@ -23,6 +23,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
+pub mod typecheck;
 
 pub use ast::Statement;
 pub use lexer::{tokenize, Token};

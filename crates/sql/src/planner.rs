@@ -96,10 +96,12 @@ impl Session {
             if dataguide_agg_target(&sel).is_none() {
                 let plan = self.plan_select(&sel, binds)?;
                 let (result, mut profile) = self.db.execute_profiled(&plan)?;
-                // attach the prepare-time findings; analysis is advisory,
-                // so its errors never fail an executable statement
+                // attach the prepare-time findings (FA path lint + PK plan
+                // typecheck); analysis is advisory, so its errors never
+                // fail an executable statement
                 profile.diagnostics =
                     crate::analyze::analyze_select(&self.db, &sel).unwrap_or_default();
+                profile.diagnostics.extend(self.typecheck_plan(&plan).diagnostics);
                 return Ok((result, Some(profile)));
             }
         }
@@ -132,6 +134,7 @@ impl Session {
                     self.db.execute_traced_sourced(&plan, Some(sql))?;
                 profile.diagnostics =
                     crate::analyze::analyze_select(&self.db, &sel).unwrap_or_default();
+                profile.diagnostics.extend(self.typecheck_plan(&plan).diagnostics);
                 return Ok((result, Some(profile), trace));
             }
         }
@@ -536,7 +539,10 @@ impl Session {
         for (i, item) in sel.items.iter().enumerate() {
             match item {
                 SelectItem::Expr(e, alias) => {
-                    let name = alias.clone().unwrap_or_else(|| display_name(e, i));
+                    let name = match alias {
+                        Some(a) => a.clone(),
+                        None => dedupe_name(display_name(e, i), &exprs),
+                    };
                     exprs.push((name, resolve_post(e)?));
                 }
                 _ => return Err(SqlError::new("* not supported with GROUP BY")),
@@ -605,7 +611,10 @@ impl Session {
                     }
                 }
                 SelectItem::Expr(e, alias) => {
-                    let name = alias.clone().unwrap_or_else(|| display_name(e, i));
+                    let name = match alias {
+                        Some(a) => a.clone(),
+                        None => dedupe_name(display_name(e, i), &out),
+                    };
                     out.push((name, scope.translate(e)?));
                 }
             }
@@ -989,6 +998,26 @@ fn ordinal_of(e: &SqlExpr) -> Option<usize> {
     match e {
         SqlExpr::NumLit(s) => s.parse::<usize>().ok().filter(|&n| n >= 1),
         _ => None,
+    }
+}
+
+/// Default (unaliased) output names can repeat — `SELECT
+/// JSON_VALUE(jdoc, '$.a'), JSON_VALUE(jdoc, '$.b')` would name both
+/// columns `json_value`. Number later occurrences (`json_value_2`, …)
+/// so every output column name is unique, the way engines number
+/// unaliased expression columns. Explicit aliases are never rewritten:
+/// a user-written duplicate is a PK004 finding, not a rename.
+fn dedupe_name(name: String, taken: &[(String, Expr)]) -> String {
+    if !taken.iter().any(|(n, _)| n == &name) {
+        return name;
+    }
+    let mut k = 2usize;
+    loop {
+        let candidate = format!("{name}_{k}");
+        if !taken.iter().any(|(n, _)| n == &candidate) {
+            return candidate;
+        }
+        k += 1;
     }
 }
 

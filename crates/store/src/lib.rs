@@ -32,6 +32,7 @@ pub mod query;
 pub mod schema;
 pub mod slowlog;
 pub mod table;
+pub mod typecheck;
 
 pub use database::Database;
 pub use expr::{AggFun, CmpOp, EvalScratch, Expr, ScalarFun};
@@ -43,5 +44,9 @@ pub use query::{Query, QueryResult, SortKey, WindowFun};
 pub use schema::{ColType, ColumnSpec, ConstraintMode, TableSchema};
 pub use slowlog::{SlowEntry, SlowLog};
 pub use table::{Cell, InsertValue, Row, StoreError, Table};
+pub use typecheck::{
+    check_plan, infer, plan_deterministic, plan_safety, rewrite_violations, ColInfo, Inference,
+    ParallelSafety, PlanSchema, ScalarType,
+};
 
 pub use fsdm_sqljson::{Datum, SqlType};

@@ -28,7 +28,30 @@ use crate::schema::{ColType, ConstraintMode};
 
 /// Apply all rewrites bottom-up. `db` supplies schema information (scan
 /// widths) and view expansion.
+///
+/// Debug builds run the `fsdm-planck` translation validator on every
+/// call (and, through the recursion, on every rewritten subtree): the
+/// output plan must be schema-equivalent to the input — same columns,
+/// same types, nullability no looser — with its determinism and
+/// parallel-safety classes preserved.
 pub fn optimize(db: &Database, plan: Query) -> Query {
+    #[cfg(debug_assertions)]
+    let before = plan.clone();
+    let optimized = optimize_inner(db, plan);
+    #[cfg(debug_assertions)]
+    {
+        let violations = crate::typecheck::rewrite_violations(db, &before, &optimized);
+        debug_assert!(
+            violations.is_empty(),
+            "optimizer rewrite is not translation-valid: {violations:?}\nbefore:\n{}after:\n{}",
+            before.render(),
+            optimized.render()
+        );
+    }
+    optimized
+}
+
+fn optimize_inner(db: &Database, plan: Query) -> Query {
     let plan = map_children(db, plan);
     let plan = match plan {
         Query::Filter { input, pred } => match *input {
@@ -231,8 +254,19 @@ fn try_pushdown(db: &Database, input: Query, pred: Expr) -> Query {
             _ => {}
         }
     }
+    // dedupe against probes already on the scan filter: the row-level
+    // filter is kept above, so a second optimize() pass re-derives the
+    // same exists probes — re-ANDing them would break idempotence
+    let mut existing = Vec::new();
+    if let Some(f) = &filter {
+        split_and(f, &mut existing);
+    }
+    let existing: Vec<String> = existing.iter().map(|e| format!("{e:?}")).collect();
     let mut scan_filter = filter;
     for e in exists_exprs {
+        if existing.contains(&format!("{e:?}")) {
+            continue;
+        }
         scan_filter = Some(match scan_filter {
             None => e,
             Some(f) => Expr::And(Box::new(f), Box::new(e)),
@@ -457,6 +491,37 @@ mod tests {
             },
             other => panic!("expected Filter kept on top, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn optimize_is_idempotent_on_pushdown_plans() {
+        let db = po_db();
+        let plan = Query::Filter {
+            input: Box::new(Query::JsonTable {
+                input: Box::new(Query::scan("po")),
+                json_col: 1,
+                def: sample_def(),
+            }),
+            pred: Expr::And(
+                Box::new(Expr::cmp(Expr::Col(3), CmpOp::Eq, Expr::Lit(Datum::from("P100")))),
+                Box::new(Expr::InList(
+                    Box::new(Expr::Col(4)),
+                    vec![Datum::from(1i64), Datum::from(2i64)],
+                )),
+            ),
+        };
+        let once = optimize(&db, plan);
+        let twice = optimize(&db, once.clone());
+        assert_eq!(
+            format!("{once:?}"),
+            format!("{twice:?}"),
+            "a second optimize pass re-fired a rewrite:\n{}vs\n{}",
+            once.render(),
+            twice.render()
+        );
+        // the derived probes are still there, exactly once each
+        let text = format!("{twice:?}");
+        assert_eq!(text.matches("JSON_EXISTS").count(), 2, "{text}");
     }
 
     fn guided_db() -> Database {

@@ -36,9 +36,10 @@ pub struct OpProfile {
 pub struct QueryProfile {
     /// The root operator (its `elapsed_ns` is the whole query's time).
     pub root: OpProfile,
-    /// Prepare-time semantic findings (`fsdm-analyze` FA codes) for the
-    /// statement this profile measures. Empty when the executing surface
-    /// has no analyzer hook (plan-level execution) or found nothing.
+    /// Prepare-time semantic findings (`fsdm-analyze` FA path codes and
+    /// `fsdm-planck` PK plan codes) for the statement this profile
+    /// measures. Empty when the executing surface has no analyzer hook
+    /// (plan-level execution) or found nothing.
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -243,6 +244,7 @@ mod tests {
         ));
         let text = p.render();
         assert!(text.contains("diagnostics:"), "{text}");
-        assert!(text.contains("FA001 error [unknown-path]"), "{text}");
+        let banner = format!("{} error [{}]", Code::UnknownPath.id(), Code::UnknownPath.slug());
+        assert!(text.contains(&banner), "{text}");
     }
 }

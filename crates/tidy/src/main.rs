@@ -199,6 +199,84 @@ fn check_catalog_text(rel: &str, text: &str) -> Vec<Finding> {
     out
 }
 
+/// The diagnostic-code registry rule: `crates/analyze/src/diag.rs` is
+/// the single source of truth for `FA###`/`PK###` ids. Its `Code::id()`
+/// match must declare each id exactly once, and each prefix series must
+/// be contiguous from 001 — codes are append-only CI contract, so a gap
+/// means a code was deleted instead of retired in place.
+fn check_diag_registry(root: &Path) -> Vec<Finding> {
+    let rel = "crates/analyze/src/diag.rs";
+    let Ok(text) = fs::read_to_string(root.join(rel)) else {
+        return vec![Finding {
+            file: rel.to_string(),
+            line: 1,
+            rule: "diag-code-registry",
+            message: "diagnostic-code registry file is missing".to_string(),
+            fixable: false,
+        }];
+    };
+    check_diag_registry_text(rel, &text)
+}
+
+fn check_diag_registry_text(rel: &str, text: &str) -> Vec<Finding> {
+    let finding = |line: usize, message: String| Finding {
+        file: rel.to_string(),
+        line,
+        rule: "diag-code-registry",
+        message,
+        fixable: false,
+    };
+    // locate the `pub fn id` match arms; ids elsewhere in the file
+    // (slug/severity arms, tests) are intentionally out of scope
+    let Some(fn_start) = text.lines().position(|l| l.contains("pub fn id")) else {
+        return vec![finding(1, "registry has no `pub fn id` match to cross-check".to_string())];
+    };
+    let mut ids: Vec<(usize, String)> = Vec::new();
+    for (i, line) in text.lines().enumerate().skip(fn_start) {
+        if i > fn_start && line.trim() == "}" && !line.starts_with("        ") {
+            break;
+        }
+        let Some((_, tail)) = line.split_once("=> \"") else { continue };
+        let Some((id, _)) = tail.split_once('"') else { continue };
+        ids.push((i + 1, id.to_string()));
+    }
+    let mut out = Vec::new();
+    for (i, (line, id)) in ids.iter().enumerate() {
+        let well_formed = id.len() == 5
+            && (id.starts_with("FA") || id.starts_with("PK"))
+            && id.chars().skip(2).all(|c| c.is_ascii_digit());
+        if !well_formed {
+            out.push(finding(*line, format!("id \"{id}\" is not a FA###/PK### code")));
+            continue;
+        }
+        if ids.iter().take(i).any(|(_, earlier)| earlier == id) {
+            out.push(finding(*line, format!("code \"{id}\" is declared more than once")));
+        }
+    }
+    for prefix in ["FA", "PK"] {
+        let mut numbers: Vec<u32> = ids
+            .iter()
+            .filter(|(_, id)| id.starts_with(prefix) && id.len() == 5)
+            .filter_map(|(_, id)| id.get(2..).and_then(|d| d.parse().ok()))
+            .collect();
+        numbers.sort_unstable();
+        numbers.dedup();
+        for (expected, got) in (1u32..).zip(&numbers) {
+            if *got != expected {
+                out.push(finding(
+                    1,
+                    format!(
+                        "{prefix} series has a gap: expected {prefix}{expected:03}, \
+                         found {prefix}{got:03} — codes are append-only, retire in place"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
 /// Rewrite `path` with tabs expanded and trailing whitespace stripped,
 /// leaving string-literal content untouched. Returns true if changed.
 fn fix_file(path: &Path, scan: &lexer::Scan) -> bool {
@@ -316,6 +394,7 @@ fn main() -> ExitCode {
         findings.extend(file_findings);
     }
     findings.extend(check_catalog(&opts.root));
+    findings.extend(check_diag_registry(&opts.root));
 
     let over_budget = allows_used > ALLOW_BUDGET;
     if opts.json {
@@ -367,6 +446,48 @@ mod tests {
     #[test]
     fn catalog_is_consistent() {
         assert!(check_catalog(&find_repo_root()).is_empty());
+    }
+
+    #[test]
+    fn diag_registry_is_consistent() {
+        assert!(check_diag_registry(&find_repo_root()).is_empty());
+    }
+
+    fn registry(ids: &[&str]) -> String {
+        let mut text = String::from(
+            "impl Code {\n    pub fn id(&self) -> &'static str {\n        \
+                                     match self {\n",
+        );
+        for id in ids {
+            text.push_str(&format!("            Code::X => \"{id}\",\n"));
+        }
+        text.push_str("        }\n    }\n}\n");
+        text
+    }
+
+    fn registry_messages(ids: &[&str]) -> Vec<String> {
+        check_diag_registry_text("diag.rs", &registry(ids)).into_iter().map(|f| f.message).collect()
+    }
+
+    #[test]
+    fn diag_registry_accepts_contiguous_series() {
+        let fa1 = format!("{}{}", "FA", "001");
+        let pk1 = format!("{}{}", "PK", "001");
+        let pk2 = format!("{}{}", "PK", "002");
+        assert!(registry_messages(&[&fa1, &pk1, &pk2]).is_empty());
+    }
+
+    #[test]
+    fn diag_registry_flags_duplicates_gaps_and_malformed_ids() {
+        let fa1 = format!("{}{}", "FA", "001");
+        let dup = registry_messages(&[&fa1, &fa1]);
+        assert!(dup.iter().any(|m| m.contains("more than once")), "{dup:?}");
+        let pk1 = format!("{}{}", "PK", "001");
+        let pk3 = format!("{}{}", "PK", "003");
+        let gap = registry_messages(&[&pk1, &pk3]);
+        assert!(gap.iter().any(|m| m.contains("gap")), "{gap:?}");
+        let malformed = registry_messages(&["XY001"]);
+        assert!(malformed.iter().any(|m| m.contains("not a FA###/PK### code")), "{malformed:?}");
     }
 
     fn catalog(consts: &[(&str, &str)], all: &[&str]) -> String {

@@ -5,6 +5,9 @@
 //! arithmetic must use checked conversions (`no-as-int`), metric names
 //! must come from `fsdm_obs::catalog` (`metric-literal`), span names must
 //! come from the catalog's `SPAN_*` constants (`span-name-from-catalog`),
+//! diagnostic codes must come from the `fsdm_analyze::Code` registry and
+//! never be spelled as string literals (`diag-code-registry`, which also
+//! applies inside test code),
 //! the executor
 //! crates must stay free of single-thread interior mutability so
 //! `Expr`/`Table`/`Database` remain `Send + Sync` (`no-interior-mut`:
@@ -52,6 +55,12 @@ const NO_AS_FILES: &[&str] = &[
 /// Files where allow annotations are forbidden entirely.
 pub const NO_ALLOW_FILES: &[&str] = &["crates/oson/src/wire.rs", "crates/bson/src/decode.rs"];
 
+/// The crate that owns the diagnostic-code registry
+/// (`crates/analyze/src/diag.rs`). Everywhere else, `FA###`/`PK###`
+/// codes must be referenced through `fsdm_analyze::Code`, never spelled
+/// as string literals, so renumbering stays a one-file change.
+const DIAG_REGISTRY_PREFIX: &str = "crates/analyze/";
+
 /// Path prefixes where single-thread interior-mutability types are banned:
 /// the morsel-driven executor shares `Expr`/`Table`/`Database` across
 /// worker threads, so these crates must stay `Send + Sync`. Per-worker
@@ -97,6 +106,7 @@ pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
     let hot = HOT_PATH_FILES.contains(&rel);
     let no_as = NO_AS_FILES.contains(&rel);
     let metrics = !rel.starts_with("crates/obs/");
+    let diag_codes = !rel.starts_with(DIAG_REGISTRY_PREFIX);
     let no_int_mut = NO_INTERIOR_MUT_PREFIXES.iter().any(|p| rel.starts_with(p));
 
     let mut raw: Vec<Finding> = Vec::new();
@@ -105,6 +115,11 @@ pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
 
     for line in 0..scan.lines.len() {
         hygiene(rel, scan, line, &mut raw);
+        // runs before the in_test gate: string comparisons against
+        // diagnostic ids live mostly in test code
+        if diag_codes {
+            diag_code_literal(rel, scan, line, &mut raw);
+        }
         let skip_semantic = scan.in_test(line);
         if skip_semantic {
             continue;
@@ -462,6 +477,51 @@ fn span_literal(rel: &str, scan: &Scan, line: usize, masked: &str, out: &mut Vec
     }
 }
 
+/// `diag-code-registry`: diagnostic ids (`FA###`/`PK###`) may only be
+/// spelled out inside the registry crate (`crates/analyze/`, where
+/// `diag.rs` defines `Code`). Everywhere else — including test modules,
+/// where assertions against rendered output tend to accumulate — codes
+/// must be referenced through `fsdm_analyze::Code`, so renumbering or
+/// retiring a code stays a one-file change. Unlike the masked semantic
+/// rules this one inspects string *content*, so it reads the raw line
+/// and fires only where the scanner classified `StrContent`.
+fn diag_code_literal(rel: &str, scan: &Scan, line: usize, out: &mut Vec<Finding>) {
+    let (Some(chars), Some(classes)) = (scan.lines.get(line), scan.classes.get(line)) else {
+        return;
+    };
+    for i in 0..chars.len() {
+        let prefix = matches!(
+            (chars.get(i), chars.get(i + 1)),
+            (Some(&'F'), Some(&'A')) | (Some(&'P'), Some(&'K'))
+        );
+        let digits = (2..5).all(|k| chars.get(i + k).is_some_and(char::is_ascii_digit));
+        let in_string = (0..5).all(|k| classes.get(i + k) == Some(&Class::StrContent));
+        if !(prefix && digits && in_string) {
+            continue;
+        }
+        // word boundaries: not the tail of a longer identifier, and not
+        // followed by more digits (`FA0001` is prose, not a code)
+        let joined_before =
+            i > 0 && chars.get(i - 1).is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_');
+        let joined_after = chars.get(i + 5).is_some_and(char::is_ascii_digit);
+        if joined_before || joined_after {
+            continue;
+        }
+        let code: String = chars.iter().skip(i).take(5).collect();
+        out.push(Finding {
+            file: rel.to_string(),
+            line: line + 1,
+            rule: "diag-code-registry",
+            message: format!(
+                "diagnostic code \"{code}\" spelled as a string literal; reference it \
+                 through `fsdm_analyze::Code` (compare codes or build expected text \
+                 from `Code::<variant>.id()`)"
+            ),
+            fixable: false,
+        });
+    }
+}
+
 fn hygiene(rel: &str, scan: &Scan, line: usize, out: &mut Vec<Finding>) {
     let (Some(chars), Some(classes)) = (scan.lines.get(line), scan.classes.get(line)) else {
         return;
@@ -635,6 +695,41 @@ mod tests {
             vec!["span-name-from-catalog"],
             "method calls match too — rename unrelated methods rather than weakening the rule"
         );
+    }
+
+    #[test]
+    fn flags_diag_code_literals_outside_the_registry() {
+        // the test source is assembled from halves so fsdm-tidy's scan of
+        // this very file never sees a contiguous code literal
+        let src = format!("fn f() -> &'static str {{\n    \"{}{}\"\n}}\n", "PK", "001");
+        assert_eq!(rules(&run(COLD, &src)), vec!["diag-code-registry"]);
+        assert!(
+            run("crates/analyze/src/diag.rs", &src).is_empty(),
+            "the registry crate itself is exempt"
+        );
+        let in_test = format!(
+            "fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t(id: &str) -> bool {{\n        \
+             id == \"{}{}\"\n    }}\n}}\n",
+            "FA", "001"
+        );
+        assert_eq!(
+            rules(&run(COLD, &in_test)),
+            vec!["diag-code-registry"],
+            "unlike other semantic rules, this one applies inside test modules"
+        );
+    }
+
+    #[test]
+    fn diag_code_prose_and_near_misses_do_not_fire() {
+        let comment = format!("// {}{} is explained here\nfn f() {{}}\n", "PK", "003");
+        assert!(run(COLD, &comment).is_empty(), "comments are prose");
+        let longer = format!("fn f() -> &'static str {{\n    \"{}{}1\"\n}}\n", "FA", "000");
+        assert!(run(COLD, &longer).is_empty(), "four digits is not a code");
+        let ident = format!("fn f() -> &'static str {{\n    \"X{}{}\"\n}}\n", "PK", "001");
+        assert!(run(COLD, &ident).is_empty(), "identifier tails are not codes");
+        let enum_ref = "fn f(c: fsdm_analyze::Code) -> bool {\n    \
+                        c == fsdm_analyze::Code::UnknownColumn\n}\n";
+        assert!(run(COLD, enum_ref).is_empty(), "enum references are the fix");
     }
 
     #[test]
