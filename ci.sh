@@ -48,6 +48,11 @@ cargo run --release -p fsdm-bench --bin repro -- table10 --scale 120 --no-metric
   --typecheck-report repro-planck.json
 grep -q '"errors": 0' repro-planck.json
 
+echo "== repro sentinel report (writes repro-sentinel.json, re-parses) =="
+cargo run --release -p fsdm-bench --bin repro -- table10 --scale 120 --no-metrics \
+  --sentinel-report repro-sentinel.json
+grep -q '"errors": 0' repro-sentinel.json
+
 echo "== fsdm-tidy (repo-native static analysis) =="
 cargo run --release -p fsdm-tidy
 
@@ -56,6 +61,12 @@ cargo run --release -p fsdm-bench --bin fsdm-analyze -- --workload both --scale 
   > analyze-report.json \
   || { echo "fsdm-analyze found error-severity findings:"; cat analyze-report.json; exit 1; }
 grep -q '"errors": 0' analyze-report.json
+
+echo "== fsdm-sentinel (concurrency static analysis, zero-error budget) =="
+cargo run --release -p fsdm-sentinel --bin fsdm-sentinel -- --json \
+  > sentinel-report.json \
+  || { echo "fsdm-sentinel found concurrency findings:"; cat sentinel-report.json; exit 1; }
+grep -q '"errors": 0' sentinel-report.json
 
 echo "== rustfmt =="
 cargo fmt --all --check

@@ -73,6 +73,28 @@ pub enum Code {
     /// nullability, determinism, or parallel-safety class, or failed the
     /// idempotence check.
     RewriteDivergence,
+    /// SN001: a function may acquire a lock it (transitively) already
+    /// holds — a guaranteed deadlock on `std::sync::Mutex`.
+    DoubleLock,
+    /// SN002: two locks are acquired against the catalog-declared lock
+    /// hierarchy (higher rank while holding a lower rank).
+    LockOrderInversion,
+    /// SN003: a lock guard is live across a call into the morsel
+    /// executor, serializing the parallel pipeline.
+    LockAcrossExecutor,
+    /// SN004: a lock guard is live across a panic-capable site
+    /// (`unwrap`, `expect`, slice indexing), risking mutex poisoning.
+    LockAcrossPanic,
+    /// SN005: an atomic operation's `Ordering` violates the
+    /// catalog-declared discipline for that atomic (monotonic counters
+    /// stay `Relaxed`; handshakes need `Acquire`/`Release`).
+    AtomicOrdering,
+    /// SN006: a scoped-worker closure captures a `&mut` binding that
+    /// outlives the spawn site, aliasing it across workers.
+    MutCaptureAliasing,
+    /// SN007: a thread is spawned outside the morsel executor
+    /// (`crates/store/src/parallel.rs`), bypassing the degree control.
+    SpawnOutsideExecutor,
 }
 
 impl Code {
@@ -92,6 +114,13 @@ impl Code {
             Code::ArityMismatch => "PK004",
             Code::UnstableOrderKey => "PK005",
             Code::RewriteDivergence => "PK006",
+            Code::DoubleLock => "SN001",
+            Code::LockOrderInversion => "SN002",
+            Code::LockAcrossExecutor => "SN003",
+            Code::LockAcrossPanic => "SN004",
+            Code::AtomicOrdering => "SN005",
+            Code::MutCaptureAliasing => "SN006",
+            Code::SpawnOutsideExecutor => "SN007",
         }
     }
 
@@ -111,6 +140,13 @@ impl Code {
             Code::ArityMismatch => "arity-or-duplicate",
             Code::UnstableOrderKey => "unstable-order-key",
             Code::RewriteDivergence => "rewrite-divergence",
+            Code::DoubleLock => "double-lock",
+            Code::LockOrderInversion => "lock-order-inversion",
+            Code::LockAcrossExecutor => "lock-across-executor",
+            Code::LockAcrossPanic => "lock-across-panic",
+            Code::AtomicOrdering => "atomic-ordering",
+            Code::MutCaptureAliasing => "mut-capture-aliasing",
+            Code::SpawnOutsideExecutor => "spawn-outside-executor",
         }
     }
 
@@ -124,6 +160,15 @@ impl Code {
             Code::UnknownColumn | Code::PlanTypeMismatch => Severity::Error,
             Code::ArityMismatch | Code::RewriteDivergence => Severity::Error,
             Code::NullComparison | Code::UnstableOrderKey => Severity::Warning,
+            // every concurrency finding is a correctness hazard: there
+            // is no advisory tier for a deadlock or a data race
+            Code::DoubleLock
+            | Code::LockOrderInversion
+            | Code::LockAcrossExecutor
+            | Code::LockAcrossPanic
+            | Code::AtomicOrdering
+            | Code::MutCaptureAliasing
+            | Code::SpawnOutsideExecutor => Severity::Error,
         }
     }
 }
@@ -293,13 +338,21 @@ mod tests {
             Code::ArityMismatch,
             Code::UnstableOrderKey,
             Code::RewriteDivergence,
+            Code::DoubleLock,
+            Code::LockOrderInversion,
+            Code::LockAcrossExecutor,
+            Code::LockAcrossPanic,
+            Code::AtomicOrdering,
+            Code::MutCaptureAliasing,
+            Code::SpawnOutsideExecutor,
         ];
         let ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         assert_eq!(
             ids,
             vec![
                 "FA001", "FA002", "FA003", "FA004", "FA005", "FA006", "FA007", "PK001", "PK002",
-                "PK003", "PK004", "PK005", "PK006",
+                "PK003", "PK004", "PK005", "PK006", "SN001", "SN002", "SN003", "SN004", "SN005",
+                "SN006", "SN007",
             ]
         );
         for c in all {
@@ -307,6 +360,8 @@ mod tests {
         }
         assert_eq!(Code::UnknownPath.severity(), Severity::Error);
         assert_eq!(Code::UnknownColumn.severity(), Severity::Error);
+        assert_eq!(Code::DoubleLock.severity(), Severity::Error);
+        assert_eq!(Code::SpawnOutsideExecutor.severity(), Severity::Error);
         assert!(Severity::Error > Severity::Warning && Severity::Warning > Severity::Info);
     }
 
@@ -328,8 +383,15 @@ mod tests {
             Code::ArityMismatch,
             Code::UnstableOrderKey,
             Code::RewriteDivergence,
+            Code::DoubleLock,
+            Code::LockOrderInversion,
+            Code::LockAcrossExecutor,
+            Code::LockAcrossPanic,
+            Code::AtomicOrdering,
+            Code::MutCaptureAliasing,
+            Code::SpawnOutsideExecutor,
         ];
-        for series in ["FA", "PK"] {
+        for series in ["FA", "PK", "SN"] {
             let mut nums: Vec<u32> = all
                 .iter()
                 .map(|c| c.id())

@@ -30,6 +30,9 @@
 //! `--typecheck-report FILE` runs the `fsdm-planck` plan type-check the
 //! same way and writes FILE (conventionally `repro-planck.json`),
 //! re-parsing it through `fsdm-json` before the run is declared good.
+//! `--sentinel-report FILE` runs the `fsdm-sentinel` concurrency
+//! analysis over the workspace sources and writes FILE (conventionally
+//! `repro-sentinel.json`) under the same re-parse and zero-error gate.
 //!
 //! `--trace FILE` (optionally with `--slow-log FILE`) switches to the
 //! tracing demo instead of the experiments: it runs the full NOBENCH set
@@ -113,6 +116,9 @@ fn main() {
     }
     if let Some(path) = flag("--typecheck-report") {
         dump_typecheck_report(scale.unwrap_or(1000), path);
+    }
+    if let Some(path) = flag("--sentinel-report") {
+        dump_sentinel_report(path);
     }
     if !args.iter().any(|a| a == "--no-metrics") {
         dump_metrics();
@@ -286,6 +292,41 @@ fn dump_typecheck_report(scale: usize, path: &str) {
     }
     if report.errors() > 0 {
         eprintln!("typecheck found {} error(s)", report.errors());
+        std::process::exit(1);
+    }
+}
+
+/// `--sentinel-report FILE`: run the `fsdm-sentinel` concurrency
+/// analysis over the workspace sources and persist the machine-readable
+/// findings, with the same write/re-parse/zero-error gate as the other
+/// report flags.
+fn dump_sentinel_report(path: &str) {
+    println!("\n== fsdm-sentinel: workspace concurrency analysis ==");
+    let report = match fsdm_sentinel::analyze_workspace(std::path::Path::new(".")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sentinel scan failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render_text());
+    let json = report.render_json();
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| fsdm_json::parse(&text).map_err(|e| format!("{e:?}")).map(drop))
+    {
+        Ok(()) => println!("sentinel report written to {path} (re-parsed OK)"),
+        Err(e) => {
+            eprintln!("sentinel report {path} does not re-parse: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.errors() > 0 {
+        eprintln!("sentinel found {} error(s)", report.errors());
         std::process::exit(1);
     }
 }

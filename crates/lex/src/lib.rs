@@ -1,0 +1,14 @@
+//! Shared syntax layer for the repo's Rust-source analyzers.
+//!
+//! `fsdm-tidy` (token rules) and `fsdm-sentinel` (concurrency facts)
+//! both need to look at workspace sources without being fooled by
+//! comments, strings, or raw strings — and sentinel additionally needs
+//! to know which lines belong to which function. Keeping the scanner
+//! and the item parser in one crate means the two analyzers cannot
+//! drift in how they classify source text.
+
+pub mod items;
+pub mod scan;
+
+pub use items::{line_idents, next_non_ws, parse_items, prev_non_ws, FnItem, Items};
+pub use scan::{scan, Class, Scan};

@@ -1,7 +1,8 @@
 //! A comment-, string- and raw-string-aware scanner for Rust sources.
 //!
-//! The rules in [`crate::rules`] must never fire on text inside a comment
-//! or a string literal ("unwrap()" in a doc comment is prose, not a call),
+//! Analysis rules (`fsdm-tidy`'s token rules, `fsdm-sentinel`'s
+//! concurrency facts) must never fire on text inside a comment or a
+//! string literal ("unwrap()" in a doc comment is prose, not a call),
 //! so every file is first classified character by character. The scanner
 //! is a small hand-rolled state machine — not a full lexer — that knows
 //! exactly the token shapes that matter for masking:

@@ -129,6 +129,9 @@ pub const PLANCK_WARNINGS: &str = "planck.warnings";
 pub const SLOWLOG_ENTRIES: &str = "slowlog.entries";
 /// Slow-log entries evicted by the ring's fixed capacity (counter).
 pub const SLOWLOG_EVICTED: &str = "slowlog.evicted";
+/// Poisoned slow-log ring guards recovered after a panicking query
+/// (counter).
+pub const SLOWLOG_POISONED: &str = "slowlog.poisoned";
 
 // --- sqljson ------------------------------------------------------------
 
@@ -217,6 +220,7 @@ pub const ALL: &[&str] = &[
     PLANCK_WARNINGS,
     SLOWLOG_ENTRIES,
     SLOWLOG_EVICTED,
+    SLOWLOG_POISONED,
     SPAN_SQLJSON_EVAL,
     SQLJSON_EVAL_NODES_VISITED,
     SQLJSON_EVAL_PATHS,
@@ -249,9 +253,87 @@ pub const SPANS: &[&str] = &[
     SPAN_STORE_QUERY,
 ];
 
+/// The declared lock hierarchy: every `Mutex`/`RwLock` in the workspace,
+/// by field or static name, with its rank. A thread may only acquire a
+/// lock of *strictly higher* rank than any lock it already holds;
+/// `fsdm-sentinel` proves this statically (rule SN002) over the
+/// workspace call graph, which makes cyclic waits impossible. Ranks are
+/// spaced by 10 so a new lock can slot between existing ones without
+/// renumbering.
+pub const LOCKS: &[(&str, u32)] = &[
+    // trace.rs: serializes whole trace sessions; outermost by nature
+    ("SESSION_LOCK", 10),
+    // slowlog.rs: the slow-query ring; held while recording one entry
+    ("ring", 20),
+    // trace.rs: the session's span sink; held during per-thread flushes
+    ("sink", 30),
+    // obs lib.rs: the metrics registry map; innermost — `counter!` and
+    // `gauge!` reach it from under the slow-log ring
+    ("inner", 40),
+];
+
+/// Which memory-ordering discipline an atomic follows. `fsdm-sentinel`
+/// checks every atomic operation against the discipline declared for it
+/// in [`ATOMICS`] (rule SN005).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicDiscipline {
+    /// A plain statistic or id/ticket dispenser: no other memory hangs
+    /// off its value, so every operation must stay `Relaxed` — anything
+    /// stronger buys nothing and taxes the hot path.
+    Monotonic,
+    /// A publish/consume handshake: its value gates access to other
+    /// memory, so stores must be `Release`, loads `Acquire`, and
+    /// read-modify-writes `AcqRel` (or `SeqCst`).
+    Handshake,
+}
+
+/// The declared discipline of every atomic in the workspace, by field,
+/// static, or — for the tuple-struct wrappers `Counter`/`Gauge` — type
+/// name. An atomic operation on a name missing from this inventory is
+/// itself a sentinel error, so the registry stays complete.
+pub const ATOMICS: &[(&str, AtomicDiscipline)] = &[
+    // --- handshakes -----------------------------------------------------
+    // obs lib.rs: global metrics on/off gate
+    ("ENABLED", AtomicDiscipline::Handshake),
+    // trace.rs: global tracing on/off gate
+    ("TRACING", AtomicDiscipline::Handshake),
+    // store/parallel.rs race oracle: live-worker count, must be zero
+    // after the scope closes
+    ("active_workers", AtomicDiscipline::Handshake),
+    // store/parallel.rs race oracle: per-morsel claim slots (`claim` is
+    // one element of `claims`, as bound by iteration)
+    ("claim", AtomicDiscipline::Handshake),
+    ("claims", AtomicDiscipline::Handshake),
+    // trace.rs: session generation; stale-epoch buffers must observe
+    // the bump before touching the new session's sink
+    ("epoch", AtomicDiscipline::Handshake),
+    // --- monotonic counters and dispensers ------------------------------
+    // obs lib.rs: the Counter/Gauge tuple structs and Histogram fields
+    ("Counter", AtomicDiscipline::Monotonic),
+    ("Gauge", AtomicDiscipline::Monotonic),
+    // one element of `buckets`, as bound by iteration
+    ("bucket", AtomicDiscipline::Monotonic),
+    ("buckets", AtomicDiscipline::Monotonic),
+    // trace.rs: span budget countdown and drop tally
+    ("budget", AtomicDiscipline::Monotonic),
+    ("count", AtomicDiscipline::Monotonic),
+    ("dropped", AtomicDiscipline::Monotonic),
+    // store/parallel.rs race oracle: merge cursor, coordinator-only
+    ("merged", AtomicDiscipline::Monotonic),
+    // store/parallel.rs: the morsel ticket dispenser
+    ("next", AtomicDiscipline::Monotonic),
+    // trace.rs: span/thread id dispensers
+    ("next_id", AtomicDiscipline::Monotonic),
+    ("next_tid", AtomicDiscipline::Monotonic),
+    ("sum", AtomicDiscipline::Monotonic),
+    // slowlog.rs: the slow-query threshold (0 = disabled); the ring it
+    // gates is Mutex-protected, so the load needs no ordering
+    ("threshold_ns", AtomicDiscipline::Monotonic),
+];
+
 #[cfg(test)]
 mod tests {
-    use super::{ALL, SPANS};
+    use super::{ALL, ATOMICS, LOCKS, SPANS};
 
     #[test]
     fn names_are_unique() {
@@ -275,6 +357,39 @@ mod tests {
         }
         for name in SPANS {
             assert!(ALL.contains(name), "span {name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn lock_hierarchy_ranks_are_unique_and_ascending() {
+        for pair in LOCKS.windows(2) {
+            assert!(
+                pair[0].1 < pair[1].1,
+                "lock {} (rank {}) must rank below {} ({})",
+                pair[0].0,
+                pair[0].1,
+                pair[1].0,
+                pair[1].1
+            );
+        }
+        let mut names = std::collections::HashSet::new();
+        for (name, _) in LOCKS {
+            assert!(names.insert(*name), "duplicate lock {name}");
+        }
+    }
+
+    #[test]
+    fn atomic_registry_is_sorted_within_each_discipline() {
+        let mut names = std::collections::HashSet::new();
+        for (name, _) in ATOMICS {
+            assert!(names.insert(*name), "duplicate atomic {name}");
+        }
+        // grouped handshakes-then-monotonic, each group name-sorted, so
+        // a reader can scan the inventory the way the doc comment reads
+        for pair in ATOMICS.windows(2) {
+            if pair[0].1 == pair[1].1 {
+                assert!(pair[0].0 < pair[1].0, "{} before {}", pair[0].0, pair[1].0);
+            }
         }
     }
 

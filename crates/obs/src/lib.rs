@@ -31,7 +31,10 @@ pub mod trace;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
 use std::sync::{Mutex, OnceLock};
 
 /// Number of histogram buckets: one for zero plus one per power of two.
@@ -41,13 +44,13 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 
 /// Globally enable or disable all metric recording.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Relaxed);
+    ENABLED.store(on, Release);
 }
 
 /// Whether metric recording is currently enabled.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Relaxed)
+    ENABLED.load(Acquire)
 }
 
 /// A monotonically increasing counter.
@@ -176,8 +179,8 @@ impl Histogram {
     /// Read the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; NUM_BUCKETS];
-        for (i, b) in self.buckets.iter().enumerate() {
-            buckets[i] = b.load(Relaxed);
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            buckets[i] = bucket.load(Relaxed);
         }
         HistogramSnapshot { count: self.count.load(Relaxed), sum: self.sum.load(Relaxed), buckets }
     }
@@ -259,6 +262,11 @@ struct Inner {
 /// is lock-free. Handles are interned with `'static` lifetime so callers
 /// can cache them in `OnceLock` statics — that is what the [`counter!`]
 /// family of macros does.
+///
+/// A panic elsewhere while the lock is held cannot brick the registry:
+/// every guard recovers from poisoning (`PoisonError::into_inner`),
+/// which is sound here because each critical section leaves the maps
+/// consistent — an interned handle is either fully inserted or absent.
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<Inner>,
@@ -272,7 +280,7 @@ impl MetricsRegistry {
 
     /// Get or create the counter `name`.
     pub fn counter(&self, name: &str) -> &'static Counter {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(c) = g.counters.get(name) {
             return c;
         }
@@ -283,7 +291,7 @@ impl MetricsRegistry {
 
     /// Get or create the gauge `name`.
     pub fn gauge(&self, name: &str) -> &'static Gauge {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(c) = g.gauges.get(name) {
             return c;
         }
@@ -294,7 +302,7 @@ impl MetricsRegistry {
 
     /// Get or create the histogram `name`.
     pub fn histogram(&self, name: &str) -> &'static Histogram {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(c) = g.histograms.get(name) {
             return c;
         }
@@ -305,7 +313,7 @@ impl MetricsRegistry {
 
     /// Point-in-time copy of every metric in this registry.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let g = self.inner.lock().unwrap();
+        let g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         MetricsSnapshot {
             counters: g.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
             gauges: g.gauges.iter().map(|(k, c)| (k.clone(), c.get())).collect(),

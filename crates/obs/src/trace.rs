@@ -40,7 +40,10 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicU32, AtomicU64,
+    Ordering::{AcqRel, Acquire, Relaxed, Release},
+};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -57,7 +60,7 @@ static TRACING: AtomicBool = AtomicBool::new(false);
 /// relaxed load every disabled span entry point performs.
 #[inline]
 pub fn tracing_enabled() -> bool {
-    TRACING.load(Relaxed)
+    TRACING.load(Acquire)
 }
 
 /// One recorded span.
@@ -158,7 +161,7 @@ impl LocalBuf {
             return;
         }
         let c = collector();
-        if self.epoch == c.epoch.load(Relaxed) {
+        if self.epoch == c.epoch.load(Acquire) {
             lock_ignoring_poison(&c.sink).append(&mut self.buf);
         } else {
             self.buf.clear();
@@ -285,7 +288,7 @@ fn enter(name: &'static str, explicit_parent: Option<u64>) -> SpanGuard {
         crate::counter!(crate::catalog::TRACE_SPAN_DROPPED).inc();
         return SpanGuard(None);
     }
-    let epoch = c.epoch.load(Relaxed);
+    let epoch = c.epoch.load(Acquire);
     let id = c.next_id.fetch_add(1, Relaxed);
     let active = LOCAL.try_with(|l| {
         let Ok(mut l) = l.try_borrow_mut() else { return None };
@@ -333,11 +336,11 @@ impl TraceSession {
     pub fn with_capacity(cap: usize) -> TraceSession {
         let serial = lock_ignoring_poison(&SESSION_LOCK);
         let c = collector();
-        c.epoch.fetch_add(1, Relaxed);
+        c.epoch.fetch_add(1, AcqRel);
         c.dropped.store(0, Relaxed);
         lock_ignoring_poison(&c.sink).clear();
         c.budget.store(i64::try_from(cap.max(1)).unwrap_or(i64::MAX), Relaxed);
-        TRACING.store(true, Relaxed);
+        TRACING.store(true, Release);
         TraceSession { _serial: serial, finished: false }
     }
 
@@ -346,7 +349,7 @@ impl TraceSession {
     /// at 0.
     pub fn finish(mut self) -> Trace {
         self.finished = true;
-        TRACING.store(false, Relaxed);
+        TRACING.store(false, Release);
         let c = collector();
         // flush this thread's buffer; scoped executor workers flushed
         // when they were joined
@@ -375,9 +378,9 @@ impl TraceSession {
 impl Drop for TraceSession {
     fn drop(&mut self) {
         if !self.finished {
-            TRACING.store(false, Relaxed);
+            TRACING.store(false, Release);
             let c = collector();
-            c.epoch.fetch_add(1, Relaxed);
+            c.epoch.fetch_add(1, AcqRel);
             lock_ignoring_poison(&c.sink).clear();
         }
     }
@@ -597,6 +600,24 @@ mod tests {
         assert_eq!(leaf.parent, child.id);
         assert_eq!(root.args.as_deref(), Some("Q1"));
         assert!(t.summary().contains("spans=3"), "{}", t.summary());
+    }
+
+    #[test]
+    fn poisoned_sink_does_not_kill_tracing() {
+        // poison the shared sink the only way it can happen: a panic
+        // unwinding while the flush guard is held
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = collector().sink.lock().unwrap();
+            panic!("unwind with the sink held");
+        }));
+        assert!(collector().sink.is_poisoned());
+        let session = TraceSession::begin();
+        {
+            let _g = span(catalog::SPAN_STORE_QUERY);
+        }
+        let t = session.finish();
+        assert_eq!(t.spans.len(), 1, "flush must recover the poisoned sink");
+        t.validate().unwrap();
     }
 
     #[test]

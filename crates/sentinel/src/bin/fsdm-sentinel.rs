@@ -1,0 +1,55 @@
+//! `fsdm-sentinel` — run the concurrency analysis over the workspace.
+//!
+//! ```text
+//! fsdm-sentinel [--root DIR] [--json]
+//! ```
+//!
+//! Exits non-zero when any SN finding or allow meta-error survives, so
+//! `ci.sh` can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("fsdm-sentinel: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: fsdm-sentinel [--root DIR] [--json]");
+                println!(
+                    "  concurrency lint over the workspace sources ({}–{})",
+                    fsdm_analyze::Code::DoubleLock.id(),
+                    fsdm_analyze::Code::SpawnOutsideExecutor.id()
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fsdm-sentinel: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match fsdm_sentinel::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fsdm-sentinel: cannot read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", if json { report.render_json() } else { report.render_text() });
+    if report.errors() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

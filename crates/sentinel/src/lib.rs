@@ -1,0 +1,299 @@
+//! fsdm-sentinel: syntax-aware concurrency analysis for the workspace.
+//!
+//! Sentinel is the concurrency companion to `fsdm-analyze` (data
+//! diagnostics, FA codes) and `fsdm-planck` (plan diagnostics, PK
+//! codes): it extracts per-function concurrency facts from every
+//! workspace source file ([`facts`]), builds the intra-workspace call
+//! graph, and replays each function's event stream against the lock
+//! hierarchy and atomic disciplines declared in `fsdm_obs::catalog`
+//! ([`checks`]). Findings carry the stable SN001–SN007 codes from
+//! `fsdm_analyze::Code` and render through the same text/JSON shapes.
+//!
+//! A finding can be suppressed with a budgeted escape comment on the
+//! offending line or the line above:
+//!
+//! ```text
+//! // fsdm-sentinel: allow(lock-across-panic) -- the guard is poison-recovered
+//! ```
+//!
+//! The workspace-wide budget is [`ALLOW_BUDGET`]; an unused, malformed,
+//! or over-budget allow is itself an error, and allows are forbidden
+//! entirely in the morsel executor (`crates/store/src/parallel.rs`).
+
+pub mod checks;
+pub mod facts;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use checks::{RawFinding, EXECUTOR_FILE};
+
+/// Workspace-wide cap on `fsdm-sentinel: allow(..)` escapes.
+pub const ALLOW_BUDGET: usize = 5;
+
+/// One parsed allow annotation.
+#[derive(Debug)]
+struct Allow {
+    file: String,
+    /// 0-based line of the comment.
+    line: usize,
+    slug: String,
+    used: bool,
+}
+
+/// The outcome of one sentinel run.
+#[derive(Debug)]
+pub struct SentinelReport {
+    /// Findings that survived allow filtering, in (file, line) order.
+    pub findings: Vec<RawFinding>,
+    /// Problems with the allow annotations themselves (over budget,
+    /// malformed, unused, or placed in the executor).
+    pub meta_errors: Vec<String>,
+    /// How many allow escapes suppressed a finding.
+    pub allows_used: usize,
+    /// How many files were analyzed.
+    pub files_scanned: usize,
+}
+
+impl SentinelReport {
+    /// Total error count — every SN finding is `Severity::Error`, and
+    /// every meta error counts too. CI gates on this being zero.
+    pub fn errors(&self) -> usize {
+        self.findings.len() + self.meta_errors.len()
+    }
+
+    /// Compiler-style text report with caret snippets.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let d = &f.diag;
+            out.push_str(&format!(
+                "{}:{}:{}: {} {} [{}]: {}\n",
+                f.file,
+                f.line + 1,
+                d.span.start + 1,
+                d.code.id(),
+                d.severity.label(),
+                d.code.slug(),
+                d.message
+            ));
+            if !d.path.is_empty() {
+                let width = d.span.end.saturating_sub(d.span.start).max(1);
+                out.push_str(&format!("    | {}\n", d.path));
+                out.push_str(&format!("    | {}{}\n", " ".repeat(d.span.start), "^".repeat(width)));
+            }
+            if let Some(h) = &d.help {
+                out.push_str(&format!("    = help: {h}\n"));
+            }
+        }
+        for m in &self.meta_errors {
+            out.push_str(&format!("sentinel: error: {m}\n"));
+        }
+        out.push_str(&format!(
+            "sentinel: {} file(s), {} error(s), {} allow(s) used (budget {})\n",
+            self.files_scanned,
+            self.errors(),
+            self.allows_used,
+            ALLOW_BUDGET
+        ));
+        out
+    }
+
+    /// Machine-readable report; the CI gate greps for `"errors": 0`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"fsdm-sentinel\",\n");
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"allows_used\": {},\n", self.allows_used));
+        out.push_str(&format!("  \"allow_budget\": {ALLOW_BUDGET},\n"));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // splice file/line into the shared diagnostic JSON shape
+            let diag = f.diag.render_json();
+            let rest = diag.strip_prefix('{').unwrap_or(&diag);
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, {rest}",
+                json_str(&f.file),
+                f.line + 1
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"meta_errors\": [");
+        for (i, m) in self.meta_errors.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(m));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::from("\"");
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Analyze a set of `(repo-relative path, source text)` pairs. This is
+/// the pure core `analyze_workspace` and the unit tests share.
+pub fn analyze_sources(sources: &[(String, String)]) -> SentinelReport {
+    let files: Vec<facts::FileFacts> = sources.iter().map(|(p, t)| facts::extract(p, t)).collect();
+    let mut findings = checks::run(&files);
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.diag.span.start).cmp(&(&b.file, b.line, b.diag.span.start))
+    });
+
+    let mut meta_errors: Vec<String> = Vec::new();
+    let mut allows = collect_allows(&files, &mut meta_errors);
+
+    // apply allows: a matching annotation on the finding's line or the
+    // line above suppresses it — except in the executor, where escapes
+    // are forbidden outright
+    let mut kept: Vec<RawFinding> = Vec::new();
+    for f in findings {
+        let slug = f.diag.code.slug();
+        let allow = allows.iter_mut().find(|a| {
+            a.file == f.file && a.slug == slug && (a.line == f.line || a.line + 1 == f.line)
+        });
+        match allow {
+            Some(a) if f.file != EXECUTOR_FILE => {
+                a.used = true;
+            }
+            _ => kept.push(f),
+        }
+    }
+
+    let used = allows.iter().filter(|a| a.used).count();
+    if used > ALLOW_BUDGET {
+        meta_errors.push(format!(
+            "{used} allow escapes in use exceed the workspace budget of {ALLOW_BUDGET}"
+        ));
+    }
+    for a in &allows {
+        if a.file == EXECUTOR_FILE {
+            meta_errors.push(format!(
+                "{}:{}: allow escapes are forbidden in the morsel executor",
+                a.file,
+                a.line + 1
+            ));
+        } else if !a.used {
+            meta_errors.push(format!(
+                "{}:{}: unused allow({}) — the finding it suppressed is gone; remove it",
+                a.file,
+                a.line + 1,
+                a.slug
+            ));
+        }
+    }
+
+    SentinelReport { findings: kept, meta_errors, allows_used: used, files_scanned: sources.len() }
+}
+
+/// Parse every `fsdm-sentinel: allow(..)` comment; malformed ones are
+/// meta errors so a typo cannot silently disable the escape.
+fn collect_allows(files: &[facts::FileFacts], meta_errors: &mut Vec<String>) -> Vec<Allow> {
+    let known_slugs = [
+        "double-lock",
+        "lock-order-inversion",
+        "lock-across-executor",
+        "lock-across-panic",
+        "atomic-ordering",
+        "mut-capture-aliasing",
+        "spawn-outside-executor",
+    ];
+    let mut out = Vec::new();
+    for file in files {
+        for (line, text) in &file.comments {
+            // doc comments (`///` → "/ …", `//!` → "! …") are prose
+            if text.starts_with('/') || text.starts_with('!') {
+                continue;
+            }
+            let t = text.trim();
+            let Some(rest) = t.strip_prefix("fsdm-sentinel:") else { continue };
+            let rest = rest.trim_start();
+            let parsed = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')).and_then(
+                |(slug, tail)| {
+                    let reason = tail.trim_start().strip_prefix("--")?.trim();
+                    (!reason.is_empty()).then(|| slug.trim().to_string())
+                },
+            );
+            match parsed {
+                Some(slug) if known_slugs.contains(&slug.as_str()) => {
+                    out.push(Allow { file: file.path.clone(), line: *line, slug, used: false });
+                }
+                Some(slug) => meta_errors.push(format!(
+                    "{}:{}: allow names unknown rule `{slug}`",
+                    file.path,
+                    line + 1
+                )),
+                None => meta_errors.push(format!(
+                    "{}:{}: malformed sentinel comment; expected \
+                     `fsdm-sentinel: allow(<rule>) -- <reason>`",
+                    file.path,
+                    line + 1
+                )),
+            }
+        }
+    }
+    out
+}
+
+/// Analyze every Rust source under the workspace's `crates/*/src` trees.
+/// Integration tests (`tests/`) are excluded: they run under the test
+/// profile where panics and ad-hoc threads are the point.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<SentinelReport> {
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), root, &mut sources)?;
+    }
+    let flat: Vec<(String, String)> = sources.into_iter().collect();
+    Ok(analyze_sources(&flat))
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut BTreeMap<String, String>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)?.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.insert(rel, std::fs::read_to_string(&path)?);
+        }
+    }
+    Ok(())
+}

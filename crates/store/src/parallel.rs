@@ -144,10 +144,12 @@ where
     }
     let pipeline_id = pipeline.id();
     let next = AtomicUsize::new(0);
+    let sentry = oracle::RaceOracle::new(ranges.len());
     let per_worker: Vec<Vec<(usize, Result<T, StoreError>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    sentry.worker_enter();
                     let busy = Instant::now();
                     // explicit cross-thread parent: this lane's spans hang
                     // under the pipeline span on the coordinating thread
@@ -158,6 +160,7 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(range) = ranges.get(i).copied() else { break };
+                        sentry.claim(i);
                         let t = Instant::now();
                         let mut morsel = trace::span(fsdm_obs::catalog::SPAN_EXEC_MORSEL);
                         morsel.record_args(|| format!("rows={}..{}", range.start, range.end));
@@ -172,6 +175,7 @@ where
                     }
                     fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_WORKER_BUSY_NS)
                         .record(busy.elapsed().as_nanos() as u64);
+                    sentry.worker_exit();
                     local
                 })
             })
@@ -193,9 +197,12 @@ where
         }
     }
     let mut out = Vec::with_capacity(ranges.len());
-    for slot in slots {
+    for (i, slot) in slots.into_iter().enumerate() {
         match slot {
-            Some(v) => out.push(v?),
+            Some(v) => {
+                sentry.merge(i);
+                out.push(v?);
+            }
             // unreachable in practice: a morsel is only left unclaimed when
             // every worker stopped on an error at a lower index, and that
             // error is returned first by this ordered drain
@@ -204,7 +211,113 @@ where
             }
         }
     }
+    sentry.finish();
     Ok(out)
+}
+
+/// Debug-build **race oracle**: a runtime witness of the three
+/// invariants the morsel dispatcher's correctness argument rests on,
+/// checked on every parallel pipeline while tests run.
+///
+/// 1. **Disjoint, exhaustive claims** — every morsel index is claimed by
+///    exactly one worker (disjointness is asserted at claim time; on the
+///    success path, exhaustiveness at [`RaceOracle::finish`]).
+/// 2. **Ordered merge** — the reassembly drain consumes slots strictly
+///    in morsel-index order, which is the determinism barrier that makes
+///    every degree byte-identical.
+/// 3. **No worker outlives the scope** — the live-worker count returns
+///    to zero before the pipeline reports success.
+///
+/// The `claims`/`active_workers` handshakes use `AcqRel`/`Acquire`
+/// orderings so a violated invariant is observed with the offending
+/// morsel's writes visible; `merged` advances only on the coordinating
+/// thread and stays `Relaxed`. Release builds compile against the no-op
+/// shim below: same API, zero cost.
+#[cfg(debug_assertions)]
+mod oracle {
+    use std::sync::atomic::{
+        AtomicUsize,
+        Ordering::{AcqRel, Acquire, Relaxed},
+    };
+
+    pub(super) struct RaceOracle {
+        /// One slot per morsel; must go 0 → 1 exactly once.
+        claims: Vec<AtomicUsize>,
+        /// Workers inside the scope right now.
+        active_workers: AtomicUsize,
+        /// Morsels merged so far; merges must arrive in index order.
+        merged: AtomicUsize,
+    }
+
+    impl RaceOracle {
+        pub(super) fn new(morsels: usize) -> RaceOracle {
+            RaceOracle {
+                claims: (0..morsels).map(|_| AtomicUsize::new(0)).collect(),
+                active_workers: AtomicUsize::new(0),
+                merged: AtomicUsize::new(0),
+            }
+        }
+
+        pub(super) fn worker_enter(&self) {
+            self.active_workers.fetch_add(1, AcqRel);
+        }
+
+        pub(super) fn worker_exit(&self) {
+            let live = self.active_workers.fetch_sub(1, AcqRel);
+            assert!(live > 0, "race oracle: worker exited more often than it entered");
+        }
+
+        pub(super) fn claim(&self, i: usize) {
+            let prev = self.claims[i].fetch_add(1, AcqRel);
+            assert_eq!(prev, 0, "race oracle: morsel {i} claimed by two workers");
+        }
+
+        pub(super) fn merge(&self, i: usize) {
+            let prev = self.merged.fetch_add(1, Relaxed);
+            assert_eq!(prev, i, "race oracle: morsel {i} merged out of order (expected {prev})");
+        }
+
+        /// Success-path check: every morsel claimed exactly once and
+        /// merged, and no worker still live.
+        pub(super) fn finish(&self) {
+            assert_eq!(
+                self.active_workers.load(Acquire),
+                0,
+                "race oracle: a worker outlived its scope"
+            );
+            assert_eq!(
+                self.merged.load(Relaxed),
+                self.claims.len(),
+                "race oracle: pipeline finished without merging every morsel"
+            );
+            for (i, claim) in self.claims.iter().enumerate() {
+                assert_eq!(claim.load(Acquire), 1, "race oracle: morsel {i} never claimed");
+            }
+        }
+    }
+}
+
+/// Release-build shim: the oracle vanishes entirely.
+#[cfg(not(debug_assertions))]
+mod oracle {
+    pub(super) struct RaceOracle;
+
+    impl RaceOracle {
+        #[inline]
+        pub(super) fn new(_morsels: usize) -> RaceOracle {
+            RaceOracle
+        }
+        #[inline]
+        pub(super) fn worker_enter(&self) {}
+        #[inline]
+        pub(super) fn worker_exit(&self) {}
+        #[inline]
+        pub(super) fn claim(&self, _i: usize) {}
+        #[inline]
+        pub(super) fn merge(&self, _i: usize) {}
+        #[inline]
+        pub(super) fn finish(&self) {}
+    }
 }
 
 fn record_morsel(range: RowRange, started: Instant) {
@@ -274,5 +387,63 @@ mod tests {
         let out = run_morsels(&ctx(8, 16), 0, &mut stats, |r, _| Ok(r.len())).unwrap();
         assert!(out.is_empty());
         assert_eq!(stats.morsels, 0);
+    }
+
+    // the oracle is compiled out in release builds, so its violation
+    // tests only exist where it can actually panic
+    #[cfg(debug_assertions)]
+    mod oracle_violations {
+        use super::super::oracle::RaceOracle;
+
+        fn panics(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+            std::panic::catch_unwind(f).is_err()
+        }
+
+        #[test]
+        fn a_clean_pipeline_passes() {
+            let o = RaceOracle::new(3);
+            o.worker_enter();
+            o.claim(0);
+            o.claim(1);
+            o.claim(2);
+            o.worker_exit();
+            o.merge(0);
+            o.merge(1);
+            o.merge(2);
+            o.finish();
+        }
+
+        #[test]
+        fn double_claim_is_caught() {
+            let o = RaceOracle::new(2);
+            o.claim(0);
+            assert!(panics(move || o.claim(0)));
+        }
+
+        #[test]
+        fn out_of_order_merge_is_caught() {
+            let o = RaceOracle::new(2);
+            o.claim(0);
+            o.claim(1);
+            assert!(panics(move || o.merge(1)));
+        }
+
+        #[test]
+        fn unclaimed_morsel_is_caught_at_finish() {
+            let o = RaceOracle::new(2);
+            o.claim(0);
+            o.merge(0);
+            o.merge(1);
+            assert!(panics(move || o.finish()));
+        }
+
+        #[test]
+        fn a_worker_that_never_exits_is_caught() {
+            let o = RaceOracle::new(1);
+            o.worker_enter();
+            o.claim(0);
+            o.merge(0);
+            assert!(panics(move || o.finish()));
+        }
     }
 }

@@ -178,8 +178,16 @@ impl SlowLog {
     }
 }
 
+/// Acquire the ring, recovering from poisoning: a query that panicked
+/// mid-record leaves at worst a consistent-but-stale ring (every write
+/// below touches one entry at a time), and losing the slow log would be
+/// a poor trade for one panicked query. Recoveries are counted so an
+/// unstable workload is visible in the metrics.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    m.lock().unwrap_or_else(|poisoned| {
+        fsdm_obs::counter!(fsdm_obs::catalog::SLOWLOG_POISONED).inc();
+        poisoned.into_inner()
+    })
 }
 
 fn esc(s: &str) -> String {
@@ -228,6 +236,27 @@ mod tests {
         assert!(json.contains("\"captured\":3"), "{json}");
         assert!(json.contains("\"source\":\"slow3\""), "{json}");
         assert!(json.contains("\"trace\":null"), "{json}");
+    }
+
+    #[test]
+    fn poisoned_ring_is_recovered_and_counted() {
+        let log = SlowLog::new();
+        log.arm(0, 4);
+        log.record("before", 1, 1, None, None);
+        let poisoned = fsdm_obs::global().counter(fsdm_obs::catalog::SLOWLOG_POISONED);
+        let before = poisoned.get();
+        // poison the ring the only way it can happen: a panic unwinding
+        // while the guard is held
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = log.ring.lock().unwrap();
+            panic!("unwind with the ring held");
+        }));
+        assert!(log.ring.is_poisoned());
+        log.record("after", 1, 1, None, None);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2, "the ring keeps working after poisoning");
+        assert_eq!(entries[1].source, "after");
+        assert!(poisoned.get() > before, "recoveries must be counted");
     }
 
     #[test]

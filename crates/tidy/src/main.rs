@@ -13,7 +13,7 @@
 //! Exit status is non-zero when any finding remains or the allow budget
 //! is exceeded.
 
-mod lexer;
+use fsdm_lex as lexer;
 mod rules;
 
 use std::fs;
@@ -200,7 +200,7 @@ fn check_catalog_text(rel: &str, text: &str) -> Vec<Finding> {
 }
 
 /// The diagnostic-code registry rule: `crates/analyze/src/diag.rs` is
-/// the single source of truth for `FA###`/`PK###` ids. Its `Code::id()`
+/// the single source of truth for `FA###`/`PK###`/`SN###` ids. Its `Code::id()`
 /// match must declare each id exactly once, and each prefix series must
 /// be contiguous from 001 — codes are append-only CI contract, so a gap
 /// means a code was deleted instead of retired in place.
@@ -243,17 +243,17 @@ fn check_diag_registry_text(rel: &str, text: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     for (i, (line, id)) in ids.iter().enumerate() {
         let well_formed = id.len() == 5
-            && (id.starts_with("FA") || id.starts_with("PK"))
+            && (id.starts_with("FA") || id.starts_with("PK") || id.starts_with("SN"))
             && id.chars().skip(2).all(|c| c.is_ascii_digit());
         if !well_formed {
-            out.push(finding(*line, format!("id \"{id}\" is not a FA###/PK### code")));
+            out.push(finding(*line, format!("id \"{id}\" is not a FA###/PK###/SN### code")));
             continue;
         }
         if ids.iter().take(i).any(|(_, earlier)| earlier == id) {
             out.push(finding(*line, format!("code \"{id}\" is declared more than once")));
         }
     }
-    for prefix in ["FA", "PK"] {
+    for prefix in ["FA", "PK", "SN"] {
         let mut numbers: Vec<u32> = ids
             .iter()
             .filter(|(_, id)| id.starts_with(prefix) && id.len() == 5)
@@ -474,7 +474,16 @@ mod tests {
         let fa1 = format!("{}{}", "FA", "001");
         let pk1 = format!("{}{}", "PK", "001");
         let pk2 = format!("{}{}", "PK", "002");
-        assert!(registry_messages(&[&fa1, &pk1, &pk2]).is_empty());
+        let sn1 = format!("{}{}", "SN", "001");
+        assert!(registry_messages(&[&fa1, &pk1, &pk2, &sn1]).is_empty());
+    }
+
+    #[test]
+    fn diag_registry_covers_the_sn_series() {
+        let sn1 = format!("{}{}", "SN", "001");
+        let sn3 = format!("{}{}", "SN", "003");
+        let gap = registry_messages(&[&sn1, &sn3]);
+        assert!(gap.iter().any(|m| m.contains("gap")), "{gap:?}");
     }
 
     #[test]
@@ -487,7 +496,7 @@ mod tests {
         let gap = registry_messages(&[&pk1, &pk3]);
         assert!(gap.iter().any(|m| m.contains("gap")), "{gap:?}");
         let malformed = registry_messages(&["XY001"]);
-        assert!(malformed.iter().any(|m| m.contains("not a FA###/PK### code")), "{malformed:?}");
+        assert!(malformed.iter().any(|m| m.contains("not a FA###/PK###/SN###")), "{malformed:?}");
     }
 
     fn catalog(consts: &[(&str, &str)], all: &[&str]) -> String {

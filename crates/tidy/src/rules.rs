@@ -56,7 +56,7 @@ const NO_AS_FILES: &[&str] = &[
 pub const NO_ALLOW_FILES: &[&str] = &["crates/oson/src/wire.rs", "crates/bson/src/decode.rs"];
 
 /// The crate that owns the diagnostic-code registry
-/// (`crates/analyze/src/diag.rs`). Everywhere else, `FA###`/`PK###`
+/// (`crates/analyze/src/diag.rs`). Everywhere else, `FA###`/`PK###`/`SN###`
 /// codes must be referenced through `fsdm_analyze::Code`, never spelled
 /// as string literals, so renumbering stays a one-file change.
 const DIAG_REGISTRY_PREFIX: &str = "crates/analyze/";
@@ -477,7 +477,7 @@ fn span_literal(rel: &str, scan: &Scan, line: usize, masked: &str, out: &mut Vec
     }
 }
 
-/// `diag-code-registry`: diagnostic ids (`FA###`/`PK###`) may only be
+/// `diag-code-registry`: diagnostic ids (`FA###`/`PK###`/`SN###`) may only be
 /// spelled out inside the registry crate (`crates/analyze/`, where
 /// `diag.rs` defines `Code`). Everywhere else — including test modules,
 /// where assertions against rendered output tend to accumulate — codes
@@ -492,7 +492,7 @@ fn diag_code_literal(rel: &str, scan: &Scan, line: usize, out: &mut Vec<Finding>
     for i in 0..chars.len() {
         let prefix = matches!(
             (chars.get(i), chars.get(i + 1)),
-            (Some(&'F'), Some(&'A')) | (Some(&'P'), Some(&'K'))
+            (Some(&'F'), Some(&'A')) | (Some(&'P'), Some(&'K')) | (Some(&'S'), Some(&'N'))
         );
         let digits = (2..5).all(|k| chars.get(i + k).is_some_and(char::is_ascii_digit));
         let in_string = (0..5).all(|k| classes.get(i + k) == Some(&Class::StrContent));
@@ -706,6 +706,12 @@ mod tests {
         assert!(
             run("crates/analyze/src/diag.rs", &src).is_empty(),
             "the registry crate itself is exempt"
+        );
+        let sentinel = format!("fn f() -> &'static str {{\n    \"{}{}\"\n}}\n", "SN", "004");
+        assert_eq!(
+            rules(&run(COLD, &sentinel)),
+            vec!["diag-code-registry"],
+            "the sentinel series is covered too"
         );
         let in_test = format!(
             "fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t(id: &str) -> bool {{\n        \
