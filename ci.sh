@@ -36,6 +36,13 @@ echo "== bench concurrency smoke (4-thread wall <= 1.1x 1-thread) =="
 cargo run --release -p fsdm-bench --bin bench -- concurrency --scale small --smoke \
   --json BENCH_concurrency.json
 
+echo "== bench imc smoke (columnar Q1-3 wall <= row-path wall) =="
+# --json persists the run in the stable fsdm-bench-imc-v1 schema so CI
+# revisions accumulate the row-vs-columnar trajectory alongside the
+# concurrency one
+cargo run --release -p fsdm-bench --bin bench -- imc --scale small --smoke \
+  --json BENCH_imc.json
+
 echo "== bench trace-overhead smoke (disabled tracing <= 2% of Q1-3 wall) =="
 cargo run --release -p fsdm-bench --bin bench -- trace-overhead --scale 2000 --smoke
 

@@ -5,6 +5,7 @@
 //! bench concurrency [--scale small|N] [--threads a,b,c] [--reps N] [--smoke]
 //!                   [--json FILE]
 //! bench experiments [--scale small|N] [--threads a,b,c] [--reps N] [--json FILE]
+//! bench imc [--scale small|N] [--reps N] [--smoke] [--json FILE]
 //! bench trace-overhead [--scale N] [--smoke]
 //! ```
 //!
@@ -19,12 +20,20 @@
 //! trajectory across revisions; `experiments` is the trajectory-first
 //! alias (same run, JSON written by default to `BENCH_concurrency.json`).
 //!
+//! `imc` times the NOBENCH set twice over one corpus with the Q1–Q3
+//! virtual columns materialized into the VC-IMC: once on the row
+//! pipeline, once on the vectorized columnar pipeline (see
+//! `fsdm_bench::imc`). `--smoke` is the CI mode: it exits non-zero if
+//! the columnar Q1–Q3 wall time exceeds the row-path wall time —
+//! vectorization must never lose on the queries its kernels cover.
+//! `--json FILE` writes the stable `fsdm-bench-imc-v1` schema.
+//!
 //! `trace-overhead` verifies the tracing layer's disabled-mode contract:
 //! the estimated cost of every span entry point executed by a NoBench
 //! Q1–Q3 pass must stay within 2% of the measured wall time (see
 //! `fsdm_bench::traceov`). `--smoke` exits non-zero on budget overrun.
 
-use fsdm_bench::{concurrency, traceov};
+use fsdm_bench::{concurrency, imc, traceov};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,10 +43,12 @@ fn main() {
             let json = flag_value(&args, "--json").unwrap_or("BENCH_concurrency.json");
             run_concurrency(&args, Some(json));
         }
+        Some("imc") => run_imc(&args),
         Some("trace-overhead") => run_trace_overhead(&args),
         other => {
             eprintln!(
-                "unknown command {other:?}; supported: concurrency, experiments, trace-overhead"
+                "unknown command {other:?}; supported: concurrency, experiments, imc, \
+                 trace-overhead"
             );
             std::process::exit(2);
         }
@@ -95,19 +106,69 @@ fn run_concurrency(args: &[String], default_json: Option<&str>) {
         };
         let t1 = one.total().as_secs_f64();
         let t4 = four.total().as_secs_f64();
-        if t4 > t1 * 1.1 {
+        // On a single-core box the 4-thread run cannot win — it pays pure
+        // scheduler overhead — so the regression margin widens there; the
+        // strict 10% gate only means something with real parallelism.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let tol = if cores >= 2 { 1.1 } else { 1.35 };
+        if t4 > t1 * tol {
             eprintln!(
-                "SMOKE FAIL: 4-thread NOBENCH wall {:.1}ms exceeds 1.1x the \
-                 1-thread wall {:.1}ms",
+                "SMOKE FAIL: 4-thread NOBENCH wall {:.1}ms exceeds {tol}x the \
+                 1-thread wall {:.1}ms ({cores} core(s))",
                 t4 * 1e3,
                 t1 * 1e3
             );
             std::process::exit(1);
         }
         println!(
-            "smoke ok: 4-thread wall {:.1}ms <= 1.1x 1-thread wall {:.1}ms",
+            "smoke ok: 4-thread wall {:.1}ms <= {tol}x 1-thread wall {:.1}ms ({cores} core(s))",
             t4 * 1e3,
             t1 * 1e3
+        );
+    }
+}
+
+fn run_imc(args: &[String]) {
+    let scale = match flag_value(args, "--scale") {
+        Some("small") => 2_000,
+        Some(s) => s.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--scale expects `small` or a document count, got {s}");
+            std::process::exit(2);
+        }),
+        None => 20_000,
+    };
+    let reps = flag_value(args, "--reps").and_then(|s| s.parse::<usize>().ok()).unwrap_or(3);
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let run = imc::run(scale, 1, reps);
+    print!("{}", imc::render(&run));
+
+    if let Some(path) = flag_value(args, "--json") {
+        let json = imc::to_json(&run);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("trajectory written to {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if smoke {
+        let row = run.scan_heavy_row().as_secs_f64();
+        let col = run.scan_heavy_columnar().as_secs_f64();
+        if col > row {
+            eprintln!(
+                "SMOKE FAIL: columnar Q1-3 wall {:.1}ms exceeds the row-path wall {:.1}ms",
+                col * 1e3,
+                row * 1e3
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke ok: columnar Q1-3 wall {:.1}ms <= row-path wall {:.1}ms",
+            col * 1e3,
+            row * 1e3
         );
     }
 }

@@ -1,0 +1,188 @@
+//! `bench imc`: row vs columnar execution over the VC-IMC.
+//!
+//! The vectorized executor's bargain is that batch kernels over column
+//! vectors beat row-at-a-time evaluation *on the same data*. This runner
+//! holds everything else fixed — one NOBENCH corpus, the Q1–Q3 virtual
+//! columns materialized into the IMC, the same optimized plans — and
+//! times each query twice through [`Database::set_columnar`]: once on
+//! the scratch-based row path, once on the batch pipeline. Results are
+//! byte-identical either way (`tests/vectorized_identity.rs` asserts
+//! it); only wall-clock time may change, and on the kernel-covered
+//! Q1–Q3 subset columnar must never lose.
+//!
+//! [`Database::set_columnar`]: fsdm_store::Database::set_columnar
+
+use std::time::Duration;
+
+use crate::concurrency::nobench_plans;
+use crate::setup::{add_nobench_columnar_vcs, nobench_db};
+
+/// Row-path and columnar-path best wall times for one query.
+pub struct ImcTiming {
+    /// Query label (`Q1` … `Q11`).
+    pub label: String,
+    /// Best observed wall time on the row pipeline.
+    pub row: Duration,
+    /// Best observed wall time on the columnar pipeline.
+    pub columnar: Duration,
+}
+
+/// One full run: per-query timings over a shared corpus.
+pub struct ImcRun {
+    /// Corpus size the run measured.
+    pub scale: usize,
+    /// Per-query timings, in workload order Q1–Q11.
+    pub per_query: Vec<ImcTiming>,
+}
+
+impl ImcRun {
+    /// Summed best row-path time of the kernel-covered subset Q1–Q3.
+    pub fn scan_heavy_row(&self) -> Duration {
+        self.subset(|t| t.row)
+    }
+
+    /// Summed best columnar time of the kernel-covered subset Q1–Q3.
+    pub fn scan_heavy_columnar(&self) -> Duration {
+        self.subset(|t| t.columnar)
+    }
+
+    fn subset(&self, f: impl Fn(&ImcTiming) -> Duration) -> Duration {
+        self.per_query
+            .iter()
+            .filter(|t| matches!(t.label.as_str(), "Q1" | "Q2" | "Q3"))
+            .map(f)
+            .sum()
+    }
+}
+
+/// Time the NOBENCH set on both pipelines over one corpus of `scale`
+/// documents with the Q1–Q3 virtual columns in the IMC. `warmup`/`reps`
+/// feed [`crate::time_best`] per (query, pipeline) pair.
+pub fn run(scale: usize, warmup: usize, reps: usize) -> ImcRun {
+    let mut session = nobench_db(scale);
+    add_nobench_columnar_vcs(&mut session);
+    let plans = nobench_plans(&session, scale);
+    let mut per_query = Vec::with_capacity(plans.len());
+    for (label, plan) in &plans {
+        session.db.set_columnar(false);
+        let row = crate::time_best(
+            || {
+                session.db.execute(plan).expect("NOBENCH query executes (row)");
+            },
+            warmup,
+            reps,
+        );
+        session.db.set_columnar(true);
+        let columnar = crate::time_best(
+            || {
+                session.db.execute(plan).expect("NOBENCH query executes (columnar)");
+            },
+            warmup,
+            reps,
+        );
+        per_query.push(ImcTiming { label: label.clone(), row, columnar });
+    }
+    session.db.set_columnar(true);
+    ImcRun { scale, per_query }
+}
+
+/// Table rendering: one row per query with both pipelines' ms and the
+/// columnar speedup, plus the Q1–Q3 subtotal line the smoke gate checks.
+pub fn render(run: &ImcRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== bench imc: NOBENCH row vs columnar (n = {}) ==", run.scale);
+    let _ = writeln!(out, "{:<8} {:>10} {:>12} {:>9}", "query", "row ms", "columnar ms", "speedup");
+    for t in &run.per_query {
+        let speedup = t.row.as_secs_f64() / t.columnar.as_secs_f64().max(1e-9);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>12} {:>8.2}x",
+            t.label,
+            crate::ms(t.row),
+            crate::ms(t.columnar),
+            speedup
+        );
+    }
+    let (r, c) = (run.scan_heavy_row(), run.scan_heavy_columnar());
+    let _ = writeln!(
+        out,
+        "Q1-3 subtotal: row {} ms, columnar {} ms ({:.2}x)",
+        crate::ms(r),
+        crate::ms(c),
+        r.as_secs_f64() / c.as_secs_f64().max(1e-9)
+    );
+    out
+}
+
+/// Machine-readable rendering of an IMC run, schema `fsdm-bench-imc-v1`:
+///
+/// ```json
+/// {"schema":"fsdm-bench-imc-v1","git_rev":"abc1234","scale":4000,
+///  "per_query":{"Q1":{"row_ms":1.23,"columnar_ms":0.41,"speedup":3.0},…},
+///  "scan_heavy":{"row_ms":…,"columnar_ms":…,"speedup":…}}
+/// ```
+///
+/// The schema is stable: additions may append fields, never rename or
+/// re-type existing ones, so `BENCH_imc.json` files accumulate into a
+/// comparable perf trajectory across revisions.
+pub fn to_json(run: &ImcRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"schema\":\"fsdm-bench-imc-v1\"");
+    let _ = write!(
+        out,
+        ",\"git_rev\":\"{}\",\"scale\":{},\"per_query\":{{",
+        crate::concurrency::git_rev(),
+        run.scale
+    );
+    for (i, t) in run.per_query.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (row, col) = (t.row.as_secs_f64() * 1e3, t.columnar.as_secs_f64() * 1e3);
+        let _ = write!(
+            out,
+            "\"{}\":{{\"row_ms\":{row:.3},\"columnar_ms\":{col:.3},\"speedup\":{:.3}}}",
+            t.label,
+            row / col.max(1e-9)
+        );
+    }
+    let (r, c) = (run.scan_heavy_row(), run.scan_heavy_columnar());
+    let _ = write!(
+        out,
+        "}},\"scan_heavy\":{{\"row_ms\":{:.3},\"columnar_ms\":{:.3},\"speedup\":{:.3}}}}}",
+        r.as_secs_f64() * 1e3,
+        c.as_secs_f64() * 1e3,
+        r.as_secs_f64() / c.as_secs_f64().max(1e-9)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_follows_the_stable_schema() {
+        let run = run(80, 0, 1);
+        let json = to_json(&run);
+        assert!(json.contains("\"schema\":\"fsdm-bench-imc-v1\""), "{json}");
+        assert!(json.contains("\"git_rev\":\""), "{json}");
+        assert!(json.contains("\"scale\":80"), "{json}");
+        assert!(json.contains("\"Q1\":{\"row_ms\":"), "{json}");
+        assert!(json.contains("\"scan_heavy\":{\"row_ms\":"), "{json}");
+        // must parse with the in-repo JSON parser
+        fsdm_json::parse(&json).expect("bench JSON parses");
+    }
+
+    #[test]
+    fn run_times_both_pipelines_and_renders() {
+        let r = run(120, 0, 1);
+        assert_eq!(r.per_query.len(), 11, "Q1..Q11");
+        assert!(r.scan_heavy_row() > Duration::ZERO);
+        assert!(r.scan_heavy_columnar() > Duration::ZERO);
+        let text = render(&r);
+        assert!(text.contains("columnar ms"), "{text}");
+        assert!(text.contains("Q1-3 subtotal"), "{text}");
+    }
+}

@@ -4,6 +4,7 @@
 
 pub mod concurrency;
 pub mod experiments;
+pub mod imc;
 pub mod lint;
 pub mod planck;
 pub mod setup;

@@ -339,6 +339,36 @@ pub fn add_nobench_vcs(session: &mut Session) {
     }
 }
 
+/// Register and populate virtual columns whose defining expressions match
+/// the planner's lowering of NOBENCH Q1–Q3 **exactly** (default
+/// `RETURNING` type included), so the optimizer's IMC substitution pass
+/// rewrites those queries onto column vectors and the executor runs them
+/// on the columnar pipeline.
+pub fn add_nobench_columnar_vcs(session: &mut Session) {
+    let p = |s: &str| parse_path(s).unwrap();
+    let t = session.db.table_mut("nobench").unwrap();
+    if t.scan_col_index("nbq$str1").is_none() {
+        // the planner's default RETURNING is Varchar2(4000); the VC
+        // definitions must match its Debug rendering verbatim or the
+        // substitution pass won't recognize them
+        let vc = SqlType::Varchar2(4000);
+        t.add_virtual_column("nbq$str1", Expr::json_value(1, p("$.str1"), vc));
+        t.add_virtual_column("nbq$num", Expr::json_value(1, p("$.num"), SqlType::Number));
+        t.add_virtual_column("nbq$nstr", Expr::json_value(1, p("$.nested_obj.str"), vc));
+        t.add_virtual_column(
+            "nbq$nnum",
+            Expr::json_value(1, p("$.nested_obj.num"), SqlType::Number),
+        );
+        t.add_virtual_column("nbq$s110", Expr::json_value(1, p("$.sparse_110"), vc));
+        t.add_virtual_column("nbq$s119", Expr::json_value(1, p("$.sparse_119"), vc));
+        t.add_virtual_column("nbq$x110", Expr::json_exists(1, p("$.sparse_110")));
+    }
+    t.populate_vc_imc(&[
+        "nbq$str1", "nbq$num", "nbq$nstr", "nbq$nnum", "nbq$s110", "nbq$s119", "nbq$x110",
+    ])
+    .unwrap();
+}
+
 /// A bind value for NOBENCH Q5: the str1 of a mid-corpus document.
 pub fn nobench_q5_bind(n: usize) -> Datum {
     let mut rng = rng_for("nobench-corpus", 5);

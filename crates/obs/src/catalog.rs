@@ -41,8 +41,18 @@ pub const DATAGUIDE_PATHS: &str = "dataguide.paths";
 
 // --- exec ---------------------------------------------------------------
 
+/// Per-batch columnar pipeline time in nanoseconds — kernel evaluation
+/// plus late materialization of the selected rows (histogram).
+pub const EXEC_BATCH_NS: &str = "exec.batch.ns";
+/// Rows selected by each columnar batch after kernel filtering — the
+/// observed selectivity, against [`EXEC_MORSEL_ROWS`] as denominator
+/// (histogram).
+pub const EXEC_BATCH_ROWS: &str = "exec.batch.rows";
 /// Parallel degree the executor resolved for the last query (gauge).
 pub const EXEC_DEGREE: &str = "exec.degree.configured";
+/// Rows rebuilt from vectors/heap at a columnar pipeline breaker — the
+/// late-materialization volume (counter).
+pub const EXEC_LATE_MATERIALIZE_ROWS: &str = "exec.late_materialize.rows";
 /// One morsel executed by a pipeline worker (span).
 pub const SPAN_EXEC_MORSEL: &str = "exec.morsel";
 /// Morsels dispatched across all parallel pipelines (counter).
@@ -63,6 +73,12 @@ pub const SPAN_EXEC_WORKER: &str = "exec.worker";
 /// Per-worker busy time in nanoseconds across a parallel pipeline
 /// (histogram).
 pub const EXEC_WORKER_BUSY_NS: &str = "exec.worker.busy_ns";
+
+// --- imc ----------------------------------------------------------------
+
+/// Per-batch predicate-kernel evaluation time over IMC column vectors in
+/// nanoseconds (histogram).
+pub const IMC_KERNEL_NS: &str = "imc.kernel.ns";
 
 // --- index --------------------------------------------------------------
 
@@ -184,7 +200,10 @@ pub const ALL: &[&str] = &[
     DATAGUIDE_INSERT_CHANGED,
     DATAGUIDE_INSERT_UNCHANGED,
     DATAGUIDE_PATHS,
+    EXEC_BATCH_NS,
+    EXEC_BATCH_ROWS,
     EXEC_DEGREE,
+    EXEC_LATE_MATERIALIZE_ROWS,
     SPAN_EXEC_MORSEL,
     EXEC_MORSEL_COUNT,
     EXEC_MORSEL_NS,
@@ -193,6 +212,7 @@ pub const ALL: &[&str] = &[
     SPAN_EXEC_PIPELINE,
     SPAN_EXEC_WORKER,
     EXEC_WORKER_BUSY_NS,
+    IMC_KERNEL_NS,
     INDEX_INSERT_DOCS,
     SPAN_INDEX_LOOKUP,
     INDEX_LOOKUP_PATH,

@@ -16,9 +16,10 @@
 //! decode loops (the same contract as the metrics layer's disable flag,
 //! asserted by `bench trace-overhead`). A [`TraceSession`] arms the
 //! collector; spans then append to **per-thread buffers** (no lock on
-//! the record path; buffers flush into the shared sink in chunks, and on
-//! thread exit — the executor joins its scoped workers before a session
-//! finishes, so nothing is lost). A hard span cap bounds memory: once
+//! the record path; buffers flush into the shared sink in chunks, on an
+//! explicit [`flush_local`] — executor workers flush before they return,
+//! since joining a thread does not order its TLS destructors — and as a
+//! backstop on thread exit). A hard span cap bounds memory: once
 //! the budget is spent, further spans are counted in
 //! [`Trace::dropped`] instead of being recorded, so a hostile query can
 //! not OOM the tracer.
@@ -129,7 +130,8 @@ fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Per-thread recording state: the open-span stack and the local record
-/// buffer. Flushes into the collector sink when full and on thread exit.
+/// buffer. Flushes into the collector sink when full, on an explicit
+/// [`flush_local`], and (backstop only) on thread exit.
 struct LocalBuf {
     epoch: u64,
     tid: u32,
@@ -177,6 +179,22 @@ impl Drop for LocalBuf {
 
 thread_local! {
     static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+}
+
+/// Flush this thread's buffered spans into the shared sink now.
+///
+/// Exiting worker threads must call this before returning: joining a
+/// thread (including via `std::thread::scope`) only guarantees its
+/// closure has finished — its thread-local destructors, where the
+/// buffer would otherwise flush, are allowed to run *after* the join.
+/// Without the explicit flush, a session could `finish` between the two
+/// and lose the worker's spans.
+pub fn flush_local() {
+    let _ = LOCAL.try_with(|l| {
+        if let Ok(mut l) = l.try_borrow_mut() {
+            l.flush();
+        }
+    });
 }
 
 /// Live half of a [`SpanGuard`]: everything captured at span entry.
@@ -640,8 +658,14 @@ mod tests {
             let pid = pipeline.id();
             std::thread::scope(|s| {
                 s.spawn(|| {
-                    let _w = span_with_parent(catalog::SPAN_EXEC_WORKER, pid);
-                    let _m = span(catalog::SPAN_EXEC_MORSEL);
+                    let w = span_with_parent(catalog::SPAN_EXEC_WORKER, pid);
+                    let m = span(catalog::SPAN_EXEC_MORSEL);
+                    drop(m);
+                    drop(w);
+                    // Joining only orders the closure, not this thread's
+                    // TLS destructors — flush before returning so the
+                    // session can't finish without these spans.
+                    flush_local();
                 });
             });
         }

@@ -60,7 +60,9 @@ impl Session {
             Ok(plan) => {
                 push_tree(&mut out, "plan:", &plan.render());
                 let optimized = fsdm_store::optimizer::optimize(&self.db, plan.clone());
-                push_tree(&mut out, "optimized:", &optimized.render());
+                // annotated with the executor's pipeline selection:
+                // `mode=columnar` on operators that run vectorized kernels
+                push_tree(&mut out, "optimized:", &self.db.explain_modes(&optimized));
                 // the planck verdict: inferred output schema plus any
                 // PK findings (type errors, unstable keys, rewrite drift)
                 let inf = self.typecheck_plan(&plan);

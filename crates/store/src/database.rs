@@ -16,14 +16,20 @@ use fsdm_sqljson::Datum;
 use fsdm_obs::trace::{self, Trace, TraceSession};
 
 use crate::expr::{AggFun, EvalScratch, Expr};
-use crate::parallel::{default_degree, run_morsels, ExecContext, ParStats, DEFAULT_MORSEL_ROWS};
+use crate::parallel::{
+    default_degree, run_morsels, ExecContext, ParStats, RowRange, DEFAULT_MORSEL_ROWS,
+};
 use crate::profile::{OpProfile, QueryProfile};
 use crate::query::{AggSpec, Query, QueryResult, SortKey, WindowFun};
 use crate::slowlog::SlowLog;
 use crate::table::{Cell, Row, StoreError, Table};
+use crate::vector::{Batch, PredKernel, ValKernel};
+
+/// Result of attempting a fused columnar pipeline: `Ok(None)` means the
+/// plan does not lower to kernels — fall back to the row path.
+type FusedResult = Result<Option<(Vec<String>, Vec<Row>)>, StoreError>;
 
 /// An embedded database instance.
-#[derive(Default)]
 pub struct Database {
     tables: HashMap<String, Table>,
     views: HashMap<String, Query>,
@@ -35,12 +41,44 @@ pub struct Database {
     morsel_rows: usize,
     /// Slow-query ring log; disarmed by default.
     slow_log: SlowLog,
+    /// Whether the executor may select vectorized columnar pipelines.
+    columnar: bool,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            tables: HashMap::new(),
+            views: HashMap::new(),
+            prune_dead_json_predicates: false,
+            parallelism: 0,
+            morsel_rows: 0,
+            slow_log: SlowLog::default(),
+            // columnar pipeline selection is on by default: it only fires
+            // where kernels reproduce row semantics exactly
+            columnar: true,
+        }
+    }
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enable or disable vectorized columnar pipeline selection (on by
+    /// default). With it off, every operator takes the scratch-based row
+    /// path. Results are byte-identical either way — the switch exists
+    /// for A/B verification and the `bench imc` row-vs-columnar
+    /// comparison.
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on;
+    }
+
+    /// Whether columnar pipeline selection is enabled.
+    pub fn columnar(&self) -> bool {
+        self.columnar
     }
 
     /// Pin the executor's parallel degree for this database. `1` forces
@@ -341,6 +379,7 @@ impl Database {
                     elapsed_ns: start.elapsed().as_nanos() as u64,
                     workers: stats.workers.max(1),
                     morsels: stats.morsels,
+                    mode: self.plan_mode(plan),
                     children: child_sink.unwrap_or_default(),
                 });
                 Ok((names, rows))
@@ -369,20 +408,31 @@ impl Database {
                         return Ok((names, Vec::new()));
                     }
                 }
-                // columnar fast path (§5.2.1): a fully IMC-covered filter
-                // selects row ids over the typed vectors (serial — it is a
-                // tight loop over primitive columns); only qualifying rows
-                // are materialized, per-morsel over the selection vector
-                if let Some(pred) = filter {
-                    if let Some(sel) = crate::imc::vectorized_selection(t, pred) {
-                        let chunks = run_morsels(ctx, sel.len(), stats, |range, scratch| {
-                            let mut out = Vec::with_capacity(range.len());
-                            for &i in &sel[range.start..range.end] {
-                                out.push(scan_row(t, i, &t.rows[i], scratch)?);
-                            }
-                            Ok(out)
-                        })?;
-                        return Ok((names, chunks.into_iter().flatten().collect()));
+                // columnar fast path (§5.2.1): a filter that lowers fully
+                // to predicate kernels evaluates per morsel over the typed
+                // IMC vectors — masks and selection vectors only; rows are
+                // rebuilt for qualifying ids alone (late materialization)
+                if self.columnar {
+                    if let Some(pred) = filter {
+                        if let Some(kernel) = pred.compile_predicate(&t.imc.vectors, t.rows.len()) {
+                            let chunks =
+                                run_morsels(ctx, t.rows.len(), stats, |range, scratch| {
+                                    let start = Instant::now();
+                                    let batch = columnar_batch(range, Some(&kernel));
+                                    let mut out = Vec::with_capacity(batch.len());
+                                    for i in batch.sel.iter() {
+                                        out.push(scan_row(t, i, &t.rows[i], scratch)?);
+                                    }
+                                    fsdm_obs::counter!(
+                                        fsdm_obs::catalog::EXEC_LATE_MATERIALIZE_ROWS
+                                    )
+                                    .add(out.len() as u64);
+                                    fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_BATCH_NS)
+                                        .record(start.elapsed().as_nanos() as u64);
+                                    Ok(out)
+                                })?;
+                            return Ok((names, chunks.into_iter().flatten().collect()));
+                        }
                     }
                 }
                 // heap path: materialize + filter per-morsel; morsel-order
@@ -424,6 +474,12 @@ impl Database {
                 Ok((names, out))
             }
             Query::Project { input, exprs } => {
+                // full fusion: Scan→Filter→Project stays columnar end to
+                // end, gathering only selected rows per output expression;
+                // rows exist for the first time in the transposed result
+                if let Some(out) = self.try_columnar_project(input, exprs, prof, ctx, stats)? {
+                    return Ok(out);
+                }
                 let (_, rows) = self.exec(input, prof, ctx)?;
                 let names = exprs.iter().map(|(n, _)| n.clone()).collect();
                 let chunks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
@@ -514,6 +570,13 @@ impl Database {
                 Ok((names, chunks.into_iter().flatten().collect()))
             }
             Query::GroupBy { input, keys, aggs } => {
+                // keyless aggregate pushdown: COUNT/SUM/MIN/MAX/AVG fold
+                // over the selection vectors without building input rows
+                if keys.is_empty() {
+                    if let Some(out) = self.try_columnar_agg(input, aggs, prof, ctx, stats)? {
+                        return Ok(out);
+                    }
+                }
                 let (_, rows) = self.exec(input, prof, ctx)?;
                 group_by(rows, keys, aggs, ctx, stats)
             }
@@ -574,6 +637,263 @@ impl Database {
             }
         }
     }
+
+    /// Compile the columnar Scan→Filter front of a fused pipeline: the
+    /// input must be a base-table scan whose filter (if any) lowers fully
+    /// to predicate kernels. This is the single decision point shared by
+    /// the executor's fused operators and the EXPLAIN mode report, so the
+    /// two can never disagree.
+    fn scan_pipeline<'a>(&'a self, input: &Query) -> Option<(&'a Table, Option<PredKernel>)> {
+        if !self.columnar {
+            return None;
+        }
+        let Query::Scan { table, filter } = input else { return None };
+        let t = self.tables.get(table)?;
+        let kernel = match filter {
+            None => None,
+            Some(pred) => Some(pred.compile_predicate(&t.imc.vectors, t.rows.len())?),
+        };
+        Some((t, kernel))
+    }
+
+    /// `Project` over a columnar scan pipeline, fully fused: per morsel,
+    /// kernels filter the batch and each output expression gathers only
+    /// the selected rows; the gathered columns are transposed into result
+    /// rows — the first (and only) point rows exist in this pipeline.
+    fn try_columnar_project(
+        &self,
+        input: &Query,
+        exprs: &[(String, Expr)],
+        prof: &mut Option<Vec<OpProfile>>,
+        ctx: &ExecContext,
+        stats: &mut ParStats,
+    ) -> FusedResult {
+        let Some((t, kernel)) = self.scan_pipeline(input) else { return Ok(None) };
+        let floor = t.schema.width();
+        let mut vals = Vec::with_capacity(exprs.len());
+        for (_, e) in exprs {
+            match e.compile_value(&t.imc.vectors, t.rows.len(), floor) {
+                Some(v) => vals.push(v),
+                None => return Ok(None),
+            }
+        }
+        let scan_start = Instant::now();
+        let chunks = run_morsels(ctx, t.rows.len(), stats, |range, _| {
+            let start = Instant::now();
+            let batch = columnar_batch(range, kernel.as_ref());
+            let mut cols = Vec::with_capacity(vals.len());
+            for v in &vals {
+                cols.push(batch.gather(v)?);
+            }
+            // transpose the gathered columns into rows, moving each datum
+            // exactly once
+            let mut rows: Vec<Row> =
+                (0..batch.len()).map(|_| Vec::with_capacity(cols.len())).collect();
+            for col in cols {
+                for (r, d) in rows.iter_mut().zip(col) {
+                    r.push(Cell::D(d));
+                }
+            }
+            fsdm_obs::counter!(fsdm_obs::catalog::EXEC_LATE_MATERIALIZE_ROWS)
+                .add(rows.len() as u64);
+            fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_BATCH_NS)
+                .record(start.elapsed().as_nanos() as u64);
+            Ok(rows)
+        })?;
+        let rows: Vec<Row> = chunks.into_iter().flatten().collect();
+        // the scan never ran as a plan node; report it as part of this
+        // fused pipeline so profiled trees keep their plan shape
+        if let Some(sink) = prof {
+            sink.push(OpProfile {
+                op: op_label(input),
+                rows_out: rows.len(),
+                elapsed_ns: scan_start.elapsed().as_nanos() as u64,
+                workers: stats.workers.max(1),
+                morsels: stats.morsels,
+                mode: "columnar",
+                children: Vec::new(),
+            });
+        }
+        let names = exprs.iter().map(|(n, _)| n.clone()).collect();
+        Ok(Some((names, rows)))
+    }
+
+    /// Keyless aggregation over a columnar scan pipeline: per morsel,
+    /// kernels filter the batch and each aggregate argument gathers only
+    /// the selected rows; the gathered columns then replay **serially in
+    /// morsel order** into the accumulators, so order-sensitive float
+    /// SUM/AVG see exactly the update sequence of a serial row scan.
+    fn try_columnar_agg(
+        &self,
+        input: &Query,
+        aggs: &[AggSpec],
+        prof: &mut Option<Vec<OpProfile>>,
+        ctx: &ExecContext,
+        stats: &mut ParStats,
+    ) -> FusedResult {
+        let Some((t, kernel)) = self.scan_pipeline(input) else { return Ok(None) };
+        let floor = t.schema.width();
+        let mut arg_kernels: Vec<Option<ValKernel>> = Vec::with_capacity(aggs.len());
+        for spec in aggs {
+            match &spec.arg {
+                None => arg_kernels.push(None), // COUNT(*) needs no values
+                Some(e) => match e.compile_value(&t.imc.vectors, t.rows.len(), floor) {
+                    Some(v) => arg_kernels.push(Some(v)),
+                    None => return Ok(None),
+                },
+            }
+        }
+        let scan_start = Instant::now();
+        let chunks = run_morsels(ctx, t.rows.len(), stats, |range, _| {
+            let start = Instant::now();
+            let batch = columnar_batch(range, kernel.as_ref());
+            let mut cols: Vec<Option<Vec<Datum>>> = Vec::with_capacity(arg_kernels.len());
+            for k in &arg_kernels {
+                cols.push(match k {
+                    Some(v) => Some(batch.gather(v)?),
+                    None => None,
+                });
+            }
+            fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_BATCH_NS)
+                .record(start.elapsed().as_nanos() as u64);
+            Ok((batch.len(), cols))
+        })?;
+        let mut selected = 0usize;
+        let mut accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.fun)).collect();
+        for (n, cols) in chunks {
+            selected += n;
+            for (acc, col) in accs.iter_mut().zip(cols) {
+                match col {
+                    Some(vals) => {
+                        for v in vals {
+                            acc.update(Some(v));
+                        }
+                    }
+                    None => {
+                        for _ in 0..n {
+                            acc.update(None);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(sink) = prof {
+            sink.push(OpProfile {
+                op: op_label(input),
+                rows_out: selected,
+                elapsed_ns: scan_start.elapsed().as_nanos() as u64,
+                workers: stats.workers.max(1),
+                morsels: stats.morsels,
+                mode: "columnar",
+                children: Vec::new(),
+            });
+        }
+        let names: Vec<String> = aggs.iter().map(|a| a.name.clone()).collect();
+        let row: Row = accs.into_iter().map(|a| Cell::D(a.finish())).collect();
+        fsdm_obs::counter!(fsdm_obs::catalog::EXEC_LATE_MATERIALIZE_ROWS).add(1);
+        Ok(Some((names, vec![row])))
+    }
+
+    /// The pipeline the executor selects for the root operator of an
+    /// (already optimized) plan: `"columnar"` when it lowers to
+    /// vectorized kernels over IMC vectors, `"row"` otherwise. Backed by
+    /// the same kernel compilation the executor runs, so the report
+    /// matches the execution.
+    pub fn plan_mode(&self, plan: &Query) -> &'static str {
+        if self.columnar_root(plan) {
+            "columnar"
+        } else {
+            "row"
+        }
+    }
+
+    fn columnar_root(&self, plan: &Query) -> bool {
+        match plan {
+            // a bare scan only counts as columnar when a kernel filter
+            // actually runs over the vectors
+            Query::Scan { filter: Some(_), .. } => {
+                matches!(self.scan_pipeline(plan), Some((_, Some(_))))
+            }
+            Query::Project { input, exprs } => self
+                .scan_pipeline(input)
+                .map(|(t, _)| {
+                    exprs.iter().all(|(_, e)| {
+                        e.compile_value(&t.imc.vectors, t.rows.len(), t.schema.width()).is_some()
+                    })
+                })
+                .unwrap_or(false),
+            Query::GroupBy { input, keys, aggs } if keys.is_empty() => self
+                .scan_pipeline(input)
+                .map(|(t, _)| {
+                    aggs.iter().all(|spec| match &spec.arg {
+                        None => true,
+                        Some(e) => e
+                            .compile_value(&t.imc.vectors, t.rows.len(), t.schema.width())
+                            .is_some(),
+                    })
+                })
+                .unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    /// [`Query::render`] of an (already optimized) plan with the
+    /// executor's pipeline selection appended to every line:
+    /// `… mode=columnar|row`. The scan feeding a fused columnar operator
+    /// is part of that pipeline and annotates columnar as well.
+    pub fn explain_modes(&self, plan: &Query) -> String {
+        let mut modes = Vec::new();
+        self.collect_modes(plan, false, &mut modes);
+        let mut out = String::new();
+        for (line, mode) in plan.render().lines().zip(modes) {
+            out.push_str(line);
+            out.push_str("  mode=");
+            out.push_str(mode);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Pre-order mode walk mirroring [`Query::render`]'s line order.
+    fn collect_modes(&self, plan: &Query, fused: bool, out: &mut Vec<&'static str>) {
+        let columnar = fused || self.columnar_root(plan);
+        out.push(if columnar { "columnar" } else { "row" });
+        // a fused Project/GroupBy absorbs its scan child into the
+        // columnar pipeline; every other child is its own decision
+        let fuse_child = columnar && matches!(plan, Query::Project { .. } | Query::GroupBy { .. });
+        match plan {
+            Query::Filter { input, .. }
+            | Query::Project { input, .. }
+            | Query::JsonTable { input, .. }
+            | Query::GroupBy { input, .. }
+            | Query::Sort { input, .. }
+            | Query::Window { input, .. }
+            | Query::Limit { input, .. }
+            | Query::Sample { input, .. } => self.collect_modes(input, fuse_child, out),
+            Query::HashJoin { left, right, .. } => {
+                self.collect_modes(left, false, out);
+                self.collect_modes(right, false, out);
+            }
+            Query::Scan { .. } | Query::ViewScan { .. } => {}
+        }
+    }
+}
+
+/// Evaluate the (optional) predicate kernel over one morsel, recording
+/// kernel time and the surviving batch size.
+fn columnar_batch(range: RowRange, kernel: Option<&PredKernel>) -> Batch {
+    let batch = match kernel {
+        Some(k) => {
+            let start = Instant::now();
+            let batch = Batch::all(range).filter(k);
+            fsdm_obs::histogram!(fsdm_obs::catalog::IMC_KERNEL_NS)
+                .record(start.elapsed().as_nanos() as u64);
+            batch
+        }
+        None => Batch::all(range),
+    };
+    fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_BATCH_ROWS).record(batch.len() as u64);
+    batch
 }
 
 /// Materialize one scan row: §5.2.2 transparent rewrite (substitute cached
@@ -585,7 +905,9 @@ fn scan_row(t: &Table, i: usize, row: &Row, scratch: &mut EvalScratch) -> Result
     for (vi, vc) in t.virtual_columns.iter().enumerate() {
         let idx = t.schema.width() + vi;
         let cell = match t.imc.vectors.get(&idx) {
-            Some(vector) => Cell::D(vector.get(i)),
+            // borrow the slot first so string cells clone straight out of
+            // the dictionary without an intermediate owned Datum
+            Some(vector) => Cell::D(vector.slot(i).to_datum()),
             None => Cell::D(vc.expr.eval_with(&r, scratch)?),
         };
         r.push(cell);

@@ -16,7 +16,9 @@ use fsdm_sqljson::json_table::{JsonTableCursor, JsonTableDef};
 use fsdm_sqljson::path::JsonPath;
 use fsdm_sqljson::{Datum, PathEvaluator, SqlType};
 
+use crate::imc::ColumnVector;
 use crate::table::{Cell, Row, StoreError};
+use crate::vector::{cmp_tri, PredKernel, Tri, ValKernel};
 
 /// Per-worker evaluation state: reusable path evaluators keyed by the
 /// shared compiled path, and JSON_TABLE cursors keyed by definition.
@@ -271,25 +273,7 @@ impl Expr {
             }
             Expr::Arith(a, op, b) => {
                 let (x, y) = (a.eval_with(row, scratch)?, b.eval_with(row, scratch)?);
-                if x.is_null() || y.is_null() {
-                    return Ok(Datum::Null);
-                }
-                let (nx, ny) = match (x.as_num(), y.as_num()) {
-                    (Some(nx), Some(ny)) => (nx.to_f64(), ny.to_f64()),
-                    _ => return Err(StoreError::new("arithmetic on non-numeric value")),
-                };
-                let r = match op {
-                    ArithOp::Add => nx + ny,
-                    ArithOp::Sub => nx - ny,
-                    ArithOp::Mul => nx * ny,
-                    ArithOp::Div => {
-                        if ny == 0.0 {
-                            return Err(StoreError::new("division by zero"));
-                        }
-                        nx / ny
-                    }
-                };
-                Datum::from(r)
+                arith_datums(&x, *op, &y)?
             }
             Expr::Fun(fun, args) => eval_fun(*fun, args, row, scratch)?,
             Expr::JsonValue { col, path, ty } => match row.get(*col) {
@@ -316,6 +300,214 @@ impl Expr {
     /// [`Expr::matches`] drawing cursor state from `scratch`.
     pub fn matches_with(&self, row: &Row, scratch: &mut EvalScratch) -> Result<bool, StoreError> {
         Ok(matches!(self.eval_with(row, scratch)?, Datum::Bool(true)))
+    }
+
+    /// Lower this predicate to a vectorized kernel plan when every column
+    /// it references is IMC-resident (and the vectors are not stale —
+    /// `len == nrows` guards against inserts after `populate_vc_imc`).
+    /// Returns `None` on any shape the kernels cannot express exactly;
+    /// the caller then falls back to the scratch-based row path, which
+    /// remains the semantic reference.
+    ///
+    /// The lowering assumes vector null-ness mirrors datum null-ness,
+    /// which holds for typed base columns and for VC vectors (the only
+    /// things `populate_vc_imc` materializes).
+    pub(crate) fn compile_predicate(
+        &self,
+        vectors: &HashMap<usize, Arc<ColumnVector>>,
+        nrows: usize,
+    ) -> Option<PredKernel> {
+        match self {
+            Expr::Cmp(a, op, b) => {
+                let (col, op, lit) = match (&**a, &**b) {
+                    (Expr::Col(i), Expr::Lit(d)) => (*i, *op, d),
+                    (Expr::Lit(d), Expr::Col(i)) => (*i, flip_cmp(*op), d),
+                    _ => return None,
+                };
+                compile_cmp(resident(vectors, col, nrows)?, op, lit)
+            }
+            Expr::And(a, b) => Some(PredKernel::And(
+                Box::new(a.compile_predicate(vectors, nrows)?),
+                Box::new(b.compile_predicate(vectors, nrows)?),
+            )),
+            Expr::Or(a, b) => Some(PredKernel::Or(
+                Box::new(a.compile_predicate(vectors, nrows)?),
+                Box::new(b.compile_predicate(vectors, nrows)?),
+            )),
+            Expr::Not(a) => Some(PredKernel::Not(Box::new(a.compile_predicate(vectors, nrows)?))),
+            Expr::IsNull(a) => match &**a {
+                Expr::Col(i) => Some(PredKernel::IsNull { col: resident(vectors, *i, nrows)? }),
+                _ => None,
+            },
+            Expr::InList(a, list) => match &**a {
+                Expr::Col(i) => compile_in(resident(vectors, *i, nrows)?, list),
+                _ => None,
+            },
+            Expr::Like(a, pat) => match &**a {
+                Expr::Col(i) => {
+                    let v = resident(vectors, *i, nrows)?;
+                    let ColumnVector::Strings { dict, .. } = &*v else { return None };
+                    // one LIKE match per distinct value, not per row
+                    let verdicts: Arc<[Tri]> = dict
+                        .iter()
+                        .map(|d| if like_match(d, pat) { Tri::True } else { Tri::False })
+                        .collect();
+                    Some(PredKernel::StrVerdict { col: v, verdicts })
+                }
+                _ => None,
+            },
+            // a bare boolean column used as the filter
+            Expr::Col(i) => {
+                let v = resident(vectors, *i, nrows)?;
+                matches!(&*v, ColumnVector::Bools(_)).then(|| PredKernel::Truth { col: v })
+            }
+            _ => None,
+        }
+    }
+
+    /// Lower a projection/aggregate-argument expression to a gather
+    /// kernel. Only virtual columns (`col >= floor`, the base-schema
+    /// width) are read from vectors: VC vectors hold exactly the datums
+    /// the defining expression produced, whereas base-column vectors
+    /// normalize values (`from_datums` folds numbers to `f64`), which
+    /// would break byte-identity with the row path on materialized
+    /// output. Predicates tolerate that normalization (comparisons are
+    /// value-based); gathers must not.
+    pub(crate) fn compile_value(
+        &self,
+        vectors: &HashMap<usize, Arc<ColumnVector>>,
+        nrows: usize,
+        floor: usize,
+    ) -> Option<ValKernel> {
+        match self {
+            Expr::Col(i) if *i >= floor => Some(ValKernel::Col(resident(vectors, *i, nrows)?)),
+            Expr::Lit(d) => Some(ValKernel::Lit(d.clone())),
+            Expr::Arith(a, op, b) => Some(ValKernel::Arith {
+                l: Box::new(a.compile_value(vectors, nrows, floor)?),
+                op: *op,
+                r: Box::new(b.compile_value(vectors, nrows, floor)?),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The vector for `col`, if materialized and covering every current row.
+fn resident(
+    vectors: &HashMap<usize, Arc<ColumnVector>>,
+    col: usize,
+    nrows: usize,
+) -> Option<Arc<ColumnVector>> {
+    let v = vectors.get(&col)?;
+    (v.len() == nrows).then(|| v.clone())
+}
+
+/// Mirror a comparison so the column is always on the left.
+fn flip_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Lower `col <op> lit` against the column's vector representation.
+fn compile_cmp(v: Arc<ColumnVector>, op: CmpOp, lit: &Datum) -> Option<PredKernel> {
+    match &*v {
+        // `as_num` applies the same Str-side coercion `sql_cmp` uses, and
+        // rejects Bool/Null literals (which compare unknown — fall back)
+        ColumnVector::Numbers(_) => {
+            let lit = lit.as_num()?;
+            Some(PredKernel::NumCmp { col: v, op, lit })
+        }
+        ColumnVector::Strings { dict, .. } => match lit {
+            Datum::Str(s) => Some(match op {
+                // equality probes binary-search the sorted dictionary
+                CmpOp::Eq | CmpOp::Ne => PredKernel::StrEq {
+                    code: dict.binary_search(s).ok().map(|c| c as u32),
+                    col: v,
+                    negate: op == CmpOp::Ne,
+                },
+                // ranges become code-threshold tests: the dictionary is
+                // sorted, so code order == string order
+                CmpOp::Lt => PredKernel::StrBelow {
+                    bound: dict.partition_point(|d| d < s) as u32,
+                    col: v,
+                    below: true,
+                },
+                CmpOp::Le => PredKernel::StrBelow {
+                    bound: dict.partition_point(|d| d <= s) as u32,
+                    col: v,
+                    below: true,
+                },
+                CmpOp::Gt => PredKernel::StrBelow {
+                    bound: dict.partition_point(|d| d <= s) as u32,
+                    col: v,
+                    below: false,
+                },
+                CmpOp::Ge => PredKernel::StrBelow {
+                    bound: dict.partition_point(|d| d < s) as u32,
+                    col: v,
+                    below: false,
+                },
+            }),
+            // numeric literal: evaluate `sql_cmp`'s coercion once per
+            // dictionary entry instead of once per row
+            Datum::Num(_) => {
+                let verdicts: Arc<[Tri]> =
+                    dict.iter().map(|d| cmp_tri(Datum::Str(d.clone()).sql_cmp(lit), op)).collect();
+                Some(PredKernel::StrVerdict { col: v, verdicts })
+            }
+            _ => None,
+        },
+        ColumnVector::Bools(_) => match lit {
+            Datum::Bool(b) => Some(PredKernel::BoolCmp { col: v, op, lit: *b }),
+            _ => None,
+        },
+    }
+}
+
+/// Lower `col IN (…)` against the column's vector representation.
+fn compile_in(v: Arc<ColumnVector>, list: &[Datum]) -> Option<PredKernel> {
+    match &*v {
+        // non-coercible list entries can never match a Num operand
+        // (`sql_cmp` returns unknown → IN's `unwrap_or(false)`), so they
+        // drop out of the compiled list entirely
+        ColumnVector::Numbers(_) => {
+            let nums: Vec<_> = list.iter().filter_map(|d| d.as_num()).collect();
+            Some(PredKernel::NumIn { col: v, list: nums.into() })
+        }
+        ColumnVector::Strings { dict, .. } => {
+            let verdicts: Arc<[Tri]> = dict
+                .iter()
+                .map(|e| {
+                    let v = Datum::Str(e.clone());
+                    let hit = list.iter().any(|d| v.sql_cmp(d).map(|o| o.is_eq()).unwrap_or(false));
+                    if hit {
+                        Tri::True
+                    } else {
+                        Tri::False
+                    }
+                })
+                .collect();
+            Some(PredKernel::StrVerdict { col: v, verdicts })
+        }
+        // bool IN reduces to equality kernels (nulls stay unknown)
+        ColumnVector::Bools(_) => {
+            let eq = |b: bool| PredKernel::BoolCmp { col: v.clone(), op: CmpOp::Eq, lit: b };
+            let with_true = list.contains(&Datum::Bool(true));
+            let with_false = list.contains(&Datum::Bool(false));
+            Some(match (with_true, with_false) {
+                (true, true) => PredKernel::Or(Box::new(eq(true)), Box::new(eq(false))),
+                (true, false) => eq(true),
+                (false, true) => eq(false),
+                // nothing can match: false for non-null, unknown for null
+                (false, false) => PredKernel::And(Box::new(eq(true)), Box::new(eq(false))),
+            })
+        }
     }
 }
 
@@ -418,8 +610,34 @@ fn eval_fun(
     })
 }
 
+/// Numeric arithmetic with SQL NULL propagation — the single definition
+/// shared by the row evaluator above and the vectorized
+/// [`crate::vector::ValKernel`], so both paths agree bit-for-bit on
+/// nulls, coercion failures, and division by zero.
+pub(crate) fn arith_datums(x: &Datum, op: ArithOp, y: &Datum) -> Result<Datum, StoreError> {
+    if x.is_null() || y.is_null() {
+        return Ok(Datum::Null);
+    }
+    let (nx, ny) = match (x.as_num(), y.as_num()) {
+        (Some(nx), Some(ny)) => (nx.to_f64(), ny.to_f64()),
+        _ => return Err(StoreError::new("arithmetic on non-numeric value")),
+    };
+    let r = match op {
+        ArithOp::Add => nx + ny,
+        ArithOp::Sub => nx - ny,
+        ArithOp::Mul => nx * ny,
+        ArithOp::Div => {
+            if ny == 0.0 {
+                return Err(StoreError::new("division by zero"));
+            }
+            nx / ny
+        }
+    };
+    Ok(Datum::from(r))
+}
+
 /// SQL LIKE with `%` and `_` wildcards.
-fn like_match(text: &str, pattern: &str) -> bool {
+pub(crate) fn like_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.first() {
             None => t.is_empty(),

@@ -18,7 +18,6 @@ use std::sync::Arc;
 
 use fsdm_sqljson::Datum;
 
-use crate::expr::{CmpOp, Expr};
 use crate::jsonaccess::JsonCell;
 use crate::table::{Cell, StoreError, Table};
 
@@ -27,15 +26,44 @@ use crate::table::{Cell, StoreError, Table};
 pub enum ColumnVector {
     /// Numeric column (`None` = SQL NULL).
     Numbers(Vec<Option<f64>>),
-    /// Dictionary-encoded string column.
+    /// Dictionary-encoded string column. The dictionary is sorted, so
+    /// code order is string order: range kernels compare codes directly
+    /// and equality probes binary-search the dictionary.
     Strings {
-        /// Distinct values.
+        /// Distinct values, ascending.
         dict: Vec<String>,
         /// Per-row dictionary codes.
         codes: Vec<Option<u32>>,
     },
     /// Boolean column.
     Bools(Vec<Option<bool>>),
+}
+
+/// A borrowed view of one vector slot: what [`ColumnVector::get`] returns
+/// without the owned `Datum` (and, for dictionary entries, without the
+/// `String` clone).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VectorSlot<'a> {
+    /// SQL NULL.
+    Null,
+    /// A numeric value.
+    Num(f64),
+    /// A dictionary entry, borrowed from the vector.
+    Str(&'a str),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl VectorSlot<'_> {
+    /// Materialize the slot as an owned datum.
+    pub fn to_datum(self) -> Datum {
+        match self {
+            VectorSlot::Null => Datum::Null,
+            VectorSlot::Num(x) => Datum::from(x),
+            VectorSlot::Str(s) => Datum::Str(s.to_string()),
+            VectorSlot::Bool(b) => Datum::Bool(b),
+        }
+    }
 }
 
 impl ColumnVector {
@@ -53,20 +81,26 @@ impl ColumnVector {
         self.len() == 0
     }
 
-    /// Read one row back as a datum.
+    /// Read one row back as a datum (owned; allocates for dictionary
+    /// entries — scan-path callers prefer [`ColumnVector::slot`]).
     pub fn get(&self, row: usize) -> Datum {
+        self.slot(row).to_datum()
+    }
+
+    /// Borrowed accessor: read one row without materializing a `Datum`.
+    pub fn slot(&self, row: usize) -> VectorSlot<'_> {
         match self {
             ColumnVector::Numbers(v) => match v[row] {
-                Some(x) => Datum::from(x),
-                None => Datum::Null,
+                Some(x) => VectorSlot::Num(x),
+                None => VectorSlot::Null,
             },
             ColumnVector::Strings { dict, codes } => match codes[row] {
-                Some(c) => Datum::Str(dict[c as usize].clone()),
-                None => Datum::Null,
+                Some(c) => VectorSlot::Str(&dict[c as usize]),
+                None => VectorSlot::Null,
             },
             ColumnVector::Bools(v) => match v[row] {
-                Some(b) => Datum::Bool(b),
-                None => Datum::Null,
+                Some(b) => VectorSlot::Bool(b),
+                None => VectorSlot::Null,
             },
         }
     }
@@ -86,8 +120,13 @@ impl ColumnVector {
             }
         }
         if any_str || (!any_num && !any_bool) {
-            let mut dict: Vec<String> = Vec::new();
-            let mut map: HashMap<String, u32> = HashMap::new();
+            // sorted dictionary: code order == string order, which is what
+            // lets range kernels compare codes and equality probes
+            // binary-search instead of scanning
+            let mut dict: Vec<String> =
+                values.iter().filter(|v| !v.is_null()).map(|v| v.to_text()).collect();
+            dict.sort();
+            dict.dedup();
             let codes = values
                 .iter()
                 .map(|v| {
@@ -95,10 +134,7 @@ impl ColumnVector {
                         None
                     } else {
                         let s = v.to_text();
-                        Some(*map.entry(s.clone()).or_insert_with(|| {
-                            dict.push(s);
-                            (dict.len() - 1) as u32
-                        }))
+                        Some(dict.binary_search(&s).expect("dict covers all values") as u32)
                     }
                 })
                 .collect();
@@ -119,7 +155,9 @@ pub struct ImcStore {
     /// Which column the OSON cache shadows.
     pub oson_col: Option<usize>,
     /// Materialized (virtual) column vectors, keyed by scan column index.
-    pub vectors: HashMap<usize, ColumnVector>,
+    /// Shared (`Arc`) so batch pipelines can borrow columns without
+    /// holding the table borrow across kernel boundaries.
+    pub vectors: HashMap<usize, Arc<ColumnVector>>,
 }
 
 impl ImcStore {
@@ -204,7 +242,7 @@ impl Table {
                 };
                 vals.push(d);
             }
-            self.imc.vectors.insert(idx, ColumnVector::from_datums(&vals));
+            self.imc.vectors.insert(idx, Arc::new(ColumnVector::from_datums(&vals)));
         }
         Ok(())
     }
@@ -221,117 +259,6 @@ impl Table {
             }
             _ => row.clone(),
         }
-    }
-}
-
-/// Vectorized predicate evaluation (§5.2.1's "genuine columnar
-/// processing"): when every conjunct of a scan filter is a comparison
-/// between an IMC-materialized column and a literal, the qualifying row
-/// ids are computed by tight loops over the typed vectors — no row
-/// materialization, no JSON access. Returns `None` when the predicate is
-/// not fully vectorizable (the caller falls back to row-at-a-time).
-pub fn vectorized_selection(table: &Table, pred: &Expr) -> Option<Vec<usize>> {
-    if table.imc.vectors.is_empty() {
-        return None;
-    }
-    let mut conjuncts = Vec::new();
-    split_and(pred, &mut conjuncts);
-    let nrows = table.rows.len();
-    let mut selected: Option<Vec<bool>> = None;
-    for c in conjuncts {
-        let Expr::Cmp(l, op, r) = c else { return None };
-        let (col, lit, op) = match (&**l, &**r) {
-            (Expr::Col(i), Expr::Lit(d)) => (*i, d, *op),
-            (Expr::Lit(d), Expr::Col(i)) => (*i, d, flip(*op)),
-            _ => return None,
-        };
-        let vector = table.imc.vectors.get(&col)?;
-        let mut mask = vec![false; nrows];
-        match vector {
-            ColumnVector::Numbers(vals) => {
-                let x = lit.as_num()?.to_f64();
-                for (i, v) in vals.iter().enumerate() {
-                    if let Some(v) = v {
-                        mask[i] = cmp_f64(*v, op, x);
-                    }
-                }
-            }
-            ColumnVector::Strings { dict, codes } => {
-                // evaluate the predicate once per dictionary entry, then
-                // map codes — the dictionary-encoding payoff
-                let x = match lit {
-                    Datum::Str(s) => s.as_str(),
-                    _ => return None,
-                };
-                let verdict: Vec<bool> =
-                    dict.iter().map(|d| cmp_ord(d.as_str().cmp(x), op)).collect();
-                for (i, c) in codes.iter().enumerate() {
-                    if let Some(c) = c {
-                        mask[i] = verdict[*c as usize];
-                    }
-                }
-            }
-            ColumnVector::Bools(vals) => {
-                let x = lit.as_bool()?;
-                for (i, v) in vals.iter().enumerate() {
-                    if let Some(v) = v {
-                        mask[i] = cmp_ord(v.cmp(&x), op);
-                    }
-                }
-            }
-        }
-        selected = Some(match selected {
-            None => mask,
-            Some(mut acc) => {
-                for (a, m) in acc.iter_mut().zip(&mask) {
-                    *a &= m;
-                }
-                acc
-            }
-        });
-    }
-    let sel = selected?;
-    Some(sel.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect())
-}
-
-fn split_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
-    if let Expr::And(a, b) = e {
-        split_and(a, out);
-        split_and(b, out);
-    } else {
-        out.push(e);
-    }
-}
-
-fn flip(op: CmpOp) -> CmpOp {
-    match op {
-        CmpOp::Lt => CmpOp::Gt,
-        CmpOp::Le => CmpOp::Ge,
-        CmpOp::Gt => CmpOp::Lt,
-        CmpOp::Ge => CmpOp::Le,
-        other => other,
-    }
-}
-
-fn cmp_f64(v: f64, op: CmpOp, x: f64) -> bool {
-    match op {
-        CmpOp::Eq => v == x,
-        CmpOp::Ne => v != x,
-        CmpOp::Lt => v < x,
-        CmpOp::Le => v <= x,
-        CmpOp::Gt => v > x,
-        CmpOp::Ge => v >= x,
-    }
-}
-
-fn cmp_ord(ord: std::cmp::Ordering, op: CmpOp) -> bool {
-    match op {
-        CmpOp::Eq => ord.is_eq(),
-        CmpOp::Ne => ord.is_ne(),
-        CmpOp::Lt => ord.is_lt(),
-        CmpOp::Le => ord.is_le(),
-        CmpOp::Gt => ord.is_gt(),
-        CmpOp::Ge => ord.is_ge(),
     }
 }
 
@@ -389,14 +316,14 @@ mod tests {
         t.populate_vc_imc(&["j$v", "j$s"]).unwrap();
         let vi = t.scan_col_index("j$v").unwrap();
         let si = t.scan_col_index("j$s").unwrap();
-        match &t.imc.vectors[&vi] {
+        match &*t.imc.vectors[&vi] {
             ColumnVector::Numbers(v) => {
                 assert_eq!(v.len(), 20);
                 assert_eq!(v[7], Some(7.0));
             }
             other => panic!("{other:?}"),
         }
-        match &t.imc.vectors[&si] {
+        match &*t.imc.vectors[&si] {
             ColumnVector::Strings { dict, codes } => {
                 assert_eq!(codes.len(), 20);
                 assert_eq!(dict.len(), 20);
@@ -404,6 +331,34 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(t.imc.vectors[&vi].get(3), Datum::from(3.0));
+    }
+
+    #[test]
+    fn dictionaries_are_sorted_and_codes_remapped() {
+        let vals: Vec<Datum> =
+            ["pear", "apple", "plum", "apple", "fig"].iter().map(|&s| Datum::from(s)).collect();
+        match ColumnVector::from_datums(&vals) {
+            ColumnVector::Strings { dict, codes } => {
+                assert_eq!(dict, vec!["apple", "fig", "pear", "plum"]);
+                let decoded: Vec<&str> =
+                    codes.iter().map(|c| dict[c.unwrap() as usize].as_str()).collect();
+                assert_eq!(decoded, vec!["pear", "apple", "plum", "apple", "fig"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_slot_matches_owned_get() {
+        let v = ColumnVector::from_datums(&[Datum::from("b"), Datum::Null, Datum::from("a")]);
+        assert_eq!(v.slot(0), VectorSlot::Str("b"));
+        assert_eq!(v.slot(1), VectorSlot::Null);
+        for i in 0..3 {
+            assert_eq!(v.slot(i).to_datum(), v.get(i), "row {i}");
+        }
+        let n = ColumnVector::from_datums(&[Datum::from(2i64), Datum::Null]);
+        assert_eq!(n.slot(0), VectorSlot::Num(2.0));
+        assert_eq!(n.slot(0).to_datum(), Datum::from(2i64));
     }
 
     #[test]

@@ -33,10 +33,11 @@ pub mod schema;
 pub mod slowlog;
 pub mod table;
 pub mod typecheck;
+pub mod vector;
 
 pub use database::Database;
 pub use expr::{AggFun, CmpOp, EvalScratch, Expr, ScalarFun};
-pub use imc::{ColumnVector, ImcStore};
+pub use imc::{ColumnVector, ImcStore, VectorSlot};
 pub use jsonaccess::{JsonCell, JsonStorage};
 pub use parallel::{default_degree, morsels, ExecContext, ParStats, RowRange, DEFAULT_MORSEL_ROWS};
 pub use profile::{OpProfile, QueryProfile};
@@ -48,5 +49,6 @@ pub use typecheck::{
     check_plan, infer, plan_deterministic, plan_safety, rewrite_violations, ColInfo, Inference,
     ParallelSafety, PlanSchema, ScalarType,
 };
+pub use vector::{Batch, Mask, PredKernel, SelVec, Tri, ValKernel};
 
 pub use fsdm_sqljson::{Datum, SqlType};

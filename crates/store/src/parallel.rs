@@ -153,7 +153,7 @@ where
                     let busy = Instant::now();
                     // explicit cross-thread parent: this lane's spans hang
                     // under the pipeline span on the coordinating thread
-                    let _worker =
+                    let worker =
                         trace::span_with_parent(fsdm_obs::catalog::SPAN_EXEC_WORKER, pipeline_id);
                     let mut scratch = EvalScratch::new();
                     let mut local = Vec::new();
@@ -176,6 +176,13 @@ where
                     fsdm_obs::histogram!(fsdm_obs::catalog::EXEC_WORKER_BUSY_NS)
                         .record(busy.elapsed().as_nanos() as u64);
                     sentry.worker_exit();
+                    // close the worker span, then push this lane's buffered
+                    // spans into the session sink: the scope join orders the
+                    // closure, not this thread's TLS destructors, so a
+                    // session finishing right after the join must not race
+                    // the deferred flush
+                    drop(worker);
+                    trace::flush_local();
                     local
                 })
             })

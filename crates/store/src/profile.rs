@@ -26,6 +26,10 @@ pub struct OpProfile {
     /// Morsels this operator dispatched (0 for purely serial operators
     /// such as `Limit`).
     pub morsels: usize,
+    /// Execution pipeline this operator ran on: `"columnar"` when it was
+    /// evaluated by vectorized kernels over IMC column vectors,
+    /// `"row"` for the scratch-based row path.
+    pub mode: &'static str,
     /// Child operators in plan order.
     pub children: Vec<OpProfile>,
 }
@@ -106,12 +110,13 @@ impl QueryProfile {
             let _ = write!(
                 out,
                 "{{\"op\":\"{}\",\"rows_out\":{},\"elapsed_ns\":{},\"workers\":{},\
-                 \"morsels\":{},\"children\":[",
+                 \"morsels\":{},\"mode\":\"{}\",\"children\":[",
                 esc(&op.op),
                 op.rows_out,
                 op.elapsed_ns,
                 op.workers,
-                op.morsels
+                op.morsels,
+                op.mode
             );
             for (i, c) in op.children.iter().enumerate() {
                 if i > 0 {
@@ -151,9 +156,13 @@ impl QueryProfile {
             } else {
                 String::new()
             };
+            // like the parallel annotation, the pipeline mode only shows
+            // when it departs from the default, so row plans render
+            // exactly as before
+            let mode = if op.mode == "columnar" { "  mode=columnar" } else { "" };
             let _ = writeln!(
                 out,
-                "{:indent$}{}  rows={}  time={:.2}ms{par}",
+                "{:indent$}{}  rows={}  time={:.2}ms{par}{mode}",
                 "",
                 op.op,
                 op.rows_out,
@@ -189,12 +198,14 @@ mod tests {
             elapsed_ns: 2_000_000,
             workers: 1,
             morsels: 1,
+            mode: "row",
             children: vec![OpProfile {
                 op: "Scan(po)".into(),
                 rows_out: 3,
                 elapsed_ns: 1_500_000,
                 workers: 1,
                 morsels: 1,
+                mode: "row",
                 children: vec![],
             }],
         })
@@ -211,6 +222,16 @@ mod tests {
             text.contains("\n  Scan(po)  rows=3  time=1.50ms\n"),
             "serial child unchanged: {text}"
         );
+    }
+
+    #[test]
+    fn render_annotates_columnar_operators() {
+        let mut p = sample();
+        p.root.mode = "columnar";
+        let text = p.render();
+        assert!(text.contains("Project  rows=2  time=2.00ms  mode=columnar"), "{text}");
+        assert!(text.contains("\n  Scan(po)  rows=3  time=1.50ms\n"), "row child plain: {text}");
+        assert!(p.to_json().contains("\"mode\":\"columnar\""), "{}", p.to_json());
     }
 
     #[test]

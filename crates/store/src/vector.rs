@@ -1,0 +1,624 @@
+//! Vectorized batch pipelines over the IMC (§5.2/§6.5).
+//!
+//! The IMC stores typed [`ColumnVector`]s; this module keeps execution
+//! columnar *through* the operators instead of de-columnarizing at the
+//! scan. A [`Batch`] is one morsel's position state — a row range plus a
+//! [`SelVec`] selection vector — and flows through compiled kernels:
+//!
+//! * [`PredKernel`] evaluates a predicate over the vectors into a
+//!   null-aware tri-state [`Mask`] (SQL three-valued logic; filters keep
+//!   only [`Tri::True`] rows). Numeric comparisons go through
+//!   [`JsonNumber`] total order so they match the row path's `sql_cmp`
+//!   bit-for-bit; string comparisons run on dictionary *codes* (the
+//!   dictionary is sorted, so equality is a binary-search probe and
+//!   ranges are code-threshold tests).
+//! * [`ValKernel`] gathers projection/aggregate inputs for selected rows
+//!   only — **late materialization**: rows are rebuilt from vectors at
+//!   pipeline breakers (final result, aggregate merge), never before.
+//!
+//! Compilation from [`crate::expr::Expr`] lives in `expr.rs`
+//! ([`crate::expr::Expr::compile_predicate`] /
+//! [`crate::expr::Expr::compile_value`]); any expression the compiler
+//! cannot lower falls back to the scratch-based row path, which remains
+//! the semantic reference.
+
+use std::sync::Arc;
+
+use fsdm_json::JsonNumber;
+use fsdm_sqljson::Datum;
+
+use crate::expr::{ArithOp, CmpOp};
+use crate::imc::ColumnVector;
+use crate::parallel::RowRange;
+use crate::table::StoreError;
+
+/// SQL three-valued truth for one row of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Definitely false.
+    False,
+    /// Definitely true.
+    True,
+    /// NULL / unknown (rejected by WHERE, propagated by NOT).
+    Unknown,
+}
+
+/// Kleene AND over two row verdicts (false dominates).
+fn tri_and(a: Tri, b: Tri) -> Tri {
+    match (a, b) {
+        (Tri::False, _) | (_, Tri::False) => Tri::False,
+        (Tri::True, Tri::True) => Tri::True,
+        _ => Tri::Unknown,
+    }
+}
+
+/// Kleene OR over two row verdicts (true dominates).
+fn tri_or(a: Tri, b: Tri) -> Tri {
+    match (a, b) {
+        (Tri::True, _) | (_, Tri::True) => Tri::True,
+        (Tri::False, Tri::False) => Tri::False,
+        _ => Tri::Unknown,
+    }
+}
+
+/// A predicate's verdicts over one morsel range, with collapsed
+/// constant forms so AND/OR chains can short-circuit whole batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mask {
+    /// Every row in the range is true.
+    AllTrue,
+    /// Every row in the range is false (or the range is empty).
+    AllFalse,
+    /// Per-row verdicts, indexed by offset from the range start.
+    Mixed(Vec<Tri>),
+}
+
+impl Mask {
+    /// Build from per-row verdicts, collapsing the constant cases.
+    pub fn from_tris(tris: Vec<Tri>) -> Mask {
+        if tris.iter().all(|t| *t == Tri::False) {
+            return Mask::AllFalse; // also the empty range
+        }
+        if tris.iter().all(|t| *t == Tri::True) {
+            return Mask::AllTrue;
+        }
+        Mask::Mixed(tris)
+    }
+
+    /// The verdict at `offset` from the range start.
+    pub fn tri(&self, offset: usize) -> Tri {
+        match self {
+            Mask::AllTrue => Tri::True,
+            Mask::AllFalse => Tri::False,
+            Mask::Mixed(v) => v[offset],
+        }
+    }
+
+    /// Kleene AND of two masks over the same range.
+    pub fn and(self, rhs: Mask) -> Mask {
+        match (self, rhs) {
+            (Mask::AllFalse, _) | (_, Mask::AllFalse) => Mask::AllFalse,
+            (Mask::AllTrue, m) | (m, Mask::AllTrue) => m,
+            (Mask::Mixed(a), Mask::Mixed(b)) => {
+                Mask::from_tris(a.into_iter().zip(b).map(|(x, y)| tri_and(x, y)).collect())
+            }
+        }
+    }
+
+    /// Kleene OR of two masks over the same range.
+    pub fn or(self, rhs: Mask) -> Mask {
+        match (self, rhs) {
+            (Mask::AllTrue, _) | (_, Mask::AllTrue) => Mask::AllTrue,
+            (Mask::AllFalse, m) | (m, Mask::AllFalse) => m,
+            (Mask::Mixed(a), Mask::Mixed(b)) => {
+                Mask::from_tris(a.into_iter().zip(b).map(|(x, y)| tri_or(x, y)).collect())
+            }
+        }
+    }
+}
+
+impl std::ops::Not for Mask {
+    type Output = Mask;
+
+    /// Kleene NOT (unknown stays unknown).
+    fn not(self) -> Mask {
+        match self {
+            Mask::AllTrue => Mask::AllFalse,
+            Mask::AllFalse => Mask::AllTrue,
+            Mask::Mixed(v) => Mask::from_tris(
+                v.into_iter()
+                    .map(|t| match t {
+                        Tri::True => Tri::False,
+                        Tri::False => Tri::True,
+                        Tri::Unknown => Tri::Unknown,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// A selection vector: which rows of a morsel are still alive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelVec {
+    /// Every row in the range (the unfiltered fast path).
+    All(RowRange),
+    /// Ascending absolute row ids within the range.
+    Ids(Vec<usize>),
+}
+
+impl SelVec {
+    /// Selected rows where the mask is [`Tri::True`] (WHERE semantics:
+    /// unknown is rejected).
+    pub fn from_mask(range: RowRange, mask: &Mask) -> SelVec {
+        match mask {
+            Mask::AllTrue => SelVec::All(range),
+            Mask::AllFalse => SelVec::Ids(Vec::new()),
+            Mask::Mixed(v) => SelVec::Ids(
+                (range.start..range.end).filter(|i| v[i - range.start] == Tri::True).collect(),
+            ),
+        }
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        match self {
+            SelVec::All(r) => r.len(),
+            SelVec::Ids(ids) => ids.len(),
+        }
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Absolute row ids, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let (range, ids) = match self {
+            SelVec::All(r) => (Some(*r), None),
+            SelVec::Ids(ids) => (None, Some(ids)),
+        };
+        range.into_iter().flat_map(|r| r.start..r.end).chain(ids.into_iter().flatten().copied())
+    }
+}
+
+/// One morsel flowing through a columnar pipeline: the covered row range
+/// plus the selection vector. The column data itself rides inside the
+/// compiled kernels as shared [`Arc<ColumnVector>`] handles, so a batch
+/// is pure position state and stages never copy values to pass it on.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The morsel's row range.
+    pub range: RowRange,
+    /// Rows still selected.
+    pub sel: SelVec,
+}
+
+impl Batch {
+    /// A fresh batch selecting the whole morsel.
+    pub fn all(range: RowRange) -> Batch {
+        Batch { range, sel: SelVec::All(range) }
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// True when no rows survive.
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// Apply a predicate kernel, intersecting its mask with the current
+    /// selection (AND semantics across pipeline stages).
+    pub fn filter(self, kernel: &PredKernel) -> Batch {
+        let mask = kernel.eval(self.range);
+        let sel = match self.sel {
+            SelVec::All(range) => SelVec::from_mask(range, &mask),
+            SelVec::Ids(ids) => SelVec::Ids(
+                ids.into_iter().filter(|i| mask.tri(i - self.range.start) == Tri::True).collect(),
+            ),
+        };
+        Batch { range: self.range, sel }
+    }
+
+    /// Gather a value kernel's output for the selected rows (the late
+    /// materialization point).
+    pub fn gather(&self, kernel: &ValKernel) -> Result<Vec<Datum>, StoreError> {
+        kernel.gather(&self.sel)
+    }
+}
+
+/// A compiled, vector-bound predicate. Each leaf holds the
+/// [`Arc<ColumnVector>`] it reads, so evaluation is a tight typed loop
+/// with no per-row dispatch beyond the vector's own representation.
+#[derive(Debug, Clone)]
+pub enum PredKernel {
+    /// `numbers <op> literal`, compared in [`JsonNumber`] total order —
+    /// exactly the row path's `sql_cmp` on a `Numbers` read-back.
+    NumCmp {
+        /// The `Numbers` vector.
+        col: Arc<ColumnVector>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The (pre-coerced) numeric literal.
+        lit: JsonNumber,
+    },
+    /// `strings =/<> literal`: the literal was binary-searched in the
+    /// sorted dictionary at compile time; rows compare codes only.
+    StrEq {
+        /// The `Strings` vector.
+        col: Arc<ColumnVector>,
+        /// The literal's dictionary code, if present at all.
+        code: Option<u32>,
+        /// True for `<>`.
+        negate: bool,
+    },
+    /// `strings </<=/>/>= literal` as a code-threshold test against the
+    /// sorted dictionary: true iff `code < bound` (`below`) or
+    /// `code >= bound` (`!below`).
+    StrBelow {
+        /// The `Strings` vector.
+        col: Arc<ColumnVector>,
+        /// Partition point of the literal in the sorted dictionary.
+        bound: u32,
+        /// Which side of the threshold is true.
+        below: bool,
+    },
+    /// Arbitrary single-column string predicate, pre-evaluated once per
+    /// dictionary entry (numeric-literal coercions, IN lists, LIKE).
+    StrVerdict {
+        /// The `Strings` vector.
+        col: Arc<ColumnVector>,
+        /// Verdict per dictionary code.
+        verdicts: Arc<[Tri]>,
+    },
+    /// `bools <op> literal` (`false < true`, as in `sql_cmp`).
+    BoolCmp {
+        /// The `Bools` vector.
+        col: Arc<ColumnVector>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The boolean literal.
+        lit: bool,
+    },
+    /// A bare boolean column used as the predicate.
+    Truth {
+        /// The `Bools` vector.
+        col: Arc<ColumnVector>,
+    },
+    /// `col IS NULL` (never unknown).
+    IsNull {
+        /// Any vector.
+        col: Arc<ColumnVector>,
+    },
+    /// `numbers IN (…)` against a pre-coerced literal list.
+    NumIn {
+        /// The `Numbers` vector.
+        col: Arc<ColumnVector>,
+        /// Numeric views of the coercible list literals.
+        list: Arc<[JsonNumber]>,
+    },
+    /// Kleene negation.
+    Not(Box<PredKernel>),
+    /// Kleene conjunction; skips the right side when the left batch is
+    /// already all-false.
+    And(Box<PredKernel>, Box<PredKernel>),
+    /// Kleene disjunction; skips the right side when the left batch is
+    /// already all-true.
+    Or(Box<PredKernel>, Box<PredKernel>),
+}
+
+/// Read a comparison verdict out of an optional ordering (SQL: `None`
+/// means unknown). Shared with the `expr.rs` compile step, which uses it
+/// to pre-evaluate per-dictionary-entry verdicts.
+pub(crate) fn cmp_tri(ord: Option<std::cmp::Ordering>, op: CmpOp) -> Tri {
+    match ord {
+        None => Tri::Unknown,
+        Some(ord) => {
+            let hit = match op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => ord.is_ne(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+            };
+            if hit {
+                Tri::True
+            } else {
+                Tri::False
+            }
+        }
+    }
+}
+
+/// Run a per-row closure over the range, collapsing constant outcomes.
+fn scan_leaf(range: RowRange, f: impl Fn(usize) -> Tri) -> Mask {
+    Mask::from_tris((range.start..range.end).map(f).collect())
+}
+
+impl PredKernel {
+    /// Evaluate over one morsel range.
+    pub fn eval(&self, range: RowRange) -> Mask {
+        match self {
+            PredKernel::NumCmp { col, op, lit } => match &**col {
+                ColumnVector::Numbers(vals) => scan_leaf(range, |i| match vals[i] {
+                    Some(v) => cmp_tri(Some(JsonNumber::from(v).total_cmp(lit)), *op),
+                    None => Tri::Unknown,
+                }),
+                other => unreachable!("NumCmp bound to {other:?}"),
+            },
+            PredKernel::StrEq { col, code, negate } => match &**col {
+                ColumnVector::Strings { codes, .. } => scan_leaf(range, |i| match codes[i] {
+                    Some(c) => {
+                        let eq = Some(c) == *code;
+                        if eq != *negate {
+                            Tri::True
+                        } else {
+                            Tri::False
+                        }
+                    }
+                    None => Tri::Unknown,
+                }),
+                other => unreachable!("StrEq bound to {other:?}"),
+            },
+            PredKernel::StrBelow { col, bound, below } => match &**col {
+                ColumnVector::Strings { codes, .. } => scan_leaf(range, |i| match codes[i] {
+                    Some(c) => {
+                        if (c < *bound) == *below {
+                            Tri::True
+                        } else {
+                            Tri::False
+                        }
+                    }
+                    None => Tri::Unknown,
+                }),
+                other => unreachable!("StrBelow bound to {other:?}"),
+            },
+            PredKernel::StrVerdict { col, verdicts } => match &**col {
+                ColumnVector::Strings { codes, .. } => scan_leaf(range, |i| match codes[i] {
+                    Some(c) => verdicts[c as usize],
+                    None => Tri::Unknown,
+                }),
+                other => unreachable!("StrVerdict bound to {other:?}"),
+            },
+            PredKernel::BoolCmp { col, op, lit } => match &**col {
+                ColumnVector::Bools(vals) => scan_leaf(range, |i| match vals[i] {
+                    Some(v) => cmp_tri(Some(v.cmp(lit)), *op),
+                    None => Tri::Unknown,
+                }),
+                other => unreachable!("BoolCmp bound to {other:?}"),
+            },
+            PredKernel::Truth { col } => match &**col {
+                ColumnVector::Bools(vals) => scan_leaf(range, |i| match vals[i] {
+                    Some(true) => Tri::True,
+                    Some(false) => Tri::False,
+                    None => Tri::Unknown,
+                }),
+                other => unreachable!("Truth bound to {other:?}"),
+            },
+            PredKernel::IsNull { col } => scan_leaf(range, |i| {
+                if matches!(col.slot(i), crate::imc::VectorSlot::Null) {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            }),
+            PredKernel::NumIn { col, list } => match &**col {
+                ColumnVector::Numbers(vals) => scan_leaf(range, |i| match vals[i] {
+                    Some(v) => {
+                        let n = JsonNumber::from(v);
+                        if list.iter().any(|x| n.total_cmp(x).is_eq()) {
+                            Tri::True
+                        } else {
+                            Tri::False
+                        }
+                    }
+                    None => Tri::Unknown,
+                }),
+                other => unreachable!("NumIn bound to {other:?}"),
+            },
+            PredKernel::Not(inner) => !inner.eval(range),
+            PredKernel::And(a, b) => {
+                let left = a.eval(range);
+                if left == Mask::AllFalse {
+                    return Mask::AllFalse; // skip the right side entirely
+                }
+                left.and(b.eval(range))
+            }
+            PredKernel::Or(a, b) => {
+                let left = a.eval(range);
+                if left == Mask::AllTrue {
+                    return Mask::AllTrue; // skip the right side entirely
+                }
+                left.or(b.eval(range))
+            }
+        }
+    }
+}
+
+/// A compiled, vector-bound value expression for projections and
+/// aggregate arguments.
+#[derive(Debug, Clone)]
+pub enum ValKernel {
+    /// Read a column vector back (numbers round-trip through
+    /// [`Datum::from`], which is the identity the row path applies too).
+    Col(Arc<ColumnVector>),
+    /// A constant.
+    Lit(Datum),
+    /// Numeric arithmetic over two kernels, with the row path's exact
+    /// NULL-propagation and error semantics.
+    Arith {
+        /// Left operand.
+        l: Box<ValKernel>,
+        /// Operator.
+        op: ArithOp,
+        /// Right operand.
+        r: Box<ValKernel>,
+    },
+}
+
+impl ValKernel {
+    /// Materialize this kernel's value for every selected row.
+    pub fn gather(&self, sel: &SelVec) -> Result<Vec<Datum>, StoreError> {
+        match self {
+            ValKernel::Col(v) => Ok(sel.iter().map(|i| v.slot(i).to_datum()).collect()),
+            ValKernel::Lit(d) => Ok(vec![d.clone(); sel.len()]),
+            ValKernel::Arith { l, op, r } => {
+                let (xs, ys) = (l.gather(sel)?, r.gather(sel)?);
+                xs.into_iter()
+                    .zip(ys)
+                    .map(|(x, y)| crate::expr::arith_datums(&x, *op, &y))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(start: usize, end: usize) -> RowRange {
+        RowRange { start, end }
+    }
+
+    fn nums(vals: &[Option<f64>]) -> Arc<ColumnVector> {
+        Arc::new(ColumnVector::Numbers(vals.to_vec()))
+    }
+
+    fn strings(vals: &[Option<&str>]) -> Arc<ColumnVector> {
+        let datums: Vec<Datum> =
+            vals.iter().map(|v| v.map(Datum::from).unwrap_or(Datum::Null)).collect();
+        Arc::new(ColumnVector::from_datums(&datums))
+    }
+
+    #[test]
+    fn num_cmp_is_null_aware() {
+        let col = nums(&[Some(1.0), None, Some(3.0), Some(2.0)]);
+        let k = PredKernel::NumCmp { col, op: CmpOp::Ge, lit: JsonNumber::Int(2) };
+        let m = k.eval(range(0, 4));
+        assert_eq!(m.tri(0), Tri::False);
+        assert_eq!(m.tri(1), Tri::Unknown, "NULL compares unknown");
+        assert_eq!(m.tri(2), Tri::True);
+        assert_eq!(m.tri(3), Tri::True);
+    }
+
+    #[test]
+    fn all_true_and_all_false_collapse() {
+        let col = nums(&[Some(1.0), Some(2.0), Some(3.0)]);
+        let lo = PredKernel::NumCmp { col: col.clone(), op: CmpOp::Gt, lit: JsonNumber::Int(0) };
+        let hi = PredKernel::NumCmp { col: col.clone(), op: CmpOp::Gt, lit: JsonNumber::Int(9) };
+        assert_eq!(lo.eval(range(0, 3)), Mask::AllTrue);
+        assert_eq!(hi.eval(range(0, 3)), Mask::AllFalse);
+        // AND short-circuits: an impossible left side wins immediately
+        let and = PredKernel::And(Box::new(hi), Box::new(lo.clone()));
+        assert_eq!(and.eval(range(0, 3)), Mask::AllFalse);
+        let or = PredKernel::Or(Box::new(lo), Box::new(PredKernel::IsNull { col }));
+        assert_eq!(or.eval(range(0, 3)), Mask::AllTrue);
+    }
+
+    #[test]
+    fn empty_range_collapses_to_all_false() {
+        let col = nums(&[Some(1.0)]);
+        let k = PredKernel::NumCmp { col, op: CmpOp::Eq, lit: JsonNumber::Int(1) };
+        assert_eq!(k.eval(range(1, 1)), Mask::AllFalse);
+        let sel = SelVec::from_mask(range(1, 1), &Mask::AllFalse);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn kleene_not_keeps_unknown() {
+        let col = nums(&[Some(5.0), None]);
+        let k = PredKernel::Not(Box::new(PredKernel::NumCmp {
+            col,
+            op: CmpOp::Lt,
+            lit: JsonNumber::Int(3),
+        }));
+        let m = k.eval(range(0, 2));
+        assert_eq!(m.tri(0), Tri::True, "NOT(5 < 3)");
+        assert_eq!(m.tri(1), Tri::Unknown, "NOT(unknown) stays unknown");
+    }
+
+    #[test]
+    fn string_eq_probes_codes_and_ranges_use_thresholds() {
+        let col = strings(&[Some("pear"), Some("apple"), None, Some("plum"), Some("fig")]);
+        let ColumnVector::Strings { dict, .. } = &*col else { panic!() };
+        // sorted dict: apple fig pear plum
+        let code = dict.binary_search(&"pear".to_string()).ok().map(|c| c as u32);
+        let eq = PredKernel::StrEq { col: col.clone(), code, negate: false };
+        let m = eq.eval(range(0, 5));
+        assert_eq!(
+            (m.tri(0), m.tri(1), m.tri(2), m.tri(3), m.tri(4)),
+            (Tri::True, Tri::False, Tri::Unknown, Tri::False, Tri::False)
+        );
+        // strings < "pear": apple, fig
+        let bound = dict.partition_point(|d| d.as_str() < "pear") as u32;
+        let lt = PredKernel::StrBelow { col: col.clone(), bound, below: true };
+        let m = lt.eval(range(0, 5));
+        assert_eq!(
+            (m.tri(0), m.tri(1), m.tri(2), m.tri(3), m.tri(4)),
+            (Tri::False, Tri::True, Tri::Unknown, Tri::False, Tri::True)
+        );
+        // >= "pear" is the complement over non-null rows
+        let ge = PredKernel::StrBelow { col, bound, below: false };
+        let m = ge.eval(range(0, 5));
+        assert_eq!((m.tri(0), m.tri(2), m.tri(4)), (Tri::True, Tri::Unknown, Tri::False));
+    }
+
+    #[test]
+    fn selection_intersection_and_gather() {
+        let col = nums(&[Some(0.0), Some(1.0), Some(2.0), Some(3.0), Some(4.0)]);
+        let ge1 = PredKernel::NumCmp { col: col.clone(), op: CmpOp::Ge, lit: JsonNumber::Int(1) };
+        let le3 = PredKernel::NumCmp { col: col.clone(), op: CmpOp::Le, lit: JsonNumber::Int(3) };
+        let batch = Batch::all(range(0, 5)).filter(&ge1).filter(&le3);
+        assert_eq!(batch.len(), 3);
+        let got = batch.gather(&ValKernel::Col(col)).unwrap();
+        assert_eq!(got, vec![Datum::from(1i64), Datum::from(2i64), Datum::from(3i64)]);
+        // arithmetic matches the row path (integral results stay exact)
+        let double = ValKernel::Arith {
+            l: Box::new(ValKernel::Col(nums(&[
+                Some(0.0),
+                Some(1.0),
+                Some(2.0),
+                Some(3.0),
+                Some(4.0),
+            ]))),
+            op: ArithOp::Mul,
+            r: Box::new(ValKernel::Lit(Datum::from(2i64))),
+        };
+        let doubled = batch.gather(&double).unwrap();
+        assert_eq!(doubled, vec![Datum::from(2i64), Datum::from(4i64), Datum::from(6i64)]);
+    }
+
+    #[test]
+    fn gather_on_empty_selection_is_empty() {
+        let col = nums(&[Some(1.0), Some(2.0)]);
+        let none = PredKernel::NumCmp { col: col.clone(), op: CmpOp::Gt, lit: JsonNumber::Int(9) };
+        let batch = Batch::all(range(0, 2)).filter(&none);
+        assert!(batch.is_empty());
+        assert_eq!(batch.gather(&ValKernel::Col(col)).unwrap(), Vec::<Datum>::new());
+    }
+
+    #[test]
+    fn null_arith_propagates_and_div0_errors() {
+        let col = nums(&[Some(4.0), None]);
+        let k = ValKernel::Arith {
+            l: Box::new(ValKernel::Col(col.clone())),
+            op: ArithOp::Add,
+            r: Box::new(ValKernel::Lit(Datum::from(1i64))),
+        };
+        let out = k.gather(&SelVec::All(range(0, 2))).unwrap();
+        assert_eq!(out, vec![Datum::from(5i64), Datum::Null]);
+        let div = ValKernel::Arith {
+            l: Box::new(ValKernel::Col(col)),
+            op: ArithOp::Div,
+            r: Box::new(ValKernel::Lit(Datum::from(0i64))),
+        };
+        let err = div.gather(&SelVec::Ids(vec![0])).unwrap_err();
+        assert!(err.to_string().contains("division by zero"), "{err}");
+    }
+}

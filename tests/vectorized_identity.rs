@@ -1,0 +1,144 @@
+//! Integration test: the vectorized columnar pipeline is invisible in
+//! results. With the NOBENCH Q1–Q3 virtual columns materialized into the
+//! VC-IMC, every workload query — NOBENCH Q1–Q11 and the OLAP Table-13
+//! set — must return byte-identical `QueryResult`s with the columnar
+//! executor on and off, at degree 1 and 4, under a tiny morsel size that
+//! forces many batches per scan. On top of identity, the IMC-covered
+//! Q1–Q3 must actually *take* the columnar pipeline (EXPLAIN shows
+//! `mode=columnar`), and the optimizer's virtual-column substitution must
+//! stay translation-valid under planck.
+
+use fsdm::sqljson::Datum;
+use fsdm_bench::setup::{
+    add_nobench_columnar_vcs, bind_datum, nobench_db, nobench_q11_plan, nobench_q5_bind, olap_db,
+    olap_queries, StorageMethod,
+};
+use fsdm_store::optimizer::optimize;
+use fsdm_store::{infer, rewrite_violations};
+
+const DEGREES: [usize; 2] = [1, 4];
+
+#[test]
+fn nobench_columnar_identical_to_row_at_every_degree() {
+    let n = 500;
+    let mut session = nobench_db(n);
+    add_nobench_columnar_vcs(&mut session);
+    session.db.set_morsel_rows(64); // ~8 batches per scan even at n=500
+    let queries: Vec<(String, Vec<Datum>)> = (1..=10)
+        .map(|q| {
+            let sql = fsdm::workloads::nobench::query_sql(q, n);
+            let binds = if q == 5 { vec![nobench_q5_bind(n)] } else { vec![] };
+            (sql, binds)
+        })
+        .collect();
+    let q11 = nobench_q11_plan(n, false);
+
+    let mut baseline = None;
+    for degree in DEGREES {
+        session.set_parallelism(degree);
+        for columnar in [false, true] {
+            session.db.set_columnar(columnar);
+            let mut results = Vec::new();
+            for (sql, binds) in &queries {
+                results.push(session.execute_with(sql, binds).unwrap());
+            }
+            results.push(session.db.execute(&q11).unwrap());
+            match &baseline {
+                None => baseline = Some(results),
+                Some(b) => assert_eq!(
+                    &results, b,
+                    "columnar={columnar} degree={degree} diverged from the row baseline"
+                ),
+            }
+        }
+    }
+    session.db.set_columnar(true);
+}
+
+#[test]
+fn olap_columnar_identical_to_row_at_every_degree() {
+    let n = 300;
+    let queries = olap_queries(n);
+    for method in [StorageMethod::Oson, StorageMethod::Rel] {
+        let mut session = olap_db(method, n);
+        session.db.set_morsel_rows(32);
+        let mut baseline = None;
+        for degree in DEGREES {
+            session.set_parallelism(degree);
+            for columnar in [false, true] {
+                session.db.set_columnar(columnar);
+                let results: Vec<_> = queries
+                    .iter()
+                    .map(|q| {
+                        let binds: Vec<Datum> = q.binds.iter().map(|b| bind_datum(b)).collect();
+                        session.execute_with(&q.sql, &binds).unwrap()
+                    })
+                    .collect();
+                match &baseline {
+                    None => baseline = Some(results),
+                    Some(b) => assert_eq!(
+                        &results,
+                        b,
+                        "{}: columnar={columnar} degree={degree} diverged",
+                        method.label()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance gate on pipeline *selection*: with the Q1–Q3 virtual
+/// columns resident in the IMC, the optimizer substitutes the JSON
+/// operators for vector-backed columns and the executor picks the
+/// columnar pipeline — visible in EXPLAIN as `mode=columnar`. With the
+/// columnar executor switched off, the same plans report `mode=row`.
+#[test]
+fn explain_marks_imc_covered_queries_columnar() {
+    let n = 200;
+    let mut session = nobench_db(n);
+    add_nobench_columnar_vcs(&mut session);
+    for q in 1..=3 {
+        let sql = fsdm::workloads::nobench::query_sql(q, n);
+        let text = session.explain(&sql, &[]).unwrap();
+        assert!(text.contains("mode=columnar"), "Q{q} not columnar:\n{text}");
+
+        let plan = session.plan(&sql, &[]).unwrap();
+        let optimized = optimize(&session.db, plan);
+        assert_eq!(session.db.plan_mode(&optimized), "columnar", "Q{q}");
+        session.db.set_columnar(false);
+        assert_eq!(session.db.plan_mode(&optimized), "row", "Q{q} with columnar off");
+        session.db.set_columnar(true);
+    }
+    // a query none of the kernels cover stays on the row pipeline
+    let text = session.explain(&fsdm::workloads::nobench::query_sql(8, n), &[]).unwrap();
+    assert!(!text.contains("mode=columnar"), "Q8 must stay row:\n{text}");
+}
+
+/// Planck soundness for the substituted plans: replacing a JSON operator
+/// with its materialized virtual column must be translation-valid — the
+/// optimized plan's inferred schema matches the original's, with no
+/// rewrite violations, for the whole workload set.
+#[test]
+fn vc_substitution_is_translation_valid() {
+    let n = 200;
+    let mut session = nobench_db(n);
+    add_nobench_columnar_vcs(&mut session);
+    for q in 1..=10 {
+        let sql = fsdm::workloads::nobench::query_sql(q, n);
+        let binds = if q == 5 { vec![nobench_q5_bind(n)] } else { vec![] };
+        let plan = session.plan(&sql, &binds).unwrap();
+        let optimized = optimize(&session.db, plan.clone());
+        let violations = rewrite_violations(&session.db, &plan, &optimized);
+        assert!(violations.is_empty(), "Q{q}: {violations:?}");
+        assert_eq!(
+            infer(&session.db, &plan).schema.render(),
+            infer(&session.db, &optimized).schema.render(),
+            "Q{q} schema drifted under substitution"
+        );
+    }
+    let q11 = nobench_q11_plan(n, false);
+    let optimized = optimize(&session.db, q11.clone());
+    let violations = rewrite_violations(&session.db, &q11, &optimized);
+    assert!(violations.is_empty(), "Q11: {violations:?}");
+}
