@@ -46,6 +46,18 @@ cargo run --release -p fsdm-bench --bin bench -- imc --scale small --smoke \
 echo "== bench trace-overhead smoke (disabled tracing <= 2% of Q1-3 wall) =="
 cargo run --release -p fsdm-bench --bin bench -- trace-overhead --scale 2000 --smoke
 
+echo "== bench chaos smoke (seeded fault schedules, zero violations, disarmed <= 2%) =="
+# --json persists the run in the stable fsdm-bench-chaos-v1 schema; the
+# command itself exits non-zero on any contract violation or if the
+# disarmed governance overhead estimate exceeds the 2% budget
+cargo run --release -p fsdm-bench --bin bench -- chaos --smoke --json BENCH_chaos.json
+grep -q '"violation":0' BENCH_chaos.json
+
+echo "== repro chaos report (writes repro-chaos.json, re-parses) =="
+cargo run --release -p fsdm-bench --bin repro -- table10 --scale 120 --no-metrics \
+  --chaos-report repro-chaos.json
+grep -q '"violation":0' repro-chaos.json
+
 echo "== repro trace smoke (span trees validate, exports re-parse) =="
 FSDM_THREADS=4 cargo run --release -p fsdm-bench --bin repro -- \
   --trace /tmp/fsdm-trace.json --slow-log /tmp/fsdm-slow.json --scale 300

@@ -95,6 +95,10 @@ pub enum Code {
     /// SN007: a thread is spawned outside the morsel executor
     /// (`crates/store/src/parallel.rs`), bypassing the degree control.
     SpawnOutsideExecutor,
+    /// SN008: a failpoint is fired with a name that is not a constant
+    /// declared in `fsdm_fault::catalog` (or the catalog file and its
+    /// `ALL` slice disagree), so the name could never be armed.
+    UndeclaredFailpoint,
 }
 
 impl Code {
@@ -121,6 +125,7 @@ impl Code {
             Code::AtomicOrdering => "SN005",
             Code::MutCaptureAliasing => "SN006",
             Code::SpawnOutsideExecutor => "SN007",
+            Code::UndeclaredFailpoint => "SN008",
         }
     }
 
@@ -147,6 +152,7 @@ impl Code {
             Code::AtomicOrdering => "atomic-ordering",
             Code::MutCaptureAliasing => "mut-capture-aliasing",
             Code::SpawnOutsideExecutor => "spawn-outside-executor",
+            Code::UndeclaredFailpoint => "undeclared-failpoint",
         }
     }
 
@@ -168,7 +174,8 @@ impl Code {
             | Code::LockAcrossPanic
             | Code::AtomicOrdering
             | Code::MutCaptureAliasing
-            | Code::SpawnOutsideExecutor => Severity::Error,
+            | Code::SpawnOutsideExecutor
+            | Code::UndeclaredFailpoint => Severity::Error,
         }
     }
 }
@@ -345,6 +352,7 @@ mod tests {
             Code::AtomicOrdering,
             Code::MutCaptureAliasing,
             Code::SpawnOutsideExecutor,
+            Code::UndeclaredFailpoint,
         ];
         let ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         assert_eq!(
@@ -352,7 +360,7 @@ mod tests {
             vec![
                 "FA001", "FA002", "FA003", "FA004", "FA005", "FA006", "FA007", "PK001", "PK002",
                 "PK003", "PK004", "PK005", "PK006", "SN001", "SN002", "SN003", "SN004", "SN005",
-                "SN006", "SN007",
+                "SN006", "SN007", "SN008",
             ]
         );
         for c in all {
@@ -390,6 +398,7 @@ mod tests {
             Code::AtomicOrdering,
             Code::MutCaptureAliasing,
             Code::SpawnOutsideExecutor,
+            Code::UndeclaredFailpoint,
         ];
         for series in ["FA", "PK", "SN"] {
             let mut nums: Vec<u32> = all

@@ -32,8 +32,17 @@
 //! the estimated cost of every span entry point executed by a NoBench
 //! Q1–Q3 pass must stay within 2% of the measured wall time (see
 //! `fsdm_bench::traceov`). `--smoke` exits non-zero on budget overrun.
+//!
+//! `chaos` runs seeded failpoint schedules over the combined NoBench +
+//! OLAP workload at degree 1 and 4 (see `fsdm_bench::chaos`): every
+//! armed query must come back baseline-identical or as a typed error,
+//! and its post-fault clean rerun must be byte-identical. It exits
+//! non-zero on any contract violation, and additionally gates the
+//! *disarmed* governance overhead (see `fsdm_bench::governov`) at ≤ 2%
+//! of the NoBench Q1–Q3 wall. `--smoke` is the reduced CI shape;
+//! `--json FILE` writes the stable `fsdm-bench-chaos-v1` schema.
 
-use fsdm_bench::{concurrency, imc, traceov};
+use fsdm_bench::{chaos, concurrency, governov, imc, traceov};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,9 +54,10 @@ fn main() {
         }
         Some("imc") => run_imc(&args),
         Some("trace-overhead") => run_trace_overhead(&args),
+        Some("chaos") => run_chaos(&args),
         other => {
             eprintln!(
-                "unknown command {other:?}; supported: concurrency, experiments, imc, \
+                "unknown command {other:?}; supported: chaos, concurrency, experiments, imc, \
                  trace-overhead"
             );
             std::process::exit(2);
@@ -171,6 +181,53 @@ fn run_imc(args: &[String]) {
             row * 1e3
         );
     }
+}
+
+fn run_chaos(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg = if smoke { chaos::ChaosConfig::smoke() } else { chaos::ChaosConfig::full() };
+    if let Some(n) = flag_value(args, "--schedules").and_then(|s| s.parse::<usize>().ok()) {
+        cfg.schedules = n;
+    }
+    if let Some(n) = flag_value(args, "--scale").and_then(|s| s.parse::<usize>().ok()) {
+        cfg.scale = n;
+        cfg.olap_scale = (n / 2).max(20);
+    }
+    if let Some(n) = flag_value(args, "--seed").and_then(|s| s.parse::<u64>().ok()) {
+        cfg.seed = n;
+    }
+
+    let report = chaos::run(&cfg);
+    print!("{}", report.render());
+    if let Some(path) = flag_value(args, "--json") {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("chaos report written to {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let violations = report.violations().len();
+    if violations > 0 {
+        eprintln!("CHAOS FAIL: {violations} contract violation(s); see the report above");
+        std::process::exit(1);
+    }
+
+    // the other half of the contract: all of this must be ~free disarmed
+    let o = governov::run(if smoke { 300 } else { 2_000 });
+    print!("{}", o.render());
+    if o.overhead_fraction() > 0.02 {
+        eprintln!(
+            "CHAOS FAIL: disarmed governance estimated at {:.3}% of Q1-Q3 wall (budget 2%)",
+            o.overhead_fraction() * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "chaos ok: {} schedule(s), 0 violations, disarmed overhead within the 2% budget",
+        report.outcomes.len()
+    );
 }
 
 fn run_trace_overhead(args: &[String]) {

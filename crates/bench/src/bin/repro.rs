@@ -33,6 +33,15 @@
 //! `--sentinel-report FILE` runs the `fsdm-sentinel` concurrency
 //! analysis over the workspace sources and writes FILE (conventionally
 //! `repro-sentinel.json`) under the same re-parse and zero-error gate.
+//! `--chaos-report FILE` runs the smoke-shaped chaos suite (seeded
+//! failpoint schedules over both workloads, see `fsdm_bench::chaos`)
+//! and writes FILE (conventionally `repro-chaos.json`), exiting
+//! non-zero on any governance-contract violation.
+//!
+//! `--timeout-ms N` arms a statement deadline for every query of the
+//! run (a statement that runs past it dies with a typed deadline
+//! error); `FSDM_FAILPOINTS=name=mode;...` arms cataloged failpoints
+//! for the whole run — see README's Query governance section.
 //!
 //! `--trace FILE` (optionally with `--slow-log FILE`) switches to the
 //! tracing demo instead of the experiments: it runs the full NOBENCH set
@@ -61,6 +70,29 @@ fn main() {
         .and_then(|s| s.parse::<usize>().ok())
     {
         std::env::set_var("FSDM_THREADS", n.to_string());
+    }
+    // --timeout-ms N arms a statement deadline for every query of this
+    // run; same resolve-once discipline as --threads
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--timeout-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        std::env::set_var("FSDM_TIMEOUT_MS", n.to_string());
+    }
+    match fsdm_fault::init_from_env() {
+        Ok(0) => {}
+        Ok(n) => {
+            // injected panics are expected and caught by the executor;
+            // keep their default backtrace spew out of the report
+            fsdm_fault::silence_failpoint_panics();
+            println!("{n} failpoint(s) armed from FSDM_FAILPOINTS");
+        }
+        Err(e) => {
+            eprintln!("FSDM_FAILPOINTS: {e}");
+            std::process::exit(2);
+        }
     }
     let cmd = match args.first().map(|s| s.as_str()) {
         // a leading flag means "everything, with options"
@@ -119,6 +151,9 @@ fn main() {
     }
     if let Some(path) = flag("--sentinel-report") {
         dump_sentinel_report(path);
+    }
+    if let Some(path) = flag("--chaos-report") {
+        dump_chaos_report(path);
     }
     if !args.iter().any(|a| a == "--no-metrics") {
         dump_metrics();
@@ -327,6 +362,36 @@ fn dump_sentinel_report(path: &str) {
     }
     if report.errors() > 0 {
         eprintln!("sentinel found {} error(s)", report.errors());
+        std::process::exit(1);
+    }
+}
+
+/// `--chaos-report FILE`: run the smoke-shaped chaos suite and persist
+/// the machine-readable outcomes, with the same write/re-parse/zero-
+/// violation gate as the other report flags.
+fn dump_chaos_report(path: &str) {
+    use fsdm_bench::chaos;
+    println!("\n== bench chaos: governance contract under injected faults ==");
+    let report = chaos::run(&chaos::ChaosConfig::smoke());
+    print!("{}", report.render());
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| fsdm_json::parse(&text).map_err(|e| format!("{e:?}")).map(drop))
+    {
+        Ok(()) => println!("chaos report written to {path} (re-parsed OK)"),
+        Err(e) => {
+            eprintln!("chaos report {path} does not re-parse: {e}");
+            std::process::exit(1);
+        }
+    }
+    let violations = report.violations().len();
+    if violations > 0 {
+        eprintln!("chaos found {violations} contract violation(s)");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,530 @@
+//! `bench chaos`: seeded failpoint schedules over the full workload.
+//!
+//! The governance contract (DESIGN.md §15) is that a fault injected
+//! anywhere in the executor degrades into exactly one of two outcomes:
+//! the statement still returns its baseline-identical result, or it
+//! returns a *typed* [`StoreError`] — never an unhandled panic, never a
+//! hang, never a wrong answer. This runner proves the contract by
+//! enumeration: it draws hundreds of seeded schedules, each arming one
+//! cataloged failpoint in one mode against one query of the combined
+//! workload (NoBench Q1–Q11 plus the §6.3 OLAP Table 13 set) at degree
+//! 1 or 4, and classifies every run.
+//!
+//! Determinism boundaries, stated precisely:
+//!
+//! - the *schedule sequence* is a pure function of the seed
+//!   ([`plan_schedules`]);
+//! - whether a `prob`/`after` schedule injects before the pipeline
+//!   finishes can race at degree 4 (workers reach armed sites in
+//!   scheduler order), so a schedule's verdict may flip between the two
+//!   *acceptable* outcomes across runs — but a violation is a violation
+//!   under every interleaving;
+//! - after every schedule the registry is reset and the query is re-run
+//!   clean; the rerun must be byte-identical to the disarmed baseline,
+//!   proving the fault left no residue in the `Database`.
+//!
+//! Panic mode is only drawn for [`PANIC_SAFE`] points — the ones that
+//! fire as the first statement of a morsel closure, inside
+//! `run_morsels`' panic boundary. The serial fires (`exec.sort.permute`
+//! on the coordinating thread, `expr.eval` / `vector.batch` at
+//! call sites that may sit outside a pipeline) get the error-family
+//! modes, which exercise the same unwind-free cleanup paths.
+//!
+//! Hangs are broken by a generous statement deadline (the watchdog): a
+//! run that trips it is classified as a violation, not as an acceptable
+//! typed error — at 30 s against millisecond queries, a deadline kill
+//! means the fault wedged the pipeline.
+
+use std::time::Instant;
+
+use fsdm_fault::{catalog, FailMode, FailScope};
+use fsdm_sql::Session;
+use fsdm_sqljson::Datum;
+use fsdm_store::{ErrorKind, Query, QueryResult, StoreError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::concurrency::{git_rev, nobench_plans};
+use crate::setup::{bind_datum, nobench_db, olap_db, olap_queries, StorageMethod};
+
+/// Failpoints whose `fire` site is the first statement of a morsel
+/// closure — always inside `run_morsels`' catch boundary, so an injected
+/// panic is isolated into a typed `WorkerPanic` error. Panic mode is
+/// only ever scheduled against these.
+pub const PANIC_SAFE: [&str; 4] = [
+    catalog::FP_EXEC_MORSEL,
+    catalog::FP_EXEC_JOIN_BUILD,
+    catalog::FP_EXEC_GROUPBY_PARTIAL,
+    catalog::FP_EXEC_JSONTABLE_ROW,
+];
+
+/// The degrees every chaos run covers: the serial inline path and the
+/// scoped-worker path.
+pub const DEGREES: [usize; 2] = [1, 4];
+
+/// Chaos run parameters.
+pub struct ChaosConfig {
+    /// NoBench corpus size.
+    pub scale: usize,
+    /// OLAP purchaseOrder corpus size.
+    pub olap_scale: usize,
+    /// Number of seeded schedules to draw and run.
+    pub schedules: usize,
+    /// Seed for the schedule sequence.
+    pub seed: u64,
+    /// Watchdog statement timeout (ms); tripping it is a violation.
+    pub watchdog_ms: u64,
+}
+
+impl ChaosConfig {
+    /// The full acceptance run: ≥ 500 schedules.
+    pub fn full() -> ChaosConfig {
+        ChaosConfig { scale: 1_000, olap_scale: 400, schedules: 500, seed: 42, watchdog_ms: 30_000 }
+    }
+
+    /// The CI smoke run: same shape, reduced draw count and corpus.
+    pub fn smoke() -> ChaosConfig {
+        ChaosConfig { scale: 240, olap_scale: 120, schedules: 60, seed: 42, watchdog_ms: 30_000 }
+    }
+}
+
+/// One drawn schedule: which query, at which degree, with which
+/// failpoint armed in which mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Index into the combined query list.
+    pub query: usize,
+    /// Executor degree for this run.
+    pub degree: usize,
+    /// Cataloged failpoint name.
+    pub point: &'static str,
+    /// Armed mode.
+    pub mode: FailMode,
+}
+
+/// How one schedule's run was classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The armed run returned the baseline-identical bytes.
+    Identical,
+    /// The armed run returned a typed [`StoreError`].
+    TypedError,
+    /// Contract breach: baseline divergence, watchdog trip, or a dirty
+    /// post-fault rerun.
+    Violation,
+}
+
+impl Verdict {
+    /// Stable label used in both renderings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Identical => "identical",
+            Verdict::TypedError => "typed-error",
+            Verdict::Violation => "violation",
+        }
+    }
+}
+
+/// One schedule's classified outcome.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Position in the schedule sequence.
+    pub id: usize,
+    /// Display label of the query (`Q1` … `Q11`, `T13-1` … `T13-9`).
+    pub query: String,
+    /// Executor degree.
+    pub degree: usize,
+    /// Armed failpoint.
+    pub point: &'static str,
+    /// Armed mode, rendered in `FSDM_FAILPOINTS` syntax.
+    pub mode: String,
+    /// Classification.
+    pub verdict: Verdict,
+    /// Error message for typed errors, breach description for
+    /// violations, empty for identical runs.
+    pub detail: String,
+}
+
+/// Everything one chaos run produced.
+pub struct ChaosReport {
+    /// NoBench corpus size.
+    pub scale: usize,
+    /// OLAP corpus size.
+    pub olap_scale: usize,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Number of distinct queries in the combined workload.
+    pub queries: usize,
+    /// Classified outcomes, in schedule order.
+    pub outcomes: Vec<Outcome>,
+    /// Wall time of the whole run (baselines included), ns.
+    pub wall_ns: u64,
+}
+
+impl ChaosReport {
+    /// Outcome count with the given verdict.
+    pub fn count(&self, v: Verdict) -> usize {
+        self.outcomes.iter().filter(|o| o.verdict == v).count()
+    }
+
+    /// The contract breaches, if any. CI gates on this being empty.
+    pub fn violations(&self) -> Vec<&Outcome> {
+        self.outcomes.iter().filter(|o| o.verdict == Verdict::Violation).collect()
+    }
+
+    /// Human-readable summary plus every violation in full.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== bench chaos: {} schedule(s), seed {} (nobench n = {}, olap n = {}) ==",
+            self.outcomes.len(),
+            self.seed,
+            self.scale,
+            self.olap_scale
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {}\n{:<12} {}\n{:<12} {}",
+            "identical",
+            self.count(Verdict::Identical),
+            "typed-error",
+            self.count(Verdict::TypedError),
+            "violations",
+            self.count(Verdict::Violation),
+        );
+        for o in self.violations() {
+            let _ = writeln!(
+                out,
+                "VIOLATION #{}: {} degree {} {}={}: {}",
+                o.id, o.query, o.degree, o.point, o.mode, o.detail
+            );
+        }
+        let _ = writeln!(out, "wall: {:.1} ms", self.wall_ns as f64 / 1e6);
+        out
+    }
+
+    /// Machine-readable rendering, schema `fsdm-bench-chaos-v1`:
+    ///
+    /// ```json
+    /// {"schema":"fsdm-bench-chaos-v1","git_rev":"abc1234","seed":42,
+    ///  "scale":1000,"olap_scale":400,"queries":20,"schedules":500,
+    ///  "verdicts":{"identical":…,"typed_error":…,"violation":0},
+    ///  "outcomes":[{"id":0,"query":"Q4","degree":4,"point":"exec.morsel",
+    ///               "mode":"error","verdict":"typed-error","detail":"…"}]}
+    /// ```
+    ///
+    /// Stable like the other bench schemas: additions may append fields,
+    /// never rename or re-type existing ones.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"schema\":\"fsdm-bench-chaos-v1\"");
+        let _ = write!(
+            out,
+            ",\"git_rev\":\"{}\",\"seed\":{},\"scale\":{},\"olap_scale\":{},\
+             \"queries\":{},\"schedules\":{}",
+            git_rev(),
+            self.seed,
+            self.scale,
+            self.olap_scale,
+            self.queries,
+            self.outcomes.len()
+        );
+        let _ = write!(
+            out,
+            ",\"verdicts\":{{\"identical\":{},\"typed_error\":{},\"violation\":{}}}",
+            self.count(Verdict::Identical),
+            self.count(Verdict::TypedError),
+            self.count(Verdict::Violation)
+        );
+        out.push_str(",\"outcomes\":[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"query\":{},\"degree\":{},\"point\":{},\"mode\":{},\
+                 \"verdict\":\"{}\",\"detail\":{}}}",
+                o.id,
+                json_str(&o.query),
+                o.degree,
+                json_str(o.point),
+                json_str(&o.mode),
+                o.verdict.label(),
+                json_str(&o.detail)
+            );
+        }
+        let _ = write!(out, "],\"wall_ms\":{:.1}}}", self.wall_ns as f64 / 1e6);
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::from("\"");
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a mode in the `FSDM_FAILPOINTS` syntax [`fsdm_fault`] parses.
+pub fn mode_label(mode: FailMode) -> String {
+    match mode {
+        FailMode::Off => "off".to_string(),
+        FailMode::Error => "error".to_string(),
+        FailMode::Panic => "panic".to_string(),
+        FailMode::Delay(ms) => format!("delay({ms})"),
+        FailMode::ErrorAfter(n) => format!("after({n})"),
+        FailMode::ErrorWithProbability(p, seed) => format!("prob({p:.2},{seed})"),
+    }
+}
+
+/// Draw `count` schedules from `seed` over `queries` query slots — a
+/// pure function, so a seed pins the whole sequence. Panic mode is
+/// remapped to error for points outside [`PANIC_SAFE`].
+pub fn plan_schedules(seed: u64, count: usize, queries: usize) -> Vec<Schedule> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let query = rng.gen_range(0..queries.max(1));
+            let degree = DEGREES[rng.gen_range(0..DEGREES.len())];
+            let point = catalog::ALL[rng.gen_range(0..catalog::ALL.len())];
+            let mode = match rng.gen_range(0..5u32) {
+                0 => FailMode::Error,
+                1 if PANIC_SAFE.contains(&point) => FailMode::Panic,
+                1 => FailMode::Error,
+                2 => FailMode::Delay(1),
+                3 => FailMode::ErrorAfter(rng.gen_range(1..48u64)),
+                _ => {
+                    let p = 0.05 + 0.9 * rng.gen_range(0.0f64..1.0);
+                    FailMode::ErrorWithProbability(p, rng.next_seed())
+                }
+            };
+            Schedule { query, degree, point, mode }
+        })
+        .collect()
+}
+
+/// A fresh sub-seed for the probability mode's per-point generator.
+trait NextSeed {
+    fn next_seed(&mut self) -> u64;
+}
+
+impl NextSeed for StdRng {
+    fn next_seed(&mut self) -> u64 {
+        self.gen_range(0..u64::MAX)
+    }
+}
+
+/// The combined workload: NoBench Q1–Q11 over a text-storage corpus and
+/// the Table 13 OLAP set over an OSON corpus, as `(label, session
+/// index, plan)` triples plus the two owning sessions.
+fn build_workload(cfg: &ChaosConfig) -> (Vec<Session>, Vec<(String, usize, Query)>) {
+    let mut nb = nobench_db(cfg.scale);
+    nb.set_statement_timeout(Some(cfg.watchdog_ms));
+    let mut queries: Vec<(String, usize, Query)> =
+        nobench_plans(&nb, cfg.scale).into_iter().map(|(label, plan)| (label, 0, plan)).collect();
+    let mut ol = olap_db(StorageMethod::Oson, cfg.olap_scale);
+    ol.set_statement_timeout(Some(cfg.watchdog_ms));
+    for q in olap_queries(cfg.olap_scale) {
+        let binds: Vec<Datum> = q.binds.iter().map(|b| bind_datum(b)).collect();
+        let plan = ol.plan(&q.sql, &binds).expect("Table 13 query plans");
+        queries.push((format!("T13-{}", q.id), 1, plan));
+    }
+    (vec![nb, ol], queries)
+}
+
+/// Classify one armed run against its baseline.
+fn classify(run: Result<QueryResult, StoreError>, baseline: &str) -> (Verdict, String) {
+    match run {
+        Ok(r) => {
+            if format!("{r:?}") == baseline {
+                (Verdict::Identical, String::new())
+            } else {
+                (Verdict::Violation, "armed run diverged from the disarmed baseline".to_string())
+            }
+        }
+        Err(e) if e.kind == ErrorKind::DeadlineExceeded => {
+            (Verdict::Violation, format!("watchdog deadline tripped: {e}"))
+        }
+        Err(e) => (Verdict::TypedError, e.to_string()),
+    }
+}
+
+/// Run `cfg.schedules` seeded schedules and classify every one.
+///
+/// Serializes against every other failpoint user in the process via the
+/// [`FailScope`] lock, computes disarmed per-query baselines (verified
+/// identical at both degrees before any fault is armed), then runs each
+/// schedule: arm → execute → classify → reset → clean rerun, where the
+/// rerun must reproduce the baseline bytes exactly.
+pub fn run(cfg: &ChaosConfig) -> ChaosReport {
+    fsdm_fault::silence_failpoint_panics();
+    let scope = FailScope::disarmed();
+    let started = Instant::now();
+    let (mut sessions, queries) = build_workload(cfg);
+
+    // disarmed baselines at degree 1, cross-checked at every degree —
+    // byte-identity across degrees must hold before chaos means anything
+    let baselines: Vec<String> = queries
+        .iter()
+        .map(|(label, s, plan)| {
+            sessions[*s].db.set_parallelism(1);
+            let r = sessions[*s].db.execute(plan).expect("disarmed baseline executes");
+            let bytes = format!("{r:?}");
+            for &d in &DEGREES[1..] {
+                sessions[*s].db.set_parallelism(d);
+                let rd = sessions[*s].db.execute(plan).expect("disarmed baseline executes");
+                assert_eq!(format!("{rd:?}"), bytes, "{label}: disarmed degree {d} diverged");
+            }
+            bytes
+        })
+        .collect();
+
+    let mut outcomes = Vec::with_capacity(cfg.schedules);
+    for (id, sched) in
+        plan_schedules(cfg.seed, cfg.schedules, queries.len()).into_iter().enumerate()
+    {
+        let (label, s, plan) = &queries[sched.query];
+        let baseline = &baselines[sched.query];
+        sessions[*s].db.set_parallelism(sched.degree);
+        scope.also(sched.point, sched.mode);
+        let armed = sessions[*s].db.execute(plan);
+        fsdm_fault::reset();
+        let (mut verdict, mut detail) = classify(armed, baseline);
+        // post-fault residue check: a clean rerun must be byte-identical
+        let rerun = sessions[*s].db.execute(plan);
+        match rerun {
+            Ok(r) if format!("{r:?}") == *baseline => {}
+            Ok(_) => {
+                verdict = Verdict::Violation;
+                detail = "post-fault clean rerun diverged from the baseline".to_string();
+            }
+            Err(e) => {
+                verdict = Verdict::Violation;
+                detail = format!("post-fault clean rerun failed: {e}");
+            }
+        }
+        outcomes.push(Outcome {
+            id,
+            query: label.clone(),
+            degree: sched.degree,
+            point: sched.point,
+            mode: mode_label(sched.mode),
+            verdict,
+            detail,
+        });
+    }
+    ChaosReport {
+        scale: cfg.scale,
+        olap_scale: cfg.olap_scale,
+        seed: cfg.seed,
+        queries: queries.len(),
+        outcomes,
+        wall_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_seed_deterministic_and_panic_safe() {
+        let a = plan_schedules(7, 200, 20);
+        let b = plan_schedules(7, 200, 20);
+        assert_eq!(a, b, "a seed must pin the whole schedule sequence");
+        assert_ne!(a, plan_schedules(8, 200, 20), "distinct seeds must diverge");
+        let mut kinds = [0usize; 5];
+        for s in &a {
+            assert!(s.query < 20);
+            assert!(DEGREES.contains(&s.degree), "degree {}", s.degree);
+            assert!(catalog::ALL.contains(&s.point), "{}", s.point);
+            match s.mode {
+                FailMode::Error => kinds[0] += 1,
+                FailMode::Panic => {
+                    kinds[1] += 1;
+                    assert!(
+                        PANIC_SAFE.contains(&s.point),
+                        "panic mode drawn for serial-fire point {}",
+                        s.point
+                    );
+                }
+                FailMode::Delay(_) => kinds[2] += 1,
+                FailMode::ErrorAfter(n) => {
+                    kinds[3] += 1;
+                    assert!((1..48).contains(&n));
+                }
+                FailMode::ErrorWithProbability(p, _) => {
+                    kinds[4] += 1;
+                    assert!((0.05..=0.95).contains(&p), "p = {p}");
+                }
+                FailMode::Off => panic!("off mode must never be scheduled"),
+            }
+        }
+        assert!(kinds.iter().all(|&k| k > 0), "all five mode kinds drawn: {kinds:?}");
+    }
+
+    #[test]
+    fn a_disarmed_run_produces_clean_baselines() {
+        // schedules = 0: exercises workload construction and the
+        // cross-degree baseline identity assertions without arming
+        // anything (armed paths run in the serialized tier-1 suite and
+        // the CI smoke, where no concurrent test executes queries)
+        let cfg =
+            ChaosConfig { scale: 120, olap_scale: 60, schedules: 0, seed: 1, watchdog_ms: 30_000 };
+        let report = run(&cfg);
+        assert_eq!(report.queries, 20, "Q1-Q11 plus T13-1..9");
+        assert!(report.outcomes.is_empty());
+        assert!(report.violations().is_empty());
+    }
+
+    #[test]
+    fn report_json_follows_the_stable_schema() {
+        let report = ChaosReport {
+            scale: 100,
+            olap_scale: 50,
+            seed: 9,
+            queries: 20,
+            outcomes: vec![
+                Outcome {
+                    id: 0,
+                    query: "Q4".to_string(),
+                    degree: 4,
+                    point: catalog::FP_EXEC_GROUPBY_PARTIAL,
+                    mode: "panic".to_string(),
+                    verdict: Verdict::TypedError,
+                    detail: "worker panicked at morsel 0: failpoint injected".to_string(),
+                },
+                Outcome {
+                    id: 1,
+                    query: "T13-3".to_string(),
+                    degree: 1,
+                    point: catalog::FP_EXPR_EVAL,
+                    mode: "delay(1)".to_string(),
+                    verdict: Verdict::Identical,
+                    detail: String::new(),
+                },
+            ],
+            wall_ns: 1_500_000,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"fsdm-bench-chaos-v1\""), "{json}");
+        assert!(json.contains("\"verdicts\":{\"identical\":1,\"typed_error\":1,\"violation\":0"));
+        assert!(json.contains("\"point\":\"exec.groupby.partial\""), "{json}");
+        fsdm_json::parse(&json).expect("chaos JSON parses");
+        let text = report.render();
+        assert!(text.contains("typed-error  1"), "{text}");
+        assert!(!text.contains("VIOLATION"), "{text}");
+    }
+}

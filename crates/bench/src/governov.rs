@@ -1,0 +1,169 @@
+//! `bench chaos` disarmed-overhead gate: quantify what inactive
+//! governance and fault injection cost.
+//!
+//! The governance contract mirrors the tracing one: with no failpoint
+//! armed and no limit set, the hot-path primitives are a handful of
+//! arithmetic instructions — a disarmed [`fsdm_fault::fire`] is one
+//! relaxed load, a [`QueryGovernor::check_rows`] below its interval is
+//! an add and a compare, and a morsel-boundary
+//! [`QueryGovernor::checkpoint`] is a load plus (only when a deadline is
+//! set) a clock read. This runner verifies the contract end-to-end on
+//! the scan-heavy NoBench subset (Q1–Q3, the bench-smoke workload):
+//!
+//! 1. measure the per-call cost of the per-row pair (disarmed `fire` +
+//!    below-interval `check_rows`) and of the per-morsel pair (disarmed
+//!    `fire` + `checkpoint` with a far deadline armed) in tight loops;
+//! 2. run Q1–Q3 once under the profiler to count the morsels those
+//!    queries dispatch; every scanned row pays the per-row pair and
+//!    every morsel the per-morsel pair;
+//! 3. multiply and compare against the measured disarmed wall time.
+//!
+//! The budget is ≤ 2% of the Q1–Q3 wall, the same smoke noise floor the
+//! tracing layer is held to. Charging *every* row the full measured
+//! pair cost is deliberately pessimistic — the real loops overlap these
+//! loads with JSON decoding — so a pass here is conservative.
+//!
+//! [`QueryGovernor::check_rows`]: fsdm_store::QueryGovernor::check_rows
+//! [`QueryGovernor::checkpoint`]: fsdm_store::QueryGovernor::checkpoint
+
+use std::time::Instant;
+
+use fsdm_store::QueryGovernor;
+
+use crate::concurrency::nobench_plans;
+use crate::setup::nobench_db;
+
+/// Result of one disarmed-governance overhead measurement.
+pub struct GovernOverhead {
+    /// Measured cost of one per-row site (disarmed fire + row check), ns.
+    pub per_row_ns: f64,
+    /// Measured cost of one per-morsel site (disarmed fire + deadline
+    /// checkpoint), ns.
+    pub per_morsel_ns: f64,
+    /// Rows the Q1–Q3 pass scans (each pays the per-row pair).
+    pub row_sites: u64,
+    /// Morsels the Q1–Q3 pass dispatches (each pays the per-morsel pair).
+    pub morsel_sites: u64,
+    /// Measured disarmed Q1–Q3 wall time, ns.
+    pub wall_ns: u64,
+}
+
+impl GovernOverhead {
+    /// Estimated disarmed-mode overhead as a fraction of the Q1–Q3 wall.
+    pub fn overhead_fraction(&self) -> f64 {
+        (self.per_row_ns * self.row_sites as f64 + self.per_morsel_ns * self.morsel_sites as f64)
+            / (self.wall_ns as f64).max(1.0)
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "disarmed per-row site (fire + row check): {:.2} ns/call x {} rows\n\
+             disarmed per-morsel site (fire + checkpoint): {:.2} ns/call x {} morsels\n\
+             Q1-Q3 wall (disarmed): {:.2} ms\n\
+             estimated disarmed governance overhead: {:.3}% of wall (budget 2%)\n",
+            self.per_row_ns,
+            self.row_sites,
+            self.per_morsel_ns,
+            self.morsel_sites,
+            self.wall_ns as f64 / 1e6,
+            self.overhead_fraction() * 100.0
+        )
+    }
+}
+
+/// Measure the disarmed-governance contract over `scale` NoBench docs.
+pub fn run(scale: usize) -> GovernOverhead {
+    let scope = fsdm_fault::FailScope::disarmed();
+    let mut session = nobench_db(scale);
+    let plans: Vec<_> = nobench_plans(&session, scale)
+        .into_iter()
+        .filter(|(label, _)| matches!(label.as_str(), "Q1" | "Q2" | "Q3"))
+        .collect();
+    session.db.set_parallelism(1); // serial: the per-call estimate has no overlap to hide in
+
+    const CALLS: u32 = 2_000_000;
+    // 1a. per-row pair: disarmed fire + below-interval row check
+    let per_row_ns = {
+        let g = QueryGovernor::unlimited();
+        let mut acc = 0usize;
+        let t = Instant::now();
+        for _ in 0..CALLS {
+            let fired = fsdm_fault::fire(fsdm_fault::catalog::FP_EXPR_EVAL);
+            std::hint::black_box(&fired);
+            let checked = g.check_rows(&mut acc, 1);
+            std::hint::black_box(&checked);
+            // reset keeps every iteration on the cheap below-interval arm
+            acc = 0;
+        }
+        t.elapsed().as_nanos() as f64 / f64::from(CALLS)
+    };
+    // 1b. per-morsel pair: disarmed fire + checkpoint with a deadline
+    // armed, the worst configured case (each checkpoint reads the clock)
+    let per_morsel_ns = {
+        let g = QueryGovernor::for_statement(
+            std::sync::Arc::new(fsdm_store::CancelToken::new()),
+            Some(3_600_000),
+            Some(u64::MAX),
+        );
+        let t = Instant::now();
+        for _ in 0..CALLS {
+            let fired = fsdm_fault::fire(fsdm_fault::catalog::FP_EXEC_MORSEL);
+            std::hint::black_box(&fired);
+            let checked = g.checkpoint();
+            std::hint::black_box(&checked);
+        }
+        t.elapsed().as_nanos() as f64 / f64::from(CALLS)
+    };
+    assert_eq!(fsdm_fault::total_hits(), 0, "a disarmed run must never consult the registry");
+
+    // 2. sites one Q1–Q3 pass executes: every query scans the whole
+    // corpus (per-row pair), the profiler counts the morsels
+    let morsel_sites: u64 = plans
+        .iter()
+        .map(|(_, plan)| {
+            let (_, profile) = session.db.execute_profiled(plan).expect("NOBENCH query profiles");
+            profile.total_morsels() as u64
+        })
+        .sum();
+    let row_sites = (plans.len() * scale) as u64;
+
+    // 3. wall time of the same pass, disarmed (best of 3, one warm-up)
+    let wall = crate::time_best(
+        || {
+            for (_, plan) in &plans {
+                session.db.execute(plan).expect("NOBENCH query executes");
+            }
+        },
+        1,
+        3,
+    );
+    drop(scope);
+
+    GovernOverhead {
+        per_row_ns,
+        per_morsel_ns,
+        row_sites,
+        morsel_sites,
+        wall_ns: wall.as_nanos() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_stays_inside_the_smoke_budget() {
+        let o = run(300);
+        assert_eq!(o.row_sites, 900, "3 queries x 300 scanned rows");
+        assert!(o.morsel_sites > 0, "a profiled pass must see morsels");
+        assert!(o.wall_ns > 0);
+        assert!(
+            o.overhead_fraction() <= 0.02,
+            "disarmed governance estimated at {:.3}% of Q1-Q3 wall (budget 2%):\n{}",
+            o.overhead_fraction() * 100.0,
+            o.render()
+        );
+    }
+}

@@ -2,8 +2,10 @@
 //! setup for each experiment, view registration per storage method, and
 //! the experiment runners that regenerate the paper's tables and figures.
 
+pub mod chaos;
 pub mod concurrency;
 pub mod experiments;
+pub mod governov;
 pub mod imc;
 pub mod lint;
 pub mod planck;

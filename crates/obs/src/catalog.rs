@@ -53,6 +53,9 @@ pub const EXEC_DEGREE: &str = "exec.degree.configured";
 /// Rows rebuilt from vectors/heap at a columnar pipeline breaker — the
 /// late-materialization volume (counter).
 pub const EXEC_LATE_MATERIALIZE_ROWS: &str = "exec.late_materialize.rows";
+/// High-water mark of bytes charged against the last statement's memory
+/// budget (gauge).
+pub const EXEC_MEM_HIGHWATER: &str = "exec.mem.highwater";
 /// One morsel executed by a pipeline worker (span).
 pub const SPAN_EXEC_MORSEL: &str = "exec.morsel";
 /// Morsels dispatched across all parallel pipelines (counter).
@@ -73,6 +76,23 @@ pub const SPAN_EXEC_WORKER: &str = "exec.worker";
 /// Per-worker busy time in nanoseconds across a parallel pipeline
 /// (histogram).
 pub const EXEC_WORKER_BUSY_NS: &str = "exec.worker.busy_ns";
+
+// --- fault --------------------------------------------------------------
+
+/// Armed failpoints that actually injected a fault into the executor
+/// (counter).
+pub const FAULT_INJECTED: &str = "fault.injected";
+
+// --- govern -------------------------------------------------------------
+
+/// Statements killed by the memory budget (counter).
+pub const GOVERN_BUDGET_EXCEEDED: &str = "govern.budget_exceeded";
+/// Statements killed by an explicit user cancellation (counter).
+pub const GOVERN_CANCELLED: &str = "govern.cancelled";
+/// Statements killed by the statement timeout (counter).
+pub const GOVERN_DEADLINE_EXCEEDED: &str = "govern.deadline_exceeded";
+/// Worker panics caught and isolated by the parallel executor (counter).
+pub const GOVERN_WORKER_PANIC: &str = "govern.worker_panic";
 
 // --- imc ----------------------------------------------------------------
 
@@ -204,6 +224,7 @@ pub const ALL: &[&str] = &[
     EXEC_BATCH_ROWS,
     EXEC_DEGREE,
     EXEC_LATE_MATERIALIZE_ROWS,
+    EXEC_MEM_HIGHWATER,
     SPAN_EXEC_MORSEL,
     EXEC_MORSEL_COUNT,
     EXEC_MORSEL_NS,
@@ -212,6 +233,11 @@ pub const ALL: &[&str] = &[
     SPAN_EXEC_PIPELINE,
     SPAN_EXEC_WORKER,
     EXEC_WORKER_BUSY_NS,
+    FAULT_INJECTED,
+    GOVERN_BUDGET_EXCEEDED,
+    GOVERN_CANCELLED,
+    GOVERN_DEADLINE_EXCEEDED,
+    GOVERN_WORKER_PANIC,
     IMC_KERNEL_NS,
     INDEX_INSERT_DOCS,
     SPAN_INDEX_LOOKUP,
@@ -320,6 +346,9 @@ pub const ATOMICS: &[(&str, AtomicDiscipline)] = &[
     // store/parallel.rs race oracle: live-worker count, must be zero
     // after the scope closes
     ("active_workers", AtomicDiscipline::Handshake),
+    // store/govern.rs: the cancel token's packed reason word; a nonzero
+    // value publishes the reason to every worker that observes it
+    ("cancel_reason", AtomicDiscipline::Handshake),
     // store/parallel.rs race oracle: per-morsel claim slots (`claim` is
     // one element of `claims`, as bound by iteration)
     ("claim", AtomicDiscipline::Handshake),
@@ -328,9 +357,14 @@ pub const ATOMICS: &[(&str, AtomicDiscipline)] = &[
     // the bump before touching the new session's sink
     ("epoch", AtomicDiscipline::Handshake),
     // --- monotonic counters and dispensers ------------------------------
+    // fault lib.rs: the armed fast-path gate; the registry mutex carries
+    // the ordering, the flag only short-circuits the disarmed path
+    ("ARMED", AtomicDiscipline::Monotonic),
     // obs lib.rs: the Counter/Gauge tuple structs and Histogram fields
     ("Counter", AtomicDiscipline::Monotonic),
     ("Gauge", AtomicDiscipline::Monotonic),
+    // fault lib.rs: registry-consultation tally
+    ("HITS", AtomicDiscipline::Monotonic),
     // one element of `buckets`, as bound by iteration
     ("bucket", AtomicDiscipline::Monotonic),
     ("buckets", AtomicDiscipline::Monotonic),
@@ -349,6 +383,9 @@ pub const ATOMICS: &[(&str, AtomicDiscipline)] = &[
     // slowlog.rs: the slow-query threshold (0 = disabled); the ring it
     // gates is Mutex-protected, so the load needs no ordering
     ("threshold_ns", AtomicDiscipline::Monotonic),
+    // store/govern.rs: bytes charged against the statement memory budget;
+    // monotone per statement, the limit comparison needs no ordering
+    ("used", AtomicDiscipline::Monotonic),
 ];
 
 #[cfg(test)]

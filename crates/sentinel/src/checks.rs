@@ -18,6 +18,10 @@ pub const EXECUTOR_FILE: &str = "crates/store/src/parallel.rs";
 /// reaches it is SN003.
 const EXECUTOR_ENTRY: &str = "run_morsels";
 
+/// The source file declaring the failpoint name catalog; `fire` call
+/// sites elsewhere must pass one of its constants (SN008).
+pub const FAULT_CATALOG_FILE: &str = "crates/fault/src/catalog.rs";
+
 /// One verified finding, pre-allow-filtering.
 #[derive(Debug, Clone)]
 pub struct RawFinding {
@@ -150,7 +154,103 @@ pub fn run(files: &[FileFacts]) -> Vec<RawFinding> {
             walk_fn(&graph, (fi, gi), f, &mut lock_memo, &mut exec_memo, &mut out);
         }
     }
+    check_failpoints(files, &mut out);
     out
+}
+
+/// SN008: failpoint discipline. The fault catalog source must agree
+/// with the compiled `fsdm_fault::catalog::ALL` slice, and every `fire`
+/// call site outside `crates/fault` must pass one of the declared
+/// `FP_*` constants — a string literal or ad-hoc identifier could drift
+/// from the catalog and name a point that can never be armed.
+fn check_failpoints(files: &[FileFacts], out: &mut Vec<RawFinding>) {
+    // (0-based line, const name, string value) from the catalog source
+    let mut declared: Vec<(usize, String, String)> = Vec::new();
+    if let Some(file) = files.iter().find(|f| f.path == FAULT_CATALOG_FILE) {
+        for (i, line) in file.raw_lines.iter().enumerate() {
+            let Some(rest) = line.trim_start().strip_prefix("pub const ") else { continue };
+            let Some((name, rest)) = rest.split_once(':') else { continue };
+            let Some((_, rest)) = rest.split_once('"') else { continue };
+            let Some((value, _)) = rest.split_once('"') else { continue };
+            declared.push((i, name.trim().to_string(), value.to_string()));
+        }
+        for (i, name, value) in &declared {
+            if !fsdm_fault::catalog::ALL.contains(&value.as_str()) {
+                out.push(RawFinding {
+                    file: file.path.clone(),
+                    line: *i,
+                    diag: Diagnostic::new(
+                        Code::UndeclaredFailpoint,
+                        Span::new(0, line_text(file, *i).len().max(1)),
+                        line_text(file, *i),
+                        format!(
+                            "failpoint constant `{name}` (\"{value}\") is not mirrored in \
+                             `catalog::ALL`, so it can never be armed"
+                        ),
+                    )
+                    .with_help("add the constant to `ALL` in crates/fault/src/catalog.rs"),
+                });
+            }
+        }
+        if declared.len() != fsdm_fault::catalog::ALL.len() {
+            out.push(RawFinding {
+                file: file.path.clone(),
+                line: 0,
+                diag: Diagnostic::new(
+                    Code::UndeclaredFailpoint,
+                    Span::new(0, 1),
+                    line_text(file, 0),
+                    format!(
+                        "the fault catalog declares {} constant(s) but `ALL` lists {}; the \
+                         file and the slice must mirror each other",
+                        declared.len(),
+                        fsdm_fault::catalog::ALL.len()
+                    ),
+                )
+                .with_help("keep `ALL` in declaration order with one entry per constant"),
+            });
+        }
+    }
+    for file in files {
+        if file.path.starts_with("crates/fault/") {
+            continue;
+        }
+        for f in &file.fns {
+            for ev in &f.events {
+                let EventKind::Call { callee, arg_ident, .. } = &ev.kind else { continue };
+                if callee != "fire" {
+                    continue;
+                }
+                let ok = arg_ident
+                    .as_deref()
+                    .is_some_and(|id| declared.iter().any(|(_, name, _)| name == id));
+                if !ok {
+                    out.push(finding(
+                        file,
+                        ev,
+                        Diagnostic::new(
+                            Code::UndeclaredFailpoint,
+                            span_of(ev),
+                            line_text(file, ev.line),
+                            format!(
+                                "`{}` fires a failpoint whose name is not a constant from \
+                                 `fsdm_fault::catalog` (got {})",
+                                f.qualified,
+                                arg_ident.as_deref().map_or_else(
+                                    || "a literal or expression".to_string(),
+                                    |id| format!("`{id}`")
+                                )
+                            ),
+                        )
+                        .with_help(
+                            "pass one of the `FP_*` constants so arming and firing can never \
+                             disagree on the name",
+                        ),
+                    ));
+                }
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -482,4 +582,50 @@ fn line_text(file: &FileFacts, line: usize) -> &str {
 
 fn finding(file: &FileFacts, ev: &Event, diag: Diagnostic) -> RawFinding {
     RawFinding { file: file.path.clone(), line: ev.line, diag }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts;
+
+    #[test]
+    fn sn008_requires_catalog_constants_at_fire_sites() {
+        // the real catalog source keeps the file/`ALL` cross-check green
+        let catalog =
+            facts::extract(FAULT_CATALOG_FILE, include_str!("../../fault/src/catalog.rs"));
+        let good = facts::extract(
+            "crates/store/src/database.rs",
+            "fn scan() {\n    fsdm_fault::fire(FP_EXEC_MORSEL).ok();\n}\n",
+        );
+        let bad = facts::extract(
+            "crates/store/src/other.rs",
+            "fn scan() {\n    fsdm_fault::fire(\"exec.morsel\").ok();\n}\n",
+        );
+        let inside = facts::extract(
+            "crates/fault/src/lib.rs",
+            "fn f() {\n    fire(\"anything\").ok();\n}\n",
+        );
+        let findings = run(&[catalog, good, bad, inside]);
+        let sn008: Vec<&RawFinding> =
+            findings.iter().filter(|f| f.diag.code == Code::UndeclaredFailpoint).collect();
+        assert_eq!(sn008.len(), 1, "{findings:?}");
+        assert_eq!(sn008[0].file, "crates/store/src/other.rs");
+        assert!(sn008[0].diag.message.contains("fsdm_fault::catalog"), "{:?}", sn008[0].diag);
+    }
+
+    #[test]
+    fn sn008_flags_a_catalog_drifted_from_all() {
+        let drifted = facts::extract(
+            FAULT_CATALOG_FILE,
+            "pub const FP_BOGUS: &str = \"bogus.point\";\npub const ALL: &[&str] = &[FP_BOGUS];\n",
+        );
+        let findings = run(&[drifted]);
+        let sn008: Vec<&RawFinding> =
+            findings.iter().filter(|f| f.diag.code == Code::UndeclaredFailpoint).collect();
+        // the bogus constant is not in the compiled `ALL`, and the
+        // declared count disagrees with it too
+        assert_eq!(sn008.len(), 2, "{findings:?}");
+        assert!(sn008.iter().all(|f| f.file == FAULT_CATALOG_FILE));
+    }
 }

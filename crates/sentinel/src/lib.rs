@@ -6,7 +6,7 @@
 //! workspace source file ([`facts`]), builds the intra-workspace call
 //! graph, and replays each function's event stream against the lock
 //! hierarchy and atomic disciplines declared in `fsdm_obs::catalog`
-//! ([`checks`]). Findings carry the stable SN001–SN007 codes from
+//! ([`checks`]). Findings carry the stable SN001–SN008 codes from
 //! `fsdm_analyze::Code` and render through the same text/JSON shapes.
 //!
 //! A finding can be suppressed with a budgeted escape comment on the
@@ -219,6 +219,7 @@ fn collect_allows(files: &[facts::FileFacts], meta_errors: &mut Vec<String>) -> 
         "atomic-ordering",
         "mut-capture-aliasing",
         "spawn-outside-executor",
+        "undeclared-failpoint",
     ];
     let mut out = Vec::new();
     for file in files {

@@ -47,6 +47,28 @@ impl Session {
         self.db.set_parallelism(degree);
     }
 
+    /// Set (or clear) the statement timeout in milliseconds: every
+    /// subsequent statement gets a deadline of `now + ms` at execution
+    /// start and dies with a typed deadline error when it runs past it
+    /// (see [`Database::set_statement_timeout`]).
+    pub fn set_statement_timeout(&mut self, ms: Option<u64>) {
+        self.db.set_statement_timeout(ms);
+    }
+
+    /// Set (or clear) the per-statement memory budget in bytes (see
+    /// [`Database::set_mem_limit`]).
+    pub fn set_mem_limit(&mut self, bytes: Option<u64>) {
+        self.db.set_mem_limit(bytes);
+    }
+
+    /// A cross-thread handle that cancels this session's currently
+    /// running statement. Statement entry points reset the underlying
+    /// token, so a cancel only ever affects the statement that was (or
+    /// is about to be) running when it was requested.
+    pub fn cancel_handle(&self) -> fsdm_store::CancelHandle {
+        self.db.cancel_handle()
+    }
+
     /// Parse and execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         self.execute_with(sql, &[])
@@ -54,6 +76,9 @@ impl Session {
 
     /// Parse and execute with positional `?` bind values.
     pub fn execute_with(&mut self, sql: &str, binds: &[Datum]) -> Result<QueryResult> {
+        // `&mut self` guarantees no statement is running: a leftover
+        // cancellation (user or governance) must not leak into this one
+        self.db.cancel_token().reset();
         match parse_sql(sql)? {
             Statement::Select(sel) => self.run_select(sql, &sel, binds),
             Statement::CreateTable { name, columns } => {
@@ -92,6 +117,7 @@ impl Session {
         sql: &str,
         binds: &[Datum],
     ) -> Result<(QueryResult, Option<QueryProfile>)> {
+        self.db.cancel_token().reset();
         if let Statement::Select(sel) = parse_sql(sql)? {
             if dataguide_agg_target(&sel).is_none() {
                 let plan = self.plan_select(&sel, binds)?;
@@ -127,6 +153,7 @@ impl Session {
         sql: &str,
         binds: &[Datum],
     ) -> Result<(QueryResult, Option<QueryProfile>, Trace)> {
+        self.db.cancel_token().reset();
         if let Statement::Select(sel) = parse_sql(sql)? {
             if dataguide_agg_target(&sel).is_none() {
                 let plan = self.plan_select(&sel, binds)?;

@@ -9,21 +9,37 @@
 //! and `degree = 1` executes strictly serially on the calling thread.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use fsdm_sqljson::Datum;
 
+use fsdm_fault::catalog::{
+    FP_EXEC_GROUPBY_PARTIAL, FP_EXEC_JOIN_BUILD, FP_EXEC_JSONTABLE_ROW, FP_EXEC_MORSEL,
+    FP_EXEC_SORT_PERMUTE,
+};
 use fsdm_obs::trace::{self, Trace, TraceSession};
 
 use crate::expr::{AggFun, EvalScratch, Expr};
+use crate::govern::{fault_err, CancelHandle, CancelToken, QueryGovernor};
 use crate::parallel::{
     default_degree, run_morsels, ExecContext, ParStats, RowRange, DEFAULT_MORSEL_ROWS,
 };
 use crate::profile::{OpProfile, QueryProfile};
 use crate::query::{AggSpec, Query, QueryResult, SortKey, WindowFun};
 use crate::slowlog::SlowLog;
-use crate::table::{Cell, Row, StoreError, Table};
+use crate::table::{Cell, ErrorKind, Row, StoreError, Table};
 use crate::vector::{Batch, PredKernel, ValKernel};
+
+/// Rough per-entry byte estimates the memory budget charges for operator
+/// state. Deliberately coarse — the budget is a governor, not an
+/// allocator — but monotone in the real footprint, so a limit always
+/// trips before memory grows unboundedly past it.
+const BUDGET_BYTES_PER_JOIN_ENTRY: u64 = 48;
+/// Per evaluated datum held by group-by partials and sort key tuples.
+const BUDGET_BYTES_PER_DATUM: u64 = 32;
+/// Per cell of a JSON_TABLE output row buffer.
+const BUDGET_BYTES_PER_CELL: u64 = 32;
 
 /// Result of attempting a fused columnar pipeline: `Ok(None)` means the
 /// plan does not lower to kernels — fall back to the row path.
@@ -43,6 +59,13 @@ pub struct Database {
     slow_log: SlowLog,
     /// Whether the executor may select vectorized columnar pipelines.
     columnar: bool,
+    /// Statement timeout in milliseconds; `None` = unlimited.
+    statement_timeout_ms: Option<u64>,
+    /// Per-statement memory budget in bytes; `None` = unlimited.
+    mem_limit: Option<u64>,
+    /// The shared cancel token every statement of this database runs
+    /// under; handed out to [`CancelHandle`]s for cross-thread kills.
+    cancel: Arc<CancelToken>,
 }
 
 impl Default for Database {
@@ -57,6 +80,9 @@ impl Default for Database {
             // columnar pipeline selection is on by default: it only fires
             // where kernels reproduce row semantics exactly
             columnar: true,
+            statement_timeout_ms: crate::govern::default_timeout_ms(),
+            mem_limit: None,
+            cancel: Arc::new(CancelToken::new()),
         }
     }
 }
@@ -106,12 +132,59 @@ impl Database {
         self.morsel_rows = rows.max(1);
     }
 
+    /// Set (or clear) the statement timeout: every subsequent statement
+    /// gets a deadline of `now + ms` at execution start and dies with a
+    /// typed deadline error when it runs past it.
+    pub fn set_statement_timeout(&mut self, ms: Option<u64>) {
+        self.statement_timeout_ms = ms;
+    }
+
+    /// The configured statement timeout in milliseconds, if any.
+    pub fn statement_timeout(&self) -> Option<u64> {
+        self.statement_timeout_ms
+    }
+
+    /// Set (or clear) the per-statement memory budget in bytes. Operators
+    /// that materialize state (hash-join builds, group-by partials, sort
+    /// key tuples, JSON_TABLE row buffers) charge against it and degrade
+    /// into a typed budget error when it is exhausted.
+    pub fn set_mem_limit(&mut self, bytes: Option<u64>) {
+        self.mem_limit = bytes;
+    }
+
+    /// The configured per-statement memory budget in bytes, if any.
+    pub fn mem_limit(&self) -> Option<u64> {
+        self.mem_limit
+    }
+
+    /// A cross-thread handle that can kill this database's running
+    /// statement (and, until the next statement starts, mark the token
+    /// cancelled). The handle stays valid for the database's lifetime.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle::new(Arc::clone(&self.cancel))
+    }
+
+    /// The shared cancel token (statement entry points reset it).
+    pub fn cancel_token(&self) -> &Arc<CancelToken> {
+        &self.cancel
+    }
+
     /// The execution context every operator of one query shares.
     fn exec_context(&self, profile: bool) -> ExecContext {
+        // a caught worker panic leaves a peer-panic cancellation behind;
+        // it is transient by design — clear it so the database stays
+        // usable through `&self` surfaces (a pending *user* cancel is
+        // preserved; `Session`'s `&mut` entry points do the full reset)
+        self.cancel.clear_transient();
         ExecContext {
             degree: self.parallelism(),
             morsel_rows: if self.morsel_rows == 0 { DEFAULT_MORSEL_ROWS } else { self.morsel_rows },
             profile,
+            governor: Arc::new(QueryGovernor::for_statement(
+                Arc::clone(&self.cancel),
+                self.statement_timeout_ms,
+                self.mem_limit,
+            )),
         }
     }
 
@@ -219,7 +292,7 @@ impl Database {
         source: Option<&str>,
     ) -> Result<QueryResult, StoreError> {
         if self.slow_log.armed() {
-            let (result, profile) = self.execute_profiled_inner(plan)?;
+            let (result, profile) = self.execute_profiled_inner(plan, source)?;
             self.log_slow(source, plan, &profile, None);
             return Ok(result);
         }
@@ -235,8 +308,10 @@ impl Database {
         fsdm_obs::gauge!(fsdm_obs::catalog::EXEC_DEGREE).set(ctx.degree as i64);
         let mut root_span = trace::span(fsdm_obs::catalog::SPAN_STORE_QUERY);
         root_span.record_args(|| op_label(plan));
-        let (columns, rows) = self.exec(plan, &mut None, &ctx)?;
+        let out = self.exec(plan, &mut None, &ctx);
         drop(root_span);
+        self.finish_statement(&ctx, None, plan, out.as_ref().err(), start);
+        let (columns, rows) = out?;
         fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
         fsdm_obs::histogram!(fsdm_obs::catalog::STORE_EXEC_NS)
             .record(start.elapsed().as_nanos() as u64);
@@ -251,7 +326,7 @@ impl Database {
         &self,
         plan: &Query,
     ) -> Result<(QueryResult, QueryProfile), StoreError> {
-        let (result, profile) = self.execute_profiled_inner(plan)?;
+        let (result, profile) = self.execute_profiled_inner(plan, None)?;
         self.log_slow(None, plan, &profile, None);
         Ok((result, profile))
     }
@@ -261,15 +336,19 @@ impl Database {
     fn execute_profiled_inner(
         &self,
         plan: &Query,
+        source: Option<&str>,
     ) -> Result<(QueryResult, QueryProfile), StoreError> {
+        let start = Instant::now();
         let optimized = crate::optimizer::optimize(self, plan.clone());
         let ctx = self.exec_context(true);
         fsdm_obs::gauge!(fsdm_obs::catalog::EXEC_DEGREE).set(ctx.degree as i64);
         let mut root_span = trace::span(fsdm_obs::catalog::SPAN_STORE_QUERY);
         root_span.record_args(|| op_label(plan));
         let mut sink = Some(Vec::new());
-        let (columns, rows) = self.exec(&optimized, &mut sink, &ctx)?;
+        let out = self.exec(&optimized, &mut sink, &ctx);
         drop(root_span);
+        self.finish_statement(&ctx, source, plan, out.as_ref().err(), start);
+        let (columns, rows) = out?;
         let root =
             sink.and_then(|mut ops| ops.pop()).expect("profiled execution yields a root operator");
         fsdm_obs::counter!(fsdm_obs::catalog::STORE_EXEC_QUERIES).inc();
@@ -297,7 +376,7 @@ impl Database {
         source: Option<&str>,
     ) -> Result<(QueryResult, QueryProfile, Trace), StoreError> {
         let session = TraceSession::begin();
-        let out = self.execute_profiled_inner(plan);
+        let out = self.execute_profiled_inner(plan, source);
         let trace = session.finish();
         let (result, profile) = out?;
         self.log_slow(source, plan, &profile, Some(trace.summary()));
@@ -321,6 +400,56 @@ impl Database {
     /// JSON dump of the slow-query ring log (see [`SlowLog::to_json`]).
     pub fn slow_log_json(&self) -> String {
         self.slow_log.to_json()
+    }
+
+    /// Statement-exit governance bookkeeping, run on success *and*
+    /// failure: publishes the memory high-water gauge, counts governance
+    /// kills by reason, and lands killed statements in the slow-query
+    /// ring (threshold-exempt) so a dump shows *why* they died.
+    fn finish_statement(
+        &self,
+        ctx: &ExecContext,
+        source: Option<&str>,
+        plan: &Query,
+        err: Option<&StoreError>,
+        started: Instant,
+    ) {
+        fsdm_obs::gauge!(fsdm_obs::catalog::EXEC_MEM_HIGHWATER)
+            .set(ctx.governor.mem_highwater() as i64);
+        let reason = match err.map(|e| e.kind) {
+            Some(ErrorKind::Cancelled(r)) => {
+                fsdm_obs::counter!(fsdm_obs::catalog::GOVERN_CANCELLED).inc();
+                Some(r.label())
+            }
+            Some(ErrorKind::DeadlineExceeded) => {
+                fsdm_obs::counter!(fsdm_obs::catalog::GOVERN_DEADLINE_EXCEEDED).inc();
+                Some("deadline")
+            }
+            Some(ErrorKind::BudgetExceeded) => {
+                fsdm_obs::counter!(fsdm_obs::catalog::GOVERN_BUDGET_EXCEEDED).inc();
+                Some("budget")
+            }
+            // worker panics are counted at the catch site in `run_morsels`
+            Some(ErrorKind::WorkerPanic { .. } | ErrorKind::Generic) | None => None,
+        };
+        let Some(reason) = reason else { return };
+        if !self.slow_log.armed() {
+            return;
+        }
+        let label;
+        let source = match source {
+            Some(s) => s,
+            None => {
+                label = op_label(plan);
+                &label
+            }
+        };
+        self.slow_log.record_killed(
+            source,
+            started.elapsed().as_nanos() as u64,
+            self.parallelism(),
+            reason,
+        );
     }
 
     fn log_slow(
@@ -417,10 +546,13 @@ impl Database {
                         if let Some(kernel) = pred.compile_predicate(&t.imc.vectors, t.rows.len()) {
                             let chunks =
                                 run_morsels(ctx, t.rows.len(), stats, |range, scratch| {
+                                    fsdm_fault::fire(FP_EXEC_MORSEL).map_err(fault_err)?;
                                     let start = Instant::now();
                                     let batch = columnar_batch(range, Some(&kernel));
                                     let mut out = Vec::with_capacity(batch.len());
+                                    let mut acc = 0;
                                     for i in batch.sel.iter() {
+                                        ctx.governor.check_rows(&mut acc, 1)?;
                                         out.push(scan_row(t, i, &t.rows[i], scratch)?);
                                     }
                                     fsdm_obs::counter!(
@@ -438,8 +570,11 @@ impl Database {
                 // heap path: materialize + filter per-morsel; morsel-order
                 // concatenation keeps row order identical to a serial scan
                 let chunks = run_morsels(ctx, t.rows.len(), stats, |range, scratch| {
+                    fsdm_fault::fire(FP_EXEC_MORSEL).map_err(fault_err)?;
                     let mut out = Vec::with_capacity(range.len());
+                    let mut acc = 0;
                     for i in range.start..range.end {
+                        ctx.governor.check_rows(&mut acc, 1)?;
                         let r = scan_row(t, i, &t.rows[i], scratch)?;
                         if let Some(pred) = filter {
                             if !pred.matches_with(&r, scratch)? {
@@ -464,6 +599,7 @@ impl Database {
                 // parallel predicate evaluation into per-morsel boolean
                 // masks; the move-filter over owned rows stays serial
                 let masks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+                    fsdm_fault::fire(FP_EXEC_MORSEL).map_err(fault_err)?;
                     rows[range.start..range.end]
                         .iter()
                         .map(|r| pred.matches_with(r, scratch))
@@ -503,6 +639,7 @@ impl Database {
                 // worker expands: compiled paths and their §4.2.1 look-back
                 // caches persist exactly as the old whole-scan cursor did
                 let chunks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+                    fsdm_fault::fire(FP_EXEC_JSONTABLE_ROW).map_err(fault_err)?;
                     let mut out = Vec::new();
                     for r in &rows[range.start..range.end] {
                         let jt_rows = match r.get(*json_col) {
@@ -521,6 +658,11 @@ impl Database {
                             }
                         }
                     }
+                    // the expanded buffer is this operator's memory bill:
+                    // every output row holds the input row plus `width`
+                    // JSON_TABLE columns
+                    ctx.governor
+                        .charge(out.len() as u64 * (width as u64 + 1) * BUDGET_BYTES_PER_CELL)?;
                     Ok(out)
                 })?;
                 Ok((names, chunks.into_iter().flatten().collect()))
@@ -535,14 +677,18 @@ impl Database {
                 // ids, so per-key concatenation reproduces the serial
                 // insertion order exactly.
                 let partials = run_morsels(ctx, lrows.len(), stats, |range, _| {
+                    fsdm_fault::fire(FP_EXEC_JOIN_BUILD).map_err(fault_err)?;
                     let mut m: HashMap<Datum, Vec<usize>> = HashMap::new();
+                    let mut entries = 0u64;
                     for (off, r) in lrows[range.start..range.end].iter().enumerate() {
                         if let Some(Cell::D(d)) = r.get(*left_key) {
                             if !d.is_null() {
                                 m.entry(d.clone()).or_default().push(range.start + off);
+                                entries += 1;
                             }
                         }
                     }
+                    ctx.governor.charge(entries * BUDGET_BYTES_PER_JOIN_ENTRY)?;
                     Ok(m)
                 })?;
                 let mut build: HashMap<Datum, Vec<usize>> = HashMap::new();
@@ -679,8 +825,11 @@ impl Database {
         }
         let scan_start = Instant::now();
         let chunks = run_morsels(ctx, t.rows.len(), stats, |range, _| {
+            fsdm_fault::fire(FP_EXEC_MORSEL).map_err(fault_err)?;
+            let mut acc = 0;
             let start = Instant::now();
             let batch = columnar_batch(range, kernel.as_ref());
+            ctx.governor.check_rows(&mut acc, batch.len())?;
             let mut cols = Vec::with_capacity(vals.len());
             for v in &vals {
                 cols.push(batch.gather(v)?);
@@ -745,6 +894,7 @@ impl Database {
         }
         let scan_start = Instant::now();
         let chunks = run_morsels(ctx, t.rows.len(), stats, |range, _| {
+            fsdm_fault::fire(FP_EXEC_MORSEL).map_err(fault_err)?;
             let start = Instant::now();
             let batch = columnar_batch(range, kernel.as_ref());
             let mut cols: Vec<Option<Vec<Datum>>> = Vec::with_capacity(arg_kernels.len());
@@ -760,7 +910,9 @@ impl Database {
         })?;
         let mut selected = 0usize;
         let mut accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.fun)).collect();
+        let mut acc_rows = 0;
         for (n, cols) in chunks {
+            ctx.governor.check_rows(&mut acc_rows, n)?;
             selected += n;
             for (acc, col) in accs.iter_mut().zip(cols) {
                 match col {
@@ -943,6 +1095,12 @@ fn group_by(
     // phase 1 (parallel): per-morsel key + argument evaluation into
     // partial tables that remember first-seen group order
     let partials = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+        fsdm_fault::fire(FP_EXEC_GROUPBY_PARTIAL).map_err(fault_err)?;
+        // partial tables hold one evaluated datum per key and aggregate
+        // argument for every input row of the morsel
+        ctx.governor.charge(
+            (keys.len() + aggs.len()) as u64 * BUDGET_BYTES_PER_DATUM * range.len() as u64,
+        )?;
         let mut p = GroupPartial { order: Vec::new(), args: HashMap::new() };
         for r in &rows[range.start..range.end] {
             let key: Vec<Datum> =
@@ -1053,6 +1211,8 @@ fn sort_rows(
     // precompute key tuples per-morsel (expressions may be JSON ops —
     // evaluate once, in parallel); the sort itself is the serial tail
     let chunks = run_morsels(ctx, rows.len(), stats, |range, scratch| {
+        // the sort's memory bill is the precomputed key-tuple table
+        ctx.governor.charge(keys.len() as u64 * BUDGET_BYTES_PER_DATUM * range.len() as u64)?;
         rows[range.start..range.end]
             .iter()
             .map(|r| {
@@ -1061,6 +1221,9 @@ fn sort_rows(
             .collect::<Result<Vec<_>, _>>()
     })?;
     let keyed: Vec<Vec<Datum>> = chunks.into_iter().flatten().collect();
+    // fired once, serially, before the permutation is applied — a fault
+    // here proves the sort tail cleans up owned rows mid-operator
+    fsdm_fault::fire(FP_EXEC_SORT_PERMUTE).map_err(fault_err)?;
     // stable permutation sort over indices: ties keep input order
     let mut perm: Vec<usize> = (0..rows.len()).collect();
     perm.sort_by(|&x, &y| {

@@ -299,6 +299,7 @@ impl Expr {
 
     /// [`Expr::matches`] drawing cursor state from `scratch`.
     pub fn matches_with(&self, row: &Row, scratch: &mut EvalScratch) -> Result<bool, StoreError> {
+        fsdm_fault::fire(fsdm_fault::catalog::FP_EXPR_EVAL).map_err(crate::govern::fault_err)?;
         Ok(matches!(self.eval_with(row, scratch)?, Datum::Bool(true)))
     }
 

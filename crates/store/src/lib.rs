@@ -23,6 +23,7 @@
 
 pub mod database;
 pub mod expr;
+pub mod govern;
 pub mod imc;
 pub mod jsonaccess;
 pub mod optimizer;
@@ -37,14 +38,17 @@ pub mod vector;
 
 pub use database::Database;
 pub use expr::{AggFun, CmpOp, EvalScratch, Expr, ScalarFun};
+pub use govern::{CancelHandle, CancelToken, QueryGovernor, ROWS_PER_CHECK};
 pub use imc::{ColumnVector, ImcStore, VectorSlot};
 pub use jsonaccess::{JsonCell, JsonStorage};
-pub use parallel::{default_degree, morsels, ExecContext, ParStats, RowRange, DEFAULT_MORSEL_ROWS};
+pub use parallel::{
+    default_degree, morsels, run_morsels, ExecContext, ParStats, RowRange, DEFAULT_MORSEL_ROWS,
+};
 pub use profile::{OpProfile, QueryProfile};
 pub use query::{Query, QueryResult, SortKey, WindowFun};
 pub use schema::{ColType, ColumnSpec, ConstraintMode, TableSchema};
 pub use slowlog::{SlowEntry, SlowLog};
-pub use table::{Cell, InsertValue, Row, StoreError, Table};
+pub use table::{CancelReason, Cell, ErrorKind, InsertValue, Row, StoreError, Table};
 pub use typecheck::{
     check_plan, infer, plan_deterministic, plan_safety, rewrite_violations, ColInfo, Inference,
     ParallelSafety, PlanSchema, ScalarType,

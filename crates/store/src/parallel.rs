@@ -13,13 +13,14 @@
 //! look-back caches live here.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use fsdm_obs::trace;
 
 use crate::expr::EvalScratch;
-use crate::table::StoreError;
+use crate::govern::QueryGovernor;
+use crate::table::{CancelReason, ErrorKind, StoreError};
 
 /// Default morsel size in rows. Large enough to amortize claim/dispatch
 /// overhead, small enough that a NOBENCH-scale scan yields many units of
@@ -57,7 +58,7 @@ pub fn morsels(total: usize, target_rows: usize) -> impl Iterator<Item = RowRang
 }
 
 /// Per-execution settings the executor threads through every operator.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecContext {
     /// Maximum number of worker threads a data-parallel pipeline may use.
     pub degree: usize,
@@ -65,13 +66,21 @@ pub struct ExecContext {
     pub morsel_rows: usize,
     /// Whether this execution records a [`crate::QueryProfile`].
     pub profile: bool,
+    /// The statement's governance bundle (cancel token, deadline, memory
+    /// budget), shared by every worker of every pipeline.
+    pub governor: Arc<QueryGovernor>,
 }
 
 impl ExecContext {
     /// A strictly serial context (degree 1) — today's single-threaded
     /// behavior, used by callers that must not spawn.
     pub fn serial() -> ExecContext {
-        ExecContext { degree: 1, morsel_rows: DEFAULT_MORSEL_ROWS, profile: false }
+        ExecContext {
+            degree: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            profile: false,
+            governor: Arc::new(QueryGovernor::unlimited()),
+        }
     }
 }
 
@@ -108,9 +117,26 @@ pub fn default_degree() -> usize {
 /// worker carries one [`EvalScratch`] across all the morsels it claims so
 /// compiled-path look-back caches warm up per worker.
 ///
-/// Errors are deterministic: the error returned is the one from the
+/// **Governance.** The context's [`QueryGovernor`] is checkpointed before
+/// every morsel, so a cancellation, deadline, or budget kill stops the
+/// pipeline within one morsel of work per worker and surfaces as a typed
+/// [`StoreError`].
+///
+/// **Panic isolation.** A panic inside `f` is caught (on the serial path
+/// too), converted into a typed [`ErrorKind::WorkerPanic`] error carrying
+/// the failing morsel index, and published to the sibling workers as a
+/// peer-panic cancellation so they wind down at their next checkpoint.
+/// The caller gets an ordinary `Err`; no worker unwinds across the scope,
+/// so the `Database` stays fully usable afterwards.
+///
+/// **Errors are deterministic.** The error returned is the one from the
 /// lowest-indexed failing morsel (the same morsel — and row — a serial
-/// run would have stopped at).
+/// run would have stopped at), with one refinement: *governance* failures
+/// (cancel / deadline / budget) are echoes of a kill, so a primary error
+/// — a real evaluation failure or an isolated panic — wins over any
+/// governance error regardless of morsel order. Which worker observed a
+/// cancellation first can race; which morsel first produced a primary
+/// error cannot.
 pub fn run_morsels<T, F>(
     ctx: &ExecContext,
     total: usize,
@@ -131,14 +157,12 @@ where
     if workers == 1 {
         let mut scratch = EvalScratch::new();
         let mut out = Vec::with_capacity(ranges.len());
-        for range in ranges {
+        for (i, range) in ranges.into_iter().enumerate() {
+            ctx.governor.checkpoint()?;
             let t = Instant::now();
-            let mut morsel = trace::span(fsdm_obs::catalog::SPAN_EXEC_MORSEL);
-            morsel.record_args(|| format!("rows={}..{}", range.start, range.end));
-            let v = f(range, &mut scratch)?;
-            drop(morsel);
+            let v = run_guarded(&ctx.governor, i, range, &mut scratch, &f);
             record_morsel(range, t);
-            out.push(v);
+            out.push(v?);
         }
         return Ok(out);
     }
@@ -161,11 +185,15 @@ where
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(range) = ranges.get(i).copied() else { break };
                         sentry.claim(i);
+                        if let Err(e) = ctx.governor.checkpoint() {
+                            // a kill echo, recorded so the claimed morsel
+                            // still has a slot; the drain ranks it below
+                            // any primary error
+                            local.push((i, Err(e)));
+                            break;
+                        }
                         let t = Instant::now();
-                        let mut morsel = trace::span(fsdm_obs::catalog::SPAN_EXEC_MORSEL);
-                        morsel.record_args(|| format!("rows={}..{}", range.start, range.end));
-                        let v = f(range, &mut scratch);
-                        drop(morsel);
+                        let v = run_guarded(&ctx.governor, i, range, &mut scratch, &f);
                         record_morsel(range, t);
                         let failed = v.is_err();
                         local.push((i, v));
@@ -203,6 +231,24 @@ where
             *slot = Some(v);
         }
     }
+    // error election before any merge: the lowest-indexed *primary* error
+    // wins; governance kill echoes only surface when nothing primary
+    // failed. Electing over the full slot set (rather than draining to
+    // the first error) is what keeps the result deterministic when a
+    // cancellation races a real failure.
+    let mut primary: Option<StoreError> = None;
+    let mut governance: Option<StoreError> = None;
+    for slot in &slots {
+        if let Some(Err(e)) = slot {
+            let elected = if e.is_governance() { &mut governance } else { &mut primary };
+            if elected.is_none() {
+                *elected = Some(e.clone());
+            }
+        }
+    }
+    if let Some(e) = primary.or(governance) {
+        return Err(e);
+    }
     let mut out = Vec::with_capacity(ranges.len());
     for (i, slot) in slots.into_iter().enumerate() {
         match slot {
@@ -211,8 +257,8 @@ where
                 out.push(v?);
             }
             // unreachable in practice: a morsel is only left unclaimed when
-            // every worker stopped on an error at a lower index, and that
-            // error is returned first by this ordered drain
+            // every worker stopped on an error at a lower index, and the
+            // election above already returned that error
             None => {
                 return Err(StoreError::new("parallel pipeline lost a morsel result"));
             }
@@ -220,6 +266,49 @@ where
     }
     sentry.finish();
     Ok(out)
+}
+
+/// Run one morsel with panic isolation: a panic inside `f` is caught,
+/// published to sibling workers as a peer-panic cancellation, and
+/// converted into a typed [`ErrorKind::WorkerPanic`] error carrying the
+/// morsel index and the panic message.
+///
+/// `AssertUnwindSafe` is sound here: on a caught panic the worker's
+/// `EvalScratch` is abandoned (the worker records the error and stops
+/// claiming), the morsel's partial result is dropped, and the pipeline
+/// fails the whole statement — no state that a half-run closure touched
+/// is ever observed by later work.
+fn run_guarded<T, F>(
+    governor: &QueryGovernor,
+    index: usize,
+    range: RowRange,
+    scratch: &mut EvalScratch,
+    f: &F,
+) -> Result<T, StoreError>
+where
+    F: Fn(RowRange, &mut EvalScratch) -> Result<T, StoreError> + Sync,
+{
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut morsel = trace::span(fsdm_obs::catalog::SPAN_EXEC_MORSEL);
+        morsel.record_args(|| format!("rows={}..{}", range.start, range.end));
+        f(range, scratch)
+    }));
+    match caught {
+        Ok(v) => v,
+        Err(payload) => {
+            governor.cancel_token().cancel(CancelReason::PeerPanic);
+            fsdm_obs::counter!(fsdm_obs::catalog::GOVERN_WORKER_PANIC).inc();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("non-string panic payload");
+            Err(StoreError::with_kind(
+                format!("worker panicked at morsel {index}: {msg}"),
+                ErrorKind::WorkerPanic { morsel: index },
+            ))
+        }
+    }
 }
 
 /// Debug-build **race oracle**: a runtime witness of the three
@@ -338,7 +427,12 @@ mod tests {
     use super::*;
 
     fn ctx(degree: usize, morsel_rows: usize) -> ExecContext {
-        ExecContext { degree, morsel_rows, profile: false }
+        ExecContext {
+            degree,
+            morsel_rows,
+            profile: false,
+            governor: Arc::new(QueryGovernor::unlimited()),
+        }
     }
 
     #[test]
@@ -386,6 +480,61 @@ mod tests {
             .unwrap_err();
             assert!(err.to_string().ends_with("boom at 30"), "degree {degree}: {err}");
         }
+    }
+
+    #[test]
+    fn worker_panic_becomes_a_typed_error_and_the_pipeline_stays_usable() {
+        fsdm_fault::silence_failpoint_panics();
+        for degree in [1, 4] {
+            let c = ctx(degree, 10);
+            let mut stats = ParStats::default();
+            let err = run_morsels(&c, 100, &mut stats, |r, _| {
+                if r.start == 50 {
+                    panic!("failpoint `test` injected panic");
+                }
+                Ok(r.start)
+            })
+            .unwrap_err();
+            assert_eq!(err.kind, ErrorKind::WorkerPanic { morsel: 5 }, "degree {degree}: {err}");
+            assert!(err.message.contains("worker panicked at morsel 5"), "degree {degree}: {err}");
+            // the peer-panic cancellation is transient: cleared, the same
+            // context runs clean again
+            c.governor.cancel_token().clear_transient();
+            let expected: Vec<usize> = morsels(100, 10).map(|r| r.start).collect();
+            let out = run_morsels(&c, 100, &mut stats, |r, _| Ok(r.start)).unwrap();
+            assert_eq!(out, expected, "degree {degree}: rerun after panic");
+        }
+    }
+
+    #[test]
+    fn primary_error_outranks_racing_governance_echoes() {
+        for degree in [1, 4] {
+            let c = ctx(degree, 10);
+            let mut stats = ParStats::default();
+            let err = run_morsels(&c, 100, &mut stats, |r, _| {
+                if r.start == 30 {
+                    // fail and simultaneously cancel the statement: peers
+                    // may echo the kill at lower morsel indices, but the
+                    // primary failure must still win the election
+                    c.governor.cancel_token().cancel(CancelReason::User);
+                    return Err(StoreError::new("real failure at 30"));
+                }
+                Ok(())
+            })
+            .unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Generic, "degree {degree}: {err}");
+            assert!(err.message.contains("real failure at 30"), "degree {degree}: {err}");
+        }
+    }
+
+    #[test]
+    fn cancelled_context_reports_a_typed_cancellation() {
+        let c = ctx(4, 10);
+        c.governor.cancel_token().cancel(CancelReason::User);
+        let mut stats = ParStats::default();
+        let err = run_morsels(&c, 100, &mut stats, |_, _| Ok(())).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Cancelled(CancelReason::User));
+        assert_eq!(err.message, "statement cancelled (user)");
     }
 
     #[test]

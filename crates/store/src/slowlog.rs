@@ -35,6 +35,10 @@ pub struct SlowEntry {
     /// Trace summary (`spans=… dropped=… names[…]`), when the query ran
     /// under an armed trace session.
     pub trace_summary: Option<String>,
+    /// Governance kill reason (`"user"`, `"deadline"`, `"budget"`) when
+    /// the query was cancelled rather than finishing; `None` for queries
+    /// that ran to completion.
+    pub cancel_reason: Option<&'static str>,
 }
 
 #[derive(Debug, Default)]
@@ -107,6 +111,34 @@ impl SlowLog {
         if elapsed_ns < threshold {
             return;
         }
+        self.push(source, elapsed_ns, threads, profile, trace_summary, None);
+    }
+
+    /// Record a governance-killed query with its cancel reason. Killed
+    /// queries bypass the threshold: a statement that died to a deadline
+    /// or budget is interesting regardless of how long it ran.
+    pub fn record_killed(
+        &self,
+        source: &str,
+        elapsed_ns: u64,
+        threads: usize,
+        reason: &'static str,
+    ) {
+        if !self.armed() {
+            return;
+        }
+        self.push(source, elapsed_ns, threads, None, None, Some(reason));
+    }
+
+    fn push(
+        &self,
+        source: &str,
+        elapsed_ns: u64,
+        threads: usize,
+        profile: Option<&QueryProfile>,
+        trace_summary: Option<String>,
+        cancel_reason: Option<&'static str>,
+    ) {
         let mut ring = lock(&self.ring);
         if ring.cap == 0 {
             return;
@@ -124,6 +156,7 @@ impl SlowLog {
             threads,
             profile: profile.cloned(),
             trace_summary,
+            cancel_reason,
         });
         fsdm_obs::gauge!(fsdm_obs::catalog::SLOWLOG_ENTRIES).set(ring.entries.len() as i64);
     }
@@ -170,6 +203,12 @@ impl SlowLog {
                     let _ = write!(out, ",\"trace\":\"{}\"", esc(t));
                 }
                 None => out.push_str(",\"trace\":null"),
+            }
+            match e.cancel_reason {
+                Some(r) => {
+                    let _ = write!(out, ",\"cancel_reason\":\"{r}\"");
+                }
+                None => out.push_str(",\"cancel_reason\":null"),
             }
             out.push('}');
         }
@@ -257,6 +296,24 @@ mod tests {
         assert_eq!(entries.len(), 2, "the ring keeps working after poisoning");
         assert_eq!(entries[1].source, "after");
         assert!(poisoned.get() > before, "recoveries must be counted");
+    }
+
+    #[test]
+    fn killed_queries_bypass_the_threshold_and_carry_their_reason() {
+        let log = SlowLog::new();
+        log.arm(1_000_000, 4);
+        log.record_killed("SELECT sleep", 5, 4, "deadline");
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1, "killed entries skip the threshold filter");
+        assert_eq!(entries[0].cancel_reason, Some("deadline"));
+        let json = log.to_json();
+        assert!(json.contains("\"cancel_reason\":\"deadline\""), "{json}");
+        log.record("slow", 2_000_000, 1, None, None);
+        assert_eq!(log.entries()[1].cancel_reason, None);
+        assert!(log.to_json().contains("\"cancel_reason\":null"));
+        log.disarm();
+        log.record_killed("after disarm", 5, 1, "user");
+        assert!(log.entries().is_empty(), "disarmed log ignores kills too");
     }
 
     #[test]

@@ -14,17 +14,80 @@ use crate::imc::ImcStore;
 use crate::jsonaccess::{JsonCell, JsonStorage};
 use crate::schema::{ColType, ConstraintMode, TableSchema};
 
+/// Why a statement was cancelled (the payload of
+/// [`ErrorKind::Cancelled`] and the cancel token's published reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// An explicit cross-thread `CancelHandle::cancel`.
+    User,
+    /// The statement deadline passed.
+    Deadline,
+    /// The statement memory budget was exhausted.
+    Budget,
+    /// A sibling morsel worker panicked; this worker stopped early.
+    PeerPanic,
+}
+
+impl CancelReason {
+    /// Stable lowercase label, used in error text and the slow-query log.
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelReason::User => "user",
+            CancelReason::Deadline => "deadline",
+            CancelReason::Budget => "budget",
+            CancelReason::PeerPanic => "peer-panic",
+        }
+    }
+}
+
+/// Typed classification of a [`StoreError`]. `Generic` covers ordinary
+/// evaluation failures (and injected faults); the governance kinds let
+/// callers distinguish a killed statement from a wrong one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Ordinary evaluation failure.
+    Generic,
+    /// The statement was cancelled for the given reason.
+    Cancelled(CancelReason),
+    /// The statement ran past its deadline.
+    DeadlineExceeded,
+    /// The statement memory budget was exhausted.
+    BudgetExceeded,
+    /// A morsel worker panicked; the panic was isolated and converted.
+    WorkerPanic {
+        /// Index of the morsel whose closure panicked.
+        morsel: usize,
+    },
+}
+
 /// Storage engine error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreError {
     /// Description of the failure.
     pub message: String,
+    /// Typed classification (governance kills, isolated panics, …).
+    pub kind: ErrorKind,
 }
 
 impl StoreError {
-    /// Build an error.
+    /// Build an ordinary ([`ErrorKind::Generic`]) error.
     pub fn new(message: impl Into<String>) -> Self {
-        StoreError { message: message.into() }
+        StoreError { message: message.into(), kind: ErrorKind::Generic }
+    }
+
+    /// Build an error with an explicit typed kind.
+    pub fn with_kind(message: impl Into<String>, kind: ErrorKind) -> Self {
+        StoreError { message: message.into(), kind }
+    }
+
+    /// True for governance kills (cancel / deadline / budget): failures a
+    /// peer's fault or the user's own limit caused, which yield to any
+    /// co-occurring primary error when the executor picks what to report.
+    pub fn is_governance(&self) -> bool {
+        matches!(
+            self.kind,
+            ErrorKind::Cancelled(_) | ErrorKind::DeadlineExceeded | ErrorKind::BudgetExceeded
+        )
     }
 }
 

@@ -227,6 +227,7 @@ impl Batch {
     /// Gather a value kernel's output for the selected rows (the late
     /// materialization point).
     pub fn gather(&self, kernel: &ValKernel) -> Result<Vec<Datum>, StoreError> {
+        fsdm_fault::fire(fsdm_fault::catalog::FP_VECTOR_BATCH).map_err(crate::govern::fault_err)?;
         kernel.gather(&self.sel)
     }
 }

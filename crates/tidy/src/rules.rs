@@ -13,7 +13,9 @@
 //! `Expr`/`Table`/`Database` remain `Send + Sync` (`no-interior-mut`:
 //! `RefCell`/`Cell`/`Rc` in `crates/store/src` and `crates/sqljson/src`),
 //! debugging scaffold must not ship anywhere (`no-debug`: `dbg!` and
-//! `todo!` workspace-wide), and every file observes basic hygiene (`tab`,
+//! `todo!` workspace-wide), `catch_unwind` is confined to the morsel
+//! executor's panic boundary and the failpoint crate
+//! (`panic-isolation`), and every file observes basic hygiene (`tab`,
 //! `trailing-whitespace`, `todo`).
 //!
 //! A finding can be suppressed with an annotation on the same line or the
@@ -67,6 +69,12 @@ const DIAG_REGISTRY_PREFIX: &str = "crates/analyze/";
 /// mutable state belongs in `EvalScratch`, passed by `&mut`.
 const NO_INTERIOR_MUT_PREFIXES: &[&str] = &["crates/store/src/", "crates/sqljson/src/"];
 
+/// The one production panic boundary: `run_morsels` catches worker
+/// panics, cancels the peers, and rethrows as a typed error. Everywhere
+/// else (outside the failpoint crate, whose panic mode exists to test
+/// that boundary) `catch_unwind` hides a bug (`panic-isolation`).
+const PANIC_BOUNDARY_FILE: &str = "crates/store/src/parallel.rs";
+
 /// One reported problem.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -108,6 +116,7 @@ pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
     let metrics = !rel.starts_with("crates/obs/");
     let diag_codes = !rel.starts_with(DIAG_REGISTRY_PREFIX);
     let no_int_mut = NO_INTERIOR_MUT_PREFIXES.iter().any(|p| rel.starts_with(p));
+    let isolate = rel != PANIC_BOUNDARY_FILE && !rel.starts_with("crates/fault/");
 
     let mut raw: Vec<Finding> = Vec::new();
     let mut allows: Vec<Allow> = Vec::new();
@@ -135,6 +144,9 @@ pub fn check_file(rel: &str, scan: &Scan) -> (Vec<Finding>, usize) {
         }
         if no_int_mut {
             no_interior_mut(rel, line, &masked, &mut raw);
+        }
+        if isolate {
+            panic_isolation(rel, line, &masked, &mut raw);
         }
         if metrics {
             metric_literal(rel, scan, line, &masked, &mut raw);
@@ -322,6 +334,23 @@ fn no_index(rel: &str, line: usize, masked: &str, out: &mut Vec<Finding>) {
                 rule: "no-index",
                 message: "slice/array indexing can panic; use `.get()` / `.get_mut()` \
                           or a slice pattern"
+                    .to_string(),
+                fixable: false,
+            });
+        }
+    }
+}
+
+fn panic_isolation(rel: &str, line: usize, masked: &str, out: &mut Vec<Finding>) {
+    for (_, _, word) in idents(masked) {
+        if word == "catch_unwind" {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: line + 1,
+                rule: "panic-isolation",
+                message: "`catch_unwind` outside the morsel executor's panic boundary \
+                          swallows bugs; return a typed error, or let `run_morsels` \
+                          isolate the panic"
                     .to_string(),
                 fixable: false,
             });
@@ -630,6 +659,17 @@ mod tests {
     fn macro_and_attribute_brackets_are_fine() {
         let src = "#[derive(Debug)]\nstruct S;\nfn f() -> Vec<u8> {\n    vec![1, 2]\n}\n";
         assert!(run(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_is_confined_to_the_panic_boundary() {
+        let src = "fn f() {\n    let _ = std::panic::catch_unwind(|| 1);\n}\n";
+        assert_eq!(rules(&run("crates/store/src/database.rs", src)), vec!["panic-isolation"]);
+        assert!(run(PANIC_BOUNDARY_FILE, src).is_empty(), "the executor owns the boundary");
+        assert!(run("crates/fault/src/lib.rs", src).is_empty(), "the failpoint crate is exempt");
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                        let _ = std::panic::catch_unwind(|| 1);\n    }\n}\n";
+        assert!(run("crates/obs/src/trace.rs", test_src).is_empty(), "test code is exempt");
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub use fsdm_analyze as analyze;
 pub use fsdm_bson as bson;
 /// The JSON DataGuide.
 pub use fsdm_dataguide as dataguide;
+/// Catalog-checked failpoint registry for deterministic fault injection.
+pub use fsdm_fault as fault;
 /// The JSON search index.
 pub use fsdm_index as index;
 /// The JSON substrate: value model, parser, serializer, OraNum.

@@ -1,0 +1,227 @@
+//! Integration test: query governance and fault injection keep their
+//! contracts end-to-end.
+//!
+//! The governance bargain (DESIGN.md §15) has two sides. Generous
+//! limits must be invisible: with a one-minute deadline and a terabyte
+//! budget armed, every workload query returns byte-identical results at
+//! every degree. Tight limits must be *deterministic typed errors*: a
+//! zero timeout, a pre-cancelled handle, or a tiny memory budget each
+//! produce one exact error message — never a panic, never a racy
+//! variant — and an injected worker panic is isolated into a typed
+//! error after which the same `Database` answers the same query with
+//! the same bytes.
+//!
+//! Failpoint arming is process-global, so every test here that runs
+//! queries holds a [`FailScope`] (armed or disarmed) — the scope's
+//! internal lock serializes them against each other; tests in *other*
+//! files never arm failpoints.
+
+use fsdm::fault::{catalog, FailMode, FailScope};
+use fsdm::sqljson::Datum;
+use fsdm::store::{CancelReason, ErrorKind, Query, QueryResult};
+use fsdm_bench::setup::{nobench_db, nobench_q11_plan, nobench_q5_bind};
+
+const DEGREES: [usize; 2] = [1, 4];
+
+/// NoBench Q1–Q10 as (sql, binds) plus the Q11 plan.
+fn workload(n: usize) -> (Vec<(String, Vec<Datum>)>, Query) {
+    let sqls = (1..=10)
+        .map(|q| {
+            let sql = fsdm::workloads::nobench::query_sql(q, n);
+            let binds = if q == 5 { vec![nobench_q5_bind(n)] } else { vec![] };
+            (sql, binds)
+        })
+        .collect();
+    (sqls, nobench_q11_plan(n, false))
+}
+
+#[test]
+fn generous_limits_are_invisible_at_every_degree() {
+    let _scope = FailScope::disarmed();
+    let n = 400;
+    let mut session = nobench_db(n);
+    session.db.set_morsel_rows(64); // many morsels: checkpoints actually run
+    let (sqls, q11) = workload(n);
+
+    // reference: no governance at all
+    let mut reference: Vec<QueryResult> = sqls
+        .iter()
+        .map(|(sql, binds)| session.execute_with(sql, binds).expect("ungoverned query runs"))
+        .collect();
+    reference.push(session.db.execute(&q11).expect("ungoverned Q11 runs"));
+
+    session.set_statement_timeout(Some(60_000));
+    session.set_mem_limit(Some(1 << 40));
+    for degree in DEGREES {
+        session.db.set_parallelism(degree);
+        for (i, (sql, binds)) in sqls.iter().enumerate() {
+            let r = session.execute_with(sql, binds).expect("governed query runs");
+            assert_eq!(r, reference[i], "Q{} governed at degree {degree}", i + 1);
+        }
+        let r = session.db.execute(&q11).expect("governed Q11 runs");
+        assert_eq!(r, reference[10], "Q11 governed at degree {degree}");
+    }
+}
+
+#[test]
+fn a_zero_timeout_is_a_deterministic_deadline_error() {
+    let _scope = FailScope::disarmed();
+    let n = 300;
+    let mut session = nobench_db(n);
+    // the ring is armed with an unreachable threshold: only governance
+    // kills may enter, proving `record_killed` bypasses the threshold
+    session.db.set_slow_log(u64::MAX, 8);
+    session.set_statement_timeout(Some(0));
+    let sql = fsdm::workloads::nobench::query_sql(1, n);
+    for degree in DEGREES {
+        session.db.set_parallelism(degree);
+        let err = session.execute(&sql).expect_err("a zero deadline must kill the statement");
+        assert_eq!(err.message, "statement deadline exceeded (timeout 0 ms)", "degree {degree}");
+    }
+    let entries = session.db.slow_log().entries();
+    assert_eq!(entries.len(), DEGREES.len(), "every killed statement enters the ring");
+    for e in &entries {
+        assert_eq!(e.cancel_reason, Some("deadline"));
+        assert_eq!(e.source, sql);
+    }
+    assert!(
+        session.db.slow_log_json().contains("\"cancel_reason\":\"deadline\""),
+        "the ring dump must carry the kill reason"
+    );
+    // the deadline leaves nothing behind: clearing it revives the session
+    session.set_statement_timeout(None);
+    session.execute(&sql).expect("clearing the timeout revives the session");
+}
+
+#[test]
+fn a_pre_cancelled_handle_is_a_deterministic_cancel_error() {
+    let _scope = FailScope::disarmed();
+    let n = 300;
+    let mut session = nobench_db(n);
+    let plan = session.plan(&fsdm::workloads::nobench::query_sql(2, n), &[]).unwrap();
+    let handle = session.cancel_handle();
+    for degree in DEGREES {
+        session.db.set_parallelism(degree);
+        assert!(handle.cancel(), "first cancel wins");
+        assert!(handle.is_cancelled());
+        // `Database::execute` honors a pending cross-thread cancel; the
+        // session's `&mut` entry points reset it at statement entry
+        let err = session.db.execute(&plan).expect_err("a cancelled token must kill the statement");
+        assert_eq!(err.kind, ErrorKind::Cancelled(CancelReason::User), "degree {degree}");
+        assert_eq!(err.message, "statement cancelled (user)", "degree {degree}");
+        // a fresh statement through the session resets the token
+        session
+            .execute_with(&fsdm::workloads::nobench::query_sql(2, n), &[])
+            .expect("the next session statement runs clean");
+        assert!(!handle.is_cancelled(), "statement entry resets the token");
+    }
+}
+
+#[test]
+fn a_tiny_memory_budget_is_a_deterministic_budget_error() {
+    let _scope = FailScope::disarmed();
+    let n = 300;
+    let mut session = nobench_db(n);
+    session.set_mem_limit(Some(1024));
+    // an unfiltered group-by: the first morsel partial alone charges
+    // (1 key + 1 agg) x 32 bytes x 300 rows ≈ 19 KiB against the budget
+    let sql = "select json_value(jdoc, '$.thousandth' returning number) t, count(*) \
+               from nobench group by json_value(jdoc, '$.thousandth' returning number)";
+    let plan = session.plan(sql, &[]).unwrap();
+    for degree in DEGREES {
+        session.db.set_parallelism(degree);
+        let err = session.db.execute(&plan).expect_err("a 1 KiB budget must kill the group-by");
+        assert_eq!(err.kind, ErrorKind::BudgetExceeded, "degree {degree}");
+        assert_eq!(err.message, "memory budget exceeded (limit 1024 bytes)", "degree {degree}");
+    }
+    session.set_mem_limit(None);
+    session.db.execute(&plan).expect("clearing the budget revives the session");
+}
+
+#[test]
+fn an_injected_worker_panic_is_isolated_and_the_rerun_is_identical() {
+    fsdm::fault::silence_failpoint_panics();
+    let scope = FailScope::disarmed();
+    let n = 400;
+    let mut session = nobench_db(n);
+    session.db.set_morsel_rows(32);
+    let plan = session.plan(&fsdm::workloads::nobench::query_sql(3, n), &[]).unwrap();
+    let baseline = session.db.execute(&plan).expect("disarmed baseline runs");
+    for degree in DEGREES {
+        session.db.set_parallelism(degree);
+        scope.also(catalog::FP_EXEC_MORSEL, FailMode::Panic);
+        let err = session.db.execute(&plan).expect_err("an armed panic must surface as an error");
+        assert_eq!(
+            err.kind,
+            ErrorKind::WorkerPanic { morsel: 0 },
+            "degree {degree}: the first morsel's panic wins the election"
+        );
+        assert!(err.message.contains("worker panicked at morsel 0"), "degree {degree}: {err}");
+        fsdm::fault::reset();
+        // the panic left no residue: same database, same plan, same bytes
+        let rerun = session.db.execute(&plan).expect("the database survives a worker panic");
+        assert_eq!(rerun, baseline, "degree {degree}: post-panic rerun diverged");
+    }
+}
+
+/// The error-election pin (see `run_morsels`): with panic mode armed on
+/// every morsel at degree 4, workers panic concurrently and the sibling
+/// cancellation (peer-panic) races the failures — yet the reported
+/// error must come from morsel 0 on every repetition, because primary
+/// errors outrank governance echoes and the lowest failing index wins.
+#[test]
+fn the_lowest_failing_morsel_wins_even_when_cancellation_races() {
+    fsdm::fault::silence_failpoint_panics();
+    let scope = FailScope::disarmed();
+    let n = 500;
+    let mut session = nobench_db(n);
+    session.db.set_morsel_rows(16); // 32 morsels: plenty of racing peers
+    session.db.set_parallelism(4);
+    let plan = session.plan(&fsdm::workloads::nobench::query_sql(1, n), &[]).unwrap();
+    for rep in 0..20 {
+        scope.also(catalog::FP_EXEC_MORSEL, FailMode::Panic);
+        let err = session.db.execute(&plan).expect_err("armed panic fails the pipeline");
+        assert_eq!(err.kind, ErrorKind::WorkerPanic { morsel: 0 }, "rep {rep}: {err}");
+        fsdm::fault::reset();
+    }
+}
+
+#[test]
+fn a_disarmed_run_never_consults_the_failpoint_registry() {
+    let _scope = FailScope::disarmed();
+    let n = 300;
+    let mut session = nobench_db(n);
+    let (sqls, q11) = workload(n);
+    for (sql, binds) in &sqls {
+        session.execute_with(sql, binds).expect("disarmed query runs");
+    }
+    session.db.execute(&q11).expect("disarmed Q11 runs");
+    assert_eq!(
+        fsdm::fault::total_hits(),
+        0,
+        "the whole workload must stay on the one-relaxed-load fast path"
+    );
+}
+
+/// A reduced chaos sweep as a tier-1 gate: every seeded fault schedule
+/// over both workloads must classify as baseline-identical or typed
+/// error, with a byte-identical clean rerun (`chaos::run` serializes
+/// itself on the failpoint scope lock).
+#[test]
+fn chaos_smoke_finds_no_contract_violations() {
+    use fsdm_bench::chaos::{run, ChaosConfig};
+    fsdm::fault::silence_failpoint_panics();
+    let cfg =
+        ChaosConfig { scale: 160, olap_scale: 80, schedules: 24, seed: 3, watchdog_ms: 30_000 };
+    let report = run(&cfg);
+    assert_eq!(report.outcomes.len(), 24);
+    let violations = report.violations();
+    assert!(
+        violations.is_empty(),
+        "chaos violations: {:?}",
+        violations
+            .iter()
+            .map(|o| format!("{} {}={}: {}", o.query, o.point, o.mode, o.detail))
+            .collect::<Vec<_>>()
+    );
+}
